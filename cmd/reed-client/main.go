@@ -1,0 +1,467 @@
+// Command reed-client is the user-facing CLI for a REED deployment:
+// key provisioning, uploads, downloads, rekeying, and storage
+// statistics.
+//
+// A deployment is provisioned once by an administrator:
+//
+//	reed-client init-authority -state /etc/reed
+//	reed-client issue -state /etc/reed -user alice
+//	reed-client issue -state /etc/reed -user bob
+//	reed-client publish -state /etc/reed -users alice,bob
+//
+// which creates the authority, per-user credentials (private access key
+// + key-regression owner), and the public-key bundle encryptors use.
+// Users then operate against running reed-server / reed-keymanager
+// processes:
+//
+//	reed-client upload -state /etc/reed -user alice \
+//	    -servers 10.0.0.1:9000,10.0.0.2:9000 -keystore 10.0.0.3:9001 \
+//	    -km 10.0.0.4:9002 -policy "or(alice, bob)" \
+//	    -file backup.tar -as /backups/day1.tar
+//	reed-client download ... -path /backups/day1.tar -out restored.tar
+//	reed-client verify ... -path /backups/day1.tar
+//	reed-client rekey ... -path /backups/day1.tar -policy alice -active
+//	reed-client rm ... -path /backups/day1.tar
+//	reed-client ls ...
+//	reed-client stats -servers 10.0.0.1:9000 -keystore 10.0.0.3:9001 -km 10.0.0.4:9002 -state /etc/reed -user alice
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	reed "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reed-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: reed-client <init-authority|issue|publish|upload|download|verify|rekey|rm|ls|stats> [flags]")
+	}
+	switch args[0] {
+	case "init-authority":
+		return cmdInitAuthority(args[1:])
+	case "issue":
+		return cmdIssue(args[1:])
+	case "publish":
+		return cmdPublish(args[1:])
+	case "upload":
+		return cmdUpload(args[1:])
+	case "download":
+		return cmdDownload(args[1:])
+	case "rekey":
+		return cmdRekey(args[1:])
+	case "verify":
+		return cmdVerify(args[1:])
+	case "rm":
+		return cmdDelete(args[1:])
+	case "ls":
+		return cmdList(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// --- provisioning ---
+
+func cmdInitAuthority(args []string) error {
+	fs := flag.NewFlagSet("init-authority", flag.ContinueOnError)
+	state := fs.String("state", "", "state directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return errors.New("-state required")
+	}
+	if err := os.MkdirAll(*state, 0o700); err != nil {
+		return err
+	}
+	path := filepath.Join(*state, "authority.key")
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("authority already exists at %s", path)
+	}
+	authority, err := reed.NewAuthority()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, authority.Marshal(), 0o600); err != nil {
+		return err
+	}
+	fmt.Println("authority created:", path)
+	return nil
+}
+
+func cmdIssue(args []string) error {
+	fs := flag.NewFlagSet("issue", flag.ContinueOnError)
+	state := fs.String("state", "", "state directory")
+	user := fs.String("user", "", "user identity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" || *user == "" {
+		return errors.New("-state and -user required")
+	}
+	authority, err := loadAuthority(*state)
+	if err != nil {
+		return err
+	}
+
+	access := authority.IssueKey(*user, []string{*user})
+	if err := os.WriteFile(userPath(*state, *user, "access"), access.Marshal(), 0o600); err != nil {
+		return err
+	}
+	owner, err := reed.NewOwner()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(userPath(*state, *user, "owner"), owner.Marshal(), 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("issued credentials for %s\n", *user)
+	return nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
+	state := fs.String("state", "", "state directory")
+	users := fs.String("users", "", "comma-separated user identities")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" || *users == "" {
+		return errors.New("-state and -users required")
+	}
+	authority, err := loadAuthority(*state)
+	if err != nil {
+		return err
+	}
+	bundle := authority.PublicKeys(strings.Split(*users, ","))
+	path := filepath.Join(*state, "pubkeys.bin")
+	if err := os.WriteFile(path, bundle.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("public key bundle written:", path)
+	return nil
+}
+
+// --- data path ---
+
+// connFlags holds the flags shared by upload/download/rekey/stats.
+type connFlags struct {
+	state    *string
+	user     *string
+	servers  *string
+	keystore *string
+	km       *string
+	scheme   *string
+}
+
+func addConnFlags(fs *flag.FlagSet) connFlags {
+	return connFlags{
+		state:    fs.String("state", "", "state directory"),
+		user:     fs.String("user", "", "user identity"),
+		servers:  fs.String("servers", "", "comma-separated data server addresses"),
+		keystore: fs.String("keystore", "", "key-store server address"),
+		km:       fs.String("km", "", "key manager address"),
+		scheme:   fs.String("scheme", "enhanced", "encryption scheme: basic or enhanced"),
+	}
+}
+
+func (cf connFlags) connect() (*reed.Client, func() error, error) {
+	if *cf.state == "" || *cf.user == "" || *cf.servers == "" || *cf.keystore == "" || *cf.km == "" {
+		return nil, nil, errors.New("-state, -user, -servers, -keystore, and -km required")
+	}
+	var scheme reed.Scheme
+	switch *cf.scheme {
+	case "basic":
+		scheme = reed.SchemeBasic
+	case "enhanced":
+		scheme = reed.SchemeEnhanced
+	default:
+		return nil, nil, fmt.Errorf("unknown scheme %q", *cf.scheme)
+	}
+
+	accessBytes, err := os.ReadFile(userPath(*cf.state, *cf.user, "access"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("load access key: %w", err)
+	}
+	access, err := reed.UnmarshalAccessKey(accessBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ownerBytes, err := os.ReadFile(userPath(*cf.state, *cf.user, "owner"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("load owner: %w", err)
+	}
+	owner, err := reed.UnmarshalOwner(ownerBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	bundleBytes, err := os.ReadFile(filepath.Join(*cf.state, "pubkeys.bin"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("load public key bundle (run publish first): %w", err)
+	}
+	bundle, err := reed.UnmarshalPublicKeyBundle(bundleBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	client, err := reed.NewClient(reed.ClientConfig{
+		UserID:         *cf.user,
+		Scheme:         scheme,
+		DataServers:    strings.Split(*cf.servers, ","),
+		KeyStoreServer: *cf.keystore,
+		KeyManager:     *cf.km,
+		PrivateKey:     access,
+		Directory:      bundle,
+		Owner:          owner,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// saveOwner persists the (possibly wound) owner chain on exit.
+	saveOwner := func() error {
+		defer client.Close()
+		return os.WriteFile(userPath(*cf.state, *cf.user, "owner"), owner.Marshal(), 0o600)
+	}
+	return client, saveOwner, nil
+}
+
+func cmdUpload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	file := fs.String("file", "", "local file to upload")
+	as := fs.String("as", "", "remote path")
+	polText := fs.String("policy", "", "access policy, e.g. \"or(alice, bob)\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" || *as == "" || *polText == "" {
+		return errors.New("-file, -as, and -policy required")
+	}
+	pol, err := reed.ParsePolicy(*polText)
+	if err != nil {
+		return err
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := client.Upload(*as, f, pol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %s as %s: %d bytes, %d chunks (%d duplicate), key version %d\n",
+		*file, *as, res.LogicalBytes, res.Chunks, res.DuplicateChunks, res.KeyVersion)
+	return nil
+}
+
+func cmdDownload(args []string) error {
+	fs := flag.NewFlagSet("download", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	path := fs.String("path", "", "remote path")
+	out := fs.String("out", "", "local output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *out == "" {
+		return errors.New("-path and -out required")
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	data, err := client.Download(*path)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("downloaded %s to %s: %d bytes\n", *path, *out, len(data))
+	return nil
+}
+
+func cmdRekey(args []string) error {
+	fs := flag.NewFlagSet("rekey", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	path := fs.String("path", "", "remote path")
+	polText := fs.String("policy", "", "new access policy")
+	active := fs.Bool("active", false, "active revocation (re-encrypt stubs now)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *polText == "" {
+		return errors.New("-path and -policy required")
+	}
+	pol, err := reed.ParsePolicy(*polText)
+	if err != nil {
+		return err
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	res, err := client.Rekey(*path, pol, *active)
+	if err != nil {
+		return err
+	}
+	mode := "lazy"
+	if *active {
+		mode = "active"
+	}
+	fmt.Printf("rekeyed %s (%s): key version %d -> %d", *path, mode, res.OldVersion, res.NewVersion)
+	if *active {
+		fmt.Printf(", %d stub bytes re-encrypted", res.StubBytes)
+	}
+	fmt.Println()
+	return nil
+}
+
+// cmdDelete securely deletes a file: the key state and stub file are
+// destroyed (cryptographic deletion), then unreferenced chunks are
+// garbage-collected.
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("rm", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	path := fs.String("path", "", "remote path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return errors.New("-path required")
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	res, err := client.Delete(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s: %d chunk references dropped, %d chunks reclaimed\n",
+		*path, res.Chunks, res.FreedChunks)
+	return nil
+}
+
+// cmdVerify downloads a file, checks every chunk's integrity (the
+// all-or-nothing transforms detect any tamper), and discards the data.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	path := fs.String("path", "", "remote path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return errors.New("-path required")
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	data, err := client.Download(*path)
+	if err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+	fmt.Printf("%s: %d bytes intact\n", *path, len(data))
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	names, err := client.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	cf := addConnFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, finish, err := cf.connect()
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	stats, err := client.ServerStats()
+	if err != nil {
+		return err
+	}
+	var logical, physical, stub uint64
+	for i, s := range stats {
+		role := fmt.Sprintf("data-%d", i)
+		if i == len(stats)-1 {
+			role = "keystore"
+		}
+		fmt.Printf("%-9s puts=%d dup=%d logical=%d physical=%d stub=%d\n",
+			role, s.TotalPuts, s.DedupedPuts, s.LogicalBytes, s.PhysicalBytes, s.StubBytes)
+		logical += s.LogicalBytes
+		physical += s.PhysicalBytes
+		stub += s.StubBytes
+	}
+	if logical > 0 {
+		saving := 1 - float64(physical+stub)/float64(logical)
+		fmt.Printf("total: logical=%d stored=%d saving=%.2f%%\n", logical, physical+stub, saving*100)
+	}
+	return nil
+}
+
+// --- helpers ---
+
+func loadAuthority(state string) (*reed.Authority, error) {
+	b, err := os.ReadFile(filepath.Join(state, "authority.key"))
+	if err != nil {
+		return nil, fmt.Errorf("load authority (run init-authority first): %w", err)
+	}
+	return reed.UnmarshalAuthority(b)
+}
+
+func userPath(state, user, kind string) string {
+	return filepath.Join(state, fmt.Sprintf("%s.%s", user, kind))
+}

@@ -1,0 +1,64 @@
+// Command reed-keymanager runs the REED key manager: the dedicated
+// service that turns blinded chunk fingerprints into MLE keys via an
+// oblivious PRF (blinded RSA signatures, as in DupLESS).
+//
+// The key manager never learns fingerprints or content. Per-client rate
+// limiting defends against online brute-force probing from compromised
+// clients.
+//
+// Usage:
+//
+//	reed-keymanager -listen :9002 -bits 1024 -rate 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	reed "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reed-keymanager:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":9002", "address to listen on")
+		bits   = flag.Int("bits", 1024, "RSA modulus size for the OPRF key")
+		rate   = flag.Float64("rate", 0, "per-client key generations per second (0 = unlimited)")
+	)
+	flag.Parse()
+
+	srv, err := reed.NewKeyManagerServer(*bits, *rate)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("key manager listening on %s (rsa=%d bits, rate=%v/s)", ln.Addr(), *bits, *rate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		srv.Shutdown()
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,75 @@
+// Command reed-server runs a REED storage server: server-side
+// deduplication of trimmed packages plus blob storage for recipes, stub
+// files, and key states.
+//
+// The paper's deployment runs four of these as data-store servers and a
+// fifth as the key-store server; the roles differ only in which requests
+// clients send, so there is a single binary.
+//
+// Usage:
+//
+//	reed-server -listen :9000 -dir /var/lib/reed
+//
+// With no -dir, blobs live in memory and vanish on exit (useful for
+// experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	reed "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reed-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":9000", "address to listen on")
+		dir    = flag.String("dir", "", "storage directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	backend := reed.NewMemoryBackend()
+	if *dir != "" {
+		var err error
+		backend, err = reed.NewDiskBackend(*dir)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := reed.NewStorageServer(backend)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("storage server listening on %s (dir=%q)", ln.Addr(), *dir)
+
+	// Flush containers and the dedup index on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		return srv.Shutdown()
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,448 @@
+// Package abe implements ciphertext-policy attribute-based encryption
+// with the interface and semantics REED needs, substituting a
+// pairing-free construction for the Bethencourt–Sahai–Waters scheme the
+// paper's prototype links against (bilinear pairings are not available in
+// the Go standard library).
+//
+// Construction. An authority holds a master secret from which it derives
+// one discrete-log key pair per attribute in a fixed 2048-bit MODP group
+// (RFC 3526): x_a = PRF(master, a), y_a = g^x_a. Users receive the
+// private scalars for their attributes ("private access key"); the
+// public y_a values are published for encryptors. Encryption under an
+// access tree:
+//
+//  1. draw a random secret s and share it down the tree — OR replicates,
+//     AND is an n-of-n Shamir split, k-of-n is a Shamir split;
+//  2. draw one ephemeral k, publish c1 = g^k, and wrap each leaf's share
+//     with a mask derived from the hashed-ElGamal agreement y_a^k;
+//  3. encrypt the payload with AES-256-GCM under H(s).
+//
+// Decryption recovers leaf shares for held attributes via c1^x_a,
+// recombines up the tree (Lagrange interpolation at threshold gates),
+// and opens the payload. Decryption succeeds iff the user's attributes
+// satisfy the tree.
+//
+// Fidelity to CP-ABE: (a) policy expressiveness is the same access-tree
+// language; (b) only satisfying attribute sets decrypt, and colluding
+// users cannot combine shares across *different* ciphertexts (each has a
+// fresh s and k) — though unlike true CP-ABE, two users *can* pool their
+// attribute scalars within one ciphertext, which is harmless in REED
+// where every attribute is a unique user identity; (c) the cost model
+// matches what Experiment A.4 measures: encryption is one group
+// exponentiation per leaf (linear in the number of authorized users),
+// decryption of an OR-of-identities policy is a single exponentiation
+// (constant).
+package abe
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/binenc"
+	"repro/internal/policy"
+	"repro/internal/shamir"
+)
+
+var (
+	// ErrNotAuthorized is returned when the private key's attributes do
+	// not satisfy the ciphertext policy.
+	ErrNotAuthorized = errors.New("abe: attributes do not satisfy policy")
+	// ErrCorrupt is returned for malformed or tampered ciphertexts.
+	ErrCorrupt = errors.New("abe: corrupt ciphertext")
+)
+
+// groupP is the 2048-bit MODP prime from RFC 3526 §3; groupG is its
+// generator. The group order is (p-1)/2 (p is a safe prime).
+var (
+	groupP = mustHex(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+			"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+			"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+			"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+			"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+			"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+			"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+			"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9" +
+			"DE2BCBF6955817183995497CEA956AE515D2261898FA0510" +
+			"15728E5A8AACAA68FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF")
+	groupG = big.NewInt(2)
+	groupQ = new(big.Int).Rsh(new(big.Int).Sub(groupP, big.NewInt(1)), 1)
+)
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("abe: bad group constant")
+	}
+	return v
+}
+
+// Authority issues attribute keys. It holds the master secret.
+type Authority struct {
+	master []byte
+}
+
+// NewAuthority creates an authority with a fresh master secret. If
+// randSrc is nil, crypto/rand.Reader is used.
+func NewAuthority(randSrc io.Reader) (*Authority, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	master := make([]byte, 32)
+	if _, err := io.ReadFull(randSrc, master); err != nil {
+		return nil, fmt.Errorf("abe: master secret: %w", err)
+	}
+	return &Authority{master: master}, nil
+}
+
+// attributeScalar derives the private scalar for an attribute:
+// x_a = PRF(master, a) reduced into [1, q).
+func (a *Authority) attributeScalar(attr string) *big.Int {
+	mac := hmac.New(sha256.New, a.master)
+	mac.Write([]byte("reed-abe-attr"))
+	mac.Write([]byte(attr))
+	sum := mac.Sum(nil)
+	// Expand to 64 bytes so the mod-q reduction bias is negligible.
+	mac.Reset()
+	mac.Write([]byte("reed-abe-attr2"))
+	mac.Write([]byte(attr))
+	sum = append(sum, mac.Sum(nil)...)
+	x := new(big.Int).SetBytes(sum)
+	x.Mod(x, new(big.Int).Sub(groupQ, big.NewInt(1)))
+	return x.Add(x, big.NewInt(1)) // never zero
+}
+
+// AttributePublicKey returns y_a = g^x_a, the value encryptors use.
+func (a *Authority) AttributePublicKey(attr string) *big.Int {
+	return new(big.Int).Exp(groupG, a.attributeScalar(attr), groupP)
+}
+
+// PublicKeys bundles the public keys for a set of attributes.
+func (a *Authority) PublicKeys(attrs []string) PublicKeys {
+	pk := PublicKeys{Keys: make(map[string]*big.Int, len(attrs))}
+	for _, attr := range attrs {
+		pk.Keys[attr] = a.AttributePublicKey(attr)
+	}
+	return pk
+}
+
+// IssueKey returns the private access key for a user holding the given
+// attributes. In REED's usage attrs is the singleton {user identity}.
+func (a *Authority) IssueKey(holder string, attrs []string) *PrivateKey {
+	k := &PrivateKey{Holder: holder, Scalars: make(map[string]*big.Int, len(attrs))}
+	for _, attr := range attrs {
+		k.Scalars[attr] = a.attributeScalar(attr)
+	}
+	return k
+}
+
+// PublicKeys carries per-attribute public keys for encryption.
+type PublicKeys struct {
+	Keys map[string]*big.Int
+}
+
+// PublicKeys returns the subset for the requested attributes, making a
+// published key bundle usable wherever an authority is (it satisfies the
+// client's PublicKeyDirectory without holding the master secret).
+func (p PublicKeys) PublicKeys(attrs []string) PublicKeys {
+	out := PublicKeys{Keys: make(map[string]*big.Int, len(attrs))}
+	for _, a := range attrs {
+		if k, ok := p.Keys[a]; ok {
+			out.Keys[a] = k
+		}
+	}
+	return out
+}
+
+// PrivateKey is a user's private access key.
+type PrivateKey struct {
+	Holder  string
+	Scalars map[string]*big.Int
+}
+
+// Attributes returns the attribute names this key holds.
+func (k *PrivateKey) Attributes() map[string]bool {
+	out := make(map[string]bool, len(k.Scalars))
+	for a := range k.Scalars {
+		out[a] = true
+	}
+	return out
+}
+
+// Ciphertext is an ABE ciphertext: the policy, the ephemeral group
+// element, the wrapped leaf shares (in policy-preorder), and the GCM-
+// protected body.
+type Ciphertext struct {
+	Policy    *policy.Node
+	Ephemeral *big.Int // c1 = g^k
+	Wrapped   [][shamir.SecretSize]byte
+	Nonce     []byte
+	Body      []byte
+}
+
+// Encrypt encrypts plaintext so that exactly the attribute sets
+// satisfying pol can decrypt. pub must contain a public key for every
+// leaf attribute. If randSrc is nil, crypto/rand.Reader is used.
+func Encrypt(pub PublicKeys, pol *policy.Node, plaintext []byte, randSrc io.Reader) (*Ciphertext, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	for _, attr := range pol.Leaves() {
+		if pub.Keys[attr] == nil {
+			return nil, fmt.Errorf("abe: missing public key for attribute %q", attr)
+		}
+	}
+
+	secret, err := shamir.GenerateSecret(randSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Share the secret down the tree; leaf shares in preorder.
+	var leafShares [][shamir.SecretSize]byte
+	if err := shareDown(pol, secret, randSrc, &leafShares); err != nil {
+		return nil, err
+	}
+
+	// One ephemeral exponent for the whole ciphertext.
+	k, err := rand.Int(randSrc, new(big.Int).Sub(groupQ, big.NewInt(1)))
+	if err != nil {
+		return nil, fmt.Errorf("abe: ephemeral: %w", err)
+	}
+	k.Add(k, big.NewInt(1))
+	c1 := new(big.Int).Exp(groupG, k, groupP)
+
+	// Wrap each leaf share under y_a^k.
+	leaves := pol.Leaves()
+	wrapped := make([][shamir.SecretSize]byte, len(leaves))
+	for i, attr := range leaves {
+		agreed := new(big.Int).Exp(pub.Keys[attr], k, groupP)
+		mask := leafMask(agreed, i)
+		wrapped[i] = leafShares[i]
+		for j := range wrapped[i] {
+			wrapped[i][j] ^= mask[j]
+		}
+	}
+
+	// Body: AES-256-GCM under H(s).
+	nonce := make([]byte, 12)
+	if _, err := io.ReadFull(randSrc, nonce); err != nil {
+		return nil, fmt.Errorf("abe: nonce: %w", err)
+	}
+	aead, err := bodyAEAD(secret)
+	if err != nil {
+		return nil, err
+	}
+	body := aead.Seal(nil, nonce, plaintext, pol.Marshal())
+
+	return &Ciphertext{
+		Policy:    pol,
+		Ephemeral: c1,
+		Wrapped:   wrapped,
+		Nonce:     nonce,
+		Body:      body,
+	}, nil
+}
+
+// Decrypt recovers the plaintext if key's attributes satisfy the policy.
+func Decrypt(key *PrivateKey, ct *Ciphertext) ([]byte, error) {
+	if ct == nil || ct.Policy == nil || ct.Ephemeral == nil {
+		return nil, ErrCorrupt
+	}
+	if err := ct.Policy.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(ct.Wrapped) != ct.Policy.CountLeaves() {
+		return nil, fmt.Errorf("%w: share count mismatch", ErrCorrupt)
+	}
+	if !ct.Policy.Satisfied(key.Attributes()) {
+		return nil, ErrNotAuthorized
+	}
+
+	leafIdx := 0
+	secret, ok := recoverUp(ct.Policy, key, ct, &leafIdx)
+	if !ok {
+		// Satisfied() said yes, so this indicates a corrupt ciphertext
+		// rather than missing attributes.
+		return nil, fmt.Errorf("%w: share recovery failed", ErrCorrupt)
+	}
+
+	aead, err := bodyAEAD(secret)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct.Nonce) != 12 {
+		return nil, fmt.Errorf("%w: bad nonce", ErrCorrupt)
+	}
+	pt, err := aead.Open(nil, ct.Nonce, ct.Body, ct.Policy.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return pt, nil
+}
+
+// shareDown assigns node values: the root gets the secret; an internal
+// node Shamir-splits its value among its children; leaves append their
+// value to out in preorder.
+func shareDown(n *policy.Node, value [shamir.SecretSize]byte, randSrc io.Reader, out *[][shamir.SecretSize]byte) error {
+	if n.Gate == policy.GateLeaf {
+		*out = append(*out, value)
+		return nil
+	}
+	k := n.EffectiveThreshold()
+	shares, err := shamir.Split(value, len(n.Children), k, randSrc)
+	if err != nil {
+		return err
+	}
+	for i, c := range n.Children {
+		if err := shareDown(c, shares[i].Y, randSrc, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverUp walks the tree in the same preorder as shareDown, returning
+// the node's value when recoverable with the held attributes.
+func recoverUp(n *policy.Node, key *PrivateKey, ct *Ciphertext, leafIdx *int) ([shamir.SecretSize]byte, bool) {
+	var zero [shamir.SecretSize]byte
+	if n.Gate == policy.GateLeaf {
+		idx := *leafIdx
+		*leafIdx++
+		x, held := key.Scalars[n.Attribute]
+		if !held {
+			return zero, false
+		}
+		agreed := new(big.Int).Exp(ct.Ephemeral, x, groupP)
+		mask := leafMask(agreed, idx)
+		share := ct.Wrapped[idx]
+		for j := range share {
+			share[j] ^= mask[j]
+		}
+		return share, true
+	}
+
+	need := n.EffectiveThreshold()
+	var got []shamir.Share
+	for i, c := range n.Children {
+		v, ok := recoverUp(c, key, ct, leafIdx)
+		if !ok {
+			continue
+		}
+		got = append(got, shamir.Share{X: uint32(i + 1), Y: v})
+	}
+	if len(got) < need {
+		return zero, false
+	}
+	combined, err := shamir.Combine(got[:need], need)
+	if err != nil {
+		return zero, false
+	}
+	return combined, true
+}
+
+// leafMask derives the XOR mask for leaf idx from the agreed group
+// element.
+func leafMask(agreed *big.Int, idx int) [shamir.SecretSize]byte {
+	h := sha256.New()
+	h.Write([]byte("reed-abe-leaf"))
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], uint32(idx))
+	h.Write(ib[:])
+	h.Write(agreed.Bytes())
+	var out [shamir.SecretSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// bodyAEAD builds the AES-256-GCM AEAD for the body key H(s).
+func bodyAEAD(secret [shamir.SecretSize]byte) (cipher.AEAD, error) {
+	h := sha256.New()
+	h.Write([]byte("reed-abe-body"))
+	h.Write(secret[:])
+	block, err := aes.NewCipher(h.Sum(nil))
+	if err != nil {
+		return nil, fmt.Errorf("abe: body cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("abe: body aead: %w", err)
+	}
+	return aead, nil
+}
+
+// Marshal encodes the ciphertext.
+func (c *Ciphertext) Marshal() []byte {
+	w := binenc.NewWriter(512 + len(c.Body))
+	w.WriteBytes(c.Policy.Marshal())
+	w.WriteBytes(c.Ephemeral.Bytes())
+	w.Uvarint(uint64(len(c.Wrapped)))
+	for i := range c.Wrapped {
+		w.Raw(c.Wrapped[i][:])
+	}
+	w.WriteBytes(c.Nonce)
+	w.WriteBytes(c.Body)
+	return w.Bytes()
+}
+
+// UnmarshalCiphertext decodes a ciphertext produced by Marshal.
+func UnmarshalCiphertext(b []byte) (*Ciphertext, error) {
+	r := binenc.NewReader(b)
+	polBytes, err := r.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: policy: %v", ErrCorrupt, err)
+	}
+	pol, err := policy.Unmarshal(polBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: policy: %v", ErrCorrupt, err)
+	}
+	ephBytes, err := r.ReadBytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: ephemeral: %v", ErrCorrupt, err)
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: share count: %v", ErrCorrupt, err)
+	}
+	if count != uint64(pol.CountLeaves()) {
+		return nil, fmt.Errorf("%w: share count mismatch", ErrCorrupt)
+	}
+	wrapped := make([][shamir.SecretSize]byte, count)
+	for i := range wrapped {
+		raw, err := r.ReadRaw(shamir.SecretSize)
+		if err != nil {
+			return nil, fmt.Errorf("%w: share %d: %v", ErrCorrupt, i, err)
+		}
+		copy(wrapped[i][:], raw)
+	}
+	nonce, err := r.ReadBytesCopy()
+	if err != nil {
+		return nil, fmt.Errorf("%w: nonce: %v", ErrCorrupt, err)
+	}
+	body, err := r.ReadBytesCopy()
+	if err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return &Ciphertext{
+		Policy:    pol,
+		Ephemeral: new(big.Int).SetBytes(ephBytes),
+		Wrapped:   wrapped,
+		Nonce:     nonce,
+		Body:      body,
+	}, nil
+}

@@ -1,0 +1,43 @@
+package abe
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	auth, err := NewAuthority(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pol := policy.OrOfUsers([]string{"alice", "bob"})
+	ct, err := Encrypt(auth.PublicKeys(pol.Leaves()), pol, []byte("seed"), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ct.Marshal())
+	f.Add([]byte{0x00, 0x01})
+
+	key := auth.IssueKey("alice", []string{"alice"})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := UnmarshalCiphertext(data)
+		if err != nil {
+			return
+		}
+		// Decryption of a decodable but corrupt ciphertext must fail
+		// cleanly, never panic; only the genuine seed may succeed.
+		_, _ = Decrypt(key, decoded)
+	})
+}
+
+func FuzzUnmarshalPrivateKey(f *testing.F) {
+	auth, err := NewAuthority(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(auth.IssueKey("u", []string{"a", "b"}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = UnmarshalPrivateKey(data)
+	})
+}

@@ -1,0 +1,169 @@
+// Package aont implements the all-or-nothing transform (AONT) and its
+// deterministic convergent variant (CAONT).
+//
+// AONT (Rivest's package transform) converts a message M into a package
+// (C, t) such that no part of M can be recovered without the entire
+// package. The transform picks a random key K, computes a pseudo-random
+// mask G(K) = E(K, S) over a publicly known block S, and outputs
+//
+//	C = M XOR G(K)
+//	t = H(C) XOR K
+//
+// CAONT (used by CDStore and REED) replaces the random K with a
+// deterministic message-derived key so that identical messages yield
+// identical packages, preserving deduplication.
+//
+// This package provides the shared machinery — the mask generator, the
+// package/tail layout, and the self-XOR tail used by REED's enhanced
+// scheme — plus standalone AONT/CAONT transforms. REED's basic and
+// enhanced chunk encryption schemes build on these in internal/core.
+package aont
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// KeySize is the size of the AONT key (and of SHA-256 output).
+	KeySize = sha256.Size
+	// TailSize is the size of the package tail t.
+	TailSize = sha256.Size
+)
+
+// ErrPackageTooShort is returned when a package is shorter than the tail.
+var ErrPackageTooShort = errors.New("aont: package shorter than tail")
+
+// Mask returns the pseudo-random mask G(key) of length n: the AES-256-CTR
+// keystream over a publicly known all-zero block, i.e. E(key, S) with
+// S = 0^n and a zero IV. The mask is deterministic in (key, n).
+func Mask(key []byte, n int) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aont: mask key length %d, want %d", len(key), KeySize)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("aont: mask cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	stream := cipher.NewCTR(block, iv[:])
+	mask := make([]byte, n)
+	stream.XORKeyStream(mask, mask)
+	return mask, nil
+}
+
+// XORBytes XORs src into dst (dst ^= src); the slices must have equal
+// length.
+func XORBytes(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("aont: xor length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+	return nil
+}
+
+// Transform applies the randomized AONT to msg, drawing the key from
+// randSrc (crypto/rand.Reader if nil). The output package is
+// len(msg)+TailSize bytes: head C followed by tail t.
+func Transform(msg []byte, randSrc io.Reader) ([]byte, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	key := make([]byte, KeySize)
+	if _, err := io.ReadFull(randSrc, key); err != nil {
+		return nil, fmt.Errorf("aont: draw key: %w", err)
+	}
+	return TransformWithKey(msg, key)
+}
+
+// TransformWithKey applies the AONT with a caller-supplied key. Supplying
+// a deterministic message-derived key yields CAONT. The output package is
+// len(msg)+TailSize bytes.
+func TransformWithKey(msg, key []byte) ([]byte, error) {
+	mask, err := Mask(key, len(msg))
+	if err != nil {
+		return nil, err
+	}
+	pkg := make([]byte, len(msg)+TailSize)
+	head := pkg[:len(msg)]
+	copy(head, msg)
+	if err := XORBytes(head, mask); err != nil {
+		return nil, err
+	}
+	hc := sha256.Sum256(head)
+	tail := pkg[len(msg):]
+	copy(tail, key)
+	if err := XORBytes(tail, hc[:]); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// Revert inverts Transform/TransformWithKey: it recovers the message and
+// the key from a package. Callers are responsible for verifying the
+// recovered key or an embedded canary; Revert itself only checks the
+// package shape.
+func Revert(pkg []byte) (msg, key []byte, err error) {
+	if len(pkg) < TailSize {
+		return nil, nil, ErrPackageTooShort
+	}
+	head := pkg[:len(pkg)-TailSize]
+	tail := pkg[len(pkg)-TailSize:]
+
+	hc := sha256.Sum256(head)
+	key = make([]byte, KeySize)
+	copy(key, tail)
+	if err := XORBytes(key, hc[:]); err != nil {
+		return nil, nil, err
+	}
+
+	mask, err := Mask(key, len(head))
+	if err != nil {
+		return nil, nil, err
+	}
+	msg = make([]byte, len(head))
+	copy(msg, head)
+	if err := XORBytes(msg, mask); err != nil {
+		return nil, nil, err
+	}
+	return msg, key, nil
+}
+
+// ConvergentKey derives the deterministic CAONT key for msg: H(msg).
+func ConvergentKey(msg []byte) []byte {
+	h := sha256.Sum256(msg)
+	return h[:]
+}
+
+// VerifyConvergent checks that key is the convergent key of msg; it is the
+// CAONT integrity check ("compute the hash of M and check it equals h").
+func VerifyConvergent(msg, key []byte) bool {
+	return bytes.Equal(ConvergentKey(msg), key)
+}
+
+// SelfXOR computes the XOR of all TailSize-aligned pieces of data, zero-
+// padding the final partial piece. REED's enhanced scheme uses it to fold
+// the package head into the tail cheaply: the result cannot be predicted
+// without the entire head.
+func SelfXOR(data []byte) [TailSize]byte {
+	var acc [TailSize]byte
+	for off := 0; off < len(data); off += TailSize {
+		end := off + TailSize
+		if end > len(data) {
+			end = len(data)
+		}
+		piece := data[off:end]
+		for i := range piece {
+			acc[i] ^= piece[i]
+		}
+	}
+	return acc
+}

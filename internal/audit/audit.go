@@ -1,0 +1,202 @@
+// Package audit implements lightweight remote data checking for REED.
+//
+// The paper notes that REED "can be deployed in conjunction with remote
+// data checking [12], [35] to efficiently check the integrity of
+// outsourced files against malicious corruptions". This package supplies
+// a simple, honest instance of that idea: spot-check tickets.
+//
+// At upload time — while the client still holds the trimmed packages it
+// is sending — it precomputes a book of single-use tickets. Each ticket
+// names one stored chunk, a random nonce, and the expected response
+// H(nonce || chunk bytes). Auditing later costs one tiny RPC: the server
+// must compute the digest over the exact stored bytes, which it can only
+// do if it still possesses them, and it cannot precompute or replay
+// answers because every nonce is fresh and secret until used. Tickets
+// are 80 bytes each; a book of a few hundred detects corruption of any
+// sampled chunk with certainty and random corruption of the file with
+// probability 1-(1-f)^n for corrupted fraction f and n spent tickets.
+//
+// Unlike full PDP/PoR schemes the book is finite — when the tickets run
+// out the client must refresh it (re-reading the file). That is the
+// standard trade-off for a hash-based checker with no homomorphic
+// tags, and matches the paper's positioning of remote data checking as
+// a composable add-on rather than part of REED itself.
+package audit
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+
+	"repro/internal/binenc"
+	"repro/internal/fingerprint"
+)
+
+const (
+	// NonceSize is the challenge nonce length.
+	NonceSize = 16
+	// DigestSize is the response length.
+	DigestSize = sha256.Size
+)
+
+var (
+	// ErrExhausted is returned when every ticket has been spent.
+	ErrExhausted = errors.New("audit: ticket book exhausted")
+	// ErrBadBook is returned for malformed book encodings.
+	ErrBadBook = errors.New("audit: malformed ticket book")
+)
+
+// Ticket is one single-use challenge.
+type Ticket struct {
+	FP       fingerprint.Fingerprint
+	Nonce    [NonceSize]byte
+	Expected [DigestSize]byte
+	Used     bool
+}
+
+// Book is a file's supply of audit tickets. Books are client-side
+// secrets: a server that learns the expected digests could answer
+// without the data.
+type Book struct {
+	Path    string
+	Tickets []Ticket
+}
+
+// ChunkData pairs a stored chunk's fingerprint with its bytes, as
+// available during upload.
+type ChunkData struct {
+	FP   fingerprint.Fingerprint
+	Data []byte
+}
+
+// Generate builds a book of n tickets over the given chunks, sampling
+// chunks uniformly (with replacement when n exceeds the chunk count).
+// If randSrc is nil, crypto/rand.Reader is used for nonces; sampling
+// uses a nonce-seeded PRNG so Generate is deterministic given randSrc.
+func Generate(path string, chunks []ChunkData, n int, randSrc io.Reader) (*Book, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("audit: ticket count %d must be positive", n)
+	}
+	if len(chunks) == 0 {
+		return nil, errors.New("audit: no chunks to audit")
+	}
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	var seed [8]byte
+	if _, err := io.ReadFull(randSrc, seed[:]); err != nil {
+		return nil, fmt.Errorf("audit: seed: %w", err)
+	}
+	var seedInt int64
+	for _, b := range seed {
+		seedInt = seedInt<<8 | int64(b)
+	}
+	sampler := mrand.New(mrand.NewSource(seedInt))
+
+	book := &Book{Path: path, Tickets: make([]Ticket, 0, n)}
+	for i := 0; i < n; i++ {
+		c := chunks[sampler.Intn(len(chunks))]
+		var t Ticket
+		t.FP = c.FP
+		if _, err := io.ReadFull(randSrc, t.Nonce[:]); err != nil {
+			return nil, fmt.Errorf("audit: nonce: %w", err)
+		}
+		t.Expected = Response(t.Nonce[:], c.Data)
+		book.Tickets = append(book.Tickets, t)
+	}
+	return book, nil
+}
+
+// Response computes the prover's answer: H(nonce || data). Both sides
+// share this definition.
+func Response(nonce, data []byte) [DigestSize]byte {
+	h := sha256.New()
+	h.Write([]byte("reed-audit-v1"))
+	h.Write(nonce)
+	h.Write(data)
+	var out [DigestSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Next returns the next unused ticket, marking it used. Single use is
+// what stops a server from replaying an earlier answer.
+func (b *Book) Next() (*Ticket, error) {
+	for i := range b.Tickets {
+		if !b.Tickets[i].Used {
+			b.Tickets[i].Used = true
+			return &b.Tickets[i], nil
+		}
+	}
+	return nil, ErrExhausted
+}
+
+// Remaining counts unused tickets.
+func (b *Book) Remaining() int {
+	var n int
+	for i := range b.Tickets {
+		if !b.Tickets[i].Used {
+			n++
+		}
+	}
+	return n
+}
+
+// Marshal encodes the book for client-side persistence.
+func (b *Book) Marshal() []byte {
+	w := binenc.NewWriter(64 + len(b.Tickets)*(fingerprint.Size+NonceSize+DigestSize+1))
+	w.String(b.Path)
+	w.Uvarint(uint64(len(b.Tickets)))
+	for i := range b.Tickets {
+		t := &b.Tickets[i]
+		w.Raw(t.FP[:])
+		w.Raw(t.Nonce[:])
+		w.Raw(t.Expected[:])
+		w.Bool(t.Used)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalBook decodes a book produced by Marshal.
+func UnmarshalBook(b []byte) (*Book, error) {
+	r := binenc.NewReader(b)
+	path, err := r.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("%w: path: %v", ErrBadBook, err)
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadBook, err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: too many tickets", ErrBadBook)
+	}
+	book := &Book{Path: path, Tickets: make([]Ticket, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		var t Ticket
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ticket %d: %v", ErrBadBook, i, err)
+		}
+		copy(t.FP[:], raw)
+		if raw, err = r.ReadRaw(NonceSize); err != nil {
+			return nil, fmt.Errorf("%w: ticket %d: %v", ErrBadBook, i, err)
+		}
+		copy(t.Nonce[:], raw)
+		if raw, err = r.ReadRaw(DigestSize); err != nil {
+			return nil, fmt.Errorf("%w: ticket %d: %v", ErrBadBook, i, err)
+		}
+		copy(t.Expected[:], raw)
+		if t.Used, err = r.Bool(); err != nil {
+			return nil, fmt.Errorf("%w: ticket %d: %v", ErrBadBook, i, err)
+		}
+		book.Tickets = append(book.Tickets, t)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadBook)
+	}
+	return book, nil
+}

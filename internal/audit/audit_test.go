@@ -1,0 +1,124 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+func sampleChunks(n int) []ChunkData {
+	out := make([]ChunkData, n)
+	for i := range out {
+		data := bytes.Repeat([]byte{byte(i)}, 100+i)
+		out[i] = ChunkData{FP: fingerprint.New(data), Data: data}
+	}
+	return out
+}
+
+func TestGenerateAndVerify(t *testing.T) {
+	chunks := sampleChunks(10)
+	book, err := Generate("/f", chunks, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(book.Tickets) != 20 || book.Remaining() != 20 {
+		t.Fatalf("tickets = %d, remaining = %d", len(book.Tickets), book.Remaining())
+	}
+
+	byFP := make(map[fingerprint.Fingerprint][]byte)
+	for _, c := range chunks {
+		byFP[c.FP] = c.Data
+	}
+	// An honest prover (hashing the true bytes) passes every ticket.
+	for i := 0; i < 20; i++ {
+		ticket, err := book.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := Response(ticket.Nonce[:], byFP[ticket.FP])
+		if resp != ticket.Expected {
+			t.Fatalf("ticket %d: honest response rejected", i)
+		}
+	}
+	if _, err := book.Next(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("error = %v, want ErrExhausted", err)
+	}
+}
+
+func TestCorruptDataFailsChallenge(t *testing.T) {
+	chunks := sampleChunks(3)
+	book, err := Generate("/f", chunks, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := book.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupt []byte
+	for _, c := range chunks {
+		if c.FP == ticket.FP {
+			corrupt = append([]byte(nil), c.Data...)
+			corrupt[0] ^= 0x01
+		}
+	}
+	if Response(ticket.Nonce[:], corrupt) == ticket.Expected {
+		t.Fatal("corrupted data passed the challenge")
+	}
+}
+
+func TestNoncesAreFresh(t *testing.T) {
+	book, err := Generate("/f", sampleChunks(2), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[NonceSize]byte]bool)
+	for i := range book.Tickets {
+		if seen[book.Tickets[i].Nonce] {
+			t.Fatal("nonce reused across tickets")
+		}
+		seen[book.Tickets[i].Nonce] = true
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate("/f", sampleChunks(1), 0, nil); err == nil {
+		t.Fatal("zero tickets accepted")
+	}
+	if _, err := Generate("/f", nil, 5, nil); err == nil {
+		t.Fatal("no chunks accepted")
+	}
+}
+
+func TestBookMarshalRoundTrip(t *testing.T) {
+	book, err := Generate("/persist", sampleChunks(4), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book.Next() // spend one so Used survives the round trip
+	got, err := UnmarshalBook(book.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path != "/persist" || len(got.Tickets) != 8 {
+		t.Fatalf("book = %+v", got)
+	}
+	if got.Remaining() != 7 {
+		t.Fatalf("Remaining after round trip = %d, want 7", got.Remaining())
+	}
+	for i := range book.Tickets {
+		if got.Tickets[i] != book.Tickets[i] {
+			t.Fatalf("ticket %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalBookErrors(t *testing.T) {
+	for _, give := range [][]byte{nil, {0x05, 0x41, 0x42}} {
+		if _, err := UnmarshalBook(give); !errors.Is(err, ErrBadBook) {
+			t.Fatalf("error = %v, want ErrBadBook", err)
+		}
+	}
+}

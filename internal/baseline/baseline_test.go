@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/mle"
+	"repro/internal/store"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	deriver, err := mle.NewSecretDeriver([]byte("baseline-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(store.NewMemory(), deriver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func testChunks(t *testing.T, n, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	master, err := NewMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := testChunks(t, 10, 4096, 1)
+	if _, err := s.Upload("/f", chunks, master); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Download("/f", master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Join(chunks, nil)) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	s := newTestStore(t)
+	master, _ := NewMasterKey()
+	chunks := testChunks(t, 10, 4096, 2)
+	if _, err := s.Upload("/a", chunks, master); err != nil {
+		t.Fatal(err)
+	}
+	dups, err := s.Upload("/b", chunks, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dups != len(chunks) {
+		t.Fatalf("dups = %d, want %d", dups, len(chunks))
+	}
+}
+
+func TestRekeyPreservesAccess(t *testing.T) {
+	s := newTestStore(t)
+	oldMaster, _ := NewMasterKey()
+	newMaster, _ := NewMasterKey()
+	chunks := testChunks(t, 5, 2048, 3)
+	if _, err := s.Upload("/r", chunks, oldMaster); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rekey("/r", oldMaster, newMaster); err != nil {
+		t.Fatal(err)
+	}
+	// New key works; old key does not.
+	if got, err := s.Download("/r", newMaster); err != nil || !bytes.Equal(got, bytes.Join(chunks, nil)) {
+		t.Fatalf("download with new master: %v", err)
+	}
+	if _, err := s.Download("/r", oldMaster); err == nil {
+		t.Fatal("old master key still decrypts the key file")
+	}
+}
+
+// TestLayeredLeakSurvivesRekey demonstrates the flaw that motivates REED
+// (Section II-C): in layered encryption, a leaked MLE key decrypts its
+// chunk from the stored ciphertext even after any number of rekeys. The
+// matching REED-side test (internal/core) shows the same leak is useless
+// against the enhanced scheme without the stub.
+func TestLayeredLeakSurvivesRekey(t *testing.T) {
+	deriver, err := mle.NewSecretDeriver([]byte("baseline-test-leak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(store.NewMemory(), deriver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	master, _ := NewMasterKey()
+	secret := bytes.Repeat([]byte("confidential genome record "), 100)
+	if _, err := s.Upload("/victim", [][]byte{secret}, master); err != nil {
+		t.Fatal(err)
+	}
+
+	// The adversary monitored the client and learned this chunk's MLE
+	// key (paper threat model, Section III-B).
+	leakedKey, err := deriver.DeriveKey(fingerprint.New(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The owner rekeys — twice, actively rotating master keys.
+	m2, _ := NewMasterKey()
+	m3, _ := NewMasterKey()
+	if err := s.Rekey("/victim", master, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rekey("/victim", m2, m3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The adversary reads the (deduplicated, unchanged) ciphertext from
+	// the compromised store and decrypts it with the old MLE key.
+	ct, err := s.Ciphertext(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := mle.Decrypt(leakedKey, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, secret) {
+		t.Fatal("expected the layered-encryption baseline to leak despite rekeying")
+	}
+
+	// Contrast: REED's enhanced scheme under the same leak. The
+	// adversary holds the MLE key and the trimmed package, but not the
+	// stub.
+	codec, err := core.New(core.SchemeEnhanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := codec.Encrypt(secret, leakedKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Decrypt(core.Package{Trimmed: pkg.Trimmed, Stub: make([]byte, len(pkg.Stub))}); err == nil {
+		t.Fatal("REED enhanced scheme decrypted without the stub")
+	}
+}
+
+func TestDownloadMissing(t *testing.T) {
+	s := newTestStore(t)
+	master, _ := NewMasterKey()
+	if _, err := s.Download("/absent", master); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+	if err := s.Rekey("/absent", master, master); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUploadEmptyChunkRejected(t *testing.T) {
+	s := newTestStore(t)
+	master, _ := NewMasterKey()
+	if _, err := s.Upload("/bad", [][]byte{{}}, master); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+}
+
+// TestNoStubStorageTax quantifies the trade-off: the baseline stores no
+// stubs, so its physical data is smaller than REED's by roughly the stub
+// share — that is the price REED pays for rekeyable security.
+func TestNoStubStorageTax(t *testing.T) {
+	s := newTestStore(t)
+	master, _ := NewMasterKey()
+	chunks := testChunks(t, 100, 8192, 4)
+	if _, err := s.Upload("/tax", chunks, master); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	logical := uint64(100 * 8192)
+	if stats.PhysicalBytes != logical {
+		t.Fatalf("baseline physical bytes = %d, want exactly logical %d", stats.PhysicalBytes, logical)
+	}
+}
+
+func BenchmarkLayeredRekey(b *testing.B) {
+	deriver, err := mle.NewSecretDeriver([]byte("baseline-bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(store.NewMemory(), deriver)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	master, _ := NewMasterKey()
+	chunks := make([][]byte, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range chunks {
+		chunks[i] = make([]byte, 8192)
+		rng.Read(chunks[i])
+	}
+	if _, err := s.Upload("/bench", chunks, master); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	cur := master
+	for i := 0; i < b.N; i++ {
+		next, _ := NewMasterKey()
+		if err := s.Rekey("/bench", cur, next); err != nil {
+			b.Fatal(err)
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,44 @@
+package chunker
+
+import (
+	"errors"
+	"io"
+)
+
+// Fixed is a fixed-size chunker. Every chunk has exactly the configured
+// size except possibly the final one.
+type Fixed struct {
+	r    io.Reader
+	size int
+	buf  []byte
+	eof  bool
+}
+
+// NewFixed returns a fixed-size chunker reading from r.
+func NewFixed(r io.Reader, size int) (*Fixed, error) {
+	if size <= 0 {
+		return nil, errors.New("chunker: fixed size must be positive")
+	}
+	return &Fixed{r: r, size: size, buf: make([]byte, size)}, nil
+}
+
+var _ Chunker = (*Fixed)(nil)
+
+// Next returns the next chunk, or io.EOF after the final chunk.
+func (c *Fixed) Next() ([]byte, error) {
+	if c.eof {
+		return nil, io.EOF
+	}
+	n, err := io.ReadFull(c.r, c.buf)
+	switch {
+	case err == io.EOF:
+		c.eof = true
+		return nil, io.EOF
+	case err == io.ErrUnexpectedEOF:
+		c.eof = true
+		return c.buf[:n], nil
+	case err != nil:
+		return nil, err
+	}
+	return c.buf, nil
+}

@@ -1,0 +1,181 @@
+package chunker
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// windowSize is the length of the rolling-hash window in bytes. 48 bytes
+// is the window size used by the Rabin chunkers in LBFS-style systems.
+const windowSize = 48
+
+// defaultPolynomial is an irreducible polynomial of degree 53 over GF(2),
+// the same default used by several production deduplication systems.
+const defaultPolynomial = 0x3DA3358B4DC173
+
+// Rabin is a content-defined chunker using Rabin fingerprinting by random
+// polynomials. Chunk boundaries are declared where the rolling hash over
+// the trailing window matches a mask derived from the average chunk size,
+// subject to the configured minimum and maximum sizes. Because boundaries
+// depend only on local content, an insertion or deletion early in a stream
+// re-aligns within a few chunks, preserving deduplication downstream.
+type Rabin struct {
+	r    io.Reader
+	opts Options
+
+	tables *rabinTables
+	mask   uint64
+
+	buf     []byte // read buffer
+	bufLen  int    // valid bytes in buf
+	bufOff  int    // consumed bytes in buf
+	pending []byte // current chunk being accumulated
+	eof     bool
+}
+
+// rabinTables holds the precomputed lookup tables for one polynomial.
+type rabinTables struct {
+	out   [256]uint64
+	mod   [256]uint64
+	shift uint // deg(poly) - 8
+}
+
+// NewRabin returns a variable-size chunker reading from r.
+func NewRabin(r io.Reader, opts Options) (*Rabin, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	tables, err := buildTables(opts.Polynomial)
+	if err != nil {
+		return nil, err
+	}
+	return &Rabin{
+		r:      r,
+		opts:   opts,
+		tables: tables,
+		mask:   uint64(opts.AvgSize) - 1,
+		buf:    make([]byte, 64*1024),
+	}, nil
+}
+
+var _ Chunker = (*Rabin)(nil)
+
+// Next returns the next chunk. It returns io.EOF once the stream is
+// exhausted. The returned slice is only valid until the next call.
+func (c *Rabin) Next() ([]byte, error) {
+	c.pending = c.pending[:0]
+
+	var (
+		digest uint64
+		window [windowSize]byte
+		wpos   int
+	)
+
+	for {
+		if c.bufOff == c.bufLen {
+			if c.eof {
+				if len(c.pending) == 0 {
+					return nil, io.EOF
+				}
+				return c.pending, nil
+			}
+			n, err := c.r.Read(c.buf)
+			c.bufLen, c.bufOff = n, 0
+			if err == io.EOF {
+				c.eof = true
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chunker: read: %w", err)
+			}
+			if n == 0 {
+				continue
+			}
+		}
+
+		b := c.buf[c.bufOff]
+		c.bufOff++
+		c.pending = append(c.pending, b)
+
+		// Slide the window: remove the outgoing byte, append b.
+		out := window[wpos]
+		window[wpos] = b
+		wpos++
+		if wpos == windowSize {
+			wpos = 0
+		}
+		digest ^= c.tables.out[out]
+		digest = appendByte(digest, b, c.tables)
+
+		n := len(c.pending)
+		if n >= c.opts.MaxSize {
+			return c.pending, nil
+		}
+		if n >= c.opts.MinSize && digest&c.mask == c.mask {
+			return c.pending, nil
+		}
+	}
+}
+
+// appendByte feeds one byte into the rolling hash.
+func appendByte(digest uint64, b byte, t *rabinTables) uint64 {
+	index := digest >> t.shift
+	digest <<= 8
+	digest |= uint64(b)
+	digest ^= t.mod[index&0xff]
+	return digest
+}
+
+// buildTables precomputes the slide-out and mod-reduction tables for poly.
+func buildTables(poly uint64) (*rabinTables, error) {
+	d := polyDeg(poly)
+	if d < 8 || d > 63 {
+		return nil, fmt.Errorf("chunker: polynomial degree %d outside [8, 63]", d)
+	}
+	t := &rabinTables{shift: uint(d - 8)}
+
+	// out[b] = hash of (b || 0^(windowSize-1)): XOR-ing it removes the
+	// contribution of the byte leaving the window.
+	for b := 0; b < 256; b++ {
+		var h uint64
+		h = appendByteSlow(h, byte(b), poly)
+		for i := 0; i < windowSize-1; i++ {
+			h = appendByteSlow(h, 0, poly)
+		}
+		t.out[b] = h
+	}
+
+	// mod[b] = (b(x)*x^d mod poly) | (b(x) << d): reduces the top byte
+	// after an 8-bit shift in a single XOR.
+	for b := 0; b < 256; b++ {
+		t.mod[b] = polyMod(uint64(b)<<uint(d), poly) | uint64(b)<<uint(d)
+	}
+	return t, nil
+}
+
+// appendByteSlow feeds one byte using explicit polynomial arithmetic; used
+// only for table construction.
+func appendByteSlow(digest uint64, b byte, poly uint64) uint64 {
+	for i := 7; i >= 0; i-- {
+		digest <<= 1
+		digest |= uint64(b>>uint(i)) & 1
+		digest = polyMod(digest, poly)
+	}
+	return digest
+}
+
+// polyMod reduces p modulo q in GF(2)[x].
+func polyMod(p, q uint64) uint64 {
+	dq := polyDeg(q)
+	for dp := polyDeg(p); dp >= dq; dp = polyDeg(p) {
+		p ^= q << uint(dp-dq)
+	}
+	return p
+}
+
+// polyDeg returns the degree of p, or -1 for the zero polynomial.
+func polyDeg(p uint64) int {
+	return bits.Len64(p) - 1
+}

@@ -1,0 +1,988 @@
+// Package client implements the REED client: the user-side software
+// layer that chunks, encrypts, uploads, downloads, and rekeys files
+// (Sections IV-D and V).
+//
+// Upload pipeline: chunk the file (Rabin or fixed-size) → obtain MLE
+// keys from the key manager (LRU key cache first, then batched OPRF) →
+// transform every chunk into a trimmed package and stub with the basic
+// or enhanced scheme (worker pool) → write all stubs of the file into a
+// single stub file encrypted with the file key → batch trimmed packages
+// into 4 MB requests striped across the data servers → upload the file
+// recipe and the policy-encrypted key state.
+//
+// The file key is the hash of a key-regression state owned by the file's
+// owner; the state travels CP-ABE-encrypted so only users satisfying the
+// file policy can recover it. Rekeying winds the state forward and
+// re-encrypts it under the new policy (lazy revocation); active
+// revocation additionally re-encrypts the stub file immediately.
+package client
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/abe"
+	"repro/internal/audit"
+	"repro/internal/binenc"
+	"repro/internal/chunker"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/keycache"
+	"repro/internal/keymanager"
+	"repro/internal/keyreg"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/recipe"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// DefaultWorkers is the paper's encryption thread count.
+const DefaultWorkers = 2
+
+// DefaultUploadBuffer is the paper's upload batch size: 4 MB.
+const DefaultUploadBuffer = 4 << 20
+
+var (
+	// ErrNoOwner is returned when an operation needs the private
+	// derivation key but the client has none configured.
+	ErrNoOwner = errors.New("client: no key-regression owner configured")
+	// ErrNotFound is returned when a file does not exist remotely.
+	ErrNotFound = errors.New("client: file not found")
+)
+
+// PublicKeyDirectory resolves per-attribute ABE public keys; the
+// authority implements it.
+type PublicKeyDirectory interface {
+	PublicKeys(attrs []string) abe.PublicKeys
+}
+
+var _ PublicKeyDirectory = (*abe.Authority)(nil)
+
+// Config configures a client.
+type Config struct {
+	// UserID is this user's identity (also their ABE attribute).
+	UserID string
+	// Scheme selects basic or enhanced chunk encryption.
+	Scheme core.Scheme
+	// DataServers are the data-store server addresses (the paper uses
+	// four).
+	DataServers []string
+	// KeyStoreServer is the key-store server address.
+	KeyStoreServer string
+	// KeyManager is the key manager address.
+	KeyManager string
+
+	// Chunking selects variable-size parameters; FixedChunkSize > 0
+	// switches to fixed-size chunking instead.
+	Chunking       chunker.Options
+	FixedChunkSize int
+
+	// StubSize overrides the 64-byte default stub.
+	StubSize int
+	// Workers is the encryption/decryption worker count (default 2).
+	Workers int
+	// UploadBuffer is the per-server upload batch size (default 4 MB).
+	UploadBuffer int
+	// KeyGenBatch is the key-generation batch size (default 256).
+	KeyGenBatch int
+	// CacheCapacity sizes the MLE key cache; 0 means the 512 MB
+	// default, negative disables caching.
+	CacheCapacity int64
+
+	// PrivateKey is this user's private access key (ABE).
+	PrivateKey *abe.PrivateKey
+	// Directory resolves ABE public keys for policy encryption.
+	Directory PublicKeyDirectory
+	// Owner is this user's key-regression owner state; required to
+	// upload or rekey files, not to download.
+	Owner *keyreg.Owner
+
+	// AuditTickets, when positive, makes every upload generate a book
+	// of that many single-use remote-data-checking tickets
+	// (internal/audit), returned in UploadResult.AuditBook. Spend them
+	// later with Audit.
+	AuditTickets int
+
+	// ObfuscatePaths hides file pathnames from the cloud: every remote
+	// object is addressed by a salted hash of its path instead of the
+	// path itself (the metadata obfuscation the paper's Section IV-D
+	// discussion describes). All clients sharing files must use the
+	// same PathSalt.
+	ObfuscatePaths bool
+	// PathSalt keys the pathname obfuscation; required when
+	// ObfuscatePaths is set.
+	PathSalt []byte
+
+	// Dialer overrides connection establishment (e.g. to route through
+	// internal/netem). Nil uses plain TCP.
+	Dialer server.Dialer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.UploadBuffer <= 0 {
+		c.UploadBuffer = DefaultUploadBuffer
+	}
+	if c.KeyGenBatch <= 0 {
+		c.KeyGenBatch = keymanager.DefaultBatchSize
+	}
+	if c.StubSize <= 0 {
+		c.StubSize = core.DefaultStubSize
+	}
+	return c
+}
+
+// Client is a connected REED client. It is safe for concurrent use by a
+// single user's operations, though individual uploads internally
+// parallelize already.
+type Client struct {
+	cfg   Config
+	codec *core.Codec
+	cache *keycache.Cache
+
+	km      *keymanager.Client
+	data    []*server.Client
+	keyConn *server.Client
+}
+
+// New dials the key manager and all storage servers.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.UserID == "" {
+		return nil, errors.New("client: UserID required")
+	}
+	if len(cfg.DataServers) == 0 {
+		return nil, errors.New("client: at least one data server required")
+	}
+	if cfg.KeyStoreServer == "" {
+		return nil, errors.New("client: key-store server required")
+	}
+	if cfg.KeyManager == "" {
+		return nil, errors.New("client: key manager required")
+	}
+	if cfg.PrivateKey == nil || cfg.Directory == nil {
+		return nil, errors.New("client: access-control material required")
+	}
+	if cfg.ObfuscatePaths && len(cfg.PathSalt) < 16 {
+		return nil, errors.New("client: ObfuscatePaths requires a PathSalt of at least 16 bytes")
+	}
+
+	codec, err := core.New(cfg.Scheme, core.WithStubSize(cfg.StubSize))
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *keycache.Cache
+	if cfg.CacheCapacity >= 0 {
+		capacity := cfg.CacheCapacity
+		if capacity == 0 {
+			capacity = keycache.DefaultCapacity
+		}
+		cache, err = keycache.New(capacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	kmOpts := []keymanager.ClientOption{keymanager.WithBatchSize(cfg.KeyGenBatch)}
+	if cache != nil {
+		kmOpts = append(kmOpts, keymanager.WithCache(cache))
+	}
+	if cfg.Dialer != nil {
+		kmOpts = append(kmOpts, keymanager.WithDialer(keymanager.Dialer(cfg.Dialer)))
+	}
+	km, err := keymanager.Dial(cfg.KeyManager, kmOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km}
+	for _, addr := range cfg.DataServers {
+		conn, err := server.DialStore(addr, cfg.Dialer)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.data = append(c.data, conn)
+	}
+	c.keyConn, err = server.DialStore(cfg.KeyStoreServer, cfg.Dialer)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes all connections.
+func (c *Client) Close() error {
+	var firstErr error
+	if c.km != nil {
+		if err := c.km.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, conn := range c.data {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.keyConn != nil {
+		if err := c.keyConn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ClearKeyCache empties the MLE key cache (the trace experiments clear
+// it between users).
+func (c *Client) ClearKeyCache() {
+	if c.cache != nil {
+		c.cache.Clear()
+	}
+}
+
+// CacheStats reports MLE key cache hits and misses.
+func (c *Client) CacheStats() (hits, misses uint64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.Stats()
+}
+
+// UploadResult summarizes an upload.
+type UploadResult struct {
+	// Chunks is the number of chunks the file split into.
+	Chunks int
+	// LogicalBytes is the plaintext size.
+	LogicalBytes uint64
+	// DuplicateChunks is how many trimmed packages the servers already
+	// had.
+	DuplicateChunks int
+	// KeyVersion is the key-state version protecting the stub file.
+	KeyVersion uint64
+	// AuditBook holds remote-data-checking tickets when
+	// Config.AuditTickets is set; it is a client-side secret.
+	AuditBook *audit.Book
+}
+
+// encChunk carries one chunk through the upload pipeline.
+type encChunk struct {
+	data    []byte
+	fpPlain fingerprint.Fingerprint
+	key     []byte
+	pkg     core.Package
+	fpTrim  fingerprint.Fingerprint
+}
+
+// Upload stores the file read from r under path, accessible per pol.
+// The client must have an Owner (the file key comes from the owner's
+// key-regression chain).
+func (c *Client) Upload(path string, r io.Reader, pol *policy.Node) (*UploadResult, error) {
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	chunks, logical, err := c.chunkStream(r)
+	if err != nil {
+		return nil, err
+	}
+	return c.uploadPrepared(c.remoteName(path), chunks, logical, pol)
+}
+
+// UploadPrechunked uploads a file whose chunk boundaries the caller
+// already determined (trace replay feeds recorded chunks directly, so
+// chunking time is excluded as in the paper's Experiment B.2). Chunks
+// must be non-empty.
+func (c *Client) UploadPrechunked(path string, rawChunks [][]byte, pol *policy.Node) (*UploadResult, error) {
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	chunks := make([]encChunk, len(rawChunks))
+	var logical uint64
+	for i, data := range rawChunks {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("client: pre-chunked upload: empty chunk %d", i)
+		}
+		chunks[i] = encChunk{data: data, fpPlain: fingerprint.New(data)}
+		logical += uint64(len(data))
+	}
+	return c.uploadPrepared(c.remoteName(path), chunks, logical, pol)
+}
+
+// uploadPrepared runs the upload pipeline after chunking.
+func (c *Client) uploadPrepared(path string, chunks []encChunk, logical uint64, pol *policy.Node) (*UploadResult, error) {
+	// MLE keys: cache, then batched OPRF.
+	fps := make([]fingerprint.Fingerprint, len(chunks))
+	for i := range chunks {
+		fps[i] = chunks[i].fpPlain
+	}
+	keys, err := c.km.GenerateKeys(fps)
+	if err != nil {
+		return nil, fmt.Errorf("client: key generation: %w", err)
+	}
+	for i := range chunks {
+		chunks[i].key = keys[i]
+	}
+
+	// Encrypt with the worker pool.
+	if err := c.encryptAll(chunks); err != nil {
+		return nil, err
+	}
+
+	// File key from the owner's current key state.
+	state := c.cfg.Owner.Current()
+	fileKey := state.Key()
+
+	// Stub file: concatenated stubs encrypted under the file key.
+	stubFile, err := sealStubFile(chunks, fileKey[:], path, c.cfg.StubSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// Upload trimmed packages, striped and batched.
+	dups, err := c.uploadChunks(chunks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recipe.
+	rec := &recipe.Recipe{
+		Path:       path,
+		Size:       logical,
+		Scheme:     uint8(c.cfg.Scheme),
+		KeyVersion: state.Version,
+	}
+	for i := range chunks {
+		rec.Chunks = append(rec.Chunks, recipe.ChunkRef{
+			Fingerprint: chunks[i].fpTrim,
+			Size:        uint32(len(chunks[i].data)),
+		})
+	}
+
+	// Key state, encrypted under the policy, plus the public
+	// derivation key members need for unwinding.
+	stateBlob, err := c.sealKeyState(state, pol)
+	if err != nil {
+		return nil, err
+	}
+
+	home := c.homeServer(path)
+	if err := home.PutBlob(store.NSStubs, path, stubFile); err != nil {
+		return nil, fmt.Errorf("client: upload stub file: %w", err)
+	}
+	if err := home.PutBlob(store.NSRecipes, path, rec.Marshal()); err != nil {
+		return nil, fmt.Errorf("client: upload recipe: %w", err)
+	}
+	if err := c.keyConn.PutBlob(store.NSKeyStates, path, stateBlob); err != nil {
+		return nil, fmt.Errorf("client: upload key state: %w", err)
+	}
+
+	result := &UploadResult{
+		Chunks:          len(chunks),
+		LogicalBytes:    logical,
+		DuplicateChunks: dups,
+		KeyVersion:      state.Version,
+	}
+	if c.cfg.AuditTickets > 0 && len(chunks) > 0 {
+		// Generate remote-data-checking tickets while the trimmed
+		// packages are still in hand — no later download needed.
+		chunkData := make([]audit.ChunkData, len(chunks))
+		for i := range chunks {
+			chunkData[i] = audit.ChunkData{FP: chunks[i].fpTrim, Data: chunks[i].pkg.Trimmed}
+		}
+		book, err := audit.Generate(path, chunkData, c.cfg.AuditTickets, nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: audit book: %w", err)
+		}
+		result.AuditBook = book
+	}
+	return result, nil
+}
+
+// Audit spends one ticket from the book: it challenges the data server
+// holding the sampled chunk and verifies the response. A false return
+// means the server no longer possesses the exact bytes — corruption or
+// loss.
+func (c *Client) Audit(book *audit.Book) (bool, error) {
+	ticket, err := book.Next()
+	if err != nil {
+		return false, err
+	}
+	srv := c.data[c.serverFor(ticket.FP)]
+	resp, err := srv.Challenge(ticket.FP, ticket.Nonce[:])
+	if err != nil {
+		return false, fmt.Errorf("client: audit challenge: %w", err)
+	}
+	return len(resp) == audit.DigestSize && bytes.Equal(resp, ticket.Expected[:]), nil
+}
+
+// Download retrieves and reassembles the file stored under path,
+// verifying chunk integrity.
+func (c *Client) Download(path string) ([]byte, error) {
+	path = c.remoteName(path)
+	// Key state → file key. After a lazy revocation the stored state is
+	// newer than the one that sealed this file's stubs; key regression
+	// lets any authorized user unwind to the file's version using the
+	// public derivation key stored beside the state.
+	state, derivPub, err := c.fetchKeyState(path)
+	if err != nil {
+		return nil, err
+	}
+
+	home := c.homeServer(path)
+	recBytes, err := home.GetBlob(store.NSRecipes, path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+	}
+	rec, err := recipe.Unmarshal(recBytes)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Scheme != uint8(c.cfg.Scheme) {
+		return nil, fmt.Errorf("client: file uses scheme %d, client configured for %v", rec.Scheme, c.cfg.Scheme)
+	}
+
+	fileState := state
+	if rec.KeyVersion != state.Version {
+		fileState, err = keyreg.Unwind(derivPub, state, rec.KeyVersion)
+		if err != nil {
+			return nil, fmt.Errorf("client: unwind key state: %w", err)
+		}
+	}
+	fileKey := fileState.Key()
+
+	stubFile, err := home.GetBlob(store.NSStubs, path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
+	}
+	stubs, err := openStubFile(stubFile, fileKey[:], path, c.cfg.StubSize, len(rec.Chunks))
+	if err != nil {
+		return nil, err
+	}
+
+	trimmed, err := c.downloadChunks(rec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decrypt and reassemble with the worker pool.
+	out := make([]byte, 0, rec.Size)
+	plain := make([][]byte, len(rec.Chunks))
+	if err := c.parallelEach(len(rec.Chunks), func(i int) error {
+		chunk, err := c.codec.Decrypt(core.Package{Trimmed: trimmed[i], Stub: stubs[i]})
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		if uint32(len(chunk)) != rec.Chunks[i].Size {
+			return fmt.Errorf("chunk %d: size %d, recipe says %d", i, len(chunk), rec.Chunks[i].Size)
+		}
+		plain[i] = chunk
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, p := range plain {
+		out = append(out, p...)
+	}
+	if uint64(len(out)) != rec.Size {
+		return nil, fmt.Errorf("client: reassembled %d bytes, recipe says %d", len(out), rec.Size)
+	}
+	return out, nil
+}
+
+// RekeyResult summarizes a rekey operation.
+type RekeyResult struct {
+	// OldVersion and NewVersion are the key-state versions before and
+	// after.
+	OldVersion, NewVersion uint64
+	// StubBytes is the size of the re-encrypted stub file (active
+	// revocation only).
+	StubBytes int
+}
+
+// Rekey renews the file key for path and re-encrypts the key state under
+// newPol. With active revocation the stub file is immediately
+// re-encrypted under the new file key; with lazy revocation it is left
+// until the next update (old versions remain derivable via key
+// regression). Requires the Owner (private derivation key).
+func (c *Client) Rekey(path string, newPol *policy.Node, active bool) (*RekeyResult, error) {
+	path = c.remoteName(path)
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if err := newPol.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Retrieve and decrypt the current key state (CP-ABE decryption
+	// with the original policy).
+	oldState, derivPub, err := c.fetchKeyState(path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Derive the new key state (key regression wind).
+	newState := c.cfg.Owner.Wind()
+
+	// Encrypt the new state via CP-ABE under the new policy and upload
+	// it with its metadata.
+	stateBlob, err := c.sealKeyState(newState, newPol)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.keyConn.PutBlob(store.NSKeyStates, path, stateBlob); err != nil {
+		return nil, fmt.Errorf("client: upload key state: %w", err)
+	}
+
+	result := &RekeyResult{OldVersion: oldState.Version, NewVersion: newState.Version}
+	if !active {
+		return result, nil
+	}
+
+	// Active revocation: download the stubs, re-encrypt them with the
+	// new file key, and upload them again.
+	stubBytes, err := c.reencryptStubs(path, oldState, derivPub, newState)
+	if err != nil {
+		return nil, err
+	}
+	result.StubBytes = stubBytes
+	return result, nil
+}
+
+// List returns the remote names of all stored files, sorted. With
+// pathname obfuscation these are the salted hashes, not the logical
+// paths — by design, the cloud (and hence this listing) never sees
+// plaintext names.
+func (c *Client) List() ([]string, error) {
+	seen := make(map[string]bool)
+	for i, conn := range c.data {
+		names, err := conn.ListBlobs(store.NSRecipes)
+		if err != nil {
+			return nil, fmt.Errorf("client: list server %d: %w", i, err)
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ServerStats returns per-data-server dedup statistics plus the
+// key-store server's (last entry).
+func (c *Client) ServerStats() ([]proto.Stats, error) {
+	out := make([]proto.Stats, 0, len(c.data)+1)
+	for _, conn := range c.data {
+		s, err := conn.Stats()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	s, err := c.keyConn.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, s), nil
+}
+
+// --- pipeline stages ---
+
+// chunkStream splits the input into chunks and fingerprints them.
+func (c *Client) chunkStream(r io.Reader) ([]encChunk, uint64, error) {
+	var (
+		ck  chunker.Chunker
+		err error
+	)
+	if c.cfg.FixedChunkSize > 0 {
+		ck, err = chunker.NewFixed(r, c.cfg.FixedChunkSize)
+	} else {
+		ck, err = chunker.NewRabin(r, c.cfg.Chunking)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var (
+		chunks  []encChunk
+		logical uint64
+	)
+	for {
+		data, err := ck.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: chunking: %w", err)
+		}
+		owned := append([]byte(nil), data...)
+		chunks = append(chunks, encChunk{
+			data:    owned,
+			fpPlain: fingerprint.New(owned),
+		})
+		logical += uint64(len(owned))
+	}
+	return chunks, logical, nil
+}
+
+// encryptAll transforms every chunk with the worker pool and computes
+// trimmed-package fingerprints.
+func (c *Client) encryptAll(chunks []encChunk) error {
+	return c.parallelEach(len(chunks), func(i int) error {
+		pkg, err := c.codec.Encrypt(chunks[i].data, chunks[i].key)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		chunks[i].pkg = pkg
+		chunks[i].fpTrim = fingerprint.New(pkg.Trimmed)
+		return nil
+	})
+}
+
+// uploadChunks stripes trimmed packages across data servers in 4 MB
+// batches, in parallel, and returns the number of duplicates reported.
+func (c *Client) uploadChunks(chunks []encChunk) (int, error) {
+	perServer := make([][]proto.ChunkUpload, len(c.data))
+	for i := range chunks {
+		s := c.serverFor(chunks[i].fpTrim)
+		perServer[s] = append(perServer[s], proto.ChunkUpload{
+			FP:   chunks[i].fpTrim,
+			Data: chunks[i].pkg.Trimmed,
+		})
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		dups     int
+	)
+	for s := range c.data {
+		if len(perServer[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, batch := range splitBatches(perServer[s], c.cfg.UploadBuffer) {
+				flags, err := c.data[s].PutChunks(batch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client: upload to server %d: %w", s, err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				for _, d := range flags {
+					if d {
+						dups++
+					}
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	return dups, firstErr
+}
+
+// downloadChunks fetches every trimmed package referenced by the recipe,
+// preserving order.
+func (c *Client) downloadChunks(rec *recipe.Recipe) ([][]byte, error) {
+	type want struct {
+		idx int
+		fp  fingerprint.Fingerprint
+	}
+	perServer := make([][]want, len(c.data))
+	for i, ref := range rec.Chunks {
+		s := c.serverFor(ref.Fingerprint)
+		perServer[s] = append(perServer[s], want{idx: i, fp: ref.Fingerprint})
+	}
+
+	out := make([][]byte, len(rec.Chunks))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range c.data {
+		if len(perServer[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			wants := perServer[s]
+			const batch = 4096
+			for start := 0; start < len(wants); start += batch {
+				end := start + batch
+				if end > len(wants) {
+					end = len(wants)
+				}
+				fps := make([]fingerprint.Fingerprint, 0, end-start)
+				for _, w := range wants[start:end] {
+					fps = append(fps, w.fp)
+				}
+				datas, err := c.data[s].GetChunks(fps)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client: download from server %d: %w", s, err)
+					}
+					mu.Unlock()
+					return
+				}
+				for i, w := range wants[start:end] {
+					out[w.idx] = datas[i]
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// fetchKeyState downloads and decrypts the key state for path, returning
+// it with the owner's public derivation key.
+func (c *Client) fetchKeyState(path string) (keyreg.State, keyreg.Public, error) {
+	blob, err := c.keyConn.GetBlob(store.NSKeyStates, path)
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("%w: key state: %v", ErrNotFound, err)
+	}
+	r := binenc.NewReader(blob)
+	ctBytes, err := r.ReadBytes()
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("client: key state blob: %w", err)
+	}
+	pubBytes, err := r.ReadBytes()
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("client: key state blob: %w", err)
+	}
+	ct, err := abe.UnmarshalCiphertext(ctBytes)
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, err
+	}
+	statePlain, err := abe.Decrypt(c.cfg.PrivateKey, ct)
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("client: decrypt key state: %w", err)
+	}
+	state, err := keyreg.UnmarshalState(statePlain)
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, err
+	}
+	pub, err := keyreg.UnmarshalPublic(pubBytes)
+	if err != nil {
+		return keyreg.State{}, keyreg.Public{}, err
+	}
+	return state, pub, nil
+}
+
+// sealKeyState policy-encrypts a key state and bundles the public
+// derivation key.
+func (c *Client) sealKeyState(state keyreg.State, pol *policy.Node) ([]byte, error) {
+	pub := c.cfg.Directory.PublicKeys(pol.Leaves())
+	ct, err := abe.Encrypt(pub, pol, state.Marshal(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: encrypt key state: %w", err)
+	}
+	w := binenc.NewWriter(512)
+	w.WriteBytes(ct.Marshal())
+	w.WriteBytes(c.cfg.Owner.Public().Marshal())
+	return w.Bytes(), nil
+}
+
+// serverFor picks the data server responsible for a fingerprint.
+func (c *Client) serverFor(fp fingerprint.Fingerprint) int {
+	return int(fp[0]) % len(c.data)
+}
+
+// remoteName maps a logical path to its remote object name: the path
+// itself, or a salted hash of it when pathname obfuscation is on
+// (Section IV-D). The mapping is deterministic so any client holding
+// the salt addresses the same objects.
+func (c *Client) remoteName(path string) string {
+	if !c.cfg.ObfuscatePaths {
+		return path
+	}
+	mac := hmac.New(sha256.New, c.cfg.PathSalt)
+	mac.Write([]byte(path))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// homeServer picks the data server holding a file's recipe and stub
+// file.
+func (c *Client) homeServer(path string) *server.Client {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return c.data[int(h.Sum32())%len(c.data)]
+}
+
+// parallelEach runs fn(i) for i in [0,n) over the configured worker
+// count, returning the first error.
+func (c *Client) parallelEach(n int, fn func(int) error) error {
+	workers := c.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// splitBatches groups uploads so each batch stays under maxBytes (always
+// at least one chunk per batch).
+func splitBatches(chunks []proto.ChunkUpload, maxBytes int) [][]proto.ChunkUpload {
+	var (
+		out   [][]proto.ChunkUpload
+		cur   []proto.ChunkUpload
+		bytes int
+	)
+	for _, c := range chunks {
+		if len(cur) > 0 && bytes+len(c.Data) > maxBytes {
+			out = append(out, cur)
+			cur, bytes = nil, 0
+		}
+		cur = append(cur, c)
+		bytes += len(c.Data)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// sealStubFile concatenates the chunks' stubs and encrypts them under
+// the file key.
+func sealStubFile(chunks []encChunk, fileKey []byte, path string, stubSize int) ([]byte, error) {
+	stubs := make([][]byte, len(chunks))
+	for i := range chunks {
+		if len(chunks[i].pkg.Stub) != stubSize {
+			return nil, fmt.Errorf("client: chunk %d stub size %d, want %d", i, len(chunks[i].pkg.Stub), stubSize)
+		}
+		stubs[i] = chunks[i].pkg.Stub
+	}
+	return sealStubs(stubs, fileKey, path)
+}
+
+// sealStubs encrypts concatenated stubs with AES-256-GCM under the file
+// key, binding the file path as associated data.
+func sealStubs(stubs [][]byte, fileKey []byte, path string) ([]byte, error) {
+	plain := bytes.Join(stubs, nil)
+	aead, err := stubAEAD(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("client: stub nonce: %w", err)
+	}
+	ct := aead.Seal(nil, nonce, plain, []byte(path))
+	return append(nonce, ct...), nil
+}
+
+// openStubFile decrypts a stub file and splits it into per-chunk stubs.
+func openStubFile(blob, fileKey []byte, path string, stubSize, chunkCount int) ([][]byte, error) {
+	aead, err := stubAEAD(fileKey)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, errors.New("client: stub file too short")
+	}
+	plain, err := aead.Open(nil, blob[:aead.NonceSize()], blob[aead.NonceSize():], []byte(path))
+	if err != nil {
+		return nil, fmt.Errorf("client: stub file authentication failed: %w", err)
+	}
+	if len(plain) != stubSize*chunkCount {
+		return nil, fmt.Errorf("client: stub file holds %d bytes, want %d", len(plain), stubSize*chunkCount)
+	}
+	stubs := make([][]byte, chunkCount)
+	for i := range stubs {
+		stubs[i] = plain[i*stubSize : (i+1)*stubSize]
+	}
+	return stubs, nil
+}
+
+func stubAEAD(fileKey []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(fileKey)
+	if err != nil {
+		return nil, fmt.Errorf("client: stub cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("client: stub aead: %w", err)
+	}
+	return aead, nil
+}

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/fingerprint"
+	"repro/internal/recipe"
+	"repro/internal/store"
+)
+
+// DeleteResult summarizes a deletion.
+type DeleteResult struct {
+	// Chunks is how many chunk references the file held.
+	Chunks int
+	// FreedChunks is how many of them were freed outright (no other
+	// file references them); the rest remain for other files.
+	FreedChunks uint64
+}
+
+// Delete removes the file at path with secure-deletion semantics (the
+// AONT-based cryptographic deletion REED builds on [42]):
+//
+//  1. authorization: the caller must be able to decrypt the file's key
+//     state — exactly the users the policy admits may delete;
+//  2. cryptographic deletion: the key state and the encrypted stub file
+//     are destroyed first, so the file is unrecoverable the moment the
+//     call returns, even by an adversary holding every trimmed package;
+//  3. space reclamation: each trimmed package loses one reference, and
+//     chunks no other file references are garbage-collected
+//     (reference-counted, since deduplication shares chunks across
+//     files and users).
+func (c *Client) Delete(path string) (*DeleteResult, error) {
+	path = c.remoteName(path)
+
+	// Authorization: decrypting the key state requires a satisfying
+	// private access key.
+	if _, _, err := c.fetchKeyState(path); err != nil {
+		return nil, err
+	}
+
+	home := c.homeServer(path)
+	recBytes, err := home.GetBlob(store.NSRecipes, path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+	}
+	rec, err := recipe.Unmarshal(recBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cryptographic deletion first: without the key state and stub
+	// file the content is gone even if everything below fails midway.
+	if err := c.keyConn.DeleteBlob(store.NSKeyStates, path); err != nil {
+		return nil, fmt.Errorf("client: delete key state: %w", err)
+	}
+	if err := home.DeleteBlob(store.NSStubs, path); err != nil {
+		return nil, fmt.Errorf("client: delete stub file: %w", err)
+	}
+	if err := home.DeleteBlob(store.NSRecipes, path); err != nil {
+		return nil, fmt.Errorf("client: delete recipe: %w", err)
+	}
+
+	// Space reclamation: drop one reference per chunk, striped the same
+	// way uploads were.
+	perServer := make([][]fingerprint.Fingerprint, len(c.data))
+	for _, ref := range rec.Chunks {
+		srv := c.serverFor(ref.Fingerprint)
+		perServer[srv] = append(perServer[srv], ref.Fingerprint)
+	}
+	var freed uint64
+	for srv, fps := range perServer {
+		if len(fps) == 0 {
+			continue
+		}
+		n, err := c.data[srv].DerefChunks(fps)
+		if err != nil {
+			return nil, fmt.Errorf("client: deref on server %d: %w", srv, err)
+		}
+		freed += n
+	}
+	return &DeleteResult{Chunks: len(rec.Chunks), FreedChunks: freed}, nil
+}

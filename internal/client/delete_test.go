@@ -1,0 +1,249 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keyreg"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+func TestDeleteRemovesFile(t *testing.T) {
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	data := randomFile(t, 128<<10, 80)
+	pol := policy.OrOfUsers([]string{"alice"})
+
+	up, err := c.Upload("/del-me", bytes.NewReader(data), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Delete("/del-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != up.Chunks {
+		t.Fatalf("deleted %d chunk refs, uploaded %d", res.Chunks, up.Chunks)
+	}
+	if res.FreedChunks != uint64(up.Chunks) {
+		t.Fatalf("freed %d of %d chunks; nothing else references them", res.FreedChunks, up.Chunks)
+	}
+	if _, err := c.Download("/del-me"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("download after delete = %v, want ErrNotFound", err)
+	}
+	// Physical space was reclaimed.
+	stats, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var physical uint64
+	for _, s := range stats {
+		physical += s.PhysicalBytes
+	}
+	if physical != 0 {
+		t.Fatalf("physical bytes after deleting the only file = %d", physical)
+	}
+}
+
+// TestDeleteRespectsSharing is the dedup-critical property: deleting one
+// file must not free chunks another file still references.
+func TestDeleteRespectsSharing(t *testing.T) {
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	data := randomFile(t, 128<<10, 81)
+	pol := policy.OrOfUsers([]string{"alice"})
+
+	if _, err := c.Upload("/copy-1", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upload("/copy-2", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Delete("/copy-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreedChunks != 0 {
+		t.Fatalf("deleting one of two identical files freed %d chunks", res.FreedChunks)
+	}
+	// The surviving copy stays fully restorable.
+	got, err := c.Download("/copy-2")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("surviving copy: %v", err)
+	}
+	// Deleting the second file frees everything.
+	res2, err := c.Delete("/copy-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FreedChunks != uint64(res2.Chunks) {
+		t.Fatalf("final delete freed %d of %d", res2.FreedChunks, res2.Chunks)
+	}
+}
+
+func TestDeleteRequiresAuthorization(t *testing.T) {
+	cluster := startCluster(t)
+	alice := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	mallory := newUser(t, cluster, "mallory", core.SchemeEnhanced)
+	data := randomFile(t, 32<<10, 82)
+
+	if _, err := alice.Upload("/mine", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mallory.Delete("/mine"); err == nil {
+		t.Fatal("unauthorized user deleted the file")
+	}
+	// File untouched.
+	if got, err := alice.Download("/mine"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("file damaged by failed delete: %v", err)
+	}
+}
+
+func TestDeleteMissingFile(t *testing.T) {
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "alice", core.SchemeBasic)
+	if _, err := c.Delete("/never-existed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteThenReupload(t *testing.T) {
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "alice", core.SchemeBasic)
+	data := randomFile(t, 64<<10, 83)
+	pol := policy.OrOfUsers([]string{"alice"})
+
+	if _, err := c.Upload("/cycle", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("/cycle"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-uploading the same content after full deletion works and is
+	// not spuriously deduplicated against freed chunks.
+	res, err := c.Upload("/cycle", bytes.NewReader(data), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicateChunks != 0 {
+		t.Fatalf("re-upload after full deletion reported %d duplicates", res.DuplicateChunks)
+	}
+	got, err := c.Download("/cycle")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("re-upload round trip: %v", err)
+	}
+}
+
+func TestAuditDetectsCorruption(t *testing.T) {
+	cluster := startCluster(t)
+	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		UserID:         "auditor",
+		Scheme:         core.SchemeEnhanced,
+		DataServers:    cluster.DataAddrs,
+		KeyStoreServer: cluster.KeyAddr,
+		KeyManager:     cluster.KMAddr,
+		AuditTickets:   16,
+		PrivateKey:     cluster.Authority.IssueKey("auditor", []string{"auditor"}),
+		Directory:      cluster.Authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := randomFile(t, 128<<10, 90)
+	res, err := c.Upload("/audited", bytes.NewReader(data), policy.OrOfUsers([]string{"auditor"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AuditBook == nil || res.AuditBook.Remaining() != 16 {
+		t.Fatalf("audit book = %+v", res.AuditBook)
+	}
+
+	// Healthy server: audits pass.
+	for i := 0; i < 4; i++ {
+		ok, err := c.Audit(res.AuditBook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("audit %d failed against a healthy server", i)
+		}
+	}
+
+	// Corrupt every stored container, then audit until a sampled chunk
+	// hits the damage. With every chunk corrupted, the next audit of
+	// any chunk must fail or error (the dedup layer itself may detect
+	// the loss).
+	for _, srv := range cluster.DataServers {
+		if err := srv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		backend := srv.Backend()
+		names, err := backend.List(store.NSContainers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			blob, err := backend.Get(store.NSContainers, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for off := 0; off < len(blob); off += 256 {
+				blob[off] ^= 0xFF
+			}
+			if err := backend.Put(store.NSContainers, name, blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ok, err := c.Audit(res.AuditBook)
+	if err == nil && ok {
+		t.Fatal("audit passed against fully corrupted storage")
+	}
+}
+
+func TestAuditExhaustion(t *testing.T) {
+	cluster := startCluster(t)
+	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		UserID:         "auditor2",
+		Scheme:         core.SchemeBasic,
+		DataServers:    cluster.DataAddrs,
+		KeyStoreServer: cluster.KeyAddr,
+		KeyManager:     cluster.KMAddr,
+		AuditTickets:   2,
+		PrivateKey:     cluster.Authority.IssueKey("auditor2", []string{"auditor2"}),
+		Directory:      cluster.Authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Upload("/small-book", bytes.NewReader(randomFile(t, 16<<10, 91)), policy.OrOfUsers([]string{"auditor2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if ok, err := c.Audit(res.AuditBook); err != nil || !ok {
+			t.Fatalf("audit %d: %v %v", i, ok, err)
+		}
+	}
+	if _, err := c.Audit(res.AuditBook); err == nil {
+		t.Fatal("exhausted book still issued audits")
+	}
+}

@@ -1,0 +1,173 @@
+package client
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keyreg"
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/testenv"
+)
+
+// Failure-injection tests: REED clients must fail cleanly (error, not
+// hang or corrupt) when infrastructure disappears mid-session.
+
+// startStoppable runs one extra storage server the test can kill.
+func startStoppable(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	srv, err := server.New(store.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String()
+}
+
+func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
+	cluster := startCluster(t)
+	srv, addr := startStoppable(t)
+
+	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		UserID:         "alice",
+		Scheme:         core.SchemeBasic,
+		DataServers:    []string{addr}, // only the stoppable server
+		KeyStoreServer: cluster.KeyAddr,
+		KeyManager:     cluster.KMAddr,
+		PrivateKey:     cluster.Authority.IssueKey("alice", []string{"alice"}),
+		Directory:      cluster.Authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := randomFile(t, 64<<10, 61)
+	pol := policy.OrOfUsers([]string{"alice"})
+	if _, err := c.Upload("/ok", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the data plane, then try again: must error within a bounded
+	// time, not hang.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Upload("/after-crash", bytes.NewReader(data), pol)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("upload succeeded against a dead server")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("upload hung against a dead server")
+	}
+}
+
+func TestDownloadFailsCleanlyWhenKeyStoreDies(t *testing.T) {
+	cluster := startCluster(t)
+	keySrv, keyAddr := startStoppable(t)
+
+	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		UserID:         "alice",
+		Scheme:         core.SchemeBasic,
+		DataServers:    cluster.DataAddrs,
+		KeyStoreServer: keyAddr,
+		KeyManager:     cluster.KMAddr,
+		PrivateKey:     cluster.Authority.IssueKey("alice", []string{"alice"}),
+		Directory:      cluster.Authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := randomFile(t, 32<<10, 62)
+	pol := policy.OrOfUsers([]string{"alice"})
+	if _, err := c.Upload("/k", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := keySrv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Download("/k"); err == nil {
+		t.Fatal("download succeeded without the key store")
+	}
+}
+
+func TestUploadFailsCleanlyWhenKeyManagerDies(t *testing.T) {
+	// A dedicated cluster whose KM we can kill without affecting other
+	// tests' shared fixtures.
+	cluster, err := testenv.Start(testenv.Options{DataServers: 1, KMKey: sharedKMKey(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intentionally no cluster cleanup order issues: Close is
+	// idempotent for the parts we kill early.
+	t.Cleanup(cluster.Close)
+
+	c := newUser(t, cluster, "alice", core.SchemeBasic)
+	data := randomFile(t, 32<<10, 63)
+	pol := policy.OrOfUsers([]string{"alice"})
+	if _, err := c.Upload("/pre", bytes.NewReader(data), pol); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster.Close() // kills the key manager (and everything else)
+
+	other := randomFile(t, 32<<10, 64)
+	if _, err := c.Upload("/post", bytes.NewReader(other), pol); err == nil {
+		t.Fatal("upload succeeded without a key manager")
+	}
+}
+
+func TestDownloadAfterDataLoss(t *testing.T) {
+	// Deleting a container from the backend must surface as an error on
+	// download, not a silent wrong result.
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	data := randomFile(t, 128<<10, 65)
+	if _, err := c.Upload("/lost", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range cluster.DataServers {
+		if err := srv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		backend := srv.Backend()
+		names, err := backend.List(store.NSContainers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if err := backend.Delete(store.NSContainers, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Download("/lost"); err == nil {
+		t.Fatal("download succeeded after container loss")
+	}
+}

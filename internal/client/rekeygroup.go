@@ -1,0 +1,144 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/keyreg"
+	"repro/internal/policy"
+	"repro/internal/recipe"
+	"repro/internal/store"
+)
+
+// GroupRekeyResult summarizes a group rekey.
+type GroupRekeyResult struct {
+	// Files is the number of files rekeyed.
+	Files int
+	// NewVersion is the key-state version now protecting all of them.
+	NewVersion uint64
+	// StubBytes is the total stub data re-encrypted (active revocation
+	// only).
+	StubBytes int
+	// PolicyEncryptions counts CP-ABE encryptions performed — 1,
+	// versus len(paths) for file-by-file rekeying; this amortization is
+	// the point of group rekeying (the paper's Section IV-D poses it as
+	// future work).
+	PolicyEncryptions int
+	// Elapsed is the wall-clock duration of the whole operation.
+	Elapsed time.Duration
+}
+
+// RekeyGroup rekeys a set of files owned by this client to one new
+// policy, winding the key-regression chain once and performing a single
+// policy encryption shared by every file. Semantics per file match
+// Rekey: lazy revocation replaces only the key states; active
+// revocation also re-encrypts each file's stub file.
+func (c *Client) RekeyGroup(paths []string, newPol *policy.Node, active bool) (*GroupRekeyResult, error) {
+	start := time.Now()
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("client: rekey group: no paths")
+	}
+	if err := newPol.Validate(); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		names[i] = c.remoteName(p)
+	}
+
+	// Decrypt every file's current key state first (and fail early if
+	// any file is inaccessible) so a partial failure cannot strand a
+	// file whose state was already replaced.
+	oldStates := make([]keyreg.State, len(names))
+	derivPubs := make([]keyreg.Public, len(names))
+	for i, name := range names {
+		state, pub, err := c.fetchKeyStateRemote(name)
+		if err != nil {
+			return nil, fmt.Errorf("client: rekey group %q: %w", paths[i], err)
+		}
+		oldStates[i] = state
+		derivPubs[i] = pub
+	}
+
+	// One wind, one policy encryption, shared by all files.
+	newState := c.cfg.Owner.Wind()
+	stateBlob, err := c.sealKeyState(newState, newPol)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &GroupRekeyResult{
+		Files:             len(names),
+		NewVersion:        newState.Version,
+		PolicyEncryptions: 1,
+	}
+	for i, name := range names {
+		if err := c.keyConn.PutBlob(store.NSKeyStates, name, stateBlob); err != nil {
+			return nil, fmt.Errorf("client: rekey group %q: upload key state: %w", paths[i], err)
+		}
+		if !active {
+			continue
+		}
+		stubBytes, err := c.reencryptStubs(name, oldStates[i], derivPubs[i], newState)
+		if err != nil {
+			return nil, fmt.Errorf("client: rekey group %q: %w", paths[i], err)
+		}
+		result.StubBytes += stubBytes
+	}
+	result.Elapsed = time.Since(start)
+	return result, nil
+}
+
+// fetchKeyStateRemote is fetchKeyState for an already-resolved remote
+// name.
+func (c *Client) fetchKeyStateRemote(name string) (keyreg.State, keyreg.Public, error) {
+	return c.fetchKeyState(name)
+}
+
+// reencryptStubs downloads a file's stub file, re-encrypts it under the
+// new state's file key, uploads it, and bumps the recipe's key version.
+// It returns the re-encrypted stub file size.
+func (c *Client) reencryptStubs(name string, oldState keyreg.State, derivPub keyreg.Public, newState keyreg.State) (int, error) {
+	home := c.homeServer(name)
+	recBytes, err := home.GetBlob(store.NSRecipes, name)
+	if err != nil {
+		return 0, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+	}
+	rec, err := recipe.Unmarshal(recBytes)
+	if err != nil {
+		return 0, err
+	}
+	stubFile, err := home.GetBlob(store.NSStubs, name)
+	if err != nil {
+		return 0, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
+	}
+
+	fileState := oldState
+	if rec.KeyVersion != oldState.Version {
+		fileState, err = keyreg.Unwind(derivPub, oldState, rec.KeyVersion)
+		if err != nil {
+			return 0, fmt.Errorf("client: unwind key state: %w", err)
+		}
+	}
+	oldKey := fileState.Key()
+	stubs, err := openStubFile(stubFile, oldKey[:], name, c.cfg.StubSize, len(rec.Chunks))
+	if err != nil {
+		return 0, err
+	}
+	newKey := newState.Key()
+	reStubFile, err := sealStubs(stubs, newKey[:], name)
+	if err != nil {
+		return 0, err
+	}
+	if err := home.PutBlob(store.NSStubs, name, reStubFile); err != nil {
+		return 0, fmt.Errorf("client: re-upload stub file: %w", err)
+	}
+	rec.KeyVersion = newState.Version
+	if err := home.PutBlob(store.NSRecipes, name, rec.Marshal()); err != nil {
+		return 0, fmt.Errorf("client: re-upload recipe: %w", err)
+	}
+	return len(reStubFile), nil
+}

@@ -1,0 +1,330 @@
+// Package core implements REED's rekeying-aware chunk encryption — the
+// primary contribution of the DSN'16 paper.
+//
+// Each chunk M is transformed, under its MLE key K_M, into a package that
+// is split into two parts:
+//
+//   - the trimmed package: the large prefix, deterministic in (M, K_M),
+//     which the server deduplicates; and
+//   - the stub: the final StubSize bytes, which the client encrypts under
+//     a renewable file key.
+//
+// Because the transform is all-or-nothing, an adversary holding the
+// trimmed package but not the stub learns nothing about M. Rekeying a
+// file therefore only requires re-encrypting its stubs.
+//
+// Two schemes are provided:
+//
+// Basic (Figure 2): CAONT keyed directly by K_M over (M || canary):
+//
+//	C = (M || c) XOR G(K_M)
+//	t = K_M XOR H(C)
+//
+// The canary c (32 zero bytes) provides integrity: tampering anywhere in
+// the package corrupts the recovered K_M and hence the canary. The basic
+// scheme is vulnerable to MLE-key compromise: given K_M, the mask G(K_M)
+// reveals the trimmed part of the chunk.
+//
+// Enhanced (Figure 3): MLE-encrypt first, then CAONT over (C1 || K_M)
+// under the hash key h = H(C1 || K_M):
+//
+//	C1 = E(K_M, M)
+//	C2 = (C1 || K_M) XOR G(h)
+//	t  = SelfXOR(C2) XOR h
+//
+// Even with K_M leaked, the adversary cannot recover h without the entire
+// package, so the chunk stays protected by the stub. The tail uses a
+// cheap self-XOR instead of a second hash; integrity is checked by
+// comparing H(C1 || K_M) with the recovered h.
+package core
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/aont"
+)
+
+const (
+	// KeySize is the MLE key size in bytes.
+	KeySize = 32
+	// CanarySize is the size of the integrity canary appended to chunks
+	// in the basic scheme (32 zero bytes, per Section V-A).
+	CanarySize = 32
+	// DefaultStubSize is the stub size the paper uses: 64 bytes, i.e.
+	// 0.78% of an 8 KB chunk.
+	DefaultStubSize = 64
+	// MinStubSize is the smallest stub that still withholds the entire
+	// package tail from the server.
+	MinStubSize = aont.TailSize
+)
+
+// Scheme selects a REED chunk encryption scheme.
+type Scheme int
+
+const (
+	// SchemeBasic is the faster scheme of Section IV-B, vulnerable to
+	// MLE-key leakage.
+	SchemeBasic Scheme = iota + 1
+	// SchemeEnhanced adds an MLE encryption layer so that a leaked MLE
+	// key alone reveals nothing without the stub.
+	SchemeEnhanced
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBasic:
+		return "basic"
+	case SchemeEnhanced:
+		return "enhanced"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s names a known scheme.
+func (s Scheme) Valid() bool {
+	return s == SchemeBasic || s == SchemeEnhanced
+}
+
+var (
+	// ErrIntegrity is returned when a reverted chunk fails its
+	// integrity check (tampered trimmed package or stub).
+	ErrIntegrity = errors.New("core: chunk integrity check failed")
+	// ErrBadScheme is returned for an unknown Scheme value.
+	ErrBadScheme = errors.New("core: unknown encryption scheme")
+)
+
+// Package is the output of encrypting one chunk: the deduplicable trimmed
+// package and the plaintext stub. Stub encryption under the file key
+// happens at the stub-file layer (internal/client), not here, because the
+// paper batches all stubs of a file into one encrypted stub file.
+type Package struct {
+	Trimmed []byte
+	Stub    []byte
+}
+
+// Codec encrypts and decrypts chunks under a fixed scheme and stub size.
+// The zero value is not usable; use New.
+type Codec struct {
+	scheme   Scheme
+	stubSize int
+}
+
+// Option configures a Codec.
+type Option interface {
+	apply(*Codec)
+}
+
+type stubSizeOption int
+
+func (o stubSizeOption) apply(c *Codec) { c.stubSize = int(o) }
+
+// WithStubSize overrides the stub size (default 64 bytes). Larger stubs
+// increase rekeying and storage cost; smaller stubs weaken the brute-force
+// margin on the withheld portion.
+func WithStubSize(n int) Option { return stubSizeOption(n) }
+
+// New returns a Codec for the given scheme.
+func New(scheme Scheme, opts ...Option) (*Codec, error) {
+	if !scheme.Valid() {
+		return nil, ErrBadScheme
+	}
+	c := &Codec{scheme: scheme, stubSize: DefaultStubSize}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	if c.stubSize < MinStubSize {
+		return nil, fmt.Errorf("core: stub size %d below minimum %d", c.stubSize, MinStubSize)
+	}
+	return c, nil
+}
+
+// Scheme returns the codec's scheme.
+func (c *Codec) Scheme() Scheme { return c.scheme }
+
+// StubSize returns the configured stub size in bytes.
+func (c *Codec) StubSize() int { return c.stubSize }
+
+// PackageOverhead is the number of bytes a package adds over the chunk.
+// Both schemes add CanarySize-or-KeySize plus the tail: 64 bytes.
+const PackageOverhead = KeySize + aont.TailSize
+
+// Encrypt transforms chunk under mleKey into a trimmed package and stub.
+// The chunk must be non-empty and the MLE key exactly KeySize bytes.
+func (c *Codec) Encrypt(chunk, mleKey []byte) (Package, error) {
+	if len(chunk) == 0 {
+		return Package{}, errors.New("core: empty chunk")
+	}
+	if len(mleKey) != KeySize {
+		return Package{}, fmt.Errorf("core: MLE key length %d, want %d", len(mleKey), KeySize)
+	}
+	var (
+		pkg []byte
+		err error
+	)
+	switch c.scheme {
+	case SchemeBasic:
+		pkg, err = encryptBasic(chunk, mleKey)
+	case SchemeEnhanced:
+		pkg, err = encryptEnhanced(chunk, mleKey)
+	default:
+		return Package{}, ErrBadScheme
+	}
+	if err != nil {
+		return Package{}, err
+	}
+	return c.split(pkg)
+}
+
+// Decrypt reverts a package back to the chunk, verifying integrity. No
+// key is needed: both schemes embed the key material in the package
+// (protected by the all-or-nothing property), which is why REED never
+// uploads MLE keys.
+func (c *Codec) Decrypt(p Package) ([]byte, error) {
+	pkg := make([]byte, 0, len(p.Trimmed)+len(p.Stub))
+	pkg = append(pkg, p.Trimmed...)
+	pkg = append(pkg, p.Stub...)
+	switch c.scheme {
+	case SchemeBasic:
+		return decryptBasic(pkg)
+	case SchemeEnhanced:
+		return decryptEnhanced(pkg)
+	default:
+		return nil, ErrBadScheme
+	}
+}
+
+// split separates a full package into trimmed package and stub.
+func (c *Codec) split(pkg []byte) (Package, error) {
+	if len(pkg) < c.stubSize {
+		return Package{}, fmt.Errorf("core: package size %d below stub size %d", len(pkg), c.stubSize)
+	}
+	cut := len(pkg) - c.stubSize
+	return Package{Trimmed: pkg[:cut], Stub: pkg[cut:]}, nil
+}
+
+// encryptBasic implements Figure 2.
+func encryptBasic(chunk, mleKey []byte) ([]byte, error) {
+	// (M || c) with a CanarySize zero canary; TransformWithKey appends
+	// the tail t = K_M XOR H(C).
+	padded := make([]byte, len(chunk)+CanarySize)
+	copy(padded, chunk)
+	pkg, err := aont.TransformWithKey(padded, mleKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: basic transform: %w", err)
+	}
+	return pkg, nil
+}
+
+// decryptBasic reverts Figure 2 and checks the canary.
+func decryptBasic(pkg []byte) ([]byte, error) {
+	if len(pkg) < CanarySize+aont.TailSize {
+		return nil, ErrIntegrity
+	}
+	padded, _, err := aont.Revert(pkg)
+	if err != nil {
+		return nil, fmt.Errorf("core: basic revert: %w", err)
+	}
+	chunk := padded[:len(padded)-CanarySize]
+	canary := padded[len(padded)-CanarySize:]
+	var zero [CanarySize]byte
+	if !bytes.Equal(canary, zero[:]) {
+		return nil, ErrIntegrity
+	}
+	return chunk, nil
+}
+
+// encryptEnhanced implements Figure 3.
+func encryptEnhanced(chunk, mleKey []byte) ([]byte, error) {
+	// C1 = E(K_M, M): deterministic MLE encryption.
+	c1 := make([]byte, len(chunk))
+	if err := mleEncrypt(c1, chunk, mleKey); err != nil {
+		return nil, err
+	}
+
+	// X = C1 || K_M, hash key h = H(X).
+	x := make([]byte, len(c1)+KeySize)
+	copy(x, c1)
+	copy(x[len(c1):], mleKey)
+	h := sha256.Sum256(x)
+
+	// C2 = X XOR G(h).
+	mask, err := aont.Mask(h[:], len(x))
+	if err != nil {
+		return nil, fmt.Errorf("core: enhanced mask: %w", err)
+	}
+	if err := aont.XORBytes(x, mask); err != nil {
+		return nil, err
+	}
+	c2 := x
+
+	// t = SelfXOR(C2) XOR h.
+	tail := aont.SelfXOR(c2)
+	for i := range tail {
+		tail[i] ^= h[i]
+	}
+
+	pkg := make([]byte, 0, len(c2)+aont.TailSize)
+	pkg = append(pkg, c2...)
+	pkg = append(pkg, tail[:]...)
+	return pkg, nil
+}
+
+// decryptEnhanced reverts Figure 3 and checks H(C1 || K_M) == h.
+func decryptEnhanced(pkg []byte) ([]byte, error) {
+	if len(pkg) < KeySize+aont.TailSize {
+		return nil, ErrIntegrity
+	}
+	c2 := pkg[:len(pkg)-aont.TailSize]
+	tail := pkg[len(pkg)-aont.TailSize:]
+
+	// h = SelfXOR(C2) XOR t.
+	h := aont.SelfXOR(c2)
+	for i := range h {
+		h[i] ^= tail[i]
+	}
+
+	// X = C2 XOR G(h).
+	mask, err := aont.Mask(h[:], len(c2))
+	if err != nil {
+		return nil, fmt.Errorf("core: enhanced unmask: %w", err)
+	}
+	x := make([]byte, len(c2))
+	copy(x, c2)
+	if err := aont.XORBytes(x, mask); err != nil {
+		return nil, err
+	}
+
+	// Integrity: H(C1 || K_M) must equal h.
+	if sha256.Sum256(x) != h {
+		return nil, ErrIntegrity
+	}
+
+	c1 := x[:len(x)-KeySize]
+	mleKey := x[len(x)-KeySize:]
+	chunk := make([]byte, len(c1))
+	if err := mleEncrypt(chunk, c1, mleKey); err != nil {
+		return nil, err
+	}
+	return chunk, nil
+}
+
+// mleEncrypt performs deterministic symmetric encryption keyed by the MLE
+// key (AES-256-CTR with a zero IV: safe here because each key is derived
+// from, and used for, exactly one plaintext). CTR is an involution, so
+// the same function decrypts.
+func mleEncrypt(dst, src, key []byte) error {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("core: mle cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, src)
+	return nil
+}

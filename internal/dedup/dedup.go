@@ -1,0 +1,360 @@
+// Package dedup implements server-side deduplication of trimmed packages:
+// the fingerprint index plus the 4 MB container packing REED's servers
+// use before writing to the storage backend (Section V-B, "Batching").
+//
+// Each unique trimmed package is appended to the current in-memory
+// container; full containers are sealed and written to the backend as one
+// blob, amortizing backend I/O. The index maps each fingerprint to its
+// container and offset. Duplicate puts touch only the index.
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/binenc"
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+// DefaultContainerSize is the paper's container/batch size: 4 MB.
+const DefaultContainerSize = 4 << 20
+
+// indexBlobName is where the persistent index lives in the backend.
+const indexBlobName = "dedup-index"
+
+// readCacheContainers bounds the container read cache; restores read
+// containers mostly sequentially, so a handful suffices.
+const readCacheContainers = 8
+
+// ErrUnknownChunk is returned by Get for fingerprints never stored.
+var ErrUnknownChunk = errors.New("dedup: unknown chunk")
+
+// Location records where a chunk lives.
+type Location struct {
+	Container uint64
+	Offset    uint32
+	Length    uint32
+}
+
+// Stats counts deduplication activity. LogicalBytes counts every put;
+// PhysicalBytes counts only unique data currently stored.
+type Stats struct {
+	TotalPuts     uint64
+	DedupedPuts   uint64
+	LogicalBytes  uint64
+	PhysicalBytes uint64
+
+	// Garbage collection counters (see gc.go).
+	FreedChunks         uint64
+	FreedBytes          uint64
+	CompactedContainers uint64
+}
+
+// SavingsRatio returns 1 - physical/logical, the paper's storage-saving
+// metric.
+func (s Stats) SavingsRatio() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.PhysicalBytes)/float64(s.LogicalBytes)
+}
+
+// Store deduplicates chunks into containers on a backend. It is safe for
+// concurrent use.
+type Store struct {
+	mu            sync.Mutex
+	backend       store.Backend
+	containerSize int
+
+	index     map[fingerprint.Fingerprint]Location
+	refs      map[fingerprint.Fingerprint]uint32
+	current   []byte
+	currentID uint64
+	openDead  uint64
+	stats     Stats
+
+	// containers tracks live/dead bytes per sealed container for
+	// compaction decisions.
+	containers map[uint64]containerInfo
+
+	readCache map[uint64][]byte
+	readOrder []uint64 // FIFO eviction
+}
+
+// Open loads (or initializes) a dedup store over the backend.
+func Open(backend store.Backend, containerSize int) (*Store, error) {
+	if containerSize <= 0 {
+		containerSize = DefaultContainerSize
+	}
+	s := &Store{
+		backend:       backend,
+		containerSize: containerSize,
+		index:         make(map[fingerprint.Fingerprint]Location),
+		refs:          make(map[fingerprint.Fingerprint]uint32),
+		current:       make([]byte, 0, containerSize),
+		readCache:     make(map[uint64][]byte),
+		containers:    make(map[uint64]containerInfo),
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put stores a chunk if new. It returns true when the chunk was a
+// duplicate (index hit, nothing written).
+func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
+	if len(data) == 0 {
+		return false, errors.New("dedup: empty chunk")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.TotalPuts++
+	s.stats.LogicalBytes += uint64(len(data))
+	if _, ok := s.index[fp]; ok {
+		s.stats.DedupedPuts++
+		s.refs[fp]++
+		return true, nil
+	}
+
+	if len(s.current)+len(data) > s.containerSize && len(s.current) > 0 {
+		if err := s.sealLocked(); err != nil {
+			return false, err
+		}
+	}
+	loc := Location{
+		Container: s.currentID,
+		Offset:    uint32(len(s.current)),
+		Length:    uint32(len(data)),
+	}
+	s.current = append(s.current, data...)
+	s.index[fp] = loc
+	s.refs[fp] = 1
+	s.stats.PhysicalBytes += uint64(len(data))
+	return false, nil
+}
+
+// Has reports whether the chunk is stored.
+func (s *Store) Has(fp fingerprint.Fingerprint) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[fp]
+	return ok
+}
+
+// Get returns the stored chunk for fp.
+func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.index[fp]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChunk, fp.Short())
+	}
+	container, err := s.containerLocked(loc.Container)
+	if err != nil {
+		return nil, err
+	}
+	end := int(loc.Offset) + int(loc.Length)
+	if end > len(container) {
+		return nil, fmt.Errorf("dedup: corrupt location for %s", fp.Short())
+	}
+	out := make([]byte, loc.Length)
+	copy(out, container[loc.Offset:end])
+	return out, nil
+}
+
+// containerLocked returns the bytes of a container: the open one, a
+// cached one, or one fetched from the backend.
+func (s *Store) containerLocked(id uint64) ([]byte, error) {
+	if id == s.currentID {
+		return s.current, nil
+	}
+	if blob, ok := s.readCache[id]; ok {
+		return blob, nil
+	}
+	blob, err := s.backend.Get(store.NSContainers, containerName(id))
+	if err != nil {
+		return nil, fmt.Errorf("dedup: load container %d: %w", id, err)
+	}
+	s.readCache[id] = blob
+	s.readOrder = append(s.readOrder, id)
+	if len(s.readOrder) > readCacheContainers {
+		evict := s.readOrder[0]
+		s.readOrder = s.readOrder[1:]
+		delete(s.readCache, evict)
+	}
+	return blob, nil
+}
+
+// sealLocked writes the open container to the backend and starts a new
+// one. Dead space in the open container is squeezed out first so sealed
+// containers start fully live.
+func (s *Store) sealLocked() error {
+	if s.openDead > 0 {
+		s.compactOpenLocked()
+	}
+	if len(s.current) == 0 {
+		return nil
+	}
+	name := containerName(s.currentID)
+	if err := s.backend.Put(store.NSContainers, name, s.current); err != nil {
+		return fmt.Errorf("dedup: seal container: %w", err)
+	}
+	s.containers[s.currentID] = containerInfo{Live: uint64(len(s.current))}
+	s.currentID++
+	s.current = s.current[:0]
+	s.openDead = 0
+	return nil
+}
+
+// Flush seals the open container and persists the index.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sealLocked(); err != nil {
+		return err
+	}
+	return s.saveIndexLocked()
+}
+
+// Close flushes and releases the store.
+func (s *Store) Close() error {
+	return s.Flush()
+}
+
+// Stats returns a snapshot of the dedup counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func containerName(id uint64) string {
+	return fmt.Sprintf("c%016x", id)
+}
+
+// indexFormatVersion guards the persistent index encoding.
+const indexFormatVersion = 2
+
+// saveIndexLocked persists the index, reference counts, container
+// accounting, current container id, and stats.
+func (s *Store) saveIndexLocked() error {
+	w := binenc.NewWriter(len(s.index)*56 + 64)
+	w.Uint8(indexFormatVersion)
+	w.Uint64(s.currentID)
+	w.Uint64(s.stats.TotalPuts)
+	w.Uint64(s.stats.DedupedPuts)
+	w.Uint64(s.stats.LogicalBytes)
+	w.Uint64(s.stats.PhysicalBytes)
+	w.Uint64(s.stats.FreedChunks)
+	w.Uint64(s.stats.FreedBytes)
+	w.Uint64(s.stats.CompactedContainers)
+	w.Uvarint(uint64(len(s.index)))
+	for fp, loc := range s.index {
+		w.Raw(fp[:])
+		w.Uint64(loc.Container)
+		w.Uint32(loc.Offset)
+		w.Uint32(loc.Length)
+		w.Uint32(s.refs[fp])
+	}
+	w.Uvarint(uint64(len(s.containers)))
+	for id, info := range s.containers {
+		w.Uint64(id)
+		w.Uint64(info.Live)
+		w.Uint64(info.Dead)
+	}
+	if err := s.backend.Put(store.NSMeta, indexBlobName, w.Bytes()); err != nil {
+		return fmt.Errorf("dedup: save index: %w", err)
+	}
+	return nil
+}
+
+// loadIndex restores persisted state, if any.
+func (s *Store) loadIndex() error {
+	blob, err := s.backend.Get(store.NSMeta, indexBlobName)
+	if errors.Is(err, store.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dedup: load index: %w", err)
+	}
+	r := binenc.NewReader(blob)
+	version, err := r.Uint8()
+	if err != nil {
+		return fmt.Errorf("dedup: parse index: %w", err)
+	}
+	if version != indexFormatVersion {
+		return fmt.Errorf("dedup: unsupported index version %d", version)
+	}
+	if s.currentID, err = r.Uint64(); err != nil {
+		return fmt.Errorf("dedup: parse index: %w", err)
+	}
+	for _, field := range []*uint64{
+		&s.stats.TotalPuts, &s.stats.DedupedPuts,
+		&s.stats.LogicalBytes, &s.stats.PhysicalBytes,
+		&s.stats.FreedChunks, &s.stats.FreedBytes,
+		&s.stats.CompactedContainers,
+	} {
+		if *field, err = r.Uint64(); err != nil {
+			return fmt.Errorf("dedup: parse index: %w", err)
+		}
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return fmt.Errorf("dedup: parse index: %w", err)
+	}
+	s.index = make(map[fingerprint.Fingerprint]Location, count)
+	s.refs = make(map[fingerprint.Fingerprint]uint32, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return err
+		}
+		var loc Location
+		if loc.Container, err = r.Uint64(); err != nil {
+			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
+		}
+		if loc.Offset, err = r.Uint32(); err != nil {
+			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
+		}
+		if loc.Length, err = r.Uint32(); err != nil {
+			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
+		}
+		refs, err := r.Uint32()
+		if err != nil {
+			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
+		}
+		s.index[fp] = loc
+		s.refs[fp] = refs
+	}
+	ccount, err := r.Uvarint()
+	if err != nil {
+		return fmt.Errorf("dedup: parse index: %w", err)
+	}
+	s.containers = make(map[uint64]containerInfo, ccount)
+	for i := uint64(0); i < ccount; i++ {
+		id, err := r.Uint64()
+		if err != nil {
+			return fmt.Errorf("dedup: parse container %d: %w", i, err)
+		}
+		var info containerInfo
+		if info.Live, err = r.Uint64(); err != nil {
+			return fmt.Errorf("dedup: parse container %d: %w", i, err)
+		}
+		if info.Dead, err = r.Uint64(); err != nil {
+			return fmt.Errorf("dedup: parse container %d: %w", i, err)
+		}
+		s.containers[id] = info
+	}
+	if !r.Done() {
+		return errors.New("dedup: trailing bytes in index")
+	}
+	return nil
+}

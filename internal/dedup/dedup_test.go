@@ -1,0 +1,279 @@
+package dedup
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+func newStore(t testing.TB, containerSize int) (*Store, *store.Memory) {
+	t.Helper()
+	backend := store.NewMemory()
+	s, err := Open(backend, containerSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, backend
+}
+
+func chunk(seed int, size int) ([]byte, fingerprint.Fingerprint) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	data := make([]byte, size)
+	rng.Read(data)
+	return data, fingerprint.New(data)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newStore(t, 0)
+	data, fp := chunk(1, 4096)
+	dup, err := s.Put(fp, data)
+	if err != nil || dup {
+		t.Fatalf("Put = %v, %v", dup, err)
+	}
+	got, err := s.Get(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Get returned wrong bytes")
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	s, _ := newStore(t, 0)
+	data, fp := chunk(2, 1024)
+	if dup, _ := s.Put(fp, data); dup {
+		t.Fatal("first put reported duplicate")
+	}
+	if dup, _ := s.Put(fp, data); !dup {
+		t.Fatal("second put not reported duplicate")
+	}
+	stats := s.Stats()
+	if stats.TotalPuts != 2 || stats.DedupedPuts != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PhysicalBytes != 1024 || stats.LogicalBytes != 2048 {
+		t.Fatalf("byte accounting = %+v", stats)
+	}
+	if got := stats.SavingsRatio(); got != 0.5 {
+		t.Fatalf("SavingsRatio = %v, want 0.5", got)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s, _ := newStore(t, 0)
+	_, fp := chunk(3, 64)
+	if _, err := s.Get(fp); !errors.Is(err, ErrUnknownChunk) {
+		t.Fatalf("error = %v, want ErrUnknownChunk", err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	s, _ := newStore(t, 0)
+	data, fp := chunk(4, 64)
+	if s.Has(fp) {
+		t.Fatal("Has before put")
+	}
+	s.Put(fp, data)
+	if !s.Has(fp) {
+		t.Fatal("Has after put")
+	}
+}
+
+func TestContainerSealing(t *testing.T) {
+	// Small containers force sealing every few chunks.
+	s, backend := newStore(t, 4096)
+	var fps []fingerprint.Fingerprint
+	var datas [][]byte
+	for i := 0; i < 20; i++ {
+		data, fp := chunk(100+i, 1500)
+		if _, err := s.Put(fp, data); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+		datas = append(datas, data)
+	}
+	// Several sealed containers should exist before any flush.
+	names, err := backend.List(store.NSContainers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 5 {
+		t.Fatalf("expected several sealed containers, got %d", len(names))
+	}
+	// Every chunk remains readable (sealed or in the open container).
+	for i, fp := range fps {
+		got, err := s.Get(fp)
+		if err != nil {
+			t.Fatalf("Get chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, datas[i]) {
+			t.Fatalf("chunk %d corrupted", i)
+		}
+	}
+}
+
+func TestOversizedChunk(t *testing.T) {
+	s, _ := newStore(t, 4096)
+	data, fp := chunk(5, 10000) // larger than the container size
+	if _, err := s.Put(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("oversized chunk round trip failed: %v", err)
+	}
+}
+
+func TestEmptyChunkRejected(t *testing.T) {
+	s, _ := newStore(t, 0)
+	if _, err := s.Put(fingerprint.New(nil), nil); err == nil {
+		t.Fatal("empty chunk expected error")
+	}
+}
+
+func TestFlushPersistsIndex(t *testing.T) {
+	backend := store.NewMemory()
+	s1, err := Open(backend, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, fp := chunk(6, 2000)
+	s1.Put(fp, data)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen over the same backend: index and data must survive.
+	s2, err := Open(backend, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(fp) {
+		t.Fatal("index lost across reopen")
+	}
+	got, err := s2.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data lost across reopen: %v", err)
+	}
+	// Dedup continues to work after reopen.
+	if dup, _ := s2.Put(fp, data); !dup {
+		t.Fatal("reopened store lost dedup state")
+	}
+	stats := s2.Stats()
+	if stats.PhysicalBytes != 2000 {
+		t.Fatalf("physical bytes after reopen = %d", stats.PhysicalBytes)
+	}
+}
+
+func TestReopenAllocatesFreshContainerIDs(t *testing.T) {
+	backend := store.NewMemory()
+	s1, _ := Open(backend, 1024)
+	for i := 0; i < 5; i++ {
+		data, fp := chunk(200+i, 800)
+		s1.Put(fp, data)
+	}
+	s1.Close()
+
+	s2, _ := Open(backend, 1024)
+	// New data must not overwrite old containers.
+	var newFPs []fingerprint.Fingerprint
+	var newData [][]byte
+	for i := 0; i < 5; i++ {
+		data, fp := chunk(300+i, 800)
+		s2.Put(fp, data)
+		newFPs = append(newFPs, fp)
+		newData = append(newData, data)
+	}
+	s2.Close()
+
+	s3, _ := Open(backend, 1024)
+	for i := 0; i < 5; i++ {
+		_, oldFP := chunk(200+i, 800)
+		if got, err := s3.Get(oldFP); err != nil || len(got) != 800 {
+			t.Fatalf("old chunk %d unreadable after two generations: %v", i, err)
+		}
+	}
+	for i, fp := range newFPs {
+		got, err := s3.Get(fp)
+		if err != nil || !bytes.Equal(got, newData[i]) {
+			t.Fatalf("new chunk %d unreadable: %v", i, err)
+		}
+	}
+}
+
+func TestSavingsRatioEmpty(t *testing.T) {
+	var s Stats
+	if s.SavingsRatio() != 0 {
+		t.Fatal("empty stats should have zero savings")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s, _ := newStore(t, 64*1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				// Half the chunks collide across goroutines.
+				data := []byte(fmt.Sprintf("chunk-%d-%d", g%2, i))
+				fp := fingerprint.New(data)
+				if _, err := s.Put(fp, data); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stats := s.Stats()
+	if stats.TotalPuts != 800 {
+		t.Fatalf("TotalPuts = %d, want 800", stats.TotalPuts)
+	}
+	// 2 distinct goroutine classes x 100 chunks = 200 unique.
+	if unique := stats.TotalPuts - stats.DedupedPuts; unique != 200 {
+		t.Fatalf("unique puts = %d, want 200", unique)
+	}
+}
+
+func BenchmarkPutUnique8KB(b *testing.B) {
+	s, _ := newStore(b, DefaultContainerSize)
+	data := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryFill(data, i)
+		fp := fingerprint.New(data)
+		if _, err := s.Put(fp, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutDuplicate8KB(b *testing.B) {
+	s, _ := newStore(b, DefaultContainerSize)
+	data := make([]byte, 8192)
+	fp := fingerprint.New(data)
+	s.Put(fp, data)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put(fp, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func binaryFill(data []byte, v int) {
+	for i := 0; i < 8 && i < len(data); i++ {
+		data[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,147 @@
+package dedup
+
+import (
+	"fmt"
+
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+// Reference counting and garbage collection.
+//
+// Deduplication shares one stored copy among every file that references
+// a chunk, so deletion must be reference-counted: a chunk's bytes may
+// only be reclaimed when the last referencing file is gone. REED
+// additionally gets *cryptographic* deletion for free — dropping a
+// file's stub file and key state makes it unrecoverable immediately
+// (the secure-deletion property the paper builds on [42]) — and this
+// layer then reclaims the physical bytes once no file references the
+// trimmed packages.
+//
+// Dead space accumulates inside sealed containers; when a container's
+// dead fraction crosses compactionThreshold its live chunks are
+// rewritten into the open container and the old blob is deleted.
+
+// compactionThreshold is the dead fraction beyond which a sealed
+// container is rewritten.
+const compactionThreshold = 0.5
+
+// containerInfo tracks live/dead bytes per sealed container.
+type containerInfo struct {
+	Live uint64
+	Dead uint64
+}
+
+// Deref drops one reference from the chunk. When the last reference
+// goes, the chunk leaves the index and its bytes become dead space,
+// possibly triggering compaction of its container. It returns the
+// remaining reference count.
+func (s *Store) Deref(fp fingerprint.Fingerprint) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	loc, ok := s.index[fp]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownChunk, fp.Short())
+	}
+	refs := s.refs[fp]
+	if refs > 1 {
+		s.refs[fp] = refs - 1
+		return refs - 1, nil
+	}
+
+	// Last reference: drop the chunk.
+	delete(s.index, fp)
+	delete(s.refs, fp)
+	s.stats.PhysicalBytes -= uint64(loc.Length)
+	s.stats.FreedChunks++
+	s.stats.FreedBytes += uint64(loc.Length)
+
+	if loc.Container == s.currentID {
+		// Dead space in the open container is reclaimed by an in-place
+		// rewrite once enough accumulates (it is already in memory).
+		s.openDead += uint64(loc.Length)
+		if s.openDead*2 >= uint64(s.containerSize) {
+			s.compactOpenLocked()
+		}
+		return 0, nil
+	}
+
+	info := s.containers[loc.Container]
+	info.Live -= uint64(loc.Length)
+	info.Dead += uint64(loc.Length)
+	s.containers[loc.Container] = info
+	if total := info.Live + info.Dead; total > 0 &&
+		float64(info.Dead)/float64(total) >= compactionThreshold {
+		if err := s.compactLocked(loc.Container); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+// Refs returns the current reference count of a chunk (0 if absent).
+func (s *Store) Refs(fp fingerprint.Fingerprint) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[fp]
+}
+
+// compactOpenLocked rewrites the open container, dropping dead bytes.
+func (s *Store) compactOpenLocked() {
+	live := make([]byte, 0, len(s.current))
+	for fp, loc := range s.index {
+		if loc.Container != s.currentID {
+			continue
+		}
+		data := s.current[loc.Offset : loc.Offset+loc.Length]
+		s.index[fp] = Location{
+			Container: s.currentID,
+			Offset:    uint32(len(live)),
+			Length:    loc.Length,
+		}
+		live = append(live, data...)
+	}
+	s.current = append(s.current[:0], live...)
+	s.openDead = 0
+}
+
+// compactLocked rewrites a sealed container's live chunks into the open
+// container and deletes the old blob.
+func (s *Store) compactLocked(id uint64) error {
+	blob, err := s.containerLocked(id)
+	if err != nil {
+		return fmt.Errorf("dedup: compact: %w", err)
+	}
+	// Copy out: containerLocked may return a cache entry that the
+	// deletes below invalidate.
+	blob = append([]byte(nil), blob...)
+
+	for fp, loc := range s.index {
+		if loc.Container != id {
+			continue
+		}
+		data := blob[loc.Offset : loc.Offset+loc.Length]
+		// Seal the open container first if this chunk would overflow
+		// it (sealLocked advances currentID, keeping locations valid).
+		if len(s.current)+len(data) > s.containerSize && len(s.current) > 0 {
+			if err := s.sealLocked(); err != nil {
+				return err
+			}
+		}
+		s.index[fp] = Location{
+			Container: s.currentID,
+			Offset:    uint32(len(s.current)),
+			Length:    loc.Length,
+		}
+		s.current = append(s.current, data...)
+	}
+
+	delete(s.containers, id)
+	delete(s.readCache, id)
+	s.stats.CompactedContainers++
+	if err := s.backend.Delete(store.NSContainers, containerName(id)); err != nil {
+		return fmt.Errorf("dedup: delete compacted container: %w", err)
+	}
+	return nil
+}

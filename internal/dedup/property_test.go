@@ -1,0 +1,136 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+// TestRandomOpSequenceInvariants drives the store with random
+// put/dup/deref/get/flush sequences and checks the core invariants after
+// every step against a naive reference model:
+//
+//   - Get returns exactly what Put stored, for every live chunk;
+//   - a chunk is live iff its model refcount is positive;
+//   - PhysicalBytes equals the summed size of live chunks.
+func TestRandomOpSequenceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Open(store.NewMemory(), 4096) // small containers: plenty of sealing/compaction
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference model.
+		type modelChunk struct {
+			data []byte
+			refs int
+		}
+		model := make(map[fingerprint.Fingerprint]*modelChunk)
+		var pool []fingerprint.Fingerprint // insertion order, may contain dead entries
+
+		liveFPs := func() []fingerprint.Fingerprint {
+			var out []fingerprint.Fingerprint
+			for fp, m := range model {
+				if m.refs > 0 {
+					out = append(out, fp)
+				}
+			}
+			return out
+		}
+
+		newChunk := func() ([]byte, fingerprint.Fingerprint) {
+			data := make([]byte, 200+rng.Intn(1500))
+			rng.Read(data)
+			return data, fingerprint.New(data)
+		}
+
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // put a new or existing chunk
+				var data []byte
+				var fp fingerprint.Fingerprint
+				if len(pool) > 0 && rng.Intn(2) == 0 {
+					fp = pool[rng.Intn(len(pool))]
+					if m, ok := model[fp]; ok && m.refs > 0 {
+						data = m.data
+					} else {
+						data, fp = newChunk()
+					}
+				} else {
+					data, fp = newChunk()
+				}
+				if _, err := s.Put(fp, data); err != nil {
+					t.Fatalf("seed %d step %d: Put: %v", seed, step, err)
+				}
+				if m, ok := model[fp]; ok && m.refs > 0 {
+					m.refs++
+				} else {
+					model[fp] = &modelChunk{data: data, refs: 1}
+					pool = append(pool, fp)
+				}
+
+			case op < 7: // deref a random live chunk
+				live := liveFPs()
+				if len(live) == 0 {
+					continue
+				}
+				fp := live[rng.Intn(len(live))]
+				if _, err := s.Deref(fp); err != nil {
+					t.Fatalf("seed %d step %d: Deref: %v", seed, step, err)
+				}
+				model[fp].refs--
+
+			case op < 9: // get a random live chunk
+				live := liveFPs()
+				if len(live) == 0 {
+					continue
+				}
+				fp := live[rng.Intn(len(live))]
+				got, err := s.Get(fp)
+				if err != nil {
+					t.Fatalf("seed %d step %d: Get: %v", seed, step, err)
+				}
+				if !bytes.Equal(got, model[fp].data) {
+					t.Fatalf("seed %d step %d: Get returned wrong bytes", seed, step)
+				}
+
+			default: // flush (seal + persist)
+				if err := s.Flush(); err != nil {
+					t.Fatalf("seed %d step %d: Flush: %v", seed, step, err)
+				}
+			}
+		}
+
+		// Final invariant sweep.
+		var wantPhysical uint64
+		for fp, m := range model {
+			if m.refs > 0 {
+				wantPhysical += uint64(len(m.data))
+				if !s.Has(fp) {
+					t.Fatalf("seed %d: live chunk missing", seed)
+				}
+				if got := s.Refs(fp); int(got) != m.refs {
+					t.Fatalf("seed %d: refs = %d, model %d", seed, got, m.refs)
+				}
+				got, err := s.Get(fp)
+				if err != nil || !bytes.Equal(got, m.data) {
+					t.Fatalf("seed %d: final Get mismatch: %v", seed, err)
+				}
+			} else if s.Has(fp) {
+				t.Fatalf("seed %d: dead chunk still present", seed)
+			}
+		}
+		if got := s.Stats().PhysicalBytes; got != wantPhysical {
+			t.Fatalf("seed %d: PhysicalBytes = %d, model %d", seed, got, wantPhysical)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

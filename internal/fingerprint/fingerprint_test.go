@@ -1,0 +1,106 @@
+package fingerprint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatchesSHA256(t *testing.T) {
+	data := []byte("hello reed")
+	want := sha256.Sum256(data)
+	got := New(data)
+	if !bytes.Equal(got[:], want[:]) {
+		t.Fatalf("New() = %x, want %x", got, want)
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	f := func(data []byte) bool {
+		return New(data) == New(append([]byte(nil), data...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDistinctInputsDistinctOutputs(t *testing.T) {
+	// Not a collision proof, just a sanity property over random inputs.
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return New(a) == New(b)
+		}
+		return New(a) != New(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    []byte
+		wantErr bool
+	}{
+		{name: "exact size", give: make([]byte, Size), wantErr: false},
+		{name: "too short", give: make([]byte, Size-1), wantErr: true},
+		{name: "too long", give: make([]byte, Size+1), wantErr: true},
+		{name: "empty", give: nil, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromSlice(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("FromSlice() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	fp := New([]byte("roundtrip"))
+	got, err := Parse(fp.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != fp {
+		t.Fatalf("Parse(String()) = %v, want %v", got, fp)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "not hex", give: "zz"},
+		{name: "wrong length", give: "abcd"},
+		{name: "empty", give: ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.give); err == nil {
+				t.Fatal("Parse() expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestShort(t *testing.T) {
+	fp := New([]byte("short"))
+	if got := fp.Short(); len(got) != 8 {
+		t.Fatalf("Short() length = %d, want 8", len(got))
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Fingerprint
+	if !zero.IsZero() {
+		t.Error("zero fingerprint should report IsZero")
+	}
+	if New([]byte("x")).IsZero() {
+		t.Error("non-zero fingerprint should not report IsZero")
+	}
+}

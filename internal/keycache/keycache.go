@@ -1,0 +1,141 @@
+// Package keycache provides the byte-bounded LRU cache of MLE keys the
+// REED client keeps in memory (Section V-B, "Caching").
+//
+// MLE key generation is expensive: every key costs an RSA exponentiation
+// at the key manager. Adjacent uploads (e.g. daily backups) share most of
+// their chunks, so the client caches recently generated keys, keyed by
+// chunk fingerprint, and only contacts the key manager for misses. The
+// default capacity is 512 MB of accounted memory.
+//
+// The cache is safe for concurrent use.
+package keycache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"repro/internal/fingerprint"
+)
+
+// DefaultCapacity is the paper's default cache size: 512 MB.
+const DefaultCapacity = 512 << 20
+
+// entryOverhead approximates the bookkeeping bytes per entry (map bucket
+// share, list element, headers) on top of the fingerprint and key.
+const entryOverhead = 64
+
+// Cache is a byte-bounded LRU mapping chunk fingerprints to MLE keys.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[fingerprint.Fingerprint]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type entry struct {
+	fp  fingerprint.Fingerprint
+	key []byte
+}
+
+// New returns a cache bounded to capacity bytes. Capacity must be
+// positive.
+func New(capacity int64) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, errors.New("keycache: capacity must be positive")
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[fingerprint.Fingerprint]*list.Element),
+	}, nil
+}
+
+// Get returns the cached key for fp, marking it most recently used. The
+// returned slice must not be modified by the caller.
+func (c *Cache) Get(fp fingerprint.Fingerprint) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e, _ := el.Value.(*entry)
+	return e.key, true
+}
+
+// Put inserts or refreshes the key for fp, evicting least recently used
+// entries as needed. The key is copied.
+func (c *Cache) Put(fp fingerprint.Fingerprint, key []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		e, _ := el.Value.(*entry)
+		c.used += int64(len(key)) - int64(len(e.key))
+		e.key = append(e.key[:0], key...)
+		c.order.MoveToFront(el)
+		c.evictLocked()
+		return
+	}
+	e := &entry{fp: fp, key: append([]byte(nil), key...)}
+	c.entries[fp] = c.order.PushFront(e)
+	c.used += c.cost(e)
+	c.evictLocked()
+}
+
+// cost returns the accounted size of an entry.
+func (c *Cache) cost(e *entry) int64 {
+	return int64(len(e.fp) + len(e.key) + entryOverhead)
+}
+
+// evictLocked drops LRU entries until the cache fits its capacity.
+func (c *Cache) evictLocked() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e, _ := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, e.fp)
+		c.used -= c.cost(e)
+	}
+}
+
+// Len returns the number of cached keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Used returns the accounted bytes in use.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Clear empties the cache. REED's trace experiments clear the cache
+// between users so users do not share key locality.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[fingerprint.Fingerprint]*list.Element)
+	c.used = 0
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,202 @@
+package keycache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fingerprint"
+)
+
+func fp(s string) fingerprint.Fingerprint { return fingerprint.New([]byte(s)) }
+
+func TestPutGet(t *testing.T) {
+	c, err := New(DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("0123456789abcdef0123456789abcdef")
+	c.Put(fp("a"), key)
+	got, ok := c.Get(fp("a"))
+	if !ok || !bytes.Equal(got, key) {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := c.Get(fp("missing")); ok {
+		t.Fatal("Get on missing fingerprint returned ok")
+	}
+}
+
+func TestNewInvalidCapacity(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) expected error")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("New(-5) expected error")
+	}
+}
+
+func TestPutCopiesKey(t *testing.T) {
+	c, _ := New(DefaultCapacity)
+	key := []byte("mutable-key-bytes-mutable-key-by")
+	c.Put(fp("a"), key)
+	key[0] ^= 0xFF
+	got, _ := c.Get(fp("a"))
+	if got[0] == key[0] {
+		t.Fatal("cache stored a reference to the caller's slice")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each entry costs 32 (fp) + 32 (key) + 64 overhead = 128 bytes.
+	c, _ := New(128 * 3)
+	key := make([]byte, 32)
+	c.Put(fp("1"), key)
+	c.Put(fp("2"), key)
+	c.Put(fp("3"), key)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch 1 so 2 becomes LRU, then insert 4.
+	c.Get(fp("1"))
+	c.Put(fp("4"), key)
+	if c.Len() != 3 {
+		t.Fatalf("Len after eviction = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get(fp("2")); ok {
+		t.Fatal("expected LRU entry 2 to be evicted")
+	}
+	for _, s := range []string{"1", "3", "4"} {
+		if _, ok := c.Get(fp(s)); !ok {
+			t.Fatalf("entry %s unexpectedly evicted", s)
+		}
+	}
+}
+
+func TestPutRefreshExisting(t *testing.T) {
+	c, _ := New(DefaultCapacity)
+	c.Put(fp("a"), []byte("old-key-old-key-old-key-old-key-"))
+	c.Put(fp("a"), []byte("new-key-new-key-new-key-new-key-"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get(fp("a"))
+	if !bytes.Equal(got, []byte("new-key-new-key-new-key-new-key-")) {
+		t.Fatal("refresh did not replace the key")
+	}
+}
+
+func TestUsedAccounting(t *testing.T) {
+	c, _ := New(DefaultCapacity)
+	if c.Used() != 0 {
+		t.Fatalf("initial Used = %d", c.Used())
+	}
+	c.Put(fp("a"), make([]byte, 32))
+	want := int64(32 + 32 + 64)
+	if c.Used() != want {
+		t.Fatalf("Used = %d, want %d", c.Used(), want)
+	}
+	c.Clear()
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("Clear did not reset the cache")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := New(DefaultCapacity)
+	c.Put(fp("a"), make([]byte, 32))
+	c.Get(fp("a"))
+	c.Get(fp("a"))
+	c.Get(fp("b"))
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestOversizedEntryEvictsEverything(t *testing.T) {
+	c, _ := New(100)
+	c.Put(fp("big"), make([]byte, 200))
+	// Entry cannot fit; the cache must not exceed capacity and must not
+	// wedge.
+	if c.Used() > 100 {
+		t.Fatalf("Used = %d exceeds capacity", c.Used())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("oversized entry retained, Len = %d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fp(fmt.Sprintf("%d-%d", g, i%50))
+				c.Put(id, make([]byte, 32))
+				c.Get(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1<<20 {
+		t.Fatalf("Used = %d exceeds capacity after concurrent load", c.Used())
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c, _ := New(DefaultCapacity)
+	id := fp("hot")
+	c.Put(id, make([]byte, 32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(id); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// TestRandomOpsNeverExceedCapacity drives the cache with random
+// put/get/clear sequences and checks the byte bound and hit coherence
+// after every operation.
+func TestRandomOpsNeverExceedCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(256 + rng.Intn(4096))
+		c, err := New(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := make(map[fingerprint.Fingerprint][]byte)
+		for step := 0; step < 500; step++ {
+			switch rng.Intn(10) {
+			case 9:
+				c.Clear()
+				live = make(map[fingerprint.Fingerprint][]byte)
+			default:
+				id := fp(fmt.Sprintf("%d-%d", seed, rng.Intn(40)))
+				key := make([]byte, 16+rng.Intn(48))
+				rng.Read(key)
+				c.Put(id, key)
+				live[id] = append([]byte(nil), key...)
+				if got, ok := c.Get(id); ok {
+					if !bytes.Equal(got, live[id]) {
+						t.Fatalf("seed %d step %d: stale value", seed, step)
+					}
+				}
+			}
+			if used := c.Used(); used > capacity {
+				t.Fatalf("seed %d step %d: used %d exceeds capacity %d", seed, step, used, capacity)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

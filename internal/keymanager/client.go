@@ -1,0 +1,253 @@
+package keymanager
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/fingerprint"
+	"repro/internal/keycache"
+	"repro/internal/mle"
+	"repro/internal/oprf"
+	"repro/internal/proto"
+)
+
+// Dialer opens a connection to an address; injectable so benchmarks can
+// route through internal/netem's emulated link.
+type Dialer func(addr string) (net.Conn, error)
+
+// TLSDialer returns a Dialer that connects over TLS with the given
+// configuration, securing the client–key-manager channel as the paper's
+// threat model assumes. Serve the key manager through
+// tls.NewListener(ln, serverConfig) on the other side.
+func TLSDialer(cfg *tls.Config) Dialer {
+	return func(addr string) (net.Conn, error) {
+		host, _, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("keymanager: tls dial: %w", err)
+		}
+		c := cfg.Clone()
+		if c.ServerName == "" {
+			c.ServerName = host
+		}
+		return tls.Dial("tcp", addr, c)
+	}
+}
+
+// Client talks to a key manager. It batches per-chunk key requests and
+// optionally consults an MLE key cache before going to the network. It
+// is safe for concurrent use; requests on one connection serialize.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	params oprf.PublicParams
+
+	batchSize int
+	cache     *keycache.Cache
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	applyClient(*clientConfig)
+}
+
+type clientConfig struct {
+	batchSize int
+	cache     *keycache.Cache
+	dialer    Dialer
+}
+
+type batchSizeOption int
+
+func (o batchSizeOption) applyClient(c *clientConfig) { c.batchSize = int(o) }
+
+// WithBatchSize sets how many per-chunk requests are packed into one
+// network round trip (default 256, the paper's setting).
+func WithBatchSize(n int) ClientOption { return batchSizeOption(n) }
+
+type cacheOption struct{ cache *keycache.Cache }
+
+func (o cacheOption) applyClient(c *clientConfig) { c.cache = o.cache }
+
+// WithCache attaches an MLE key cache consulted before the network.
+func WithCache(cache *keycache.Cache) ClientOption { return cacheOption{cache: cache} }
+
+type dialerOption struct{ d Dialer }
+
+func (o dialerOption) applyClient(c *clientConfig) { c.dialer = o.d }
+
+// WithDialer overrides how the client connects (e.g. a bandwidth-
+// throttled link).
+func WithDialer(d Dialer) ClientOption { return dialerOption{d: d} }
+
+// Dial connects to the key manager at addr and fetches its public
+// parameters.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	cfg := clientConfig{batchSize: DefaultBatchSize}
+	for _, o := range opts {
+		o.applyClient(&cfg)
+	}
+	if cfg.batchSize <= 0 {
+		return nil, errors.New("keymanager: batch size must be positive")
+	}
+	dial := cfg.dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("keymanager: dial: %w", err)
+	}
+	c := &Client{
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, 256<<10),
+		bw:        bufio.NewWriterSize(conn, 256<<10),
+		batchSize: cfg.batchSize,
+		cache:     cfg.cache,
+	}
+	if err := c.fetchParams(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Params returns the key manager's public parameters.
+func (c *Client) Params() oprf.PublicParams { return c.params }
+
+func (c *Client) fetchParams() error {
+	typ, payload, err := c.call(proto.MsgKMParamsReq, nil)
+	if err != nil {
+		return err
+	}
+	if typ != proto.MsgKMParamsResp {
+		return fmt.Errorf("keymanager: unexpected response %v", typ)
+	}
+	params, err := oprf.UnmarshalPublicParams(payload)
+	if err != nil {
+		return fmt.Errorf("keymanager: params: %w", err)
+	}
+	c.params = params
+	return nil
+}
+
+// call performs one synchronous RPC.
+func (c *Client) call(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	respType, respPayload, err := proto.ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if respType == proto.MsgError {
+		re, derr := proto.DecodeError(respPayload)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, re
+	}
+	return respType, respPayload, nil
+}
+
+// GenerateKeys returns the MLE key for every fingerprint, in order. Keys
+// found in the cache skip the network; the rest are blinded, batched
+// into round trips of the configured batch size, evaluated remotely,
+// unblinded, verified, and cached.
+func (c *Client) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
+	keys := make([][]byte, len(fps))
+	var missIdx []int
+	if c.cache != nil {
+		for i, fp := range fps {
+			if key, ok := c.cache.Get(fp); ok {
+				keys[i] = key
+			} else {
+				missIdx = append(missIdx, i)
+			}
+		}
+	} else {
+		missIdx = make([]int, len(fps))
+		for i := range fps {
+			missIdx[i] = i
+		}
+	}
+
+	for start := 0; start < len(missIdx); start += c.batchSize {
+		end := start + c.batchSize
+		if end > len(missIdx) {
+			end = len(missIdx)
+		}
+		if err := c.generateBatch(fps, keys, missIdx[start:end]); err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// generateBatch resolves one batch of cache misses.
+func (c *Client) generateBatch(fps []fingerprint.Fingerprint, keys [][]byte, idx []int) error {
+	blinded := make([][]byte, len(idx))
+	unblinders := make([]*oprf.Unblinder, len(idx))
+	for i, j := range idx {
+		b, u, err := oprf.Blind(c.params, fps[j][:], nil)
+		if err != nil {
+			return fmt.Errorf("keymanager: blind: %w", err)
+		}
+		blinded[i] = b
+		unblinders[i] = u
+	}
+
+	typ, payload, err := c.call(proto.MsgKeyGenReq, proto.EncodeBlobList(blinded))
+	if err != nil {
+		return fmt.Errorf("keymanager: keygen rpc: %w", err)
+	}
+	if typ != proto.MsgKeyGenResp {
+		return fmt.Errorf("keymanager: unexpected response %v", typ)
+	}
+	responses, err := proto.DecodeBlobList(payload, len(idx))
+	if err != nil {
+		return err
+	}
+	if len(responses) != len(idx) {
+		return fmt.Errorf("keymanager: got %d responses for %d requests", len(responses), len(idx))
+	}
+	for i, j := range idx {
+		key, err := oprf.Finalize(c.params, unblinders[i], responses[i])
+		if err != nil {
+			return fmt.Errorf("keymanager: finalize: %w", err)
+		}
+		keys[j] = key
+		if c.cache != nil {
+			c.cache.Put(fps[j], key)
+		}
+	}
+	return nil
+}
+
+// DeriveKey implements mle.KeyDeriver for single-chunk callers.
+func (c *Client) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	keys, err := c.GenerateKeys([]fingerprint.Fingerprint{fp})
+	if err != nil {
+		return nil, err
+	}
+	return keys[0], nil
+}
+
+var _ mle.KeyDeriver = (*Client)(nil)

@@ -1,0 +1,216 @@
+// Package keymanager implements REED's dedicated key manager: the
+// network service that turns chunk fingerprints into MLE keys via the
+// blinded-RSA OPRF (internal/oprf), plus the client used by REED
+// clients.
+//
+// The key manager never sees fingerprints — only blinded group elements —
+// so it cannot infer chunk content (oblivious key generation). It
+// rate-limits evaluation requests per remote client to resist online
+// brute-force probing, and serves batched requests to amortize round
+// trips (Section V-B, "Batching").
+package keymanager
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/oprf"
+	"repro/internal/proto"
+	"repro/internal/ratelimit"
+)
+
+// DefaultBatchSize is the paper's default key-generation batch: 256
+// per-chunk requests.
+const DefaultBatchSize = 256
+
+// maxBatch bounds a single key-generation request.
+const maxBatch = 1 << 16
+
+// Server is the key manager process.
+type Server struct {
+	key      *oprf.ServerKey
+	params   []byte // marshaled public params
+	rate     float64
+	burst    float64
+	limiters sync.Map // remote host -> *ratelimit.Limiter
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	shutdown bool
+
+	evaluations uint64
+}
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	applyServer(*Server)
+}
+
+type rateLimitOption struct{ rate, burst float64 }
+
+func (o rateLimitOption) applyServer(s *Server) { s.rate, s.burst = o.rate, o.burst }
+
+// WithRateLimit enables per-client rate limiting: rate evaluations per
+// second with the given burst. Zero rate (the default) disables
+// limiting — benchmarks measure raw key-generation throughput, while a
+// hardened deployment would always set this.
+func WithRateLimit(rate, burst float64) ServerOption {
+	return rateLimitOption{rate: rate, burst: burst}
+}
+
+// NewServer returns a key manager serving the given OPRF key.
+func NewServer(key *oprf.ServerKey, opts ...ServerOption) *Server {
+	s := &Server{
+		key:    key,
+		params: key.PublicParams().Marshal(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.applyServer(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return errors.New("keymanager: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes active connections, and waits for
+// handlers to drain.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Evaluations returns the number of OPRF evaluations served (for tests
+// and the batching ablation).
+func (s *Server) Evaluations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evaluations
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	limiter := s.limiterFor(conn)
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 256<<10)
+
+	for {
+		typ, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			return // EOF or broken conn: drop silently
+		}
+		respType, respPayload := s.dispatch(typ, payload, limiter)
+		if err := proto.WriteFrame(bw, respType, respPayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(typ proto.MsgType, payload []byte, limiter *ratelimit.Limiter) (proto.MsgType, []byte) {
+	switch typ {
+	case proto.MsgKMParamsReq:
+		return proto.MsgKMParamsResp, s.params
+
+	case proto.MsgKeyGenReq:
+		blinded, err := proto.DecodeBlobList(payload, maxBatch)
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(err.Error())
+		}
+		if limiter != nil {
+			if err := limiter.Wait(context.Background(), float64(len(blinded))); err != nil {
+				return proto.MsgError, proto.EncodeError("rate limited: " + err.Error())
+			}
+		}
+		responses := make([][]byte, len(blinded))
+		for i, b := range blinded {
+			resp, err := s.key.Evaluate(b)
+			if err != nil {
+				return proto.MsgError, proto.EncodeError(fmt.Sprintf("evaluate %d: %v", i, err))
+			}
+			responses[i] = resp
+		}
+		s.mu.Lock()
+		s.evaluations += uint64(len(blinded))
+		s.mu.Unlock()
+		return proto.MsgKeyGenResp, proto.EncodeBlobList(responses)
+
+	default:
+		return proto.MsgError, proto.EncodeError("keymanager: unexpected message " + typ.String())
+	}
+}
+
+// limiterFor returns the per-remote-host limiter, creating it on first
+// use. Returns nil when rate limiting is disabled.
+func (s *Server) limiterFor(conn net.Conn) *ratelimit.Limiter {
+	if s.rate <= 0 {
+		return nil
+	}
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		host = conn.RemoteAddr().String()
+	}
+	if l, ok := s.limiters.Load(host); ok {
+		lim, _ := l.(*ratelimit.Limiter)
+		return lim
+	}
+	lim, err := ratelimit.New(s.rate, s.burst)
+	if err != nil {
+		return nil
+	}
+	actual, _ := s.limiters.LoadOrStore(host, lim)
+	stored, _ := actual.(*ratelimit.Limiter)
+	return stored
+}

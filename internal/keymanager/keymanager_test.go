@@ -1,0 +1,231 @@
+package keymanager
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/keycache"
+	"repro/internal/oprf"
+)
+
+var (
+	kmKeyOnce sync.Once
+	kmKey     *oprf.ServerKey
+)
+
+func serverKey(t testing.TB) *oprf.ServerKey {
+	t.Helper()
+	kmKeyOnce.Do(func() {
+		k, err := oprf.GenerateServerKey(oprf.DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("generate key: %v", err)
+		}
+		kmKey = k
+	})
+	return kmKey
+}
+
+// startServer runs a key manager on a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t testing.TB, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	srv := NewServer(serverKey(t), opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Shutdown)
+	return srv, ln.Addr().String()
+}
+
+func fps(n int) []fingerprint.Fingerprint {
+	out := make([]fingerprint.Fingerprint, n)
+	for i := range out {
+		out[i] = fingerprint.New([]byte{byte(i), byte(i >> 8), 0xAA})
+	}
+	return out
+}
+
+func TestGenerateKeysMatchesDirectDerivation(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ids := fps(10)
+	keys, err := client.GenerateKeys(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fp := range ids {
+		want, err := serverKey(t).Derive(fp[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(keys[i], want) {
+			t.Fatalf("key %d does not match direct derivation", i)
+		}
+	}
+}
+
+func TestGenerateKeysBatches(t *testing.T) {
+	srv, addr := startServer(t)
+	client, err := Dial(addr, WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	before := srv.Evaluations()
+	if _, err := client.GenerateKeys(fps(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Evaluations() - before; got != 10 {
+		t.Fatalf("evaluations = %d, want 10", got)
+	}
+}
+
+func TestCacheAvoidsNetwork(t *testing.T) {
+	srv, addr := startServer(t)
+	cache, err := keycache.New(keycache.DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ids := fps(8)
+	first, err := client.GenerateKeys(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalsAfterFirst := srv.Evaluations()
+
+	second, err := client.GenerateKeys(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Evaluations() != evalsAfterFirst {
+		t.Fatal("cached keys still hit the key manager")
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("cached key %d differs", i)
+		}
+	}
+}
+
+func TestDeriveKeyInterface(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	fp := fingerprint.New([]byte("single"))
+	key, err := client.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := serverKey(t).Derive(fp[:])
+	if !bytes.Equal(key, want) {
+		t.Fatal("DeriveKey mismatch")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			if _, err := client.GenerateKeys(fps(20)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLimitSlowsClients(t *testing.T) {
+	// Generous burst so the test stays fast, but verify the limiter
+	// path executes without error.
+	_, addr := startServer(t, WithRateLimit(10000, 10000))
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.GenerateKeys(fps(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialBadBatchSize(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", WithBatchSize(0)); err == nil {
+		t.Fatal("batch size 0 expected error")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable address expected error")
+	}
+}
+
+func TestGenerateKeysEmpty(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	keys, err := client.GenerateKeys(nil)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("GenerateKeys(nil) = %v, %v", keys, err)
+	}
+}
+
+func TestShutdownClosesConnections(t *testing.T) {
+	srv := NewServer(serverKey(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	<-done
+	// Requests after shutdown must fail, not hang.
+	if _, err := client.GenerateKeys(fps(1)); err == nil {
+		t.Fatal("request after shutdown expected error")
+	}
+}

@@ -1,0 +1,128 @@
+package keymanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fingerprint"
+	"repro/internal/mle"
+	"repro/internal/oprf"
+)
+
+// MultiClient adds key-manager availability: it holds a list of replica
+// addresses and fails over when the active replica becomes unreachable.
+//
+// The paper notes its single-key-manager design "can be generalized for
+// multiple key managers for improved availability" (citing Duan's
+// threshold-signature construction). This implementation models the
+// availability dimension with replicas that share one OPRF key — all
+// replicas must return identical MLE keys or deduplication would
+// silently fracture, so MultiClient verifies each replica's public
+// parameters on failover and refuses mismatched replicas. Splitting the
+// key itself across managers (threshold RSA) would additionally remove
+// the single point of key compromise; that is out of scope here.
+type MultiClient struct {
+	addrs []string
+	opts  []ClientOption
+
+	mu     sync.Mutex
+	cur    *Client
+	idx    int
+	params *oprf.PublicParams // pinned at first connect
+}
+
+// ErrNoKeyManager is returned when every replica is unreachable.
+var ErrNoKeyManager = errors.New("keymanager: no reachable key manager")
+
+// DialMulti connects to the first reachable replica.
+func DialMulti(addrs []string, opts ...ClientOption) (*MultiClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("keymanager: no addresses")
+	}
+	m := &MultiClient{addrs: addrs, opts: opts}
+	if err := m.connectLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// connectLocked dials replicas starting at the current index until one
+// answers. Callers hold m.mu (or are the constructor).
+func (m *MultiClient) connectLocked() error {
+	var lastErr error
+	for attempt := 0; attempt < len(m.addrs); attempt++ {
+		addr := m.addrs[m.idx]
+		client, err := Dial(addr, m.opts...)
+		if err == nil {
+			// Replicas must share the OPRF key: identical public
+			// parameters mean identical MLE keys. Pin the first
+			// replica's parameters and hold every later one to them.
+			got := client.Params()
+			if m.params == nil {
+				m.params = &got
+			} else if m.params.N.Cmp(got.N) != 0 || m.params.E.Cmp(got.E) != 0 {
+				client.Close()
+				return fmt.Errorf("keymanager: replica %s serves a different OPRF key", addr)
+			}
+			if m.cur != nil {
+				m.cur.Close()
+			}
+			m.cur = client
+			return nil
+		}
+		lastErr = err
+		m.idx = (m.idx + 1) % len(m.addrs)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("%w: %v", ErrNoKeyManager, lastErr)
+	}
+	return ErrNoKeyManager
+}
+
+// GenerateKeys resolves MLE keys with failover: a transport error
+// triggers reconnection to the next replica and one retry per replica.
+func (m *MultiClient) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= len(m.addrs); attempt++ {
+		if m.cur == nil {
+			if err := m.connectLocked(); err != nil {
+				return nil, err
+			}
+		}
+		keys, err := m.cur.GenerateKeys(fps)
+		if err == nil {
+			return keys, nil
+		}
+		lastErr = err
+		m.cur.Close()
+		m.cur = nil
+		m.idx = (m.idx + 1) % len(m.addrs)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoKeyManager, lastErr)
+}
+
+// DeriveKey implements mle.KeyDeriver.
+func (m *MultiClient) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	keys, err := m.GenerateKeys([]fingerprint.Fingerprint{fp})
+	if err != nil {
+		return nil, err
+	}
+	return keys[0], nil
+}
+
+var _ mle.KeyDeriver = (*MultiClient)(nil)
+
+// Close closes the active connection.
+func (m *MultiClient) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur == nil {
+		return nil
+	}
+	err := m.cur.Close()
+	m.cur = nil
+	return err
+}

@@ -1,0 +1,133 @@
+package keymanager
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/oprf"
+)
+
+func TestMultiClientFailover(t *testing.T) {
+	// Two replicas sharing one OPRF key.
+	key := serverKey(t)
+	srvA := NewServer(key)
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvA.Serve(lnA) }()
+
+	srvB := NewServer(key)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvB.Serve(lnB) }()
+	t.Cleanup(srvB.Shutdown)
+
+	mc, err := DialMulti([]string{lnA.Addr().String(), lnB.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	ids := fps(5)
+	before, err := mc.GenerateKeys(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the active replica; the next request must fail over and
+	// return identical keys.
+	srvA.Shutdown()
+	after, err := mc.GenerateKeys(ids)
+	if err != nil {
+		t.Fatalf("failover failed: %v", err)
+	}
+	for i := range before {
+		if !bytes.Equal(before[i], after[i]) {
+			t.Fatalf("key %d differs across replicas", i)
+		}
+	}
+	if got := srvB.Evaluations(); got == 0 {
+		t.Fatal("replica B served no evaluations after failover")
+	}
+}
+
+func TestMultiClientRejectsMismatchedReplica(t *testing.T) {
+	keyA := serverKey(t)
+	keyB, err := oprf.GenerateServerKey(oprf.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvA := NewServer(keyA)
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvA.Serve(lnA) }()
+
+	srvB := NewServer(keyB) // different OPRF key!
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvB.Serve(lnB) }()
+	t.Cleanup(srvB.Shutdown)
+
+	mc, err := DialMulti([]string{lnA.Addr().String(), lnB.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if _, err := mc.GenerateKeys(fps(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failover to the mismatched replica must be refused, not silently
+	// accepted (it would fracture deduplication).
+	srvA.Shutdown()
+	if _, err := mc.GenerateKeys(fps(1)); err == nil {
+		t.Fatal("mismatched replica accepted")
+	}
+}
+
+func TestMultiClientAllDown(t *testing.T) {
+	if _, err := DialMulti([]string{"127.0.0.1:1", "127.0.0.1:2"}); !errors.Is(err, ErrNoKeyManager) {
+		t.Fatalf("error = %v, want ErrNoKeyManager", err)
+	}
+}
+
+func TestMultiClientNoAddrs(t *testing.T) {
+	if _, err := DialMulti(nil); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+}
+
+func TestMultiClientDeriveKey(t *testing.T) {
+	key := serverKey(t)
+	srv := NewServer(key)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Shutdown)
+
+	mc, err := DialMulti([]string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	got, err := mc.DeriveKey(fps(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := key.Derive(fps(1)[0][:])
+	if !bytes.Equal(got, want) {
+		t.Fatal("DeriveKey mismatch")
+	}
+}

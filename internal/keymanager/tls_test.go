@@ -1,0 +1,69 @@
+package keymanager
+
+import (
+	"bytes"
+	"crypto/tls"
+	"net"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/tlsutil"
+)
+
+// TestKeyManagerOverTLS runs the full OPRF protocol through the
+// encrypted, certificate-pinned channel the paper's threat model
+// assumes between clients and the key manager.
+func TestKeyManagerOverTLS(t *testing.T) {
+	id, err := tlsutil.NewIdentity(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(serverKey(t))
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := tls.NewListener(rawLn, id.ServerConfig)
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Shutdown)
+
+	client, err := Dial(rawLn.Addr().String(), WithDialer(TLSDialer(id.ClientConfig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	fp := fingerprint.New([]byte("over tls"))
+	key, err := client.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serverKey(t).Derive(fp[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key, want) {
+		t.Fatal("TLS-channel key differs from direct derivation")
+	}
+}
+
+// TestTLSRejectsPlaintextClient verifies that a client without TLS
+// cannot complete the protocol against a TLS key manager.
+func TestTLSRejectsPlaintextClient(t *testing.T) {
+	id, err := tlsutil.NewIdentity(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(serverKey(t))
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(tls.NewListener(rawLn, id.ServerConfig)) }()
+	t.Cleanup(srv.Shutdown)
+
+	if _, err := Dial(rawLn.Addr().String()); err == nil {
+		t.Fatal("plaintext client completed against TLS server")
+	}
+}

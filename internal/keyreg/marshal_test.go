@@ -1,0 +1,48 @@
+package keyreg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOwnerMarshalRoundTrip(t *testing.T) {
+	o1 := newOwner(t)
+	o1.Wind()
+	o2, err := UnmarshalOwner(o1.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Current().Version != o1.Current().Version {
+		t.Fatalf("versions differ: %d vs %d", o2.Current().Version, o1.Current().Version)
+	}
+	if !bytes.Equal(o2.Current().Value, o1.Current().Value) {
+		t.Fatal("state values differ")
+	}
+	// Winding the restored owner must agree with winding the original.
+	s1 := o1.Wind()
+	s2 := o2.Wind()
+	if !bytes.Equal(s1.Value, s2.Value) || s1.Version != s2.Version {
+		t.Fatal("restored owner diverged on wind")
+	}
+	// Public keys must match.
+	p1, p2 := o1.Public(), o2.Public()
+	if p1.N.Cmp(p2.N) != 0 || p1.E.Cmp(p2.E) != 0 {
+		t.Fatal("public derivation keys differ")
+	}
+}
+
+func TestUnmarshalOwnerErrors(t *testing.T) {
+	o := cachedOwner(t)
+	valid := o.Marshal()
+	tests := [][]byte{
+		nil,
+		{0x01, 0x02},
+		valid[:len(valid)-3],
+		append(append([]byte(nil), valid...), 0xFF),
+	}
+	for i, give := range tests {
+		if _, err := UnmarshalOwner(give); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

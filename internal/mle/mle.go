@@ -1,0 +1,105 @@
+// Package mle implements message-locked encryption (MLE) and its
+// convergent-encryption (CE) special case.
+//
+// MLE derives a chunk's encryption key from the chunk itself so that
+// identical plaintexts produce identical ciphertexts, preserving
+// deduplication over encrypted data. CE uses the cryptographic hash of
+// the message directly as the key. Both are inherently brute-forceable
+// for predictable messages; REED therefore obtains MLE keys from a
+// dedicated key manager via an oblivious PRF (internal/oprf +
+// internal/keymanager), and this package supplies the key-derivation
+// interface plus the deterministic symmetric cipher both paths share.
+//
+// This package also serves as the "plain MLE storage" baseline that REED
+// is compared against: deduplication-friendly encryption with no rekeying
+// capability.
+package mle
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/fingerprint"
+)
+
+// KeySize is the MLE key size in bytes.
+const KeySize = 32
+
+// KeyDeriver derives the MLE key for a chunk fingerprint. Implementations
+// include the local convergent deriver below and the server-aided OPRF
+// client in internal/keymanager.
+type KeyDeriver interface {
+	// DeriveKey returns the MLE key for the chunk identified by fp.
+	DeriveKey(fp fingerprint.Fingerprint) ([]byte, error)
+}
+
+// ConvergentDeriver derives keys locally as in convergent encryption:
+// the key is a hash of the fingerprint (itself the hash of the message).
+// It provides no protection for predictable messages — the weakness
+// server-aided MLE exists to fix — but needs no key manager.
+type ConvergentDeriver struct{}
+
+var _ KeyDeriver = ConvergentDeriver{}
+
+// DeriveKey implements KeyDeriver.
+func (ConvergentDeriver) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	h := sha256.Sum256(fp[:])
+	return h[:], nil
+}
+
+// SecretDeriver derives keys from the fingerprint and a system-wide
+// secret, emulating what the key manager computes (a keyed PRF). It
+// models DupLESS-style server-aided MLE when the transport to a real key
+// manager is unnecessary, e.g. single-process tests and benchmarks.
+type SecretDeriver struct {
+	secret []byte
+}
+
+var _ KeyDeriver = (*SecretDeriver)(nil)
+
+// NewSecretDeriver returns a deriver keyed by secret.
+func NewSecretDeriver(secret []byte) (*SecretDeriver, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("mle: empty secret")
+	}
+	return &SecretDeriver{secret: append([]byte(nil), secret...)}, nil
+}
+
+// DeriveKey implements KeyDeriver: HMAC-SHA256(secret, fp).
+func (d *SecretDeriver) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	mac := hmac.New(sha256.New, d.secret)
+	mac.Write(fp[:])
+	return mac.Sum(nil), nil
+}
+
+// Encrypt deterministically encrypts chunk under key (AES-256-CTR with a
+// zero IV). Determinism is the point of MLE: the key is bound one-to-one
+// to the plaintext, so IV reuse across distinct plaintexts cannot occur.
+func Encrypt(key, chunk []byte) ([]byte, error) {
+	out := make([]byte, len(chunk))
+	if err := xorKeystream(out, chunk, key); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Decrypt inverts Encrypt.
+func Decrypt(key, ct []byte) ([]byte, error) {
+	return Encrypt(key, ct) // CTR is an involution
+}
+
+func xorKeystream(dst, src, key []byte) error {
+	if len(key) != KeySize {
+		return fmt.Errorf("mle: key length %d, want %d", len(key), KeySize)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("mle: cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, src)
+	return nil
+}

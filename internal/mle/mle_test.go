@@ -1,0 +1,150 @@
+package mle
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fingerprint"
+)
+
+func TestConvergentDeriverDeterministic(t *testing.T) {
+	fp := fingerprint.New([]byte("chunk"))
+	var d ConvergentDeriver
+	k1, err := d.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := d.DeriveKey(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("convergent keys differ for identical fingerprint")
+	}
+	if len(k1) != KeySize {
+		t.Fatalf("key length = %d, want %d", len(k1), KeySize)
+	}
+}
+
+func TestConvergentDeriverDistinct(t *testing.T) {
+	var d ConvergentDeriver
+	k1, _ := d.DeriveKey(fingerprint.New([]byte("a")))
+	k2, _ := d.DeriveKey(fingerprint.New([]byte("b")))
+	if bytes.Equal(k1, k2) {
+		t.Fatal("distinct fingerprints produced identical keys")
+	}
+}
+
+func TestSecretDeriver(t *testing.T) {
+	d1, err := NewSecretDeriver([]byte("secret-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewSecretDeriver([]byte("secret-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.New([]byte("chunk"))
+	k1a, _ := d1.DeriveKey(fp)
+	k1b, _ := d1.DeriveKey(fp)
+	k2, _ := d2.DeriveKey(fp)
+	if !bytes.Equal(k1a, k1b) {
+		t.Fatal("secret deriver not deterministic")
+	}
+	if bytes.Equal(k1a, k2) {
+		t.Fatal("different secrets produced identical keys")
+	}
+}
+
+func TestSecretDeriverEmptySecret(t *testing.T) {
+	if _, err := NewSecretDeriver(nil); err == nil {
+		t.Fatal("empty secret expected error")
+	}
+}
+
+func TestSecretDeriverCopiesSecret(t *testing.T) {
+	secret := []byte("mutable")
+	d, err := NewSecretDeriver(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.New([]byte("x"))
+	k1, _ := d.DeriveKey(fp)
+	secret[0] ^= 0xFF
+	k2, _ := d.DeriveKey(fp)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("deriver affected by caller mutating the secret slice")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	var d ConvergentDeriver
+	f := func(chunk []byte) bool {
+		key, err := d.DeriveKey(fingerprint.New(chunk))
+		if err != nil {
+			return false
+		}
+		ct, err := Encrypt(key, chunk)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(key, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, chunk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptDeterministicCiphertext(t *testing.T) {
+	// The MLE property: same plaintext, same key, same ciphertext.
+	chunk := []byte("deduplicatable content")
+	var d ConvergentDeriver
+	key, _ := d.DeriveKey(fingerprint.New(chunk))
+	c1, err := Encrypt(key, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Encrypt(key, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("MLE ciphertexts differ for identical plaintexts")
+	}
+}
+
+func TestEncryptHidesPlaintext(t *testing.T) {
+	chunk := bytes.Repeat([]byte("plaintext!"), 100)
+	var d ConvergentDeriver
+	key, _ := d.DeriveKey(fingerprint.New(chunk))
+	ct, err := Encrypt(key, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, []byte("plaintext!")) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+}
+
+func TestEncryptBadKey(t *testing.T) {
+	if _, err := Encrypt([]byte("short"), []byte("x")); err == nil {
+		t.Fatal("short key expected error")
+	}
+}
+
+func BenchmarkEncrypt8KB(b *testing.B) {
+	chunk := make([]byte, 8192)
+	var d ConvergentDeriver
+	key, _ := d.DeriveKey(fingerprint.New(chunk))
+	b.SetBytes(int64(len(chunk)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Encrypt(key, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

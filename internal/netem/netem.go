@@ -1,0 +1,130 @@
+// Package netem emulates the paper's testbed network: a 1 Gb/s switched
+// LAN. It wraps net.Conn so that bytes in each direction drain through a
+// shared token bucket, reproducing the bandwidth ceiling that makes
+// REED's second (deduplicated) upload "approach the effective network
+// speed" in Experiment A.3 regardless of how fast the host actually is.
+//
+// Wrap only one end of each connection (the client side); each byte then
+// pays the link cost exactly once per direction.
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/ratelimit"
+)
+
+// GigabitEffective is the paper's measured effective LAN bandwidth:
+// ~116 MB/s on a 1 Gb/s switch.
+const GigabitEffective = 116 << 20
+
+// DefaultRTT approximates the per-request overhead of the paper's
+// testbed (switched LAN round trip plus SSL record processing).
+// Loopback round trips are otherwise free, which would erase the
+// batching effect Figure 5(b) measures.
+const DefaultRTT = time.Millisecond
+
+// Link models a shared network link with a bandwidth cap and optional
+// per-request latency. Multiple connections through one Link share its
+// capacity, like clients behind one switch port.
+type Link struct {
+	limiter *ratelimit.Limiter
+	rtt     time.Duration
+}
+
+// NewLink returns a link capped at bytesPerSecond with no added
+// latency.
+func NewLink(bytesPerSecond float64) (*Link, error) {
+	return NewLinkRTT(bytesPerSecond, 0)
+}
+
+// NewLinkRTT returns a link capped at bytesPerSecond that additionally
+// delays each request (each Write call on a wrapped connection) by rtt,
+// modelling one network round trip per request/response exchange.
+func NewLinkRTT(bytesPerSecond float64, rtt time.Duration) (*Link, error) {
+	if bytesPerSecond <= 0 {
+		return nil, fmt.Errorf("netem: bandwidth must be positive, got %v", bytesPerSecond)
+	}
+	if rtt < 0 {
+		return nil, fmt.Errorf("netem: rtt must be non-negative, got %v", rtt)
+	}
+	// Allow ~20 ms of burst so small messages do not serialize on the
+	// limiter, with a floor of one typical frame.
+	burst := bytesPerSecond / 50
+	if burst < 64<<10 {
+		burst = 64 << 10
+	}
+	limiter, err := ratelimit.New(bytesPerSecond, burst)
+	if err != nil {
+		return nil, err
+	}
+	return &Link{limiter: limiter, rtt: rtt}, nil
+}
+
+// Wrap returns a connection whose reads and writes are throttled by the
+// link.
+func (l *Link) Wrap(c net.Conn) net.Conn {
+	return &conn{Conn: c, link: l}
+}
+
+// Dialer wraps a dial function so every new connection is throttled.
+func (l *Link) Dialer(next func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if next == nil {
+		next = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		c, err := next(addr)
+		if err != nil {
+			return nil, err
+		}
+		return l.Wrap(c), nil
+	}
+}
+
+type conn struct {
+	net.Conn
+
+	link *Link
+}
+
+// Read throttles inbound bytes after they arrive (pacing the receive
+// path).
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		if werr := c.link.limiter.Wait(context.Background(), float64(n)); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return n, err
+}
+
+// Write throttles outbound bytes before sending them and charges the
+// link's per-request latency once per call.
+func (c *conn) Write(p []byte) (int, error) {
+	if c.link.rtt > 0 {
+		time.Sleep(c.link.rtt)
+	}
+	// Charge in slices so one huge write cannot overdraw the bucket in
+	// a single reservation and distort pacing for other connections.
+	const sliceSize = 256 << 10
+	var written int
+	for written < len(p) {
+		end := written + sliceSize
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := c.link.limiter.Wait(context.Background(), float64(end-written)); err != nil {
+			return written, err
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,168 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected TCP pair on loopback.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{conn: c, err: err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.conn.Close()
+	})
+	return client, srv.conn
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink(0); err == nil {
+		t.Fatal("NewLink(0) expected error")
+	}
+	if _, err := NewLink(-1); err == nil {
+		t.Fatal("NewLink(-1) expected error")
+	}
+}
+
+func TestDataIntegrityThroughLink(t *testing.T) {
+	link, err := NewLink(100 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, srv := pipePair(t)
+	wrapped := link.Wrap(client)
+
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() {
+		wrapped.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted through link", i)
+		}
+	}
+}
+
+func TestThrottleLimitsThroughput(t *testing.T) {
+	// 4 MB through a 16 MB/s link must take at least ~150 ms (allowing
+	// for the burst allowance).
+	link, err := NewLink(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, srv := pipePair(t)
+	wrapped := link.Wrap(client)
+
+	const total = 4 << 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64<<10)
+		var n int
+		for n < total {
+			r, err := srv.Read(buf)
+			if err != nil {
+				return
+			}
+			n += r
+		}
+	}()
+
+	start := time.Now()
+	payload := make([]byte, total)
+	if _, err := wrapped.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("4MB through 16MB/s link took only %v", elapsed)
+	}
+}
+
+func TestUnthrottledIsFaster(t *testing.T) {
+	// Sanity: a 1 GB/s link must move 4 MB much faster than the 16 MB/s
+	// link above.
+	link, err := NewLink(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, srv := pipePair(t)
+	wrapped := link.Wrap(client)
+
+	const total = 4 << 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.CopyN(io.Discard, srv, total)
+	}()
+	start := time.Now()
+	if _, err := wrapped.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("4MB through 1GB/s link took %v", elapsed)
+	}
+}
+
+func TestDialerWrapping(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+
+	link, err := NewLink(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := link.Dialer(nil)
+	conn, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("through the dialer")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package oprf
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testServerKey is generated once; RSA keygen dominates test time
+// otherwise.
+var (
+	testKeyOnce sync.Once
+	testKey     *ServerKey
+)
+
+func serverKey(t testing.TB) *ServerKey {
+	t.Helper()
+	testKeyOnce.Do(func() {
+		k, err := GenerateServerKey(DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("generate server key: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	k := serverKey(t)
+	p := k.PublicParams()
+	fp := []byte("fingerprint-of-a-chunk")
+
+	blinded, u, err := Blind(p, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := k.Evaluate(blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := Finalize(p, u, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != KeySize {
+		t.Fatalf("key length = %d, want %d", len(key), KeySize)
+	}
+
+	// The protocol output must equal the direct (unblinded) derivation.
+	direct, err := k.Derive(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key, direct) {
+		t.Fatal("blinded protocol output differs from direct derivation")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	k := serverKey(t)
+	p := k.PublicParams()
+	fp := []byte("same-chunk")
+
+	run := func() []byte {
+		blinded, u, err := Blind(p, fp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := k.Evaluate(blinded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := Finalize(p, u, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two protocol runs for the same fingerprint derived different keys")
+	}
+}
+
+func TestBlindingHidesFingerprint(t *testing.T) {
+	// Two blindings of the same fingerprint must look unrelated: the
+	// key manager cannot link requests to content.
+	k := serverKey(t)
+	p := k.PublicParams()
+	fp := []byte("hidden")
+	b1, _, err := Blind(p, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Blind(p, fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Fatal("two blindings of the same fingerprint are identical")
+	}
+}
+
+func TestDistinctFingerprintsDistinctKeys(t *testing.T) {
+	k := serverKey(t)
+	k1, err := k.Derive([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := k.Derive([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("distinct fingerprints derived identical keys")
+	}
+}
+
+func TestFinalizeDetectsTamperedResponse(t *testing.T) {
+	k := serverKey(t)
+	p := k.PublicParams()
+	blinded, u, err := Blind(p, []byte("fp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := k.Evaluate(blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp[0] ^= 0x01
+	if _, err := Finalize(p, u, resp); !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("error = %v, want ErrVerifyFailed", err)
+	}
+}
+
+func TestEvaluateRejectsOutOfRange(t *testing.T) {
+	k := serverKey(t)
+	tooBig := new(big.Int).Add(k.PublicParams().N, big.NewInt(1))
+	if _, err := k.Evaluate(tooBig.Bytes()); !errors.Is(err, ErrBadElement) {
+		t.Fatalf("error = %v, want ErrBadElement", err)
+	}
+}
+
+func TestFinalizeRejectsOutOfRange(t *testing.T) {
+	k := serverKey(t)
+	p := k.PublicParams()
+	_, u, err := Blind(p, []byte("fp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tooBig := new(big.Int).Add(p.N, big.NewInt(1))
+	if _, err := Finalize(p, u, tooBig.Bytes()); !errors.Is(err, ErrBadElement) {
+		t.Fatalf("error = %v, want ErrBadElement", err)
+	}
+}
+
+func TestFinalizeNilUnblinder(t *testing.T) {
+	k := serverKey(t)
+	if _, err := Finalize(k.PublicParams(), nil, []byte{1}); err == nil {
+		t.Fatal("nil unblinder expected error")
+	}
+}
+
+func TestPublicParamsMarshalRoundTrip(t *testing.T) {
+	k := serverKey(t)
+	p := k.PublicParams()
+	got, err := UnmarshalPublicParams(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(p.N) != 0 || got.E.Cmp(p.E) != 0 {
+		t.Fatal("params round trip mismatch")
+	}
+}
+
+func TestUnmarshalPublicParamsErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{0, 0}},
+		{"truncated modulus", []byte{0, 0, 0, 10, 1, 2}},
+		{"missing exponent", []byte{0, 0, 0, 1, 42}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalPublicParams(tt.give); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestGenerateServerKeyTooSmall(t *testing.T) {
+	if _, err := GenerateServerKey(256, nil); err == nil {
+		t.Fatal("256-bit modulus expected error")
+	}
+}
+
+func TestFDHUniformish(t *testing.T) {
+	// FDH outputs for distinct inputs should differ and lie in [0, N).
+	k := serverKey(t)
+	n := k.PublicParams().N
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		m := fdh([]byte{byte(i)}, n)
+		if m.Cmp(n) >= 0 || m.Sign() < 0 {
+			t.Fatalf("fdh output out of range for input %d", i)
+		}
+		s := m.String()
+		if seen[s] {
+			t.Fatalf("fdh collision at input %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	k := serverKey(b)
+	p := k.PublicParams()
+	blinded, _, err := Blind(p, []byte("bench"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Evaluate(blinded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientBlindFinalize(b *testing.B) {
+	k := serverKey(b)
+	p := k.PublicParams()
+	for i := 0; i < b.N; i++ {
+		blinded, u, err := Blind(p, []byte("bench"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := k.Evaluate(blinded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Finalize(p, u, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

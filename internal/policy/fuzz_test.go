@@ -1,0 +1,43 @@
+package policy
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(OrOfUsers([]string{"a", "b"}).Marshal())
+	f.Add(And(Leaf("x"), Threshold(2, Leaf("a"), Leaf("b"), Leaf("c"))).Marshal())
+	f.Add([]byte{byte(GateOr), 0, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must validate and round-trip.
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoded tree fails validation: %v", err)
+		}
+		again, err := Unmarshal(n.Marshal())
+		if err != nil {
+			t.Fatalf("re-marshal round trip failed: %v", err)
+		}
+		if again.String() != n.String() {
+			t.Fatalf("round trip changed tree: %q vs %q", again.String(), n.String())
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add("or(alice, bob)")
+	f.Add("and(a, 2of(b, c, d))")
+	f.Add("((((")
+	f.Add("9999999of(a)")
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Parsed trees must re-parse from their own rendering.
+		if _, err := Parse(n.String()); err != nil {
+			t.Fatalf("Parse(String()) failed for %q: %v", n.String(), err)
+		}
+	})
+}

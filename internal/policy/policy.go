@@ -1,0 +1,401 @@
+// Package policy models CP-ABE access trees: the policy language REED
+// attaches to every file.
+//
+// A policy is a tree whose internal nodes are Boolean gates — OR, AND, or
+// a k-of-n threshold — and whose leaves are attributes. REED's default
+// per-file policy is a single OR gate over the identities of all
+// authorized users, but arbitrary trees are supported (e.g. department
+// AND rank gates, as the paper sketches).
+//
+// Policies have a compact text form accepted by Parse:
+//
+//	alice
+//	or(alice, bob, carol)
+//	and(dept-genomics, or(alice, bob))
+//	2of(alice, bob, carol)
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/binenc"
+)
+
+// Gate is the type of a tree node.
+type Gate uint8
+
+const (
+	// GateLeaf is an attribute leaf.
+	GateLeaf Gate = iota + 1
+	// GateOr is satisfied when any child is satisfied.
+	GateOr
+	// GateAnd is satisfied when all children are satisfied.
+	GateAnd
+	// GateThreshold is satisfied when at least Threshold children are.
+	GateThreshold
+)
+
+// maxNodes bounds decoded trees to keep untrusted policies from
+// exhausting memory.
+const maxNodes = 1 << 20
+
+var (
+	// ErrInvalid is returned for structurally invalid trees.
+	ErrInvalid = errors.New("policy: invalid tree")
+	// ErrParse is returned for unparsable policy text.
+	ErrParse = errors.New("policy: parse error")
+)
+
+// Node is one node of an access tree. Build trees with the constructor
+// helpers; direct construction is allowed but must pass Validate.
+type Node struct {
+	Gate      Gate
+	Attribute string  // GateLeaf only
+	Threshold int     // GateThreshold only
+	Children  []*Node // gates only
+}
+
+// Leaf returns an attribute leaf.
+func Leaf(attr string) *Node { return &Node{Gate: GateLeaf, Attribute: attr} }
+
+// Or returns an OR gate.
+func Or(children ...*Node) *Node { return &Node{Gate: GateOr, Children: children} }
+
+// And returns an AND gate.
+func And(children ...*Node) *Node { return &Node{Gate: GateAnd, Children: children} }
+
+// Threshold returns a k-of-n gate.
+func Threshold(k int, children ...*Node) *Node {
+	return &Node{Gate: GateThreshold, Threshold: k, Children: children}
+}
+
+// OrOfUsers builds REED's default per-file policy: an OR gate over user
+// identities (sorted for determinism). A single user yields a bare leaf.
+func OrOfUsers(users []string) *Node {
+	sorted := append([]string(nil), users...)
+	sort.Strings(sorted)
+	if len(sorted) == 1 {
+		return Leaf(sorted[0])
+	}
+	children := make([]*Node, len(sorted))
+	for i, u := range sorted {
+		children[i] = Leaf(u)
+	}
+	return Or(children...)
+}
+
+// Validate checks structural invariants: non-empty attributes, gates with
+// at least one child, thresholds within range.
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("%w: nil node", ErrInvalid)
+	}
+	switch n.Gate {
+	case GateLeaf:
+		if n.Attribute == "" {
+			return fmt.Errorf("%w: empty attribute", ErrInvalid)
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("%w: leaf with children", ErrInvalid)
+		}
+		return nil
+	case GateOr, GateAnd, GateThreshold:
+		if len(n.Children) == 0 {
+			return fmt.Errorf("%w: gate with no children", ErrInvalid)
+		}
+		if n.Gate == GateThreshold && (n.Threshold < 1 || n.Threshold > len(n.Children)) {
+			return fmt.Errorf("%w: threshold %d of %d children", ErrInvalid, n.Threshold, len(n.Children))
+		}
+		for _, c := range n.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown gate %d", ErrInvalid, n.Gate)
+	}
+}
+
+// EffectiveThreshold returns how many children must be satisfied: 1 for
+// OR, all for AND, Threshold for threshold gates, and 0 for leaves.
+func (n *Node) EffectiveThreshold() int {
+	switch n.Gate {
+	case GateOr:
+		return 1
+	case GateAnd:
+		return len(n.Children)
+	case GateThreshold:
+		return n.Threshold
+	default:
+		return 0
+	}
+}
+
+// Satisfied reports whether the attribute set satisfies the tree.
+func (n *Node) Satisfied(attrs map[string]bool) bool {
+	switch n.Gate {
+	case GateLeaf:
+		return attrs[n.Attribute]
+	case GateOr, GateAnd, GateThreshold:
+		need := n.EffectiveThreshold()
+		var have int
+		for _, c := range n.Children {
+			if c.Satisfied(attrs) {
+				have++
+				if have >= need {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Leaves returns the attributes at the leaves in preorder. Duplicates are
+// preserved: the same attribute may appear at several leaves.
+func (n *Node) Leaves() []string {
+	var out []string
+	n.walkLeaves(func(attr string) { out = append(out, attr) })
+	return out
+}
+
+// CountLeaves returns the number of leaves.
+func (n *Node) CountLeaves() int {
+	var c int
+	n.walkLeaves(func(string) { c++ })
+	return c
+}
+
+func (n *Node) walkLeaves(fn func(string)) {
+	if n.Gate == GateLeaf {
+		fn(n.Attribute)
+		return
+	}
+	for _, c := range n.Children {
+		c.walkLeaves(fn)
+	}
+}
+
+// String renders the tree in the text form accepted by Parse.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.render(&sb)
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder) {
+	switch n.Gate {
+	case GateLeaf:
+		sb.WriteString(n.Attribute)
+		return
+	case GateOr:
+		sb.WriteString("or(")
+	case GateAnd:
+		sb.WriteString("and(")
+	case GateThreshold:
+		fmt.Fprintf(sb, "%dof(", n.Threshold)
+	}
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		c.render(sb)
+	}
+	sb.WriteByte(')')
+}
+
+// Marshal encodes the tree (preorder).
+func (n *Node) Marshal() []byte {
+	w := binenc.NewWriter(64)
+	n.encode(w)
+	return w.Bytes()
+}
+
+func (n *Node) encode(w *binenc.Writer) {
+	w.Uint8(uint8(n.Gate))
+	switch n.Gate {
+	case GateLeaf:
+		w.String(n.Attribute)
+	default:
+		w.Uvarint(uint64(n.Threshold))
+		w.Uvarint(uint64(len(n.Children)))
+		for _, c := range n.Children {
+			c.encode(w)
+		}
+	}
+}
+
+// Unmarshal decodes a tree produced by Marshal and validates it.
+func Unmarshal(b []byte) (*Node, error) {
+	r := binenc.NewReader(b)
+	var budget = maxNodes
+	n, err := decode(r, &budget)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrInvalid)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func decode(r *binenc.Reader, budget *int) (*Node, error) {
+	*budget--
+	if *budget < 0 {
+		return nil, fmt.Errorf("%w: tree too large", ErrInvalid)
+	}
+	gate, err := r.Uint8()
+	if err != nil {
+		return nil, fmt.Errorf("policy: decode: %w", err)
+	}
+	n := &Node{Gate: Gate(gate)}
+	switch n.Gate {
+	case GateLeaf:
+		attr, err := r.ReadString()
+		if err != nil {
+			return nil, fmt.Errorf("policy: decode leaf: %w", err)
+		}
+		n.Attribute = attr
+		return n, nil
+	case GateOr, GateAnd, GateThreshold:
+		th, err := r.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("policy: decode threshold: %w", err)
+		}
+		count, err := r.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("policy: decode child count: %w", err)
+		}
+		if count > uint64(*budget) {
+			return nil, fmt.Errorf("%w: tree too large", ErrInvalid)
+		}
+		n.Threshold = int(th)
+		n.Children = make([]*Node, 0, count)
+		for i := uint64(0); i < count; i++ {
+			c, err := decode(r, budget)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown gate %d", ErrInvalid, gate)
+	}
+}
+
+// Parse reads the textual policy form.
+func Parse(s string) (*Node, error) {
+	p := &parser{input: s}
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("%w: trailing input at offset %d", ErrParse, p.pos)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func isIdentChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == '.', c == '@', c == '/':
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.input) && isIdentChar(p.input[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("%w: expected identifier at offset %d", ErrParse, start)
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	p.skipSpace()
+	word, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != '(' {
+		// Bare identifier: a leaf.
+		return Leaf(word), nil
+	}
+	p.pos++ // consume '('
+
+	gate, threshold, err := gateFor(word)
+	if err != nil {
+		return nil, err
+	}
+
+	var children []*Node
+	for {
+		child, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		p.skipSpace()
+		if p.pos >= len(p.input) {
+			return nil, fmt.Errorf("%w: unterminated gate", ErrParse)
+		}
+		switch p.input[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return &Node{Gate: gate, Threshold: threshold, Children: children}, nil
+		default:
+			return nil, fmt.Errorf("%w: unexpected %q at offset %d", ErrParse, p.input[p.pos], p.pos)
+		}
+	}
+}
+
+func gateFor(word string) (Gate, int, error) {
+	switch word {
+	case "or", "OR", "Or":
+		return GateOr, 0, nil
+	case "and", "AND", "And":
+		return GateAnd, 0, nil
+	}
+	if k, ok := strings.CutSuffix(word, "of"); ok {
+		th, err := strconv.Atoi(k)
+		if err == nil && th >= 1 {
+			return GateThreshold, th, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: unknown gate %q", ErrParse, word)
+}

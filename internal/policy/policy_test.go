@@ -1,0 +1,240 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func attrs(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestSatisfied(t *testing.T) {
+	tests := []struct {
+		name string
+		tree *Node
+		have map[string]bool
+		want bool
+	}{
+		{"leaf present", Leaf("alice"), attrs("alice"), true},
+		{"leaf absent", Leaf("alice"), attrs("bob"), false},
+		{"or first", Or(Leaf("a"), Leaf("b")), attrs("a"), true},
+		{"or second", Or(Leaf("a"), Leaf("b")), attrs("b"), true},
+		{"or none", Or(Leaf("a"), Leaf("b")), attrs("c"), false},
+		{"and all", And(Leaf("a"), Leaf("b")), attrs("a", "b"), true},
+		{"and partial", And(Leaf("a"), Leaf("b")), attrs("a"), false},
+		{"2of3 met", Threshold(2, Leaf("a"), Leaf("b"), Leaf("c")), attrs("a", "c"), true},
+		{"2of3 unmet", Threshold(2, Leaf("a"), Leaf("b"), Leaf("c")), attrs("b"), false},
+		{
+			"nested",
+			And(Leaf("dept"), Or(Leaf("alice"), Leaf("bob"))),
+			attrs("dept", "bob"),
+			true,
+		},
+		{
+			"nested unmet",
+			And(Leaf("dept"), Or(Leaf("alice"), Leaf("bob"))),
+			attrs("alice", "bob"),
+			false,
+		},
+		{"empty attrs", Or(Leaf("a")), nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tree.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tt.tree.Satisfied(tt.have); got != tt.want {
+				t.Fatalf("Satisfied = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		tree *Node
+	}{
+		{"nil", nil},
+		{"empty attribute", Leaf("")},
+		{"gate without children", Or()},
+		{"threshold too high", Threshold(3, Leaf("a"), Leaf("b"))},
+		{"threshold zero", Threshold(0, Leaf("a"))},
+		{"unknown gate", &Node{Gate: Gate(99)}},
+		{"invalid child", Or(Leaf(""))},
+		{"leaf with children", &Node{Gate: GateLeaf, Attribute: "a", Children: []*Node{Leaf("b")}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tree.Validate(); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error = %v, want ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestOrOfUsers(t *testing.T) {
+	tree := OrOfUsers([]string{"carol", "alice", "bob"})
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	want := []string{"alice", "bob", "carol"}
+	if len(leaves) != len(want) {
+		t.Fatalf("got %d leaves, want %d", len(leaves), len(want))
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("leaf %d = %q, want %q (sorted)", i, leaves[i], want[i])
+		}
+	}
+	// Single user collapses to a leaf.
+	single := OrOfUsers([]string{"zoe"})
+	if single.Gate != GateLeaf || single.Attribute != "zoe" {
+		t.Fatal("single-user policy should be a bare leaf")
+	}
+}
+
+func TestLeavesAndCount(t *testing.T) {
+	tree := And(Leaf("x"), Or(Leaf("y"), Leaf("z"), Leaf("x")))
+	if got := tree.CountLeaves(); got != 4 {
+		t.Fatalf("CountLeaves = %d, want 4", got)
+	}
+	leaves := tree.Leaves()
+	want := []string{"x", "y", "z", "x"}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Leaves()[%d] = %q, want %q", i, leaves[i], want[i])
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	trees := []*Node{
+		Leaf("solo"),
+		OrOfUsers([]string{"a", "b", "c"}),
+		And(Leaf("dept"), Threshold(2, Leaf("a"), Leaf("b"), Leaf("c"))),
+	}
+	for _, tree := range trees {
+		t.Run(tree.String(), func(t *testing.T) {
+			got, err := Unmarshal(tree.Marshal())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != tree.String() {
+				t.Fatalf("round trip = %q, want %q", got.String(), tree.String())
+			}
+		})
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{"empty", nil},
+		{"unknown gate", []byte{99}},
+		{"truncated leaf", []byte{byte(GateLeaf)}},
+		{"trailing bytes", append(Leaf("a").Marshal(), 0xFF)},
+		{"invalid decoded tree", (&Node{Gate: GateThreshold, Threshold: 5, Children: []*Node{Leaf("a")}}).Marshal()},
+		{"huge child count", []byte{byte(GateOr), 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.give); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"alice", "alice"},
+		{"or(alice, bob)", "or(alice, bob)"},
+		{"or(alice,bob,carol)", "or(alice, bob, carol)"},
+		{"and( a , b )", "and(a, b)"},
+		{"2of(a, b, c)", "2of(a, b, c)"},
+		{"and(dept, or(alice, bob))", "and(dept, or(alice, bob))"},
+		{"AND(a, OR(b, c))", "and(a, or(b, c))"},
+		{"user@example.com", "user@example.com"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			n, err := Parse(tt.give)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got := n.String(); got != tt.want {
+				t.Fatalf("String = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"or()",
+		"or(a",
+		"or(a,)",
+		"xyz(a)",
+		"0of(a)",
+		"or(a) extra",
+		"(a)",
+		"or(a;b)",
+	}
+	for _, give := range tests {
+		t.Run(give, func(t *testing.T) {
+			if _, err := Parse(give); err == nil {
+				t.Fatalf("Parse(%q) expected error", give)
+			}
+		})
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	// Build a range of machine-generated policies and require
+	// Parse(String()) to reproduce them.
+	for users := 1; users <= 20; users++ {
+		names := make([]string, users)
+		for i := range names {
+			names[i] = fmt.Sprintf("user-%03d", i)
+		}
+		tree := OrOfUsers(names)
+		got, err := Parse(tree.String())
+		if err != nil {
+			t.Fatalf("users=%d: %v", users, err)
+		}
+		if got.String() != tree.String() {
+			t.Fatalf("users=%d: round trip mismatch", users)
+		}
+	}
+}
+
+func TestEffectiveThreshold(t *testing.T) {
+	tests := []struct {
+		tree *Node
+		want int
+	}{
+		{Leaf("a"), 0},
+		{Or(Leaf("a"), Leaf("b")), 1},
+		{And(Leaf("a"), Leaf("b"), Leaf("c")), 3},
+		{Threshold(2, Leaf("a"), Leaf("b"), Leaf("c")), 2},
+	}
+	for _, tt := range tests {
+		if got := tt.tree.EffectiveThreshold(); got != tt.want {
+			t.Errorf("EffectiveThreshold(%s) = %d, want %d", tt.tree, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package proto defines REED's wire protocol: length-prefixed binary
+// frames carrying typed messages between clients, storage servers, and
+// the key manager.
+//
+// Every frame is [4-byte big-endian length][1-byte type][payload]. All
+// RPCs are synchronous request/response over a connection; clients open
+// multiple connections for parallelism (Section V-B). Payload encodings
+// live beside their message types below so both endpoints share one
+// source of truth.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/binenc"
+	"repro/internal/fingerprint"
+)
+
+// MaxFrameSize bounds a single frame (64 MiB) so a corrupt length prefix
+// cannot trigger an unbounded allocation.
+const MaxFrameSize = 64 << 20
+
+// MsgType identifies a frame's message type.
+type MsgType uint8
+
+// Message types. Requests and responses are paired.
+const (
+	MsgError MsgType = iota + 1
+
+	// Key manager.
+	MsgKMParamsReq
+	MsgKMParamsResp
+	MsgKeyGenReq
+	MsgKeyGenResp
+
+	// Storage server: chunk plane.
+	MsgPutChunksReq
+	MsgPutChunksResp
+	MsgGetChunksReq
+	MsgGetChunksResp
+
+	// Storage server: blob plane (recipes, stub files, key states).
+	MsgPutBlobReq
+	MsgPutBlobResp
+	MsgGetBlobReq
+	MsgGetBlobResp
+
+	// Storage server: dedup statistics.
+	MsgStatsReq
+	MsgStatsResp
+
+	// Storage server: blob listing.
+	MsgListBlobsReq
+	MsgListBlobsResp
+
+	// Storage server: deletion (secure deletion + chunk GC).
+	MsgDerefChunksReq
+	MsgDerefChunksResp
+	MsgDeleteBlobReq
+	MsgDeleteBlobResp
+
+	// Storage server: remote data checking.
+	MsgChallengeReq
+	MsgChallengeResp
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgError:           "Error",
+		MsgKMParamsReq:     "KMParamsReq",
+		MsgKMParamsResp:    "KMParamsResp",
+		MsgKeyGenReq:       "KeyGenReq",
+		MsgKeyGenResp:      "KeyGenResp",
+		MsgPutChunksReq:    "PutChunksReq",
+		MsgPutChunksResp:   "PutChunksResp",
+		MsgGetChunksReq:    "GetChunksReq",
+		MsgGetChunksResp:   "GetChunksResp",
+		MsgPutBlobReq:      "PutBlobReq",
+		MsgPutBlobResp:     "PutBlobResp",
+		MsgGetBlobReq:      "GetBlobReq",
+		MsgGetBlobResp:     "GetBlobResp",
+		MsgStatsReq:        "StatsReq",
+		MsgStatsResp:       "StatsResp",
+		MsgListBlobsReq:    "ListBlobsReq",
+		MsgListBlobsResp:   "ListBlobsResp",
+		MsgDerefChunksReq:  "DerefChunksReq",
+		MsgDerefChunksResp: "DerefChunksResp",
+		MsgDeleteBlobReq:   "DeleteBlobReq",
+		MsgDeleteBlobResp:  "DeleteBlobResp",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+	ErrFrameTooLarge = errors.New("proto: frame too large")
+	// ErrBadMessage is returned for undecodable payloads.
+	ErrBadMessage = errors.New("proto: malformed message")
+)
+
+// RemoteError is an error reported by the peer via MsgError.
+type RemoteError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Message }
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var header [5]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)+1))
+	header[4] = byte(t)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("proto: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err // io.EOF propagates for clean shutdown
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size < 1 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrBadMessage)
+	}
+	if size > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("proto: read body: %w", err)
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// EncodeError encodes an MsgError payload.
+func EncodeError(msg string) []byte {
+	w := binenc.NewWriter(len(msg) + 4)
+	w.String(msg)
+	return w.Bytes()
+}
+
+// DecodeError decodes an MsgError payload.
+func DecodeError(b []byte) (*RemoteError, error) {
+	r := binenc.NewReader(b)
+	msg, err := r.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("%w: error payload: %v", ErrBadMessage, err)
+	}
+	return &RemoteError{Message: msg}, nil
+}
+
+// EncodeBlobList encodes a list of opaque byte strings (key-gen requests
+// and responses both use this shape).
+func EncodeBlobList(items [][]byte) []byte {
+	size := 8
+	for _, it := range items {
+		size += len(it) + 4
+	}
+	w := binenc.NewWriter(size)
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		w.WriteBytes(it)
+	}
+	return w.Bytes()
+}
+
+// DecodeBlobList decodes EncodeBlobList output. maxItems bounds the list.
+func DecodeBlobList(b []byte, maxItems int) ([][]byte, error) {
+	r := binenc.NewReader(b)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: list count: %v", ErrBadMessage, err)
+	}
+	if count > uint64(maxItems) {
+		return nil, fmt.Errorf("%w: list of %d exceeds limit %d", ErrBadMessage, count, maxItems)
+	}
+	items := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		it, err := r.ReadBytesCopy()
+		if err != nil {
+			return nil, fmt.Errorf("%w: list item %d: %v", ErrBadMessage, i, err)
+		}
+		items = append(items, it)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return items, nil
+}
+
+// EncodeListBlobsReq encodes a blob-listing request for one namespace.
+func EncodeListBlobsReq(ns string) []byte {
+	w := binenc.NewWriter(len(ns) + 4)
+	w.String(ns)
+	return w.Bytes()
+}
+
+// DecodeListBlobsReq decodes EncodeListBlobsReq output.
+func DecodeListBlobsReq(b []byte) (string, error) {
+	r := binenc.NewReader(b)
+	ns, err := r.ReadString()
+	if err != nil {
+		return "", fmt.Errorf("%w: list ns: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return "", fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return ns, nil
+}
+
+// EncodeListBlobsResp encodes the names in a namespace.
+func EncodeListBlobsResp(names []string) []byte {
+	size := 8
+	for _, n := range names {
+		size += len(n) + 4
+	}
+	w := binenc.NewWriter(size)
+	w.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+	}
+	return w.Bytes()
+}
+
+// DecodeListBlobsResp decodes EncodeListBlobsResp output.
+func DecodeListBlobsResp(b []byte) ([]string, error) {
+	r := binenc.NewReader(b)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: list count: %v", ErrBadMessage, err)
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("%w: listing too large", ErrBadMessage)
+	}
+	names := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, err := r.ReadString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: list name %d: %v", ErrBadMessage, i, err)
+		}
+		names = append(names, n)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return names, nil
+}
+
+// EncodeDerefChunksResp encodes how many chunks a deref batch freed.
+func EncodeDerefChunksResp(freed uint64) []byte {
+	w := binenc.NewWriter(8)
+	w.Uint64(freed)
+	return w.Bytes()
+}
+
+// DecodeDerefChunksResp decodes EncodeDerefChunksResp output.
+func DecodeDerefChunksResp(b []byte) (uint64, error) {
+	r := binenc.NewReader(b)
+	freed, err := r.Uint64()
+	if err != nil {
+		return 0, fmt.Errorf("%w: freed count: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return 0, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return freed, nil
+}
+
+// EncodeChallengeReq encodes an audit challenge: prove possession of
+// the chunk by hashing it with a fresh nonce.
+func EncodeChallengeReq(fp fingerprint.Fingerprint, nonce []byte) []byte {
+	w := binenc.NewWriter(fingerprint.Size + len(nonce) + 4)
+	w.Raw(fp[:])
+	w.WriteBytes(nonce)
+	return w.Bytes()
+}
+
+// DecodeChallengeReq decodes EncodeChallengeReq output.
+func DecodeChallengeReq(b []byte) (fingerprint.Fingerprint, []byte, error) {
+	var fp fingerprint.Fingerprint
+	r := binenc.NewReader(b)
+	raw, err := r.ReadRaw(fingerprint.Size)
+	if err != nil {
+		return fp, nil, fmt.Errorf("%w: challenge fp: %v", ErrBadMessage, err)
+	}
+	copy(fp[:], raw)
+	nonce, err := r.ReadBytesCopy()
+	if err != nil {
+		return fp, nil, fmt.Errorf("%w: challenge nonce: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return fp, nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return fp, nonce, nil
+}
+
+// ChunkUpload is one chunk in a MsgPutChunksReq.
+type ChunkUpload struct {
+	FP   fingerprint.Fingerprint
+	Data []byte
+}
+
+// EncodePutChunksReq encodes a chunk upload batch.
+func EncodePutChunksReq(chunks []ChunkUpload) []byte {
+	size := 8
+	for _, c := range chunks {
+		size += fingerprint.Size + len(c.Data) + 4
+	}
+	w := binenc.NewWriter(size)
+	w.Uvarint(uint64(len(chunks)))
+	for _, c := range chunks {
+		w.Raw(c.FP[:])
+		w.WriteBytes(c.Data)
+	}
+	return w.Bytes()
+}
+
+// DecodePutChunksReq decodes a chunk upload batch.
+func DecodePutChunksReq(b []byte) ([]ChunkUpload, error) {
+	r := binenc.NewReader(b)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk count: %v", ErrBadMessage, err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: chunk batch too large", ErrBadMessage)
+	}
+	chunks := make([]ChunkUpload, 0, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk %d fp: %v", ErrBadMessage, i, err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.ReadBytesCopy()
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk %d data: %v", ErrBadMessage, i, err)
+		}
+		chunks = append(chunks, ChunkUpload{FP: fp, Data: data})
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return chunks, nil
+}
+
+// EncodePutChunksResp encodes per-chunk duplicate flags.
+func EncodePutChunksResp(dups []bool) []byte {
+	w := binenc.NewWriter(len(dups) + 8)
+	w.Uvarint(uint64(len(dups)))
+	for _, d := range dups {
+		w.Bool(d)
+	}
+	return w.Bytes()
+}
+
+// DecodePutChunksResp decodes per-chunk duplicate flags.
+func DecodePutChunksResp(b []byte) ([]bool, error) {
+	r := binenc.NewReader(b)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: dup count: %v", ErrBadMessage, err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: dup list too large", ErrBadMessage)
+	}
+	dups := make([]bool, 0, count)
+	for i := uint64(0); i < count; i++ {
+		d, err := r.Bool()
+		if err != nil {
+			return nil, fmt.Errorf("%w: dup %d: %v", ErrBadMessage, i, err)
+		}
+		dups = append(dups, d)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return dups, nil
+}
+
+// EncodeGetChunksReq encodes a fingerprint batch.
+func EncodeGetChunksReq(fps []fingerprint.Fingerprint) []byte {
+	w := binenc.NewWriter(8 + len(fps)*fingerprint.Size)
+	w.Uvarint(uint64(len(fps)))
+	for i := range fps {
+		w.Raw(fps[i][:])
+	}
+	return w.Bytes()
+}
+
+// DecodeGetChunksReq decodes a fingerprint batch.
+func DecodeGetChunksReq(b []byte) ([]fingerprint.Fingerprint, error) {
+	r := binenc.NewReader(b)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: fp count: %v", ErrBadMessage, err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: fp batch too large", ErrBadMessage)
+	}
+	fps := make([]fingerprint.Fingerprint, 0, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: fp %d: %v", ErrBadMessage, i, err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return nil, err
+		}
+		fps = append(fps, fp)
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return fps, nil
+}
+
+// EncodeBlobReq encodes a PutBlob or GetBlob request; data is nil for
+// gets.
+func EncodeBlobReq(ns, name string, data []byte) []byte {
+	w := binenc.NewWriter(len(ns) + len(name) + len(data) + 16)
+	w.String(ns)
+	w.String(name)
+	w.WriteBytes(data)
+	return w.Bytes()
+}
+
+// DecodeBlobReq decodes EncodeBlobReq output.
+func DecodeBlobReq(b []byte) (ns, name string, data []byte, err error) {
+	r := binenc.NewReader(b)
+	if ns, err = r.ReadString(); err != nil {
+		return "", "", nil, fmt.Errorf("%w: blob ns: %v", ErrBadMessage, err)
+	}
+	if name, err = r.ReadString(); err != nil {
+		return "", "", nil, fmt.Errorf("%w: blob name: %v", ErrBadMessage, err)
+	}
+	if data, err = r.ReadBytesCopy(); err != nil {
+		return "", "", nil, fmt.Errorf("%w: blob data: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return "", "", nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return ns, name, data, nil
+}
+
+// Stats mirrors dedup.Stats over the wire.
+type Stats struct {
+	TotalPuts     uint64
+	DedupedPuts   uint64
+	LogicalBytes  uint64
+	PhysicalBytes uint64
+	StubBytes     uint64
+}
+
+// EncodeStats encodes server statistics.
+func EncodeStats(s Stats) []byte {
+	w := binenc.NewWriter(40)
+	w.Uint64(s.TotalPuts)
+	w.Uint64(s.DedupedPuts)
+	w.Uint64(s.LogicalBytes)
+	w.Uint64(s.PhysicalBytes)
+	w.Uint64(s.StubBytes)
+	return w.Bytes()
+}
+
+// DecodeStats decodes server statistics.
+func DecodeStats(b []byte) (Stats, error) {
+	r := binenc.NewReader(b)
+	var s Stats
+	var err error
+	if s.TotalPuts, err = r.Uint64(); err != nil {
+		return s, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+	}
+	if s.DedupedPuts, err = r.Uint64(); err != nil {
+		return s, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+	}
+	if s.LogicalBytes, err = r.Uint64(); err != nil {
+		return s, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+	}
+	if s.PhysicalBytes, err = r.Uint64(); err != nil {
+		return s, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+	}
+	if s.StubBytes, err = r.Uint64(); err != nil {
+		return s, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return s, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return s, nil
+}

@@ -1,0 +1,233 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frame")
+	if err := WriteFrame(&buf, MsgKeyGenReq, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgKeyGenReq || !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %v, %q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgStatsReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgStatsReq || len(got) != 0 {
+		t.Fatalf("frame = %v, %v, %v", typ, got, err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, MsgPutBlobReq, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		_, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, byte(MsgError), 1, 2}) // claims 10, has 3
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated body expected error")
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, MsgError, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	re, err := DecodeError(EncodeError("boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Message != "boom" || re.Error() != "remote: boom" {
+		t.Fatalf("RemoteError = %+v", re)
+	}
+}
+
+func TestBlobListRoundTrip(t *testing.T) {
+	items := [][]byte{[]byte("a"), nil, []byte("ccc")}
+	got, err := DecodeBlobList(EncodeBlobList(items), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], []byte("a")) || len(got[1]) != 0 || !bytes.Equal(got[2], []byte("ccc")) {
+		t.Fatalf("DecodeBlobList = %v", got)
+	}
+}
+
+func TestBlobListLimit(t *testing.T) {
+	items := [][]byte{{1}, {2}, {3}}
+	if _, err := DecodeBlobList(EncodeBlobList(items), 2); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("error = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestPutChunksRoundTrip(t *testing.T) {
+	chunks := []ChunkUpload{
+		{FP: fingerprint.New([]byte("a")), Data: []byte("trimmed-a")},
+		{FP: fingerprint.New([]byte("b")), Data: []byte("trimmed-b")},
+	}
+	got, err := DecodePutChunksReq(EncodePutChunksReq(chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("count = %d", len(got))
+	}
+	for i := range chunks {
+		if got[i].FP != chunks[i].FP || !bytes.Equal(got[i].Data, chunks[i].Data) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestPutChunksRespRoundTrip(t *testing.T) {
+	dups := []bool{true, false, true}
+	got, err := DecodePutChunksResp(EncodePutChunksResp(dups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dups {
+		if got[i] != dups[i] {
+			t.Fatalf("dup %d mismatch", i)
+		}
+	}
+}
+
+func TestGetChunksRoundTrip(t *testing.T) {
+	fps := []fingerprint.Fingerprint{
+		fingerprint.New([]byte("x")),
+		fingerprint.New([]byte("y")),
+	}
+	got, err := DecodeGetChunksReq(EncodeGetChunksReq(fps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fps {
+		if got[i] != fps[i] {
+			t.Fatalf("fp %d mismatch", i)
+		}
+	}
+}
+
+func TestBlobReqRoundTrip(t *testing.T) {
+	ns, name, data, err := DecodeBlobReq(EncodeBlobReq("stubs", "file-1", []byte("stub bytes")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != "stubs" || name != "file-1" || !bytes.Equal(data, []byte("stub bytes")) {
+		t.Fatalf("blob req = %q %q %q", ns, name, data)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	s := Stats{TotalPuts: 1, DedupedPuts: 2, LogicalBytes: 3, PhysicalBytes: 4, StubBytes: 5}
+	got, err := DecodeStats(EncodeStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("stats = %+v, want %+v", got, s)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	garbage := []byte{0xFF, 0x01, 0x02}
+	decoders := map[string]func([]byte) error{
+		"Error":         func(b []byte) error { _, err := DecodeError(b); return err },
+		"BlobList":      func(b []byte) error { _, err := DecodeBlobList(b, 10); return err },
+		"PutChunksReq":  func(b []byte) error { _, err := DecodePutChunksReq(b); return err },
+		"PutChunksResp": func(b []byte) error { _, err := DecodePutChunksResp(b); return err },
+		"GetChunksReq":  func(b []byte) error { _, err := DecodeGetChunksReq(b); return err },
+		"BlobReq":       func(b []byte) error { _, _, _, err := DecodeBlobReq(b); return err },
+		"Stats":         func(b []byte) error { _, err := DecodeStats(b); return err },
+	}
+	for name, dec := range decoders {
+		t.Run(name, func(t *testing.T) {
+			if err := dec(garbage); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgKeyGenReq.String() != "KeyGenReq" {
+		t.Fatalf("String = %q", MsgKeyGenReq.String())
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Fatalf("String = %q", MsgType(200).String())
+	}
+}
+
+func TestListBlobsRoundTrip(t *testing.T) {
+	ns, err := DecodeListBlobsReq(EncodeListBlobsReq("recipes"))
+	if err != nil || ns != "recipes" {
+		t.Fatalf("ListBlobsReq round trip = %q, %v", ns, err)
+	}
+	names, err := DecodeListBlobsResp(EncodeListBlobsResp([]string{"/a", "/b"}))
+	if err != nil || len(names) != 2 || names[0] != "/a" || names[1] != "/b" {
+		t.Fatalf("ListBlobsResp round trip = %v, %v", names, err)
+	}
+	// Empty listing.
+	names, err = DecodeListBlobsResp(EncodeListBlobsResp(nil))
+	if err != nil || len(names) != 0 {
+		t.Fatalf("empty listing = %v, %v", names, err)
+	}
+}
+
+func TestListBlobsDecodeErrors(t *testing.T) {
+	if _, err := DecodeListBlobsReq(nil); err == nil {
+		t.Fatal("empty req accepted")
+	}
+	if _, err := DecodeListBlobsReq(append(EncodeListBlobsReq("x"), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeListBlobsResp([]byte{0xFF}); err == nil {
+		t.Fatal("garbage resp accepted")
+	}
+}

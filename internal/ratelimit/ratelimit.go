@@ -1,0 +1,117 @@
+// Package ratelimit implements a token-bucket rate limiter.
+//
+// REED's key manager rate-limits key-generation requests per client to
+// defend against online brute-force attacks (a compromised client probing
+// MLE keys for candidate chunks), following DupLESS. The same primitive
+// throttles internal/netem's emulated network links.
+package ratelimit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Limiter is a token bucket: tokens accrue at Rate per second up to
+// Burst; each permitted event consumes tokens. The zero value is not
+// usable; use New.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// New returns a limiter admitting rate tokens per second with the given
+// burst. Both must be positive.
+func New(rate float64, burst float64) (*Limiter, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, errors.New("ratelimit: rate and burst must be positive")
+	}
+	l := &Limiter{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	l.last = l.now()
+	return l, nil
+}
+
+// SetClock replaces the limiter's clock; tests use it to advance time
+// deterministically.
+func (l *Limiter) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+	l.last = now()
+}
+
+// refillLocked accrues tokens since the last observation.
+func (l *Limiter) refillLocked() {
+	now := l.now()
+	elapsed := now.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+}
+
+// Allow reports whether n tokens are available now, consuming them if so.
+func (l *Limiter) Allow(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= n {
+		l.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Wait blocks until n tokens are available (consuming them) or the
+// context is done. n may exceed the burst; the wait is then proportional
+// to the deficit. Waiters reserve tokens by driving the balance negative,
+// which serializes concurrent waiters fairly without a queue.
+func (l *Limiter) Wait(ctx context.Context, n float64) error {
+	if n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	l.refillLocked()
+	deficit := n - l.tokens
+	l.tokens -= n // may go negative: a reservation future refills repay
+	l.mu.Unlock()
+
+	if deficit <= 0 {
+		return nil
+	}
+	wait := time.Duration(deficit / l.rate * float64(time.Second))
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		// Refund the reservation.
+		l.mu.Lock()
+		l.tokens += n
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.mu.Unlock()
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Tokens returns the currently available tokens (for tests/metrics).
+func (l *Limiter) Tokens() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	return l.tokens
+}

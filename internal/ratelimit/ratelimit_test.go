@@ -1,0 +1,195 @@
+package ratelimit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct{ rate, burst float64 }{
+		{0, 1}, {1, 0}, {-1, 1}, {1, -1},
+	}
+	for _, tt := range tests {
+		if _, err := New(tt.rate, tt.burst); err == nil {
+			t.Fatalf("New(%v, %v) expected error", tt.rate, tt.burst)
+		}
+	}
+}
+
+func TestAllowConsumesBurst(t *testing.T) {
+	l, err := New(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	l.SetClock(clock.Now)
+
+	for i := 0; i < 5; i++ {
+		if !l.Allow(1) {
+			t.Fatalf("Allow %d within burst returned false", i)
+		}
+	}
+	if l.Allow(1) {
+		t.Fatal("Allow beyond burst returned true")
+	}
+}
+
+func TestAllowRefillsOverTime(t *testing.T) {
+	l, err := New(10, 5) // 10 tokens/sec
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	l.SetClock(clock.Now)
+
+	for i := 0; i < 5; i++ {
+		l.Allow(1)
+	}
+	if l.Allow(1) {
+		t.Fatal("bucket should be empty")
+	}
+	clock.Advance(300 * time.Millisecond) // +3 tokens
+	if !l.Allow(3) {
+		t.Fatal("expected 3 tokens after 300ms")
+	}
+	if l.Allow(1) {
+		t.Fatal("expected no tokens left")
+	}
+}
+
+func TestAllowClampsAtBurst(t *testing.T) {
+	l, err := New(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	l.SetClock(clock.Now)
+	clock.Advance(time.Hour)
+	if got := l.Tokens(); got != 5 {
+		t.Fatalf("Tokens = %v, want clamped 5", got)
+	}
+}
+
+func TestAllowZeroOrNegative(t *testing.T) {
+	l, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Allow(0) || !l.Allow(-3) {
+		t.Fatal("Allow(<=0) should always succeed")
+	}
+}
+
+func TestWaitImmediateWhenTokensAvailable(t *testing.T) {
+	l, err := New(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Wait(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Wait with available tokens blocked for %v", elapsed)
+	}
+}
+
+func TestWaitBlocksForDeficit(t *testing.T) {
+	l, err := New(100, 1) // fast refill to keep the test quick
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Wait(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Wait(context.Background(), 5); err != nil { // deficit 5 @ 100/s = 50ms
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Wait returned after %v, expected ~50ms block", elapsed)
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	l, err := New(0.1, 1) // very slow refill
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Allow(1) // drain
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := l.Wait(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestWaitCancelRefunds(t *testing.T) {
+	l, err := New(0.001, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Allow(10) // drain
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_ = l.Wait(ctx, 4) // will cancel; reservation must be refunded
+	// After refund the balance should be ~0 (not -4).
+	if got := l.Tokens(); got < -0.5 {
+		t.Fatalf("Tokens after cancel = %v, reservation not refunded", got)
+	}
+}
+
+func TestConcurrentAllow(t *testing.T) {
+	l, err := New(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		granted int
+	)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if l.Allow(1) {
+					mu.Lock()
+					granted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 100 burst tokens plus at most a token or two of refill.
+	if granted > 105 {
+		t.Fatalf("granted %d exceeds burst under concurrency", granted)
+	}
+}

@@ -1,0 +1,31 @@
+package recipe
+
+import (
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	valid := (&Recipe{
+		Path:       "/f",
+		Size:       100,
+		Scheme:     2,
+		KeyVersion: 3,
+		Chunks:     []ChunkRef{{Fingerprint: fingerprint.New([]byte("c")), Size: 100}},
+	}).Marshal()
+	f.Add(valid)
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoded recipe fails validation: %v", err)
+		}
+		if _, err := Unmarshal(r.Marshal()); err != nil {
+			t.Fatalf("re-marshal round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/fingerprint"
+	"repro/internal/proto"
+)
+
+// Dialer opens a connection to an address (injectable for link
+// emulation).
+type Dialer func(addr string) (net.Conn, error)
+
+// Client is the client side of one storage-server connection. Requests
+// serialize on the connection; open several Clients to the same server
+// for parallelism, as the REED client does (Section V-B).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialStore connects to the storage server at addr. A nil dialer uses
+// plain TCP.
+func DialStore(addr string, dialer Dialer) (*Client, error) {
+	if dialer == nil {
+		dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dialer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("server client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<20),
+		bw:   bufio.NewWriterSize(conn, 1<<20),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) call(typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	respType, respPayload, err := proto.ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if respType == proto.MsgError {
+		re, derr := proto.DecodeError(respPayload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, re
+	}
+	if respType != want {
+		return nil, fmt.Errorf("server client: unexpected response %v, want %v", respType, want)
+	}
+	return respPayload, nil
+}
+
+// PutChunks uploads a batch of trimmed packages and returns per-chunk
+// duplicate flags.
+func (c *Client) PutChunks(chunks []proto.ChunkUpload) ([]bool, error) {
+	if len(chunks) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(proto.MsgPutChunksReq, proto.EncodePutChunksReq(chunks), proto.MsgPutChunksResp)
+	if err != nil {
+		return nil, err
+	}
+	dups, err := proto.DecodePutChunksResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(dups) != len(chunks) {
+		return nil, errors.New("server client: dup count mismatch")
+	}
+	return dups, nil
+}
+
+// GetChunks fetches a batch of trimmed packages by fingerprint, in
+// order.
+func (c *Client) GetChunks(fps []fingerprint.Fingerprint) ([][]byte, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(proto.MsgGetChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgGetChunksResp)
+	if err != nil {
+		return nil, err
+	}
+	datas, err := proto.DecodeBlobList(payload, len(fps))
+	if err != nil {
+		return nil, err
+	}
+	if len(datas) != len(fps) {
+		return nil, errors.New("server client: chunk count mismatch")
+	}
+	return datas, nil
+}
+
+// PutBlob stores a blob (recipe, stub file, or key state).
+func (c *Client) PutBlob(ns, name string, data []byte) error {
+	_, err := c.call(proto.MsgPutBlobReq, proto.EncodeBlobReq(ns, name, data), proto.MsgPutBlobResp)
+	return err
+}
+
+// GetBlob fetches a blob.
+func (c *Client) GetBlob(ns, name string) ([]byte, error) {
+	return c.call(proto.MsgGetBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgGetBlobResp)
+}
+
+// DerefChunks drops one reference from each listed chunk, returning how
+// many were freed entirely.
+func (c *Client) DerefChunks(fps []fingerprint.Fingerprint) (uint64, error) {
+	if len(fps) == 0 {
+		return 0, nil
+	}
+	payload, err := c.call(proto.MsgDerefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgDerefChunksResp)
+	if err != nil {
+		return 0, err
+	}
+	return proto.DecodeDerefChunksResp(payload)
+}
+
+// DeleteBlob removes a blob.
+func (c *Client) DeleteBlob(ns, name string) error {
+	_, err := c.call(proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp)
+	return err
+}
+
+// Challenge asks the server to prove possession of a chunk: it returns
+// H(nonce || stored bytes).
+func (c *Client) Challenge(fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
+	return c.call(proto.MsgChallengeReq, proto.EncodeChallengeReq(fp, nonce), proto.MsgChallengeResp)
+}
+
+// ListBlobs lists the blob names in a namespace.
+func (c *Client) ListBlobs(ns string) ([]string, error) {
+	payload, err := c.call(proto.MsgListBlobsReq, proto.EncodeListBlobsReq(ns), proto.MsgListBlobsResp)
+	if err != nil {
+		return nil, err
+	}
+	return proto.DecodeListBlobsResp(payload)
+}
+
+// Stats fetches the server's dedup statistics.
+func (c *Client) Stats() (proto.Stats, error) {
+	payload, err := c.call(proto.MsgStatsReq, nil, proto.MsgStatsResp)
+	if err != nil {
+		return proto.Stats{}, err
+	}
+	return proto.DecodeStats(payload)
+}

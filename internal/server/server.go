@@ -1,0 +1,342 @@
+// Package server implements the REED storage server: the cloud-side
+// process that performs server-side deduplication on trimmed packages
+// and manages the data store and key store (Section III-A).
+//
+// A server exposes two planes over the wire protocol:
+//
+//   - the chunk plane: batched puts of trimmed packages (deduplicated
+//     into 4 MB containers via internal/dedup) and batched gets;
+//   - the blob plane: file recipes, encrypted stub files, and encrypted
+//     key states, stored verbatim.
+//
+// The paper deploys four data-store servers plus one key-store server;
+// both roles run this same server type, differing only in which planes
+// clients use.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/dedup"
+	"repro/internal/fingerprint"
+	"repro/internal/proto"
+	"repro/internal/store"
+)
+
+// allowedNamespaces lists the blob namespaces clients may touch.
+var allowedNamespaces = map[string]bool{
+	store.NSRecipes:   true,
+	store.NSStubs:     true,
+	store.NSKeyStates: true,
+}
+
+// Server is one REED storage server.
+type Server struct {
+	backend store.Backend
+	chunks  *dedup.Store
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	shutdown  bool
+	stubSizes map[string]int // stub blob name -> current size
+	stubBytes uint64
+}
+
+// New returns a server over the given backend.
+func New(backend store.Backend) (*Server, error) {
+	chunks, err := dedup.Open(backend, dedup.DefaultContainerSize)
+	if err != nil {
+		return nil, fmt.Errorf("server: open dedup store: %w", err)
+	}
+	return &Server{
+		backend:   backend,
+		chunks:    chunks,
+		conns:     make(map[net.Conn]struct{}),
+		stubSizes: make(map[string]int),
+	}, nil
+}
+
+// Serve accepts connections until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops the server and flushes the dedup store.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.chunks.Flush()
+}
+
+// Stats returns the server's dedup statistics.
+func (s *Server) Stats() proto.Stats {
+	d := s.chunks.Stats()
+	s.mu.Lock()
+	stub := s.stubBytes
+	s.mu.Unlock()
+	return proto.Stats{
+		TotalPuts:     d.TotalPuts,
+		DedupedPuts:   d.DedupedPuts,
+		LogicalBytes:  d.LogicalBytes,
+		PhysicalBytes: d.PhysicalBytes,
+		StubBytes:     stub,
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 1<<20)
+	for {
+		typ, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		respType, respPayload := s.dispatch(typ, payload)
+		if err := proto.WriteFrame(bw, respType, respPayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
+	switch typ {
+	case proto.MsgPutChunksReq:
+		return s.putChunks(payload)
+	case proto.MsgGetChunksReq:
+		return s.getChunks(payload)
+	case proto.MsgPutBlobReq:
+		return s.putBlob(payload)
+	case proto.MsgGetBlobReq:
+		return s.getBlob(payload)
+	case proto.MsgListBlobsReq:
+		return s.listBlobs(payload)
+	case proto.MsgDerefChunksReq:
+		return s.derefChunks(payload)
+	case proto.MsgDeleteBlobReq:
+		return s.deleteBlob(payload)
+	case proto.MsgChallengeReq:
+		return s.challenge(payload)
+	case proto.MsgStatsReq:
+		return proto.MsgStatsResp, proto.EncodeStats(s.Stats())
+	default:
+		return proto.MsgError, proto.EncodeError("server: unexpected message " + typ.String())
+	}
+}
+
+func (s *Server) putChunks(payload []byte) (proto.MsgType, []byte) {
+	chunks, err := proto.DecodePutChunksReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	dups := make([]bool, len(chunks))
+	for i, c := range chunks {
+		// Verify the claimed fingerprint. Deduplication stores one copy
+		// per fingerprint across all users, so accepting an unverified
+		// (fingerprint, data) pair would let a malicious client poison
+		// chunks that other users' recipes reference. (The paper's
+		// honest-but-curious model doesn't require this check; a
+		// deployed system does.)
+		if fingerprint.New(c.Data) != c.FP {
+			return proto.MsgError, proto.EncodeError(fmt.Sprintf(
+				"put chunk %d: fingerprint mismatch (possible poisoning attempt)", i))
+		}
+		dup, err := s.chunks.Put(c.FP, c.Data)
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(fmt.Sprintf("put chunk %d: %v", i, err))
+		}
+		dups[i] = dup
+	}
+	return proto.MsgPutChunksResp, proto.EncodePutChunksResp(dups)
+}
+
+func (s *Server) getChunks(payload []byte) (proto.MsgType, []byte) {
+	fps, err := proto.DecodeGetChunksReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	datas := make([][]byte, len(fps))
+	for i, fp := range fps {
+		data, err := s.chunks.Get(fp)
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(fmt.Sprintf("get chunk %s: %v", fp.Short(), err))
+		}
+		datas[i] = data
+	}
+	return proto.MsgGetChunksResp, proto.EncodeBlobList(datas)
+}
+
+func (s *Server) putBlob(payload []byte) (proto.MsgType, []byte) {
+	ns, name, data, err := proto.DecodeBlobReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if !allowedNamespaces[ns] {
+		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
+	}
+	if err := s.backend.Put(ns, name, data); err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if ns == store.NSStubs {
+		s.mu.Lock()
+		s.stubBytes -= uint64(s.stubSizes[name])
+		s.stubSizes[name] = len(data)
+		s.stubBytes += uint64(len(data))
+		s.mu.Unlock()
+	}
+	return proto.MsgPutBlobResp, nil
+}
+
+func (s *Server) getBlob(payload []byte) (proto.MsgType, []byte) {
+	ns, name, _, err := proto.DecodeBlobReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if !allowedNamespaces[ns] {
+		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
+	}
+	data, err := s.backend.Get(ns, name)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	return proto.MsgGetBlobResp, data
+}
+
+func (s *Server) listBlobs(payload []byte) (proto.MsgType, []byte) {
+	ns, err := proto.DecodeListBlobsReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if !allowedNamespaces[ns] {
+		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
+	}
+	names, err := s.backend.List(ns)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	return proto.MsgListBlobsResp, proto.EncodeListBlobsResp(names)
+}
+
+// derefChunks drops one reference per listed fingerprint (MsgGetChunksReq
+// wire shape) and reports how many chunks were freed outright.
+func (s *Server) derefChunks(payload []byte) (proto.MsgType, []byte) {
+	fps, err := proto.DecodeGetChunksReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	var freed uint64
+	for i, fp := range fps {
+		left, err := s.chunks.Deref(fp)
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(fmt.Sprintf("deref chunk %d: %v", i, err))
+		}
+		if left == 0 {
+			freed++
+		}
+	}
+	return proto.MsgDerefChunksResp, proto.EncodeDerefChunksResp(freed)
+}
+
+// deleteBlob removes a blob (MsgBlobReq wire shape, data ignored).
+func (s *Server) deleteBlob(payload []byte) (proto.MsgType, []byte) {
+	ns, name, _, err := proto.DecodeBlobReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if !allowedNamespaces[ns] {
+		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
+	}
+	if err := s.backend.Delete(ns, name); err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if ns == store.NSStubs {
+		s.mu.Lock()
+		s.stubBytes -= uint64(s.stubSizes[name])
+		delete(s.stubSizes, name)
+		s.mu.Unlock()
+	}
+	return proto.MsgDeleteBlobResp, nil
+}
+
+// challenge answers a remote-data-checking probe: H(nonce || chunk).
+// Possession of the exact stored bytes is required; the nonce prevents
+// precomputation and replay.
+func (s *Server) challenge(payload []byte) (proto.MsgType, []byte) {
+	fp, nonce, err := proto.DecodeChallengeReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	data, err := s.chunks.Get(fp)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("challenge %s: %v", fp.Short(), err))
+	}
+	digest := audit.Response(nonce, data)
+	return proto.MsgChallengeResp, digest[:]
+}
+
+// HasChunk reports whether the fingerprint is stored (test helper).
+func (s *Server) HasChunk(fp fingerprint.Fingerprint) bool {
+	return s.chunks.Has(fp)
+}
+
+// Flush seals the open container and persists the dedup index without
+// stopping the server.
+func (s *Server) Flush() error {
+	return s.chunks.Flush()
+}
+
+// Backend exposes the underlying blob store (fault-injection tests and
+// storage accounting use it).
+func (s *Server) Backend() store.Backend {
+	return s.backend
+}

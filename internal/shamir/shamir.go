@@ -1,0 +1,170 @@
+// Package shamir implements Shamir secret sharing over the prime field
+// GF(p) with p = 2^256 - 189.
+//
+// REED's policy encryption (internal/abe) uses it to share a random
+// secret down an access tree: an AND gate is an n-of-n split, an OR gate
+// replicates the secret, and a k-of-n threshold gate is a Shamir split.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// SecretSize is the byte length of secrets and share values.
+const SecretSize = 32
+
+// prime is 2^256 - 189, the largest prime below 2^256.
+var prime = func() *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), 256)
+	return p.Sub(p, big.NewInt(189))
+}()
+
+// Prime returns a copy of the field modulus.
+func Prime() *big.Int { return new(big.Int).Set(prime) }
+
+// Share is one point (X, Y) of the sharing polynomial. X is never zero
+// (f(0) is the secret).
+type Share struct {
+	X uint32
+	Y [SecretSize]byte
+}
+
+var (
+	// ErrTooFewShares is returned when Combine receives fewer shares
+	// than the threshold used at Split time requires.
+	ErrTooFewShares = errors.New("shamir: not enough shares")
+	// ErrBadParams is returned for invalid n/k parameters.
+	ErrBadParams = errors.New("shamir: invalid parameters")
+)
+
+// GenerateSecret draws a uniformly random field element usable as a
+// secret. If randSrc is nil, crypto/rand.Reader is used.
+func GenerateSecret(randSrc io.Reader) ([SecretSize]byte, error) {
+	var out [SecretSize]byte
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	v, err := rand.Int(randSrc, prime)
+	if err != nil {
+		return out, fmt.Errorf("shamir: generate secret: %w", err)
+	}
+	v.FillBytes(out[:])
+	return out, nil
+}
+
+// Split shares secret into n shares such that any k of them reconstruct
+// it and any k-1 reveal nothing. The secret must be a canonical field
+// element (below the modulus); secrets from GenerateSecret always are.
+// Shares are assigned X coordinates 1..n.
+func Split(secret [SecretSize]byte, n, k int, randSrc io.Reader) ([]Share, error) {
+	if k < 1 || n < k || n >= 1<<16 {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrBadParams, n, k)
+	}
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	s := new(big.Int).SetBytes(secret[:])
+	if s.Cmp(prime) >= 0 {
+		return nil, fmt.Errorf("shamir: secret is not a canonical field element")
+	}
+
+	// Polynomial f(x) = s + a1*x + ... + a_{k-1}*x^{k-1} with random
+	// coefficients.
+	coeffs := make([]*big.Int, k)
+	coeffs[0] = s
+	for i := 1; i < k; i++ {
+		c, err := rand.Int(randSrc, prime)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint32(i + 1)
+		y := evalPoly(coeffs, x)
+		shares[i].X = x
+		y.FillBytes(shares[i].Y[:])
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least k shares produced by a
+// Split with threshold k, using Lagrange interpolation at x = 0. Shares
+// must have distinct X coordinates. Passing shares from different splits
+// yields an undetectably wrong secret — callers verify the result at a
+// higher layer (REED checks the file-key hash path end to end).
+func Combine(shares []Share, k int) ([SecretSize]byte, error) {
+	var out [SecretSize]byte
+	if k < 1 {
+		return out, ErrBadParams
+	}
+	if len(shares) < k {
+		return out, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+	use := shares[:k]
+	seen := make(map[uint32]bool, k)
+	for _, sh := range use {
+		if sh.X == 0 {
+			return out, fmt.Errorf("shamir: share with X=0")
+		}
+		if seen[sh.X] {
+			return out, fmt.Errorf("shamir: duplicate share X=%d", sh.X)
+		}
+		seen[sh.X] = true
+	}
+
+	// secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)  (mod p)
+	acc := new(big.Int)
+	num := new(big.Int)
+	den := new(big.Int)
+	tmp := new(big.Int)
+	for i, si := range use {
+		num.SetInt64(1)
+		den.SetInt64(1)
+		xi := new(big.Int).SetUint64(uint64(si.X))
+		for j, sj := range use {
+			if j == i {
+				continue
+			}
+			xj := tmp.SetUint64(uint64(sj.X))
+			num.Mul(num, xj)
+			num.Mod(num, prime)
+			diff := new(big.Int).Sub(xj, xi)
+			diff.Mod(diff, prime)
+			den.Mul(den, diff)
+			den.Mod(den, prime)
+		}
+		denInv := new(big.Int).ModInverse(den, prime)
+		if denInv == nil {
+			return out, fmt.Errorf("shamir: non-invertible denominator")
+		}
+		term := new(big.Int).SetBytes(si.Y[:])
+		term.Mul(term, num)
+		term.Mod(term, prime)
+		term.Mul(term, denInv)
+		term.Mod(term, prime)
+		acc.Add(acc, term)
+		acc.Mod(acc, prime)
+	}
+	acc.FillBytes(out[:])
+	return out, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x
+// using Horner's rule.
+func evalPoly(coeffs []*big.Int, x uint32) *big.Int {
+	bx := new(big.Int).SetUint64(uint64(x))
+	acc := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(acc, bx)
+		acc.Add(acc, coeffs[i])
+		acc.Mod(acc, prime)
+	}
+	return acc
+}

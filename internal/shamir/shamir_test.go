@@ -1,0 +1,201 @@
+package shamir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimeIsPrime(t *testing.T) {
+	if !Prime().ProbablyPrime(64) {
+		t.Fatal("field modulus is not prime")
+	}
+}
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	secret, err := GenerateSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ n, k int }{
+		{1, 1}, {2, 1}, {2, 2}, {3, 2}, {5, 3}, {10, 10}, {500, 2},
+	}
+	for _, tt := range tests {
+		shares, err := Split(secret, tt.n, tt.k, nil)
+		if err != nil {
+			t.Fatalf("Split(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if len(shares) != tt.n {
+			t.Fatalf("got %d shares, want %d", len(shares), tt.n)
+		}
+		got, err := Combine(shares, tt.k)
+		if err != nil {
+			t.Fatalf("Combine(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if got != secret {
+			t.Fatalf("Combine(%d,%d) recovered wrong secret", tt.n, tt.k)
+		}
+	}
+}
+
+func TestCombineAnySubset(t *testing.T) {
+	secret, err := GenerateSecret(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, k = 7, 4
+	shares, err := Split(secret, n, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(n)
+		subset := make([]Share, k)
+		for i := 0; i < k; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Combine(subset, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("trial %d: wrong secret from subset %v", trial, perm[:k])
+		}
+	}
+}
+
+func TestCombineTooFewShares(t *testing.T) {
+	secret, _ := GenerateSecret(nil)
+	shares, err := Split(secret, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(shares[:2], 3); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("error = %v, want ErrTooFewShares", err)
+	}
+}
+
+// TestInsufficientSharesRevealNothing checks that k-1 shares interpolate
+// to a value different from the secret (information-theoretic hiding is
+// not directly testable, but the reconstruction must not accidentally
+// succeed).
+func TestInsufficientSharesDoNotReconstruct(t *testing.T) {
+	secret, _ := GenerateSecret(nil)
+	shares, err := Split(secret, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Combine(shares[:2], 2) // wrong threshold on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == secret {
+		t.Fatal("k-1 shares reconstructed the secret")
+	}
+}
+
+func TestSplitParamValidation(t *testing.T) {
+	secret, _ := GenerateSecret(nil)
+	tests := []struct{ n, k int }{
+		{0, 0}, {1, 0}, {1, 2}, {-1, 1}, {1 << 16, 1},
+	}
+	for _, tt := range tests {
+		if _, err := Split(secret, tt.n, tt.k, nil); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("Split(%d,%d) error = %v, want ErrBadParams", tt.n, tt.k, err)
+		}
+	}
+}
+
+func TestSplitRejectsNonCanonicalSecret(t *testing.T) {
+	var huge [SecretSize]byte
+	for i := range huge {
+		huge[i] = 0xFF // 2^256-1 > p
+	}
+	if _, err := Split(huge, 3, 2, nil); err == nil {
+		t.Fatal("non-canonical secret expected error")
+	}
+}
+
+func TestCombineDuplicateShares(t *testing.T) {
+	secret, _ := GenerateSecret(nil)
+	shares, err := Split(secret, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []Share{shares[0], shares[0]}
+	if _, err := Combine(dup, 2); err == nil {
+		t.Fatal("duplicate shares expected error")
+	}
+}
+
+func TestCombineZeroXShare(t *testing.T) {
+	var s Share
+	if _, err := Combine([]Share{s}, 1); err == nil {
+		t.Fatal("share with X=0 expected error")
+	}
+}
+
+func TestCombineBadThreshold(t *testing.T) {
+	if _, err := Combine(nil, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestSharesDifferFromSecret(t *testing.T) {
+	secret, _ := GenerateSecret(nil)
+	shares, err := Split(secret, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shares {
+		if sh.Y == secret {
+			t.Fatalf("share %d equals the secret", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		secret, err := GenerateSecret(rng)
+		if err != nil {
+			return false
+		}
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(n)
+		shares, err := Split(secret, n, k, rng)
+		if err != nil {
+			return false
+		}
+		got, err := Combine(shares[n-k:], k)
+		if err != nil {
+			return false
+		}
+		return got == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSplit500Of1(b *testing.B) {
+	secret, _ := GenerateSecret(nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, 500, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombine3(b *testing.B) {
+	secret, _ := GenerateSecret(nil)
+	shares, _ := Split(secret, 5, 3, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(shares, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package store provides the flat blob storage backends behind REED's
+// data store and key store.
+//
+// The paper separates the storage backend into a data store (file
+// recipes, trimmed packages in containers, stub files) and a key store
+// (encrypted key states). Both are namespace/key → blob maps; this
+// package supplies an in-memory backend for tests and benchmarks and a
+// disk backend mirroring the prototype's local-disk deployment.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known namespaces.
+const (
+	NSContainers = "containers"
+	NSRecipes    = "recipes"
+	NSStubs      = "stubs"
+	NSKeyStates  = "keystates"
+	NSMeta       = "meta"
+)
+
+// ErrNotFound is returned when a blob does not exist.
+var ErrNotFound = errors.New("store: not found")
+
+// Backend is a flat blob store keyed by (namespace, name).
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Put stores data under (ns, name), overwriting any existing blob.
+	Put(ns, name string, data []byte) error
+	// Get returns the blob at (ns, name) or ErrNotFound.
+	Get(ns, name string) ([]byte, error)
+	// Has reports whether (ns, name) exists.
+	Has(ns, name string) (bool, error)
+	// Delete removes (ns, name); deleting a missing blob is not an
+	// error.
+	Delete(ns, name string) error
+	// List returns the names in ns, sorted.
+	List(ns string) ([]string, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Memory is an in-memory Backend.
+type Memory struct {
+	mu   sync.RWMutex
+	data map[string]map[string][]byte
+}
+
+var _ Backend = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[string]map[string][]byte)}
+}
+
+// Put implements Backend.
+func (m *Memory) Put(ns, name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nsMap, ok := m.data[ns]
+	if !ok {
+		nsMap = make(map[string][]byte)
+		m.data[ns] = nsMap
+	}
+	nsMap[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Backend.
+func (m *Memory) Get(ns, name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	blob, ok := m.data[ns][name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, ns, name)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Has implements Backend.
+func (m *Memory) Has(ns, name string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.data[ns][name]
+	return ok, nil
+}
+
+// Delete implements Backend.
+func (m *Memory) Delete(ns, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.data[ns], name)
+	return nil
+}
+
+// List implements Backend.
+func (m *Memory) List(ns string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.data[ns]))
+	for name := range m.data[ns] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close implements Backend.
+func (m *Memory) Close() error { return nil }
+
+// TotalBytes returns the summed blob sizes (for storage accounting).
+func (m *Memory) TotalBytes(ns string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, blob := range m.data[ns] {
+		total += int64(len(blob))
+	}
+	return total
+}
+
+// Disk is a Backend storing each blob as a file under root/ns/name.
+// Names are percent-escaped to stay within a single directory level.
+type Disk struct {
+	root string
+	mu   sync.RWMutex
+}
+
+var _ Backend = (*Disk)(nil)
+
+// NewDisk returns a disk backend rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+// escape makes a blob name filesystem-safe.
+func escape(name string) string {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_':
+			sb.WriteByte(c)
+		default:
+			fmt.Fprintf(&sb, "%%%02X", c)
+		}
+	}
+	return sb.String()
+}
+
+// unescape inverts escape.
+func unescape(name string) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", fmt.Errorf("store: bad escape in %q", name)
+		}
+		var v int
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("store: bad escape in %q: %w", name, err)
+		}
+		sb.WriteByte(byte(v))
+		i += 2
+	}
+	return sb.String(), nil
+}
+
+func (d *Disk) path(ns, name string) string {
+	return filepath.Join(d.root, escape(ns), escape(name))
+}
+
+// Put implements Backend. Writes go through a temp file + rename so a
+// crash never leaves a torn blob.
+func (d *Disk) Put(ns, name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dir := filepath.Join(d.root, escape(ns))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: mkdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, d.path(ns, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Get implements Backend.
+func (d *Disk) Get(ns, name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	data, err := os.ReadFile(d.path(ns, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, ns, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	return data, nil
+}
+
+// Has implements Backend.
+func (d *Disk) Has(ns, name string) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, err := os.Stat(d.path(ns, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: stat: %w", err)
+	}
+	return true, nil
+}
+
+// Delete implements Backend.
+func (d *Disk) Delete(ns, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := os.Remove(d.path(ns, name))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// List implements Backend.
+func (d *Disk) List(ns string) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	entries, err := os.ReadDir(filepath.Join(d.root, escape(ns)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		// Escaped names never start with '.'; skip temp files and
+		// other dotfiles.
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		name, err := unescape(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close implements Backend.
+func (d *Disk) Close() error { return nil }

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// backends returns one of each Backend implementation for shared tests.
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{
+		"memory": NewMemory(),
+		"disk":   disk,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put(NSRecipes, "file-1", []byte("recipe data")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Get(NSRecipes, "file-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, []byte("recipe data")) {
+				t.Fatalf("Get = %q", got)
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if _, err := b.Get(NSRecipes, "absent"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("error = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestHas(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if ok, err := b.Has(NSStubs, "x"); err != nil || ok {
+				t.Fatalf("Has(absent) = %v, %v", ok, err)
+			}
+			if err := b.Put(NSStubs, "x", []byte("s")); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := b.Has(NSStubs, "x"); err != nil || !ok {
+				t.Fatalf("Has(present) = %v, %v", ok, err)
+			}
+		})
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			b.Put(NSMeta, "k", []byte("v1"))
+			b.Put(NSMeta, "k", []byte("v2"))
+			got, err := b.Get(NSMeta, "k")
+			if err != nil || !bytes.Equal(got, []byte("v2")) {
+				t.Fatalf("Get after overwrite = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			b.Put(NSMeta, "k", []byte("v"))
+			if err := b.Delete(NSMeta, "k"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Get(NSMeta, "k"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("error = %v, want ErrNotFound", err)
+			}
+			// Deleting a missing blob is not an error.
+			if err := b.Delete(NSMeta, "k"); err != nil {
+				t.Fatalf("Delete(missing) = %v", err)
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			names, err := b.List(NSContainers)
+			if err != nil || len(names) != 0 {
+				t.Fatalf("List(empty) = %v, %v", names, err)
+			}
+			for _, n := range []string{"c", "a", "b"} {
+				b.Put(NSContainers, n, []byte(n))
+			}
+			names, err = b.List(NSContainers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"a", "b", "c"}
+			if len(names) != 3 {
+				t.Fatalf("List = %v", names)
+			}
+			for i := range want {
+				if names[i] != want[i] {
+					t.Fatalf("List = %v, want sorted %v", names, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			b.Put(NSRecipes, "k", []byte("recipe"))
+			b.Put(NSStubs, "k", []byte("stub"))
+			got, err := b.Get(NSRecipes, "k")
+			if err != nil || !bytes.Equal(got, []byte("recipe")) {
+				t.Fatal("namespace collision")
+			}
+		})
+	}
+}
+
+func TestAwkwardNames(t *testing.T) {
+	awkward := []string{
+		"path/with/slashes",
+		"spaces and %percent",
+		"unicode-日本語",
+		"..",
+		"trailing.",
+	}
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			for _, key := range awkward {
+				if err := b.Put(NSRecipes, key, []byte(key)); err != nil {
+					t.Fatalf("Put(%q): %v", key, err)
+				}
+				got, err := b.Get(NSRecipes, key)
+				if err != nil || !bytes.Equal(got, []byte(key)) {
+					t.Fatalf("Get(%q) = %q, %v", key, got, err)
+				}
+			}
+			names, err := b.List(NSRecipes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != len(awkward) {
+				t.Fatalf("List returned %d names, want %d: %v", len(names), len(awkward), names)
+			}
+		})
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	m := NewMemory()
+	data := []byte("mutable")
+	m.Put(NSMeta, "k", data)
+	data[0] ^= 0xFF
+	got, _ := m.Get(NSMeta, "k")
+	if got[0] == data[0] {
+		t.Fatal("memory backend aliased the caller's slice")
+	}
+}
+
+func TestMemoryTotalBytes(t *testing.T) {
+	m := NewMemory()
+	m.Put(NSContainers, "a", make([]byte, 100))
+	m.Put(NSContainers, "b", make([]byte, 50))
+	m.Put(NSStubs, "c", make([]byte, 7))
+	if got := m.TotalBytes(NSContainers); got != 150 {
+		t.Fatalf("TotalBytes = %d, want 150", got)
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put(NSRecipes, "persist", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got, err := d2.Get(NSRecipes, "persist")
+	if err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	names := []string{"plain", "a/b", "%", "%%25", "ü", ""}
+	for _, n := range names {
+		got, err := unescape(escape(n))
+		if err != nil {
+			t.Fatalf("unescape(escape(%q)): %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("round trip %q -> %q", n, got)
+		}
+	}
+}
+
+func TestUnescapeErrors(t *testing.T) {
+	for _, bad := range []string{"%", "%2", "%zz"} {
+		if _, err := unescape(bad); err == nil {
+			t.Fatalf("unescape(%q) expected error", bad)
+		}
+	}
+}
+
+func TestConcurrentBackendAccess(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						key := fmt.Sprintf("%d-%d", g, i)
+						if err := b.Put(NSMeta, key, []byte(key)); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						if _, err := b.Get(NSMeta, key); err != nil {
+							t.Errorf("Get: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

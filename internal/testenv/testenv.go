@@ -1,0 +1,168 @@
+// Package testenv boots a complete in-process REED deployment — key
+// manager, data-store servers, and key-store server on loopback TCP —
+// for integration tests, benchmarks, and the experiment driver.
+//
+// It mirrors the paper's testbed topology (one key manager, four data
+// servers, one key-store server, clients on separate "machines") with
+// goroutines in one process; an optional netem link caps bandwidth at
+// the testbed's effective 1 Gb/s.
+package testenv
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/abe"
+	"repro/internal/keymanager"
+	"repro/internal/netem"
+	"repro/internal/oprf"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// DataServers is the number of data-store servers (default 4, per
+	// the paper).
+	DataServers int
+	// RSABits sizes the key manager's OPRF key (default 1024, per the
+	// paper; tests may use 512 for speed).
+	RSABits int
+	// KMKey reuses an existing OPRF key instead of generating one
+	// (RSA keygen is the slowest part of cluster startup).
+	KMKey *oprf.ServerKey
+	// LinkBandwidth, if positive, caps client connections at this many
+	// bytes/second via internal/netem.
+	LinkBandwidth float64
+	// LinkRTT adds per-request latency on emulated links.
+	LinkRTT time.Duration
+	// RateLimit, if positive, enables key manager per-client rate
+	// limiting.
+	RateLimit float64
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	KMAddr    string
+	DataAddrs []string
+	KeyAddr   string
+
+	// Authority issues ABE keys for the deployment.
+	Authority *abe.Authority
+
+	// Link is non-nil when bandwidth emulation is on; pass
+	// Link.Dialer(nil) as the client dialer.
+	Link *netem.Link
+
+	km          *keymanager.Server
+	servers     []*server.Server
+	DataServers []*server.Server
+	listeners   []net.Listener
+}
+
+// Start boots a cluster.
+func Start(opts Options) (*Cluster, error) {
+	if opts.DataServers <= 0 {
+		opts.DataServers = 4
+	}
+	if opts.RSABits <= 0 {
+		opts.RSABits = oprf.DefaultBits
+	}
+
+	c := &Cluster{}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	kmKey := opts.KMKey
+	if kmKey == nil {
+		var err error
+		kmKey, err = oprf.GenerateServerKey(opts.RSABits, nil)
+		if err != nil {
+			return nil, fmt.Errorf("testenv: key manager key: %w", err)
+		}
+	}
+	var kmOpts []keymanager.ServerOption
+	if opts.RateLimit > 0 {
+		kmOpts = append(kmOpts, keymanager.WithRateLimit(opts.RateLimit, opts.RateLimit))
+	}
+	c.km = keymanager.NewServer(kmKey, kmOpts...)
+	kmLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c.listeners = append(c.listeners, kmLn)
+	c.KMAddr = kmLn.Addr().String()
+	go func() { _ = c.km.Serve(kmLn) }()
+
+	// Data servers plus one key-store server.
+	for i := 0; i <= opts.DataServers; i++ {
+		srv, err := server.New(store.NewMemory())
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		c.listeners = append(c.listeners, ln)
+		c.servers = append(c.servers, srv)
+		go func() { _ = srv.Serve(ln) }()
+		if i < opts.DataServers {
+			c.DataAddrs = append(c.DataAddrs, ln.Addr().String())
+			c.DataServers = append(c.DataServers, srv)
+		} else {
+			c.KeyAddr = ln.Addr().String()
+		}
+	}
+
+	c.Authority, err = abe.NewAuthority(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.LinkBandwidth > 0 {
+		c.Link, err = netem.NewLinkRTT(opts.LinkBandwidth, opts.LinkRTT)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ok = true
+	return c, nil
+}
+
+// Dialer returns the dialer clients should use: the throttled link when
+// emulation is on, plain TCP otherwise.
+func (c *Cluster) Dialer() func(addr string) (net.Conn, error) {
+	if c.Link != nil {
+		return c.Link.Dialer(nil)
+	}
+	return nil
+}
+
+// KMEvaluations returns the number of OPRF evaluations the key manager
+// has served.
+func (c *Cluster) KMEvaluations() uint64 {
+	if c.km == nil {
+		return 0
+	}
+	return c.km.Evaluations()
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	if c.km != nil {
+		c.km.Shutdown()
+	}
+	for _, s := range c.servers {
+		_ = s.Shutdown()
+	}
+	for _, ln := range c.listeners {
+		_ = ln.Close()
+	}
+}

@@ -1,0 +1,67 @@
+package testenv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/keymanager"
+)
+
+func TestStartAndClose(t *testing.T) {
+	cluster, err := Start(Options{DataServers: 2, RSABits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if len(cluster.DataAddrs) != 2 {
+		t.Fatalf("DataAddrs = %v", cluster.DataAddrs)
+	}
+	if cluster.KeyAddr == "" || cluster.KMAddr == "" {
+		t.Fatal("missing addresses")
+	}
+	if cluster.Authority == nil {
+		t.Fatal("missing authority")
+	}
+	if cluster.Dialer() != nil {
+		t.Fatal("dialer should be nil without link emulation")
+	}
+
+	// The key manager answers.
+	km, err := keymanager.Dial(cluster.KMAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer km.Close()
+}
+
+func TestStartWithLink(t *testing.T) {
+	cluster, err := Start(Options{
+		DataServers:   1,
+		RSABits:       1024,
+		LinkBandwidth: 1 << 30,
+		LinkRTT:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.Link == nil || cluster.Dialer() == nil {
+		t.Fatal("link emulation not active")
+	}
+	// Dialing through the link works.
+	km, err := keymanager.Dial(cluster.KMAddr, keymanager.WithDialer(cluster.Dialer()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer km.Close()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	cluster, err := Start(Options{DataServers: 1, RSABits: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close()
+	cluster.Close() // must not panic
+}

@@ -1,0 +1,124 @@
+package tlsutil
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestIdentityHandshake(t *testing.T) {
+	id, err := NewIdentity(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", id.ServerConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	host, _, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := id.ClientConfig.Clone()
+	cfg.ServerName = host
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cfg)
+	if err != nil {
+		t.Fatalf("TLS dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
+
+func TestUntrustedClientRejected(t *testing.T) {
+	// A client pinning a different certificate must fail the
+	// handshake.
+	idA, err := NewIdentity(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := NewIdentity(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", idA.ServerConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Drive the handshake so the client observes the failure.
+			go func() {
+				if tc, ok := conn.(*tls.Conn); ok {
+					_ = tc.Handshake()
+				}
+				conn.Close()
+			}()
+		}
+	}()
+
+	host, _, _ := net.SplitHostPort(ln.Addr().String())
+	cfg := idB.ClientConfig.Clone()
+	cfg.ServerName = host
+	dialer := &net.Dialer{Timeout: 2 * time.Second}
+	conn, err := tls.DialWithDialer(dialer, "tcp", ln.Addr().String(), cfg)
+	if err == nil {
+		conn.Close()
+		t.Fatal("handshake with unpinned certificate succeeded")
+	}
+}
+
+func TestClientConfigRejectsGarbage(t *testing.T) {
+	if _, err := ClientConfig([]byte("not pem")); err == nil {
+		t.Fatal("garbage PEM accepted")
+	}
+}
+
+func TestIdentityHosts(t *testing.T) {
+	id, err := NewIdentity([]string{"10.1.2.3", "km.internal"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id.CertPEM) == 0 {
+		t.Fatal("empty certificate PEM")
+	}
+}

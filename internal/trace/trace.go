@@ -1,0 +1,305 @@
+// Package trace generates and replays FSL-style backup workloads for
+// REED's trace-driven experiments (Section VI-B).
+//
+// The paper evaluates on the FSL Fslhomes 2013 dataset: 147 daily
+// snapshots of nine users' home directories, each snapshot a list of
+// chunk fingerprints and sizes, 56.2 TB of pre-deduplicated data with
+// ~98.6% cumulative dedup savings. That dataset is an external download,
+// so this package synthesizes statistically similar snapshots instead:
+//
+//   - each user owns a working set of chunks, part of which is shared
+//     with other users (a shared file system);
+//   - each day a small fraction of the working set is modified and the
+//     set grows slightly, so day-over-day snapshots are highly similar
+//     (high dedup ratio) but never identical;
+//   - chunk sizes follow the variable-size chunking profile (2–16 KB,
+//     8 KB average).
+//
+// Chunk bytes are reconstructed from fingerprints exactly as the paper
+// does for its trace runs: "we reconstruct a chunk by repeatedly writing
+// its fingerprint to a spare chunk until reaching the specified chunk
+// size", so identical (distinct) fingerprints yield identical (distinct)
+// chunks.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/binenc"
+	"repro/internal/fingerprint"
+)
+
+// Chunk is one entry of a snapshot: a fingerprint plus chunk size.
+type Chunk struct {
+	FP   fingerprint.Fingerprint
+	Size uint32
+}
+
+// Snapshot is one user's backup for one day.
+type Snapshot struct {
+	User   string
+	Day    int
+	Chunks []Chunk
+}
+
+// LogicalBytes is the pre-deduplication size of the snapshot.
+func (s *Snapshot) LogicalBytes() uint64 {
+	var total uint64
+	for _, c := range s.Chunks {
+		total += uint64(c.Size)
+	}
+	return total
+}
+
+// Config tunes the generator. The zero value is not valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// Users is the number of users (the FSL trace has 9).
+	Users int
+	// Days is the number of daily snapshots (the FSL trace has 147).
+	Days int
+	// BytesPerUserDay is each user's approximate daily logical backup
+	// size.
+	BytesPerUserDay uint64
+	// AvgChunkSize is the mean chunk size (8 KB in the trace).
+	AvgChunkSize int
+	// ChangeRate is the fraction of a user's working set modified each
+	// day. The FSL-like default (~0.005) yields ≈98–99% cumulative
+	// savings over 147 days.
+	ChangeRate float64
+	// SharedFraction is the fraction of each user's working set drawn
+	// from a file-system-wide shared pool (cross-user duplicates).
+	SharedFraction float64
+	// GrowthRate is the daily working-set growth fraction.
+	GrowthRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the FSL Fslhomes 2013 shape, scaled down so the
+// full run fits in memory; scale BytesPerUserDay up for larger runs.
+func DefaultConfig() Config {
+	return Config{
+		Users:           9,
+		Days:            147,
+		BytesPerUserDay: 48 << 20, // scaled stand-in for ~48 GB/user/day
+		AvgChunkSize:    8 * 1024,
+		ChangeRate:      0.005,
+		SharedFraction:  0.2,
+		GrowthRate:      0.002,
+		Seed:            1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Users <= 0 || c.Days <= 0 {
+		return errors.New("trace: users and days must be positive")
+	}
+	if c.BytesPerUserDay == 0 || c.AvgChunkSize <= 0 {
+		return errors.New("trace: sizes must be positive")
+	}
+	if c.ChangeRate < 0 || c.ChangeRate > 1 || c.SharedFraction < 0 || c.SharedFraction > 1 || c.GrowthRate < 0 {
+		return errors.New("trace: rates out of range")
+	}
+	return nil
+}
+
+// chunkID identifies a logical chunk slot; its fingerprint changes when
+// its version bumps.
+type chunkID struct {
+	shared  bool
+	owner   int
+	index   int
+	version int
+}
+
+// Generator produces snapshots day by day, maintaining per-user working
+// sets.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+
+	users  [][]chunkID // per-user working set (slots)
+	shared []int       // version per shared-pool slot
+}
+
+// NewGenerator builds a generator with day-0 working sets.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	slotsPerUser := int(cfg.BytesPerUserDay / uint64(cfg.AvgChunkSize))
+	if slotsPerUser < 1 {
+		slotsPerUser = 1
+	}
+	sharedSlots := int(float64(slotsPerUser) * cfg.SharedFraction)
+	g.shared = make([]int, sharedSlots)
+
+	g.users = make([][]chunkID, cfg.Users)
+	for u := range g.users {
+		set := make([]chunkID, 0, slotsPerUser)
+		for i := 0; i < slotsPerUser; i++ {
+			if i < sharedSlots {
+				// Shared slots reference the common pool.
+				set = append(set, chunkID{shared: true, index: i})
+			} else {
+				set = append(set, chunkID{owner: u, index: i})
+			}
+		}
+		g.users[u] = set
+	}
+	return g, nil
+}
+
+// Day generates the snapshots for one day (all users) and then applies
+// the daily mutation so the next call reflects the following day. Days
+// must be requested in order starting from 0.
+func (g *Generator) Day(day int) ([]Snapshot, error) {
+	if day < 0 || day >= g.cfg.Days {
+		return nil, fmt.Errorf("trace: day %d out of range [0,%d)", day, g.cfg.Days)
+	}
+	out := make([]Snapshot, g.cfg.Users)
+	for u := range g.users {
+		snap := Snapshot{
+			User:   fmt.Sprintf("user%03d", u),
+			Day:    day,
+			Chunks: make([]Chunk, 0, len(g.users[u])),
+		}
+		for _, id := range g.users[u] {
+			snap.Chunks = append(snap.Chunks, g.chunkFor(id))
+		}
+		out[u] = snap
+	}
+	g.mutate()
+	return out, nil
+}
+
+// chunkFor derives the deterministic chunk for a slot at its current
+// version.
+func (g *Generator) chunkFor(id chunkID) Chunk {
+	version := id.version
+	if id.shared {
+		version = g.shared[id.index]
+	}
+	var tag string
+	if id.shared {
+		tag = fmt.Sprintf("shared/%d@%d", id.index, version)
+	} else {
+		tag = fmt.Sprintf("user%d/%d@%d", id.owner, id.index, version)
+	}
+	fp := fingerprint.New([]byte(tag))
+	return Chunk{FP: fp, Size: sizeFor(fp, g.cfg.AvgChunkSize)}
+}
+
+// sizeFor derives a deterministic pseudo-random size around avg from the
+// fingerprint, clamped to the paper's 2–16 KB chunking bounds (scaled
+// when avg differs from 8 KB).
+func sizeFor(fp fingerprint.Fingerprint, avg int) uint32 {
+	// Spread in [avg/2, avg*1.5) keeps the mean at avg.
+	spread := uint32(avg)
+	base := uint32(avg / 2)
+	v := uint32(fp[0])<<8 | uint32(fp[1])
+	return base + v%spread
+}
+
+// mutate applies day-over-day churn: version bumps and growth.
+func (g *Generator) mutate() {
+	// Shared pool churn (affects every user referencing the slot).
+	sharedChanges := int(float64(len(g.shared)) * g.cfg.ChangeRate)
+	for i := 0; i < sharedChanges; i++ {
+		g.shared[g.rng.Intn(len(g.shared))]++
+	}
+	for u := range g.users {
+		set := g.users[u]
+		// Private churn; every daily backup differs at least a little,
+		// so small scaled-down working sets still see one change.
+		changes := int(float64(len(set)) * g.cfg.ChangeRate)
+		if changes < 1 {
+			changes = 1
+		}
+		for i := 0; i < changes; i++ {
+			j := g.rng.Intn(len(set))
+			if !set[j].shared {
+				set[j].version++
+			} else {
+				g.shared[set[j].index]++
+			}
+		}
+		// Growth: new private slots.
+		growth := int(float64(len(set)) * g.cfg.GrowthRate)
+		for i := 0; i < growth; i++ {
+			set = append(set, chunkID{owner: u, index: len(set) + 1_000_000})
+		}
+		g.users[u] = set
+	}
+}
+
+// Materialize reconstructs the chunk's bytes from its fingerprint by
+// repetition, the paper's method for trace-driven runs.
+func Materialize(c Chunk) []byte {
+	out := make([]byte, c.Size)
+	for off := 0; off < len(out); off += fingerprint.Size {
+		copy(out[off:], c.FP[:])
+	}
+	return out
+}
+
+// Marshal encodes a snapshot (for writing trace files to disk).
+func (s *Snapshot) Marshal() []byte {
+	w := binenc.NewWriter(32 + len(s.Chunks)*(fingerprint.Size+4))
+	w.String(s.User)
+	w.Uint32(uint32(s.Day))
+	w.Uvarint(uint64(len(s.Chunks)))
+	for _, c := range s.Chunks {
+		w.Raw(c.FP[:])
+		w.Uint32(c.Size)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalSnapshot decodes a snapshot produced by Marshal.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	r := binenc.NewReader(b)
+	var s Snapshot
+	var err error
+	if s.User, err = r.ReadString(); err != nil {
+		return nil, fmt.Errorf("trace: user: %w", err)
+	}
+	day, err := r.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: day: %w", err)
+	}
+	s.Day = int(day)
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: chunk count: %w", err)
+	}
+	if count > 1<<28 {
+		return nil, errors.New("trace: snapshot too large")
+	}
+	s.Chunks = make([]Chunk, 0, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return nil, fmt.Errorf("trace: chunk %d: %w", i, err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.Uint32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: chunk %d size: %w", i, err)
+		}
+		s.Chunks = append(s.Chunks, Chunk{FP: fp, Size: size})
+	}
+	if !r.Done() {
+		return nil, errors.New("trace: trailing bytes")
+	}
+	return &s, nil
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+// smallConfig keeps tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 3
+	cfg.Days = 10
+	cfg.BytesPerUserDay = 1 << 20
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero users", func(c *Config) { c.Users = 0 }},
+		{"zero days", func(c *Config) { c.Days = 0 }},
+		{"zero bytes", func(c *Config) { c.BytesPerUserDay = 0 }},
+		{"zero chunk", func(c *Config) { c.AvgChunkSize = 0 }},
+		{"bad change rate", func(c *Config) { c.ChangeRate = 1.5 }},
+		{"bad shared fraction", func(c *Config) { c.SharedFraction = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		s1, err := g1.Day(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := g2.Day(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range s1 {
+			if len(s1[u].Chunks) != len(s2[u].Chunks) {
+				t.Fatalf("day %d user %d: chunk counts differ", day, u)
+			}
+			for i := range s1[u].Chunks {
+				if s1[u].Chunks[i] != s2[u].Chunks[i] {
+					t.Fatalf("day %d user %d chunk %d differs", day, u, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDayOverDaySimilarity(t *testing.T) {
+	// Consecutive days must share the vast majority of chunks (that is
+	// what makes the dedup savings of Experiment B.1 possible).
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day0, err := g.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1, err := g.Day(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[fingerprint.Fingerprint]bool)
+	for _, c := range day0[0].Chunks {
+		seen[c.FP] = true
+	}
+	var shared int
+	for _, c := range day1[0].Chunks {
+		if seen[c.FP] {
+			shared++
+		}
+	}
+	ratio := float64(shared) / float64(len(day1[0].Chunks))
+	if ratio < 0.95 {
+		t.Fatalf("day-over-day similarity = %.3f, want >= 0.95", ratio)
+	}
+	if ratio == 1.0 {
+		t.Fatal("consecutive days identical; churn not applied")
+	}
+}
+
+func TestCrossUserSharing(t *testing.T) {
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day0, err := g.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[fingerprint.Fingerprint]bool)
+	for _, c := range day0[0].Chunks {
+		seen[c.FP] = true
+	}
+	var shared int
+	for _, c := range day0[1].Chunks {
+		if seen[c.FP] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no cross-user duplicate chunks")
+	}
+}
+
+func TestCumulativeDedupSavings(t *testing.T) {
+	// Over many days, unique data must be a small fraction of logical
+	// data, in the spirit of the paper's 98.6% saving.
+	cfg := smallConfig()
+	cfg.Days = 30
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logical, physical uint64
+	unique := make(map[fingerprint.Fingerprint]bool)
+	for day := 0; day < cfg.Days; day++ {
+		snaps, err := g.Day(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range snaps {
+			for _, c := range s.Chunks {
+				logical += uint64(c.Size)
+				if !unique[c.FP] {
+					unique[c.FP] = true
+					physical += uint64(c.Size)
+				}
+			}
+		}
+	}
+	saving := 1 - float64(physical)/float64(logical)
+	if saving < 0.9 {
+		t.Fatalf("cumulative saving = %.3f, want >= 0.9", saving)
+	}
+	t.Logf("cumulative dedup saving over %d days: %.2f%%", cfg.Days, saving*100)
+}
+
+func TestChunkSizesInRange(t *testing.T) {
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := g.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	var count int
+	for _, s := range snaps {
+		for _, c := range s.Chunks {
+			if c.Size < 2*1024 || c.Size > 16*1024 {
+				t.Fatalf("chunk size %d outside [2KB,16KB]", c.Size)
+			}
+			total += uint64(c.Size)
+			count++
+		}
+	}
+	avg := int(total) / count
+	if avg < 6*1024 || avg > 10*1024 {
+		t.Fatalf("average chunk size %d too far from 8KB", avg)
+	}
+}
+
+func TestDayOutOfRange(t *testing.T) {
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Day(-1); err == nil {
+		t.Fatal("Day(-1) expected error")
+	}
+	if _, err := g.Day(10_000); err == nil {
+		t.Fatal("Day beyond config expected error")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	c := Chunk{FP: fingerprint.New([]byte("m")), Size: 100}
+	data := Materialize(c)
+	if len(data) != 100 {
+		t.Fatalf("materialized length = %d", len(data))
+	}
+	// The data must start with the fingerprint and repeat it.
+	if !bytes.Equal(data[:fingerprint.Size], c.FP[:]) {
+		t.Fatal("materialized chunk does not start with the fingerprint")
+	}
+	if !bytes.Equal(data[fingerprint.Size:2*fingerprint.Size], c.FP[:]) {
+		t.Fatal("fingerprint not repeated")
+	}
+	// Identical chunk -> identical bytes; distinct -> distinct.
+	if !bytes.Equal(Materialize(c), data) {
+		t.Fatal("Materialize not deterministic")
+	}
+	other := Chunk{FP: fingerprint.New([]byte("n")), Size: 100}
+	if bytes.Equal(Materialize(other), data) {
+		t.Fatal("distinct fingerprints materialized identically")
+	}
+}
+
+func TestSnapshotMarshalRoundTrip(t *testing.T) {
+	g, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := g.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &snaps[0]
+	got, err := UnmarshalSnapshot(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != s.User || got.Day != s.Day || len(got.Chunks) != len(s.Chunks) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range s.Chunks {
+		if got.Chunks[i] != s.Chunks[i] {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalSnapshotErrors(t *testing.T) {
+	if _, err := UnmarshalSnapshot(nil); err == nil {
+		t.Fatal("empty input expected error")
+	}
+	if _, err := UnmarshalSnapshot([]byte{0x01, 0x41, 0xFF}); err == nil {
+		t.Fatal("truncated input expected error")
+	}
+}
+
+func TestLogicalBytes(t *testing.T) {
+	s := Snapshot{Chunks: []Chunk{{Size: 100}, {Size: 200}}}
+	if got := s.LogicalBytes(); got != 300 {
+		t.Fatalf("LogicalBytes = %d, want 300", got)
+	}
+}

@@ -1,0 +1,189 @@
+package reed_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+
+	reed "repro"
+)
+
+// startDeployment boots a minimal REED deployment through the public API
+// only, as a downstream user would.
+func startDeployment(t *testing.T) (dataAddrs []string, keyAddr, kmAddr string, authority *reed.Authority) {
+	t.Helper()
+
+	km, err := reed.NewKeyManagerServer(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = km.Serve(kmLn) }()
+	t.Cleanup(km.Shutdown)
+
+	for i := 0; i < 2; i++ {
+		srv, err := reed.NewStorageServer(reed.NewMemoryBackend())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Shutdown() })
+		dataAddrs = append(dataAddrs, ln.Addr().String())
+	}
+
+	keySrv, err := reed.NewStorageServer(reed.NewMemoryBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = keySrv.Serve(keyLn) }()
+	t.Cleanup(func() { _ = keySrv.Shutdown() })
+
+	authority, err = reed.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataAddrs, keyLn.Addr().String(), kmLn.Addr().String(), authority
+}
+
+func newPublicClient(t *testing.T, user string, dataAddrs []string, keyAddr, kmAddr string, authority *reed.Authority) *reed.Client {
+	t.Helper()
+	owner, err := reed.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reed.NewClient(reed.ClientConfig{
+		UserID:         user,
+		Scheme:         reed.SchemeEnhanced,
+		DataServers:    dataAddrs,
+		KeyStoreServer: keyAddr,
+		KeyManager:     kmAddr,
+		PrivateKey:     authority.IssueKey(user, []string{user}),
+		Directory:      authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestPublicAPIEndToEnd exercises the complete published workflow:
+// deploy, upload, deduplicate, download, revoke.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dataAddrs, keyAddr, kmAddr, authority := startDeployment(t)
+	alice := newPublicClient(t, "alice", dataAddrs, keyAddr, kmAddr, authority)
+	bob := newPublicClient(t, "bob", dataAddrs, keyAddr, kmAddr, authority)
+
+	data := make([]byte, 200<<10)
+	rand.New(rand.NewSource(42)).Read(data)
+
+	res, err := alice.Upload("/shared.dat", bytes.NewReader(data), reed.PolicyForUsers("alice", "bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks == 0 || res.LogicalBytes != uint64(len(data)) {
+		t.Fatalf("upload result = %+v", res)
+	}
+
+	// Both users read the shared file.
+	for name, c := range map[string]*reed.Client{"alice": alice, "bob": bob} {
+		got, err := c.Download("/shared.dat")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%s download: %v", name, err)
+		}
+	}
+
+	// A second upload of the same content deduplicates fully.
+	res2, err := alice.Upload("/copy.dat", bytes.NewReader(data), reed.PolicyForUsers("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DuplicateChunks != res2.Chunks {
+		t.Fatalf("dedup: %d/%d", res2.DuplicateChunks, res2.Chunks)
+	}
+
+	// Revoke bob actively; alice keeps access, bob loses it.
+	if _, err := alice.Rekey("/shared.dat", reed.PolicyForUsers("alice"), reed.ActiveRevocation); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := alice.Download("/shared.dat"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("alice after revocation: %v", err)
+	}
+	if _, err := bob.Download("/shared.dat"); err == nil {
+		t.Fatal("bob still reads after revocation")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	pol, err := reed.ParsePolicy("and(dept, or(alice, bob))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.CountLeaves() != 3 {
+		t.Fatalf("leaves = %d", pol.CountLeaves())
+	}
+	if _, err := reed.ParsePolicy("or("); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestDiskBackedDeployment(t *testing.T) {
+	backend, err := reed.NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := reed.NewStorageServer(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Shutdown()
+
+	// Reuse the rest of a deployment but point data at the disk server.
+	_, keyAddr, kmAddr, authority := startDeployment(t)
+	owner, err := reed.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reed.NewClient(reed.ClientConfig{
+		UserID:         "disk-user",
+		Scheme:         reed.SchemeBasic,
+		DataServers:    []string{ln.Addr().String()},
+		KeyStoreServer: keyAddr,
+		KeyManager:     kmAddr,
+		PrivateKey:     authority.IssueKey("disk-user", []string{"disk-user"}),
+		Directory:      authority,
+		Owner:          owner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := c.Upload("/on-disk", bytes.NewReader(data), reed.PolicyForUsers("disk-user")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Download("/on-disk")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("disk-backed round trip: %v", err)
+	}
+}
