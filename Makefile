@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke clean
+
+# check is the CI gate: vet, build everything, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs one iteration of the Figure 7 upload/download
+# benchmark as a cheap end-to-end exercise of the full data path.
+bench-smoke:
+	$(GO) test -run NONE -bench=Fig7 -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

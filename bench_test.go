@@ -224,6 +224,25 @@ func BenchmarkFig10TraceDriven(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingUpload measures the segment pipeline against the
+// sequential single-segment baseline (cold uploads, emulated LAN). The
+// speedup column is the acceptance metric for the streaming engine.
+func BenchmarkStreamingUpload(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.StreamingUpload(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.PipelinedMBps, fmt.Sprintf("pipe_MBps_%s", p.Scheme))
+			b.ReportMetric(p.SequentialMBps, fmt.Sprintf("seq_MBps_%s", p.Scheme))
+			b.ReportMetric(p.Speedup, fmt.Sprintf("speedup_%s", p.Scheme))
+			b.ReportMetric(p.PeakBufferedMB, fmt.Sprintf("peak_MB_%s", p.Scheme))
+		}
+	}
+}
+
 // BenchmarkAblationNoBatching quantifies request batching.
 func BenchmarkAblationNoBatching(b *testing.B) {
 	o := benchOptions(b)

@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, ablations")
+		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, stream, ablations")
 		fileMB    = flag.Int("file-mb", 64, "file size in MB standing in for the paper's 2 GB")
 		servers   = flag.Int("servers", 4, "number of data-store servers")
 		link      = flag.Bool("link", true, "emulate the paper's 1 Gb/s LAN (~116 MB/s effective)")
@@ -78,6 +78,7 @@ func run() error {
 		{"fig8c", runFig8c},
 		{"fig9", runFig9},
 		{"fig10", runFig10},
+		{"stream", runStream},
 		{"ablations", runAblations},
 	}
 	var ran int
@@ -169,6 +170,24 @@ func runFig7c(o experiments.Options, _ experiments.TraceOptions) error {
 	for _, p := range points {
 		fmt.Printf("%-10d %-16s %.1f MB/s\n", p.Clients,
 			fmt.Sprintf("%.1f MB/s", p.FirstUpMBps), p.SecondUpMBps)
+	}
+	return nil
+}
+
+func runStream(o experiments.Options, _ experiments.TraceOptions) error {
+	header("Streaming pipeline: cold upload speed, segment pipeline vs sequential")
+	points, err := experiments.StreamingUpload(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-10s %-14s %-14s %-10s %s\n",
+		"scheme", "segment", "pipelined", "sequential", "speedup", "peak buffered")
+	for _, p := range points {
+		fmt.Printf("%-12s %-10s %-14s %-14s %-10s %.1f MB\n",
+			p.Scheme, fmt.Sprintf("%d MB", p.SegmentMB),
+			fmt.Sprintf("%.1f MB/s", p.PipelinedMBps),
+			fmt.Sprintf("%.1f MB/s", p.SequentialMBps),
+			fmt.Sprintf("%.2fx", p.Speedup), p.PeakBufferedMB)
 	}
 	return nil
 }

@@ -24,13 +24,19 @@
 //	reed-client rm ... -path /backups/day1.tar
 //	reed-client ls ...
 //	reed-client stats -servers 10.0.0.1:9000 -keystore 10.0.0.3:9001 -km 10.0.0.4:9002 -state /etc/reed -user alice
+//
+// Interrupting a running command (Ctrl-C) cancels the operation: an
+// interrupted upload leaves no partial file visible remotely.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -38,13 +44,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "reed-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return errors.New("usage: reed-client <init-authority|issue|publish|upload|download|verify|rekey|rm|ls|stats> [flags]")
 	}
@@ -56,19 +64,19 @@ func run(args []string) error {
 	case "publish":
 		return cmdPublish(args[1:])
 	case "upload":
-		return cmdUpload(args[1:])
+		return cmdUpload(ctx, args[1:])
 	case "download":
-		return cmdDownload(args[1:])
+		return cmdDownload(ctx, args[1:])
 	case "rekey":
-		return cmdRekey(args[1:])
+		return cmdRekey(ctx, args[1:])
 	case "verify":
-		return cmdVerify(args[1:])
+		return cmdVerify(ctx, args[1:])
 	case "rm":
-		return cmdDelete(args[1:])
+		return cmdDelete(ctx, args[1:])
 	case "ls":
-		return cmdList(args[1:])
+		return cmdList(ctx, args[1:])
 	case "stats":
-		return cmdStats(args[1:])
+		return cmdStats(ctx, args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -239,7 +247,7 @@ func (cf connFlags) connect() (*reed.Client, func() error, error) {
 	return client, saveOwner, nil
 }
 
-func cmdUpload(args []string) error {
+func cmdUpload(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	file := fs.String("file", "", "local file to upload")
@@ -266,16 +274,17 @@ func cmdUpload(args []string) error {
 		return err
 	}
 	defer f.Close()
-	res, err := client.Upload(*as, f, pol)
+	res, err := client.Upload(ctx, *as, f, pol)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("uploaded %s as %s: %d bytes, %d chunks (%d duplicate), key version %d\n",
-		*file, *as, res.LogicalBytes, res.Chunks, res.DuplicateChunks, res.KeyVersion)
+	fmt.Printf("uploaded %s as %s: %d bytes, %d chunks (%d duplicate), key version %d, %.2fs\n",
+		*file, *as, res.LogicalBytes, res.Chunks, res.DuplicateChunks, res.KeyVersion,
+		res.Elapsed.Seconds())
 	return nil
 }
 
-func cmdDownload(args []string) error {
+func cmdDownload(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("download", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	path := fs.String("path", "", "remote path")
@@ -292,18 +301,25 @@ func cmdDownload(args []string) error {
 	}
 	defer finish()
 
-	data, err := client.Download(*path)
+	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	res, err := client.DownloadTo(ctx, *path, f)
+	if err != nil {
+		f.Close()
+		os.Remove(*out)
 		return err
 	}
-	fmt.Printf("downloaded %s to %s: %d bytes\n", *path, *out, len(data))
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("downloaded %s to %s: %d bytes, %.2fs\n",
+		*path, *out, res.LogicalBytes, res.Elapsed.Seconds())
 	return nil
 }
 
-func cmdRekey(args []string) error {
+func cmdRekey(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rekey", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	path := fs.String("path", "", "remote path")
@@ -325,7 +341,7 @@ func cmdRekey(args []string) error {
 	}
 	defer finish()
 
-	res, err := client.Rekey(*path, pol, *active)
+	res, err := client.Rekey(ctx, *path, pol, *active)
 	if err != nil {
 		return err
 	}
@@ -337,14 +353,14 @@ func cmdRekey(args []string) error {
 	if *active {
 		fmt.Printf(", %d stub bytes re-encrypted", res.StubBytes)
 	}
-	fmt.Println()
+	fmt.Printf(", %.2fs\n", res.Elapsed.Seconds())
 	return nil
 }
 
 // cmdDelete securely deletes a file: the key state and stub file are
 // destroyed (cryptographic deletion), then unreferenced chunks are
 // garbage-collected.
-func cmdDelete(args []string) error {
+func cmdDelete(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rm", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	path := fs.String("path", "", "remote path")
@@ -360,7 +376,7 @@ func cmdDelete(args []string) error {
 	}
 	defer finish()
 
-	res, err := client.Delete(*path)
+	res, err := client.Delete(ctx, *path)
 	if err != nil {
 		return err
 	}
@@ -371,7 +387,7 @@ func cmdDelete(args []string) error {
 
 // cmdVerify downloads a file, checks every chunk's integrity (the
 // all-or-nothing transforms detect any tamper), and discards the data.
-func cmdVerify(args []string) error {
+func cmdVerify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	path := fs.String("path", "", "remote path")
@@ -387,15 +403,15 @@ func cmdVerify(args []string) error {
 	}
 	defer finish()
 
-	data, err := client.Download(*path)
+	res, err := client.DownloadTo(ctx, *path, io.Discard)
 	if err != nil {
 		return fmt.Errorf("verification failed: %w", err)
 	}
-	fmt.Printf("%s: %d bytes intact\n", *path, len(data))
+	fmt.Printf("%s: %d bytes intact\n", *path, res.LogicalBytes)
 	return nil
 }
 
-func cmdList(args []string) error {
+func cmdList(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ls", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -407,7 +423,7 @@ func cmdList(args []string) error {
 	}
 	defer finish()
 
-	names, err := client.List()
+	names, err := client.List(ctx)
 	if err != nil {
 		return err
 	}
@@ -417,7 +433,7 @@ func cmdList(args []string) error {
 	return nil
 }
 
-func cmdStats(args []string) error {
+func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	cf := addConnFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -429,7 +445,7 @@ func cmdStats(args []string) error {
 	}
 	defer finish()
 
-	stats, err := client.ServerStats()
+	stats, err := client.ServerStats(ctx)
 	if err != nil {
 		return err
 	}

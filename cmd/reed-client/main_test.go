@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"math/rand"
 	"net"
@@ -61,18 +62,18 @@ func TestCLIWorkflow(t *testing.T) {
 	state := t.TempDir()
 
 	// Provisioning.
-	if err := run([]string{"init-authority", "-state", state}); err != nil {
+	if err := run(context.Background(), []string{"init-authority", "-state", state}); err != nil {
 		t.Fatalf("init-authority: %v", err)
 	}
-	if err := run([]string{"init-authority", "-state", state}); err == nil {
+	if err := run(context.Background(), []string{"init-authority", "-state", state}); err == nil {
 		t.Fatal("second init-authority should refuse to overwrite")
 	}
 	for _, user := range []string{"alice", "bob"} {
-		if err := run([]string{"issue", "-state", state, "-user", user}); err != nil {
+		if err := run(context.Background(), []string{"issue", "-state", state, "-user", user}); err != nil {
 			t.Fatalf("issue %s: %v", user, err)
 		}
 	}
-	if err := run([]string{"publish", "-state", state, "-users", "alice,bob"}); err != nil {
+	if err := run(context.Background(), []string{"publish", "-state", state, "-users", "alice,bob"}); err != nil {
 		t.Fatalf("publish: %v", err)
 	}
 
@@ -86,7 +87,7 @@ func TestCLIWorkflow(t *testing.T) {
 	conn := []string{
 		"-state", state, "-servers", servers, "-keystore", keyAddr, "-km", kmAddr,
 	}
-	if err := run(append([]string{"upload", "-user", "alice",
+	if err := run(context.Background(), append([]string{"upload", "-user", "alice",
 		"-file", src, "-as", "/cli/file.bin", "-policy", "or(alice, bob)"}, conn...)); err != nil {
 		t.Fatalf("upload: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestCLIWorkflow(t *testing.T) {
 	// Download as each authorized user.
 	for _, user := range []string{"alice", "bob"} {
 		out := filepath.Join(state, "out-"+user+".bin")
-		if err := run(append([]string{"download", "-user", user,
+		if err := run(context.Background(), append([]string{"download", "-user", user,
 			"-path", "/cli/file.bin", "-out", out}, conn...)); err != nil {
 			t.Fatalf("download as %s: %v", user, err)
 		}
@@ -108,45 +109,45 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 
 	// Rekey: revoke bob (active).
-	if err := run(append([]string{"rekey", "-user", "alice",
+	if err := run(context.Background(), append([]string{"rekey", "-user", "alice",
 		"-path", "/cli/file.bin", "-policy", "alice", "-active"}, conn...)); err != nil {
 		t.Fatalf("rekey: %v", err)
 	}
 	out := filepath.Join(state, "out-after.bin")
-	if err := run(append([]string{"download", "-user", "alice",
+	if err := run(context.Background(), append([]string{"download", "-user", "alice",
 		"-path", "/cli/file.bin", "-out", out}, conn...)); err != nil {
 		t.Fatalf("download after rekey: %v", err)
 	}
-	if err := run(append([]string{"download", "-user", "bob",
+	if err := run(context.Background(), append([]string{"download", "-user", "bob",
 		"-path", "/cli/file.bin", "-out", out}, conn...)); err == nil {
 		t.Fatal("revoked user downloaded via CLI")
 	}
 
 	// Listing.
-	if err := run(append([]string{"ls", "-user", "alice"}, conn...)); err != nil {
+	if err := run(context.Background(), append([]string{"ls", "-user", "alice"}, conn...)); err != nil {
 		t.Fatalf("ls: %v", err)
 	}
 
 	// Stats.
-	if err := run(append([]string{"stats", "-user", "alice"}, conn...)); err != nil {
+	if err := run(context.Background(), append([]string{"stats", "-user", "alice"}, conn...)); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 }
 
 func TestCLIErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("no args accepted")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(context.Background(), []string{"bogus"}); err == nil {
 		t.Fatal("unknown subcommand accepted")
 	}
-	if err := run([]string{"issue", "-state", t.TempDir(), "-user", "x"}); err == nil {
+	if err := run(context.Background(), []string{"issue", "-state", t.TempDir(), "-user", "x"}); err == nil {
 		t.Fatal("issue without authority accepted")
 	}
-	if err := run([]string{"upload"}); err == nil {
+	if err := run(context.Background(), []string{"upload"}); err == nil {
 		t.Fatal("upload without flags accepted")
 	}
-	if err := run([]string{"init-authority"}); err == nil {
+	if err := run(context.Background(), []string{"init-authority"}); err == nil {
 		t.Fatal("init-authority without -state accepted")
 	}
 }
@@ -156,13 +157,13 @@ func TestCLIErrors(t *testing.T) {
 func TestCLIOwnerPersistsAcrossRekeys(t *testing.T) {
 	servers, keyAddr, kmAddr := startDeployment(t)
 	state := t.TempDir()
-	if err := run([]string{"init-authority", "-state", state}); err != nil {
+	if err := run(context.Background(), []string{"init-authority", "-state", state}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"issue", "-state", state, "-user", "alice"}); err != nil {
+	if err := run(context.Background(), []string{"issue", "-state", state, "-user", "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"publish", "-state", state, "-users", "alice"}); err != nil {
+	if err := run(context.Background(), []string{"publish", "-state", state, "-users", "alice"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -171,20 +172,20 @@ func TestCLIOwnerPersistsAcrossRekeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn := []string{"-state", state, "-servers", servers, "-keystore", keyAddr, "-km", kmAddr}
-	if err := run(append([]string{"upload", "-user", "alice",
+	if err := run(context.Background(), append([]string{"upload", "-user", "alice",
 		"-file", src, "-as", "/p", "-policy", "alice"}, conn...)); err != nil {
 		t.Fatal(err)
 	}
 	// Each rekey is a separate "process"; winding must persist so the
 	// chain version strictly grows and downloads keep working.
 	for i := 0; i < 3; i++ {
-		if err := run(append([]string{"rekey", "-user", "alice",
+		if err := run(context.Background(), append([]string{"rekey", "-user", "alice",
 			"-path", "/p", "-policy", "alice"}, conn...)); err != nil {
 			t.Fatalf("rekey %d: %v", i, err)
 		}
 	}
 	out := filepath.Join(state, "out.bin")
-	if err := run(append([]string{"download", "-user", "alice",
+	if err := run(context.Background(), append([]string{"download", "-user", "alice",
 		"-path", "/p", "-out", out}, conn...)); err != nil {
 		t.Fatalf("download after rekeys: %v", err)
 	}

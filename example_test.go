@@ -1,12 +1,16 @@
 package reed_test
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"net"
 
 	reed "repro"
 )
+
+// ctx is the default context test call sites run under.
+var ctx = context.Background()
 
 // Example demonstrates the complete REED lifecycle against an
 // in-process deployment: provision, upload, deduplicate, download, and
@@ -56,21 +60,21 @@ func Example() {
 
 	// Upload, shared with bob; then revoke bob.
 	data := bytes.Repeat([]byte("backup data "), 10000)
-	res, err := client.Upload("/demo.bin", bytes.NewReader(data), reed.PolicyForUsers("alice", "bob"))
+	res, err := client.Upload(ctx, "/demo.bin", bytes.NewReader(data), reed.PolicyForUsers("alice", "bob"))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Printf("uploaded %d bytes in %d chunks\n", res.LogicalBytes, res.Chunks)
 
-	got, err := client.Download("/demo.bin")
+	got, err := client.Download(ctx, "/demo.bin")
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Printf("downloaded %d bytes intact: %v\n", len(got), bytes.Equal(got, data))
 
-	rk, err := client.Rekey("/demo.bin", reed.PolicyForUsers("alice"), reed.ActiveRevocation)
+	rk, err := client.Rekey(ctx, "/demo.bin", reed.PolicyForUsers("alice"), reed.ActiveRevocation)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

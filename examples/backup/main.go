@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -36,6 +37,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dataAddrs, keyAddr, kmAddr, authority, shutdown, err := startDeployment()
 	if err != nil {
 		return err
@@ -70,7 +72,7 @@ func run() error {
 	fmt.Printf("%-6s %-12s %-14s %-16s %-14s %s\n",
 		"day", "chunks", "new chunks", "upload time", "stored total", "saving")
 
-	var logicalTotal uint64
+	var logicalTotal int64
 	for day := 1; day <= days; day++ {
 		// Daily churn: overwrite a few 8 KB regions.
 		for m := 0; m < mutations; m++ {
@@ -80,14 +82,14 @@ func run() error {
 
 		path := fmt.Sprintf("/backups/day-%02d.img", day)
 		start := time.Now()
-		res, err := client.Upload(path, bytes.NewReader(fsData), pol)
+		res, err := client.Upload(ctx, path, bytes.NewReader(fsData), pol)
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
 		logicalTotal += res.LogicalBytes
 
-		stored, err := storedBytes(client)
+		stored, err := storedBytes(ctx, client)
 		if err != nil {
 			return err
 		}
@@ -102,7 +104,7 @@ func run() error {
 	fmt.Println("\nverifying restores...")
 	for day := 1; day <= days; day++ {
 		path := fmt.Sprintf("/backups/day-%02d.img", day)
-		got, err := client.Download(path)
+		got, err := client.Download(ctx, path)
 		if err != nil {
 			return fmt.Errorf("restore day %d: %w", day, err)
 		}
@@ -111,7 +113,7 @@ func run() error {
 		}
 	}
 	// The latest snapshot must be bit-identical to the live data.
-	got, err := client.Download(fmt.Sprintf("/backups/day-%02d.img", days))
+	got, err := client.Download(ctx, fmt.Sprintf("/backups/day-%02d.img", days))
 	if err != nil {
 		return err
 	}
@@ -127,8 +129,8 @@ func run() error {
 }
 
 // storedBytes sums physical and stub bytes across all servers.
-func storedBytes(client *reed.Client) (uint64, error) {
-	stats, err := client.ServerStats()
+func storedBytes(ctx context.Context, client *reed.Client) (uint64, error) {
+	stats, err := client.ServerStats(ctx)
 	if err != nil {
 		return 0, err
 	}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -37,6 +38,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dataAddrs, keyAddr, kmAddr, authority, shutdown, err := startDeployment()
 	if err != nil {
 		return err
@@ -86,7 +88,7 @@ func run() error {
 			off := rng.Intn(len(data) - 4096)
 			rng.Read(data[off : off+4096])
 		}
-		res, err := lead.Upload(path, bytes.NewReader(data), projectPolicy)
+		res, err := lead.Upload(ctx, path, bytes.NewReader(data), projectPolicy)
 		if err != nil {
 			return err
 		}
@@ -96,7 +98,7 @@ func run() error {
 
 	fmt.Println("\n== all members can read ==")
 	for _, name := range members {
-		if _, err := clients[name].Download(runs[0]); err != nil {
+		if _, err := clients[name].Download(ctx, runs[0]); err != nil {
 			return fmt.Errorf("%s cannot read: %w", name, err)
 		}
 		fmt.Printf("%s: ok\n", name)
@@ -108,14 +110,14 @@ func run() error {
 	remaining := reed.PolicyForUsers("prof-chen", "dr-ellis")
 
 	start := time.Now()
-	if _, err := lead.Rekey(runs[0], remaining, reed.LazyRevocation); err != nil {
+	if _, err := lead.Rekey(ctx, runs[0], remaining, reed.LazyRevocation); err != nil {
 		return err
 	}
 	fmt.Printf("lazy revocation of %s:   %v (key state only)\n",
 		runs[0], time.Since(start).Round(time.Microsecond))
 
 	start = time.Now()
-	res, err := lead.Rekey(runs[1], remaining, reed.ActiveRevocation)
+	res, err := lead.Rekey(ctx, runs[1], remaining, reed.ActiveRevocation)
 	if err != nil {
 		return err
 	}
@@ -125,7 +127,7 @@ func run() error {
 	fmt.Println("\n== after revocation ==")
 	for _, path := range runs {
 		for _, name := range members {
-			_, err := clients[name].Download(path)
+			_, err := clients[name].Download(ctx, path)
 			switch {
 			case name == "dr-novak" && err == nil:
 				return fmt.Errorf("revoked researcher still reads %s", path)
@@ -140,13 +142,13 @@ func run() error {
 	fmt.Println("\n== new uploads are protected by the new key state ==")
 	newRun := make([]byte, 1<<20)
 	rand.New(rand.NewSource(99)).Read(newRun)
-	if _, err := lead.Upload("/genome/run-003.fastq", bytes.NewReader(newRun), remaining); err != nil {
+	if _, err := lead.Upload(ctx, "/genome/run-003.fastq", bytes.NewReader(newRun), remaining); err != nil {
 		return err
 	}
-	if _, err := clients["dr-novak"].Download("/genome/run-003.fastq"); err == nil {
+	if _, err := clients["dr-novak"].Download(ctx, "/genome/run-003.fastq"); err == nil {
 		return fmt.Errorf("revoked researcher read a new upload")
 	}
-	if _, err := clients["dr-ellis"].Download("/genome/run-003.fastq"); err != nil {
+	if _, err := clients["dr-ellis"].Download(ctx, "/genome/run-003.fastq"); err != nil {
 		return err
 	}
 	fmt.Println("run-003 readable by members, denied to dr-novak")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dataAddrs, keyAddr, kmAddr, authority, shutdown, err := startDeployment()
 	if err != nil {
 		return err
@@ -69,7 +71,7 @@ func run() error {
 		data := make([]byte, 2<<20)
 		rng.Read(data)
 		contents[path] = data
-		res, err := client.Upload(path, bytes.NewReader(data), pol)
+		res, err := client.Upload(ctx, path, bytes.NewReader(data), pol)
 		if err != nil {
 			return err
 		}
@@ -77,7 +79,7 @@ func run() error {
 		fmt.Printf("%s: %d chunks, %d audit tickets issued\n",
 			path, res.Chunks, res.AuditBook.Remaining())
 	}
-	names, err := client.List()
+	names, err := client.List(ctx)
 	if err != nil {
 		return err
 	}
@@ -87,7 +89,7 @@ func run() error {
 	fmt.Println("\n== auditing stored data (spot-check tickets) ==")
 	for _, path := range paths {
 		for i := 0; i < 2; i++ {
-			ok, err := client.Audit(books[path])
+			ok, err := client.Audit(ctx, books[path])
 			if err != nil {
 				return err
 			}
@@ -100,7 +102,7 @@ func run() error {
 
 	// --- Group rekey: one wind + one policy encryption for all files. ---
 	fmt.Println("\n== group rekey (annual key rotation) ==")
-	res, err := client.RekeyGroup(paths, pol, reed.ActiveRevocation)
+	res, err := client.RekeyGroup(ctx, paths, pol, reed.ActiveRevocation)
 	if err != nil {
 		return err
 	}
@@ -111,32 +113,32 @@ func run() error {
 	fmt.Println("\n== retention expiry: delete q1 ==")
 	// First upload a duplicate of q1 under another path, to show that
 	// shared chunks survive a single deletion.
-	if _, err := client.Upload("/hold/q1-legal-hold.tar", bytes.NewReader(contents[paths[0]]), pol); err != nil {
+	if _, err := client.Upload(ctx, "/hold/q1-legal-hold.tar", bytes.NewReader(contents[paths[0]]), pol); err != nil {
 		return err
 	}
-	del, err := client.Delete(paths[0])
+	del, err := client.Delete(ctx, paths[0])
 	if err != nil {
 		return err
 	}
 	fmt.Printf("deleted %s: %d chunk refs dropped, %d chunks reclaimed (legal-hold copy still references them)\n",
 		paths[0], del.Chunks, del.FreedChunks)
-	if _, err := client.Download(paths[0]); err == nil {
+	if _, err := client.Download(ctx, paths[0]); err == nil {
 		return fmt.Errorf("deleted file still downloadable")
 	}
-	got, err := client.Download("/hold/q1-legal-hold.tar")
+	got, err := client.Download(ctx, "/hold/q1-legal-hold.tar")
 	if err != nil || !bytes.Equal(got, contents[paths[0]]) {
 		return fmt.Errorf("legal-hold copy damaged: %v", err)
 	}
 	fmt.Println("original gone; legal-hold copy intact")
 
-	del2, err := client.Delete("/hold/q1-legal-hold.tar")
+	del2, err := client.Delete(ctx, "/hold/q1-legal-hold.tar")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("deleted the legal-hold copy: %d chunks reclaimed this time\n", del2.FreedChunks)
 
 	// Storage accounting after the lifecycle.
-	stats, err := client.ServerStats()
+	stats, err := client.ServerStats(ctx)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// --- Deployment: in production these are separate machines; ---
 	// --- reed-server and reed-keymanager run the same code.      ---
 	fmt.Println("== starting deployment ==")
@@ -100,7 +102,7 @@ func run() error {
 		defer client.Close()
 
 		pol := reed.PolicyForUsers(user)
-		res, err := client.Upload("/quickstart.bin", bytes.NewReader(data), pol)
+		res, err := client.Upload(ctx, "/quickstart.bin", bytes.NewReader(data), pol)
 		if err != nil {
 			return err
 		}
@@ -109,14 +111,14 @@ func run() error {
 
 		// A second upload of the same data deduplicates completely:
 		// only tiny encrypted stubs and metadata are stored anew.
-		res2, err := client.Upload("/quickstart-copy.bin", bytes.NewReader(data), pol)
+		res2, err := client.Upload(ctx, "/quickstart-copy.bin", bytes.NewReader(data), pol)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("re-uploaded: %d/%d chunks were duplicates\n",
 			res2.DuplicateChunks, res2.Chunks)
 
-		got, err := client.Download("/quickstart.bin")
+		got, err := client.Download(ctx, "/quickstart.bin")
 		if err != nil {
 			return err
 		}

@@ -2,13 +2,27 @@
 // layer that chunks, encrypts, uploads, downloads, and rekeys files
 // (Sections IV-D and V).
 //
-// Upload pipeline: chunk the file (Rabin or fixed-size) → obtain MLE
-// keys from the key manager (LRU key cache first, then batched OPRF) →
-// transform every chunk into a trimmed package and stub with the basic
-// or enhanced scheme (worker pool) → write all stubs of the file into a
-// single stub file encrypted with the file key → batch trimmed packages
-// into 4 MB requests striped across the data servers → upload the file
-// recipe and the policy-encrypted key state.
+// Upload runs as a segment pipeline: the input stream is split into
+// fixed-budget segments (Config.SegmentBytes, 64 MB by default) and
+// the stages overlap — segment i+1 is chunked and fingerprinted while
+// segment i's MLE keys are fetched over batched OPRF, segment i−1 is
+// CAONT-transformed on the worker pool, and segment i−2's trimmed
+// packages are striped to the data servers. Peak client memory is
+// O(segment), not O(file); a byte-budget gate enforces the bound. The
+// file recipe, the stub file (all stubs encrypted under the file key),
+// and the policy-encrypted key state are written only after every
+// segment has uploaded, so a cancelled upload leaves no file metadata
+// behind.
+//
+// Download is symmetric: DownloadTo streams the file to an io.Writer
+// with windowed chunk prefetch — the next window's trimmed packages are
+// fetched while the current window decrypts and writes in recipe order.
+//
+// Every public method takes a context.Context as its first argument;
+// cancellation aborts pipeline stages and interrupts blocked network
+// I/O promptly. A connection interrupted mid-frame is retired (its
+// stream may be desynchronized), so a cancelled client should be
+// discarded with Close.
 //
 // The file key is the hash of a key-regression state owned by the file's
 // owner; the state travels CP-ABE-encrypted so only users satisfying the
@@ -19,6 +33,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
@@ -28,9 +43,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/abe"
 	"repro/internal/audit"
@@ -43,7 +58,6 @@ import (
 	"repro/internal/keyreg"
 	"repro/internal/policy"
 	"repro/internal/proto"
-	"repro/internal/recipe"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -53,6 +67,10 @@ const DefaultWorkers = 2
 
 // DefaultUploadBuffer is the paper's upload batch size: 4 MB.
 const DefaultUploadBuffer = 4 << 20
+
+// DefaultSegmentBytes is the streaming pipeline's per-segment budget:
+// 64 MB of plaintext chunks travel through the stages together.
+const DefaultSegmentBytes = 64 << 20
 
 var (
 	// ErrNoOwner is returned when an operation needs the private
@@ -95,11 +113,20 @@ type Config struct {
 	Workers int
 	// UploadBuffer is the per-server upload batch size (default 4 MB).
 	UploadBuffer int
+	// SegmentBytes is the streaming pipeline's segment budget (default
+	// 64 MB): chunking yields a new segment to the key/encrypt/upload
+	// stages every SegmentBytes of plaintext, and peak buffered bytes
+	// stay under twice this budget.
+	SegmentBytes int
 	// KeyGenBatch is the key-generation batch size (default 256).
 	KeyGenBatch int
 	// CacheCapacity sizes the MLE key cache; 0 means the 512 MB
 	// default, negative disables caching.
 	CacheCapacity int64
+	// CallTimeout, when positive, bounds every individual storage or
+	// key-manager RPC: each call runs under the caller's context plus
+	// this deadline. Zero disables per-call deadlines.
+	CallTimeout time.Duration
 
 	// PrivateKey is this user's private access key (ABE).
 	PrivateKey *abe.PrivateKey
@@ -112,7 +139,8 @@ type Config struct {
 	// AuditTickets, when positive, makes every upload generate a book
 	// of that many single-use remote-data-checking tickets
 	// (internal/audit), returned in UploadResult.AuditBook. Spend them
-	// later with Audit.
+	// later with Audit. The streaming pipeline reservoir-samples the
+	// ticket chunks so audit generation stays O(segment) too.
 	AuditTickets int
 
 	// ObfuscatePaths hides file pathnames from the cloud: every remote
@@ -136,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UploadBuffer <= 0 {
 		c.UploadBuffer = DefaultUploadBuffer
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
 	}
 	if c.KeyGenBatch <= 0 {
 		c.KeyGenBatch = keymanager.DefaultBatchSize
@@ -264,250 +295,116 @@ func (c *Client) CacheStats() (hits, misses uint64) {
 	return c.cache.Stats()
 }
 
+// --- per-call deadlines ---
+
+// rpc derives the context one network call runs under: the caller's
+// context, bounded by Config.CallTimeout when one is set. The returned
+// cancel must always be called.
+func (c *Client) rpc(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.CallTimeout > 0 {
+		return context.WithTimeout(ctx, c.cfg.CallTimeout)
+	}
+	return ctx, func() {}
+}
+
+func (c *Client) putBlob(ctx context.Context, conn *server.Client, ns, name string, data []byte) error {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.PutBlob(rctx, ns, name, data)
+}
+
+func (c *Client) getBlob(ctx context.Context, conn *server.Client, ns, name string) ([]byte, error) {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.GetBlob(rctx, ns, name)
+}
+
+func (c *Client) deleteBlob(ctx context.Context, conn *server.Client, ns, name string) error {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.DeleteBlob(rctx, ns, name)
+}
+
+func (c *Client) putChunks(ctx context.Context, conn *server.Client, chunks []proto.ChunkUpload) ([]bool, error) {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.PutChunks(rctx, chunks)
+}
+
+func (c *Client) getChunks(ctx context.Context, conn *server.Client, fps []fingerprint.Fingerprint) ([][]byte, error) {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.GetChunks(rctx, fps)
+}
+
+func (c *Client) derefChunks(ctx context.Context, conn *server.Client, fps []fingerprint.Fingerprint) (uint64, error) {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return conn.DerefChunks(rctx, fps)
+}
+
+func (c *Client) generateKeys(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	return c.km.GenerateKeys(rctx, fps)
+}
+
+// --- results ---
+
 // UploadResult summarizes an upload.
 type UploadResult struct {
 	// Chunks is the number of chunks the file split into.
 	Chunks int
-	// LogicalBytes is the plaintext size.
-	LogicalBytes uint64
+	// LogicalBytes is the plaintext size in bytes.
+	LogicalBytes int64
 	// DuplicateChunks is how many trimmed packages the servers already
 	// had.
 	DuplicateChunks int
+	// Segments is how many pipeline segments the stream split into
+	// (units of a quarter of Config.SegmentBytes).
+	Segments int
+	// PeakBuffered is the peak number of chunk bytes (plaintext plus
+	// ciphertext) buffered in the pipeline at once; it stays below
+	// roughly twice Config.SegmentBytes regardless of file size.
+	PeakBuffered int64
 	// KeyVersion is the key-state version protecting the stub file.
 	KeyVersion uint64
 	// AuditBook holds remote-data-checking tickets when
 	// Config.AuditTickets is set; it is a client-side secret.
 	AuditBook *audit.Book
+	// Elapsed is the wall-clock duration of the whole operation.
+	Elapsed time.Duration
 }
 
-// encChunk carries one chunk through the upload pipeline.
+// encChunk carries one chunk through the upload pipeline. After the
+// encrypt stage drops the plaintext, size remembers its length for the
+// recipe.
 type encChunk struct {
 	data    []byte
+	size    int
 	fpPlain fingerprint.Fingerprint
 	key     []byte
 	pkg     core.Package
 	fpTrim  fingerprint.Fingerprint
 }
 
-// Upload stores the file read from r under path, accessible per pol.
-// The client must have an Owner (the file key comes from the owner's
-// key-regression chain).
-func (c *Client) Upload(path string, r io.Reader, pol *policy.Node) (*UploadResult, error) {
-	if c.cfg.Owner == nil {
-		return nil, ErrNoOwner
-	}
-	if err := pol.Validate(); err != nil {
-		return nil, err
-	}
-	chunks, logical, err := c.chunkStream(r)
-	if err != nil {
-		return nil, err
-	}
-	return c.uploadPrepared(c.remoteName(path), chunks, logical, pol)
-}
-
-// UploadPrechunked uploads a file whose chunk boundaries the caller
-// already determined (trace replay feeds recorded chunks directly, so
-// chunking time is excluded as in the paper's Experiment B.2). Chunks
-// must be non-empty.
-func (c *Client) UploadPrechunked(path string, rawChunks [][]byte, pol *policy.Node) (*UploadResult, error) {
-	if c.cfg.Owner == nil {
-		return nil, ErrNoOwner
-	}
-	if err := pol.Validate(); err != nil {
-		return nil, err
-	}
-	chunks := make([]encChunk, len(rawChunks))
-	var logical uint64
-	for i, data := range rawChunks {
-		if len(data) == 0 {
-			return nil, fmt.Errorf("client: pre-chunked upload: empty chunk %d", i)
-		}
-		chunks[i] = encChunk{data: data, fpPlain: fingerprint.New(data)}
-		logical += uint64(len(data))
-	}
-	return c.uploadPrepared(c.remoteName(path), chunks, logical, pol)
-}
-
-// uploadPrepared runs the upload pipeline after chunking.
-func (c *Client) uploadPrepared(path string, chunks []encChunk, logical uint64, pol *policy.Node) (*UploadResult, error) {
-	// MLE keys: cache, then batched OPRF.
-	fps := make([]fingerprint.Fingerprint, len(chunks))
-	for i := range chunks {
-		fps[i] = chunks[i].fpPlain
-	}
-	keys, err := c.km.GenerateKeys(fps)
-	if err != nil {
-		return nil, fmt.Errorf("client: key generation: %w", err)
-	}
-	for i := range chunks {
-		chunks[i].key = keys[i]
-	}
-
-	// Encrypt with the worker pool.
-	if err := c.encryptAll(chunks); err != nil {
-		return nil, err
-	}
-
-	// File key from the owner's current key state.
-	state := c.cfg.Owner.Current()
-	fileKey := state.Key()
-
-	// Stub file: concatenated stubs encrypted under the file key.
-	stubFile, err := sealStubFile(chunks, fileKey[:], path, c.cfg.StubSize)
-	if err != nil {
-		return nil, err
-	}
-
-	// Upload trimmed packages, striped and batched.
-	dups, err := c.uploadChunks(chunks)
-	if err != nil {
-		return nil, err
-	}
-
-	// Recipe.
-	rec := &recipe.Recipe{
-		Path:       path,
-		Size:       logical,
-		Scheme:     uint8(c.cfg.Scheme),
-		KeyVersion: state.Version,
-	}
-	for i := range chunks {
-		rec.Chunks = append(rec.Chunks, recipe.ChunkRef{
-			Fingerprint: chunks[i].fpTrim,
-			Size:        uint32(len(chunks[i].data)),
-		})
-	}
-
-	// Key state, encrypted under the policy, plus the public
-	// derivation key members need for unwinding.
-	stateBlob, err := c.sealKeyState(state, pol)
-	if err != nil {
-		return nil, err
-	}
-
-	home := c.homeServer(path)
-	if err := home.PutBlob(store.NSStubs, path, stubFile); err != nil {
-		return nil, fmt.Errorf("client: upload stub file: %w", err)
-	}
-	if err := home.PutBlob(store.NSRecipes, path, rec.Marshal()); err != nil {
-		return nil, fmt.Errorf("client: upload recipe: %w", err)
-	}
-	if err := c.keyConn.PutBlob(store.NSKeyStates, path, stateBlob); err != nil {
-		return nil, fmt.Errorf("client: upload key state: %w", err)
-	}
-
-	result := &UploadResult{
-		Chunks:          len(chunks),
-		LogicalBytes:    logical,
-		DuplicateChunks: dups,
-		KeyVersion:      state.Version,
-	}
-	if c.cfg.AuditTickets > 0 && len(chunks) > 0 {
-		// Generate remote-data-checking tickets while the trimmed
-		// packages are still in hand — no later download needed.
-		chunkData := make([]audit.ChunkData, len(chunks))
-		for i := range chunks {
-			chunkData[i] = audit.ChunkData{FP: chunks[i].fpTrim, Data: chunks[i].pkg.Trimmed}
-		}
-		book, err := audit.Generate(path, chunkData, c.cfg.AuditTickets, nil)
-		if err != nil {
-			return nil, fmt.Errorf("client: audit book: %w", err)
-		}
-		result.AuditBook = book
-	}
-	return result, nil
-}
-
 // Audit spends one ticket from the book: it challenges the data server
 // holding the sampled chunk and verifies the response. A false return
 // means the server no longer possesses the exact bytes — corruption or
 // loss.
-func (c *Client) Audit(book *audit.Book) (bool, error) {
+func (c *Client) Audit(ctx context.Context, book *audit.Book) (bool, error) {
 	ticket, err := book.Next()
 	if err != nil {
 		return false, err
 	}
 	srv := c.data[c.serverFor(ticket.FP)]
-	resp, err := srv.Challenge(ticket.FP, ticket.Nonce[:])
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	resp, err := srv.Challenge(rctx, ticket.FP, ticket.Nonce[:])
 	if err != nil {
 		return false, fmt.Errorf("client: audit challenge: %w", err)
 	}
 	return len(resp) == audit.DigestSize && bytes.Equal(resp, ticket.Expected[:]), nil
-}
-
-// Download retrieves and reassembles the file stored under path,
-// verifying chunk integrity.
-func (c *Client) Download(path string) ([]byte, error) {
-	path = c.remoteName(path)
-	// Key state → file key. After a lazy revocation the stored state is
-	// newer than the one that sealed this file's stubs; key regression
-	// lets any authorized user unwind to the file's version using the
-	// public derivation key stored beside the state.
-	state, derivPub, err := c.fetchKeyState(path)
-	if err != nil {
-		return nil, err
-	}
-
-	home := c.homeServer(path)
-	recBytes, err := home.GetBlob(store.NSRecipes, path)
-	if err != nil {
-		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
-	}
-	rec, err := recipe.Unmarshal(recBytes)
-	if err != nil {
-		return nil, err
-	}
-	if rec.Scheme != uint8(c.cfg.Scheme) {
-		return nil, fmt.Errorf("client: file uses scheme %d, client configured for %v", rec.Scheme, c.cfg.Scheme)
-	}
-
-	fileState := state
-	if rec.KeyVersion != state.Version {
-		fileState, err = keyreg.Unwind(derivPub, state, rec.KeyVersion)
-		if err != nil {
-			return nil, fmt.Errorf("client: unwind key state: %w", err)
-		}
-	}
-	fileKey := fileState.Key()
-
-	stubFile, err := home.GetBlob(store.NSStubs, path)
-	if err != nil {
-		return nil, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
-	}
-	stubs, err := openStubFile(stubFile, fileKey[:], path, c.cfg.StubSize, len(rec.Chunks))
-	if err != nil {
-		return nil, err
-	}
-
-	trimmed, err := c.downloadChunks(rec)
-	if err != nil {
-		return nil, err
-	}
-
-	// Decrypt and reassemble with the worker pool.
-	out := make([]byte, 0, rec.Size)
-	plain := make([][]byte, len(rec.Chunks))
-	if err := c.parallelEach(len(rec.Chunks), func(i int) error {
-		chunk, err := c.codec.Decrypt(core.Package{Trimmed: trimmed[i], Stub: stubs[i]})
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
-		}
-		if uint32(len(chunk)) != rec.Chunks[i].Size {
-			return fmt.Errorf("chunk %d: size %d, recipe says %d", i, len(chunk), rec.Chunks[i].Size)
-		}
-		plain[i] = chunk
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	for _, p := range plain {
-		out = append(out, p...)
-	}
-	if uint64(len(out)) != rec.Size {
-		return nil, fmt.Errorf("client: reassembled %d bytes, recipe says %d", len(out), rec.Size)
-	}
-	return out, nil
 }
 
 // RekeyResult summarizes a rekey operation.
@@ -515,9 +412,11 @@ type RekeyResult struct {
 	// OldVersion and NewVersion are the key-state versions before and
 	// after.
 	OldVersion, NewVersion uint64
-	// StubBytes is the size of the re-encrypted stub file (active
-	// revocation only).
-	StubBytes int
+	// StubBytes is the size in bytes of the re-encrypted stub file
+	// (active revocation only).
+	StubBytes int64
+	// Elapsed is the wall-clock duration of the whole operation.
+	Elapsed time.Duration
 }
 
 // Rekey renews the file key for path and re-encrypts the key state under
@@ -525,7 +424,8 @@ type RekeyResult struct {
 // re-encrypted under the new file key; with lazy revocation it is left
 // until the next update (old versions remain derivable via key
 // regression). Requires the Owner (private derivation key).
-func (c *Client) Rekey(path string, newPol *policy.Node, active bool) (*RekeyResult, error) {
+func (c *Client) Rekey(ctx context.Context, path string, newPol *policy.Node, active bool) (*RekeyResult, error) {
+	start := time.Now()
 	path = c.remoteName(path)
 	if c.cfg.Owner == nil {
 		return nil, ErrNoOwner
@@ -536,7 +436,7 @@ func (c *Client) Rekey(path string, newPol *policy.Node, active bool) (*RekeyRes
 
 	// Retrieve and decrypt the current key state (CP-ABE decryption
 	// with the original policy).
-	oldState, derivPub, err := c.fetchKeyState(path)
+	oldState, derivPub, err := c.fetchKeyState(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -550,22 +450,24 @@ func (c *Client) Rekey(path string, newPol *policy.Node, active bool) (*RekeyRes
 	if err != nil {
 		return nil, err
 	}
-	if err := c.keyConn.PutBlob(store.NSKeyStates, path, stateBlob); err != nil {
+	if err := c.putBlob(ctx, c.keyConn, store.NSKeyStates, path, stateBlob); err != nil {
 		return nil, fmt.Errorf("client: upload key state: %w", err)
 	}
 
 	result := &RekeyResult{OldVersion: oldState.Version, NewVersion: newState.Version}
 	if !active {
+		result.Elapsed = time.Since(start)
 		return result, nil
 	}
 
 	// Active revocation: download the stubs, re-encrypt them with the
 	// new file key, and upload them again.
-	stubBytes, err := c.reencryptStubs(path, oldState, derivPub, newState)
+	stubBytes, err := c.reencryptStubs(ctx, path, oldState, derivPub, newState)
 	if err != nil {
 		return nil, err
 	}
-	result.StubBytes = stubBytes
+	result.StubBytes = int64(stubBytes)
+	result.Elapsed = time.Since(start)
 	return result, nil
 }
 
@@ -573,10 +475,12 @@ func (c *Client) Rekey(path string, newPol *policy.Node, active bool) (*RekeyRes
 // pathname obfuscation these are the salted hashes, not the logical
 // paths — by design, the cloud (and hence this listing) never sees
 // plaintext names.
-func (c *Client) List() ([]string, error) {
+func (c *Client) List(ctx context.Context) ([]string, error) {
 	seen := make(map[string]bool)
 	for i, conn := range c.data {
-		names, err := conn.ListBlobs(store.NSRecipes)
+		rctx, cancel := c.rpc(ctx)
+		names, err := conn.ListBlobs(rctx, store.NSRecipes)
+		cancel()
 		if err != nil {
 			return nil, fmt.Errorf("client: list server %d: %w", i, err)
 		}
@@ -594,187 +498,30 @@ func (c *Client) List() ([]string, error) {
 
 // ServerStats returns per-data-server dedup statistics plus the
 // key-store server's (last entry).
-func (c *Client) ServerStats() ([]proto.Stats, error) {
+func (c *Client) ServerStats(ctx context.Context) ([]proto.Stats, error) {
 	out := make([]proto.Stats, 0, len(c.data)+1)
 	for _, conn := range c.data {
-		s, err := conn.Stats()
+		rctx, cancel := c.rpc(ctx)
+		s, err := conn.Stats(rctx)
+		cancel()
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, s)
 	}
-	s, err := c.keyConn.Stats()
+	rctx, cancel := c.rpc(ctx)
+	defer cancel()
+	s, err := c.keyConn.Stats(rctx)
 	if err != nil {
 		return nil, err
 	}
 	return append(out, s), nil
 }
 
-// --- pipeline stages ---
-
-// chunkStream splits the input into chunks and fingerprints them.
-func (c *Client) chunkStream(r io.Reader) ([]encChunk, uint64, error) {
-	var (
-		ck  chunker.Chunker
-		err error
-	)
-	if c.cfg.FixedChunkSize > 0 {
-		ck, err = chunker.NewFixed(r, c.cfg.FixedChunkSize)
-	} else {
-		ck, err = chunker.NewRabin(r, c.cfg.Chunking)
-	}
-	if err != nil {
-		return nil, 0, err
-	}
-
-	var (
-		chunks  []encChunk
-		logical uint64
-	)
-	for {
-		data, err := ck.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("client: chunking: %w", err)
-		}
-		owned := append([]byte(nil), data...)
-		chunks = append(chunks, encChunk{
-			data:    owned,
-			fpPlain: fingerprint.New(owned),
-		})
-		logical += uint64(len(owned))
-	}
-	return chunks, logical, nil
-}
-
-// encryptAll transforms every chunk with the worker pool and computes
-// trimmed-package fingerprints.
-func (c *Client) encryptAll(chunks []encChunk) error {
-	return c.parallelEach(len(chunks), func(i int) error {
-		pkg, err := c.codec.Encrypt(chunks[i].data, chunks[i].key)
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
-		}
-		chunks[i].pkg = pkg
-		chunks[i].fpTrim = fingerprint.New(pkg.Trimmed)
-		return nil
-	})
-}
-
-// uploadChunks stripes trimmed packages across data servers in 4 MB
-// batches, in parallel, and returns the number of duplicates reported.
-func (c *Client) uploadChunks(chunks []encChunk) (int, error) {
-	perServer := make([][]proto.ChunkUpload, len(c.data))
-	for i := range chunks {
-		s := c.serverFor(chunks[i].fpTrim)
-		perServer[s] = append(perServer[s], proto.ChunkUpload{
-			FP:   chunks[i].fpTrim,
-			Data: chunks[i].pkg.Trimmed,
-		})
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		dups     int
-	)
-	for s := range c.data {
-		if len(perServer[s]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for _, batch := range splitBatches(perServer[s], c.cfg.UploadBuffer) {
-				flags, err := c.data[s].PutChunks(batch)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client: upload to server %d: %w", s, err)
-					}
-					mu.Unlock()
-					return
-				}
-				mu.Lock()
-				for _, d := range flags {
-					if d {
-						dups++
-					}
-				}
-				mu.Unlock()
-			}
-		}(s)
-	}
-	wg.Wait()
-	return dups, firstErr
-}
-
-// downloadChunks fetches every trimmed package referenced by the recipe,
-// preserving order.
-func (c *Client) downloadChunks(rec *recipe.Recipe) ([][]byte, error) {
-	type want struct {
-		idx int
-		fp  fingerprint.Fingerprint
-	}
-	perServer := make([][]want, len(c.data))
-	for i, ref := range rec.Chunks {
-		s := c.serverFor(ref.Fingerprint)
-		perServer[s] = append(perServer[s], want{idx: i, fp: ref.Fingerprint})
-	}
-
-	out := make([][]byte, len(rec.Chunks))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for s := range c.data {
-		if len(perServer[s]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			wants := perServer[s]
-			const batch = 4096
-			for start := 0; start < len(wants); start += batch {
-				end := start + batch
-				if end > len(wants) {
-					end = len(wants)
-				}
-				fps := make([]fingerprint.Fingerprint, 0, end-start)
-				for _, w := range wants[start:end] {
-					fps = append(fps, w.fp)
-				}
-				datas, err := c.data[s].GetChunks(fps)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client: download from server %d: %w", s, err)
-					}
-					mu.Unlock()
-					return
-				}
-				for i, w := range wants[start:end] {
-					out[w.idx] = datas[i]
-				}
-			}
-		}(s)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
-}
-
 // fetchKeyState downloads and decrypts the key state for path, returning
 // it with the owner's public derivation key.
-func (c *Client) fetchKeyState(path string) (keyreg.State, keyreg.Public, error) {
-	blob, err := c.keyConn.GetBlob(store.NSKeyStates, path)
+func (c *Client) fetchKeyState(ctx context.Context, path string) (keyreg.State, keyreg.Public, error) {
+	blob, err := c.getBlob(ctx, c.keyConn, store.NSKeyStates, path)
 	if err != nil {
 		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("%w: key state: %v", ErrNotFound, err)
 	}
@@ -847,14 +594,18 @@ func (c *Client) homeServer(path string) *server.Client {
 }
 
 // parallelEach runs fn(i) for i in [0,n) over the configured worker
-// count, returning the first error.
-func (c *Client) parallelEach(n int, fn func(int) error) error {
+// count, returning the first error. Cancelling ctx stops workers from
+// claiming further indices.
+func (c *Client) parallelEach(ctx context.Context, n int, fn func(int) error) error {
 	workers := c.cfg.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -877,21 +628,28 @@ func (c *Client) parallelEach(n int, fn func(int) error) error {
 		next++
 		return i
 	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := claim()
 				if i < 0 {
 					return
 				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 			}
@@ -923,19 +681,6 @@ func splitBatches(chunks []proto.ChunkUpload, maxBytes int) [][]proto.ChunkUploa
 	return out
 }
 
-// sealStubFile concatenates the chunks' stubs and encrypts them under
-// the file key.
-func sealStubFile(chunks []encChunk, fileKey []byte, path string, stubSize int) ([]byte, error) {
-	stubs := make([][]byte, len(chunks))
-	for i := range chunks {
-		if len(chunks[i].pkg.Stub) != stubSize {
-			return nil, fmt.Errorf("client: chunk %d stub size %d, want %d", i, len(chunks[i].pkg.Stub), stubSize)
-		}
-		stubs[i] = chunks[i].pkg.Stub
-	}
-	return sealStubs(stubs, fileKey, path)
-}
-
 // sealStubs encrypts concatenated stubs with AES-256-GCM under the file
 // key, binding the file path as associated data.
 func sealStubs(stubs [][]byte, fileKey []byte, path string) ([]byte, error) {
@@ -945,7 +690,7 @@ func sealStubs(stubs [][]byte, fileKey []byte, path string) ([]byte, error) {
 		return nil, err
 	}
 	nonce := make([]byte, aead.NonceSize())
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+	if _, err := rand.Read(nonce); err != nil {
 		return nil, fmt.Errorf("client: stub nonce: %w", err)
 	}
 	ct := aead.Seal(nil, nonce, plain, []byte(path))

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"math/rand"
@@ -15,6 +16,9 @@ import (
 	"repro/internal/store"
 	"repro/internal/testenv"
 )
+
+// ctx is the default context test call sites run under.
+var ctx = context.Background()
 
 // Shared expensive fixtures: one OPRF key, one keyreg owner template.
 var (
@@ -85,18 +89,18 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 			data := randomFile(t, 256<<10, 1)
 			pol := policy.OrOfUsers([]string{"alice-" + scheme.String()})
 
-			res, err := c.Upload("/f/"+scheme.String(), bytes.NewReader(data), pol)
+			res, err := c.Upload(ctx, "/f/"+scheme.String(), bytes.NewReader(data), pol)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.LogicalBytes != uint64(len(data)) {
+			if res.LogicalBytes != int64(len(data)) {
 				t.Fatalf("LogicalBytes = %d, want %d", res.LogicalBytes, len(data))
 			}
 			if res.Chunks == 0 {
 				t.Fatal("no chunks")
 			}
 
-			got, err := c.Download("/f/" + scheme.String())
+			got, err := c.Download(ctx, "/f/" + scheme.String())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,14 +117,14 @@ func TestDeduplicationAcrossUploads(t *testing.T) {
 	data := randomFile(t, 256<<10, 2)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	res1, err := c.Upload("/v1", bytes.NewReader(data), pol)
+	res1, err := c.Upload(ctx, "/v1", bytes.NewReader(data), pol)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res1.DuplicateChunks != 0 {
 		t.Fatalf("first upload had %d duplicates", res1.DuplicateChunks)
 	}
-	res2, err := c.Upload("/v2", bytes.NewReader(data), pol)
+	res2, err := c.Upload(ctx, "/v2", bytes.NewReader(data), pol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +134,7 @@ func TestDeduplicationAcrossUploads(t *testing.T) {
 
 	// Both copies still download correctly.
 	for _, path := range []string{"/v1", "/v2"} {
-		got, err := c.Download(path)
+		got, err := c.Download(ctx, path)
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("download %s failed: %v", path, err)
 		}
@@ -143,10 +147,10 @@ func TestCrossUserDeduplication(t *testing.T) {
 	bob := newUser(t, cluster, "bob", core.SchemeEnhanced)
 	data := randomFile(t, 128<<10, 3)
 
-	if _, err := alice.Upload("/alice-file", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := alice.Upload(ctx, "/alice-file", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	res, err := bob.Upload("/bob-file", bytes.NewReader(data), policy.OrOfUsers([]string{"bob"}))
+	res, err := bob.Upload(ctx, "/bob-file", bytes.NewReader(data), policy.OrOfUsers([]string{"bob"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +160,7 @@ func TestCrossUserDeduplication(t *testing.T) {
 		t.Fatalf("cross-user dedup: %d/%d duplicates", res.DuplicateChunks, res.Chunks)
 	}
 	// Each user still reads their own file.
-	got, err := bob.Download("/bob-file")
+	got, err := bob.Download(ctx, "/bob-file")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("bob download: %v", err)
 	}
@@ -168,10 +172,10 @@ func TestAccessControl(t *testing.T) {
 	mallory := newUser(t, cluster, "mallory", core.SchemeEnhanced)
 	data := randomFile(t, 64<<10, 4)
 
-	if _, err := alice.Upload("/secret", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := alice.Upload(ctx, "/secret", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mallory.Download("/secret"); err == nil {
+	if _, err := mallory.Download(ctx, "/secret"); err == nil {
 		t.Fatal("unauthorized user downloaded the file")
 	}
 }
@@ -183,11 +187,11 @@ func TestSharedFileBothUsersCanRead(t *testing.T) {
 	data := randomFile(t, 64<<10, 5)
 
 	pol := policy.OrOfUsers([]string{"alice", "bob"})
-	if _, err := alice.Upload("/shared", bytes.NewReader(data), pol); err != nil {
+	if _, err := alice.Upload(ctx, "/shared", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	for name, c := range map[string]*Client{"alice": alice, "bob": bob} {
-		got, err := c.Download("/shared")
+		got, err := c.Download(ctx, "/shared")
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("%s download: %v", name, err)
 		}
@@ -200,11 +204,11 @@ func TestLazyRevocation(t *testing.T) {
 	bob := newUser(t, cluster, "bob", core.SchemeEnhanced)
 	data := randomFile(t, 64<<10, 6)
 
-	if _, err := alice.Upload("/doc", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "bob"})); err != nil {
+	if _, err := alice.Upload(ctx, "/doc", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "bob"})); err != nil {
 		t.Fatal(err)
 	}
 
-	res, err := alice.Rekey("/doc", policy.OrOfUsers([]string{"alice"}), false /* lazy */)
+	res, err := alice.Rekey(ctx, "/doc", policy.OrOfUsers([]string{"alice"}), false /* lazy */)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,12 +221,12 @@ func TestLazyRevocation(t *testing.T) {
 
 	// Alice can still read (stub is under the old version; key
 	// regression unwinds).
-	got, err := alice.Download("/doc")
+	got, err := alice.Download(ctx, "/doc")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("alice download after lazy rekey: %v", err)
 	}
 	// Bob cannot decrypt the new key state.
-	if _, err := bob.Download("/doc"); err == nil {
+	if _, err := bob.Download(ctx, "/doc"); err == nil {
 		t.Fatal("revoked user still downloads after lazy revocation")
 	}
 }
@@ -233,21 +237,21 @@ func TestActiveRevocation(t *testing.T) {
 	bob := newUser(t, cluster, "bob", core.SchemeEnhanced)
 	data := randomFile(t, 64<<10, 7)
 
-	if _, err := alice.Upload("/doc2", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "bob"})); err != nil {
+	if _, err := alice.Upload(ctx, "/doc2", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "bob"})); err != nil {
 		t.Fatal(err)
 	}
-	res, err := alice.Rekey("/doc2", policy.OrOfUsers([]string{"alice"}), true /* active */)
+	res, err := alice.Rekey(ctx, "/doc2", policy.OrOfUsers([]string{"alice"}), true /* active */)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.StubBytes == 0 {
 		t.Fatal("active revocation did not re-encrypt stubs")
 	}
-	got, err := alice.Download("/doc2")
+	got, err := alice.Download(ctx, "/doc2")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("alice download after active rekey: %v", err)
 	}
-	if _, err := bob.Download("/doc2"); err == nil {
+	if _, err := bob.Download(ctx, "/doc2"); err == nil {
 		t.Fatal("revoked user still downloads after active revocation")
 	}
 }
@@ -257,15 +261,15 @@ func TestMultipleRekeys(t *testing.T) {
 	alice := newUser(t, cluster, "alice", core.SchemeBasic)
 	data := randomFile(t, 64<<10, 8)
 
-	if _, err := alice.Upload("/multi", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := alice.Upload(ctx, "/multi", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
 		active := i%2 == 0
-		if _, err := alice.Rekey("/multi", policy.OrOfUsers([]string{"alice"}), active); err != nil {
+		if _, err := alice.Rekey(ctx, "/multi", policy.OrOfUsers([]string{"alice"}), active); err != nil {
 			t.Fatalf("rekey %d: %v", i, err)
 		}
-		got, err := alice.Download("/multi")
+		got, err := alice.Download(ctx, "/multi")
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("download after rekey %d: %v", i, err)
 		}
@@ -275,7 +279,7 @@ func TestMultipleRekeys(t *testing.T) {
 func TestDownloadMissingFile(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
-	if _, err := c.Download("/absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Download(ctx, "/absent"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("error = %v, want ErrNotFound", err)
 	}
 }
@@ -295,7 +299,7 @@ func TestUploadWithoutOwner(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	_, err = c.Upload("/x", bytes.NewReader([]byte("data")), policy.OrOfUsers([]string{"noowner"}))
+	_, err = c.Upload(ctx, "/x", bytes.NewReader([]byte("data")), policy.OrOfUsers([]string{"noowner"}))
 	if !errors.Is(err, ErrNoOwner) {
 		t.Fatalf("error = %v, want ErrNoOwner", err)
 	}
@@ -343,14 +347,14 @@ func TestConfigValidation(t *testing.T) {
 func TestEmptyFileUpload(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
-	res, err := c.Upload("/empty", bytes.NewReader(nil), policy.OrOfUsers([]string{"alice"}))
+	res, err := c.Upload(ctx, "/empty", bytes.NewReader(nil), policy.OrOfUsers([]string{"alice"}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Chunks != 0 {
 		t.Fatalf("empty file produced %d chunks", res.Chunks)
 	}
-	got, err := c.Download("/empty")
+	got, err := c.Download(ctx, "/empty")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,14 +385,14 @@ func TestFixedChunking(t *testing.T) {
 	}
 	defer c.Close()
 	data := randomFile(t, 100<<10, 9)
-	res, err := c.Upload("/fixed", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"}))
+	res, err := c.Upload(ctx, "/fixed", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := (len(data) + 4095) / 4096; res.Chunks != want {
 		t.Fatalf("fixed chunking produced %d chunks, want %d", res.Chunks, want)
 	}
-	got, err := c.Download("/fixed")
+	got, err := c.Download(ctx, "/fixed")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("fixed chunking round trip: %v", err)
 	}
@@ -400,11 +404,11 @@ func TestKeyCacheSpeedsSecondUpload(t *testing.T) {
 	data := randomFile(t, 128<<10, 10)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	if _, err := c.Upload("/c1", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/c1", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	evalsAfterFirst := cluster.KMEvaluations()
-	if _, err := c.Upload("/c2", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/c2", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	if cluster.KMEvaluations() != evalsAfterFirst {
@@ -422,12 +426,12 @@ func TestClearKeyCache(t *testing.T) {
 	data := randomFile(t, 64<<10, 11)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	if _, err := c.Upload("/cc1", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/cc1", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	c.ClearKeyCache()
 	evals := cluster.KMEvaluations()
-	if _, err := c.Upload("/cc2", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/cc2", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	if cluster.KMEvaluations() == evals {
@@ -439,7 +443,7 @@ func TestTamperedChunkDetected(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
 	data := randomFile(t, 64<<10, 12)
-	if _, err := c.Upload("/tamper", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, "/tamper", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
 	// Seal open containers to the backends, then corrupt them.
@@ -449,7 +453,7 @@ func TestTamperedChunkDetected(t *testing.T) {
 		}
 	}
 	corruptAll(t, cluster)
-	if _, err := c.Download("/tamper"); err == nil {
+	if _, err := c.Download(ctx, "/tamper"); err == nil {
 		t.Fatal("download of tampered data succeeded")
 	}
 }
@@ -484,10 +488,10 @@ func TestServerStats(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
 	data := randomFile(t, 128<<10, 13)
-	if _, err := c.Upload("/stats", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, "/stats", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.ServerStats()
+	stats, err := c.ServerStats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,10 +516,10 @@ func TestLargeFileManyBatches(t *testing.T) {
 	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
 	// 12 MB forces multiple 4 MB upload batches per server.
 	data := randomFile(t, 12<<20, 14)
-	if _, err := c.Upload("/large", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, "/large", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Download("/large")
+	got, err := c.Download(ctx, "/large")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("large file round trip: %v", err)
 	}

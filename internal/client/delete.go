@@ -1,7 +1,9 @@
 package client
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/fingerprint"
 	"repro/internal/recipe"
@@ -14,7 +16,9 @@ type DeleteResult struct {
 	Chunks int
 	// FreedChunks is how many of them were freed outright (no other
 	// file references them); the rest remain for other files.
-	FreedChunks uint64
+	FreedChunks int
+	// Elapsed is the wall-clock duration of the whole operation.
+	Elapsed time.Duration
 }
 
 // Delete removes the file at path with secure-deletion semantics (the
@@ -29,17 +33,18 @@ type DeleteResult struct {
 //     chunks no other file references are garbage-collected
 //     (reference-counted, since deduplication shares chunks across
 //     files and users).
-func (c *Client) Delete(path string) (*DeleteResult, error) {
+func (c *Client) Delete(ctx context.Context, path string) (*DeleteResult, error) {
+	start := time.Now()
 	path = c.remoteName(path)
 
 	// Authorization: decrypting the key state requires a satisfying
 	// private access key.
-	if _, _, err := c.fetchKeyState(path); err != nil {
+	if _, _, err := c.fetchKeyState(ctx, path); err != nil {
 		return nil, err
 	}
 
 	home := c.homeServer(path)
-	recBytes, err := home.GetBlob(store.NSRecipes, path)
+	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, path)
 	if err != nil {
 		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
 	}
@@ -50,13 +55,13 @@ func (c *Client) Delete(path string) (*DeleteResult, error) {
 
 	// Cryptographic deletion first: without the key state and stub
 	// file the content is gone even if everything below fails midway.
-	if err := c.keyConn.DeleteBlob(store.NSKeyStates, path); err != nil {
+	if err := c.deleteBlob(ctx, c.keyConn, store.NSKeyStates, path); err != nil {
 		return nil, fmt.Errorf("client: delete key state: %w", err)
 	}
-	if err := home.DeleteBlob(store.NSStubs, path); err != nil {
+	if err := c.deleteBlob(ctx, home, store.NSStubs, path); err != nil {
 		return nil, fmt.Errorf("client: delete stub file: %w", err)
 	}
-	if err := home.DeleteBlob(store.NSRecipes, path); err != nil {
+	if err := c.deleteBlob(ctx, home, store.NSRecipes, path); err != nil {
 		return nil, fmt.Errorf("client: delete recipe: %w", err)
 	}
 
@@ -72,11 +77,15 @@ func (c *Client) Delete(path string) (*DeleteResult, error) {
 		if len(fps) == 0 {
 			continue
 		}
-		n, err := c.data[srv].DerefChunks(fps)
+		n, err := c.derefChunks(ctx, c.data[srv], fps)
 		if err != nil {
 			return nil, fmt.Errorf("client: deref on server %d: %w", srv, err)
 		}
 		freed += n
 	}
-	return &DeleteResult{Chunks: len(rec.Chunks), FreedChunks: freed}, nil
+	return &DeleteResult{
+		Chunks:      len(rec.Chunks),
+		FreedChunks: int(freed),
+		Elapsed:     time.Since(start),
+	}, nil
 }

@@ -17,25 +17,25 @@ func TestDeleteRemovesFile(t *testing.T) {
 	data := randomFile(t, 128<<10, 80)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	up, err := c.Upload("/del-me", bytes.NewReader(data), pol)
+	up, err := c.Upload(ctx, "/del-me", bytes.NewReader(data), pol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Delete("/del-me")
+	res, err := c.Delete(ctx, "/del-me")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Chunks != up.Chunks {
 		t.Fatalf("deleted %d chunk refs, uploaded %d", res.Chunks, up.Chunks)
 	}
-	if res.FreedChunks != uint64(up.Chunks) {
+	if res.FreedChunks != up.Chunks {
 		t.Fatalf("freed %d of %d chunks; nothing else references them", res.FreedChunks, up.Chunks)
 	}
-	if _, err := c.Download("/del-me"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Download(ctx, "/del-me"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("download after delete = %v, want ErrNotFound", err)
 	}
 	// Physical space was reclaimed.
-	stats, err := c.ServerStats()
+	stats, err := c.ServerStats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +56,14 @@ func TestDeleteRespectsSharing(t *testing.T) {
 	data := randomFile(t, 128<<10, 81)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	if _, err := c.Upload("/copy-1", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/copy-1", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Upload("/copy-2", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/copy-2", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 
-	res, err := c.Delete("/copy-1")
+	res, err := c.Delete(ctx, "/copy-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,16 +71,16 @@ func TestDeleteRespectsSharing(t *testing.T) {
 		t.Fatalf("deleting one of two identical files freed %d chunks", res.FreedChunks)
 	}
 	// The surviving copy stays fully restorable.
-	got, err := c.Download("/copy-2")
+	got, err := c.Download(ctx, "/copy-2")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("surviving copy: %v", err)
 	}
 	// Deleting the second file frees everything.
-	res2, err := c.Delete("/copy-2")
+	res2, err := c.Delete(ctx, "/copy-2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.FreedChunks != uint64(res2.Chunks) {
+	if res2.FreedChunks != res2.Chunks {
 		t.Fatalf("final delete freed %d of %d", res2.FreedChunks, res2.Chunks)
 	}
 }
@@ -91,14 +91,14 @@ func TestDeleteRequiresAuthorization(t *testing.T) {
 	mallory := newUser(t, cluster, "mallory", core.SchemeEnhanced)
 	data := randomFile(t, 32<<10, 82)
 
-	if _, err := alice.Upload("/mine", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := alice.Upload(ctx, "/mine", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mallory.Delete("/mine"); err == nil {
+	if _, err := mallory.Delete(ctx, "/mine"); err == nil {
 		t.Fatal("unauthorized user deleted the file")
 	}
 	// File untouched.
-	if got, err := alice.Download("/mine"); err != nil || !bytes.Equal(got, data) {
+	if got, err := alice.Download(ctx, "/mine"); err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("file damaged by failed delete: %v", err)
 	}
 }
@@ -106,7 +106,7 @@ func TestDeleteRequiresAuthorization(t *testing.T) {
 func TestDeleteMissingFile(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
-	if _, err := c.Delete("/never-existed"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Delete(ctx, "/never-existed"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("error = %v, want ErrNotFound", err)
 	}
 }
@@ -117,22 +117,22 @@ func TestDeleteThenReupload(t *testing.T) {
 	data := randomFile(t, 64<<10, 83)
 	pol := policy.OrOfUsers([]string{"alice"})
 
-	if _, err := c.Upload("/cycle", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/cycle", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Delete("/cycle"); err != nil {
+	if _, err := c.Delete(ctx, "/cycle"); err != nil {
 		t.Fatal(err)
 	}
 	// Re-uploading the same content after full deletion works and is
 	// not spuriously deduplicated against freed chunks.
-	res, err := c.Upload("/cycle", bytes.NewReader(data), pol)
+	res, err := c.Upload(ctx, "/cycle", bytes.NewReader(data), pol)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.DuplicateChunks != 0 {
 		t.Fatalf("re-upload after full deletion reported %d duplicates", res.DuplicateChunks)
 	}
-	got, err := c.Download("/cycle")
+	got, err := c.Download(ctx, "/cycle")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("re-upload round trip: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	defer c.Close()
 
 	data := randomFile(t, 128<<10, 90)
-	res, err := c.Upload("/audited", bytes.NewReader(data), policy.OrOfUsers([]string{"auditor"}))
+	res, err := c.Upload(ctx, "/audited", bytes.NewReader(data), policy.OrOfUsers([]string{"auditor"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestAuditDetectsCorruption(t *testing.T) {
 
 	// Healthy server: audits pass.
 	for i := 0; i < 4; i++ {
-		ok, err := c.Audit(res.AuditBook)
+		ok, err := c.Audit(ctx, res.AuditBook)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +206,7 @@ func TestAuditDetectsCorruption(t *testing.T) {
 			}
 		}
 	}
-	ok, err := c.Audit(res.AuditBook)
+	ok, err := c.Audit(ctx, res.AuditBook)
 	if err == nil && ok {
 		t.Fatal("audit passed against fully corrupted storage")
 	}
@@ -234,16 +234,16 @@ func TestAuditExhaustion(t *testing.T) {
 	}
 	defer c.Close()
 
-	res, err := c.Upload("/small-book", bytes.NewReader(randomFile(t, 16<<10, 91)), policy.OrOfUsers([]string{"auditor2"}))
+	res, err := c.Upload(ctx, "/small-book", bytes.NewReader(randomFile(t, 16<<10, 91)), policy.OrOfUsers([]string{"auditor2"}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if ok, err := c.Audit(res.AuditBook); err != nil || !ok {
+		if ok, err := c.Audit(ctx, res.AuditBook); err != nil || !ok {
 			t.Fatalf("audit %d: %v %v", i, ok, err)
 		}
 	}
-	if _, err := c.Audit(res.AuditBook); err == nil {
+	if _, err := c.Audit(ctx, res.AuditBook); err == nil {
 		t.Fatal("exhausted book still issued audits")
 	}
 }

@@ -1,0 +1,294 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/keyreg"
+	"repro/internal/recipe"
+	"repro/internal/store"
+)
+
+// DownloadResult summarizes a download.
+type DownloadResult struct {
+	// Chunks is the number of chunks the file reassembled from.
+	Chunks int
+	// LogicalBytes is the plaintext size in bytes written out.
+	LogicalBytes int64
+	// KeyVersion is the key-state version the stub file was sealed
+	// under.
+	KeyVersion uint64
+	// Elapsed is the wall-clock duration of the whole operation.
+	Elapsed time.Duration
+}
+
+// fetchedWindow is one prefetched window of ciphertext chunks.
+type fetchedWindow struct {
+	lo, hi  int // recipe index range [lo, hi)
+	trimmed [][]byte
+}
+
+// DownloadTo streams the file stored under path into w, verifying chunk
+// integrity and writing strictly in recipe order. Windows of up to
+// Config.SegmentBytes of chunks are prefetched in parallel from the
+// data servers while the previous window decrypts on the worker pool,
+// so peak memory is O(segment), not O(file). Cancelling ctx aborts the
+// prefetch and decrypt promptly; w may have received a prefix of the
+// file.
+func (c *Client) DownloadTo(ctx context.Context, path string, w io.Writer) (*DownloadResult, error) {
+	return c.downloadStream(ctx, c.remoteName(path), func(*recipe.Recipe) (io.Writer, error) {
+		return w, nil
+	})
+}
+
+// Download retrieves and reassembles the file stored under path. It is
+// a thin wrapper over the streaming path that collects into a buffer
+// pre-sized from the recipe; prefer DownloadTo for large files.
+func (c *Client) Download(ctx context.Context, path string) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := c.downloadStream(ctx, c.remoteName(path), func(rec *recipe.Recipe) (io.Writer, error) {
+		buf.Grow(int(rec.Size))
+		return &buf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// downloadStream fetches the file's metadata, then pipelines windowed
+// chunk prefetch against decryption, writing plaintext in recipe order
+// to the writer open returns. open runs after the recipe is known so
+// callers can size their sink.
+func (c *Client) downloadStream(ctx context.Context, name string, open func(*recipe.Recipe) (io.Writer, error)) (*DownloadResult, error) {
+	start := time.Now()
+	// Key state → file key. After a lazy revocation the stored state is
+	// newer than the one that sealed this file's stubs; key regression
+	// lets any authorized user unwind to the file's version using the
+	// public derivation key stored beside the state.
+	state, derivPub, err := c.fetchKeyState(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+
+	home := c.homeServer(name)
+	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+	}
+	rec, err := recipe.Unmarshal(recBytes)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Scheme != uint8(c.cfg.Scheme) {
+		return nil, fmt.Errorf("client: file uses scheme %d, client configured for %v", rec.Scheme, c.cfg.Scheme)
+	}
+
+	fileState := state
+	if rec.KeyVersion != state.Version {
+		fileState, err = keyreg.Unwind(derivPub, state, rec.KeyVersion)
+		if err != nil {
+			return nil, fmt.Errorf("client: unwind key state: %w", err)
+		}
+	}
+	fileKey := fileState.Key()
+
+	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
+	}
+	stubs, err := openStubFile(stubFile, fileKey[:], name, c.cfg.StubSize, len(rec.Chunks))
+	if err != nil {
+		return nil, err
+	}
+
+	w, err := open(rec)
+	if err != nil {
+		return nil, err
+	}
+
+	windows := splitWindows(rec, int64(c.cfg.SegmentBytes))
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Producer: prefetch window i+1 while the consumer below decrypts
+	// and writes window i.
+	fetched := make(chan fetchedWindow, 1)
+	var (
+		wg          sync.WaitGroup
+		producerErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(fetched)
+		for _, win := range windows {
+			trimmed, err := c.fetchWindow(pctx, rec, win[0], win[1])
+			if err != nil {
+				producerErr = err
+				cancel()
+				return
+			}
+			select {
+			case fetched <- fetchedWindow{lo: win[0], hi: win[1], trimmed: trimmed}:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		total      int64
+		consumeErr error
+	)
+	for fw := range fetched {
+		n := fw.hi - fw.lo
+		plain := make([][]byte, n)
+		err := c.parallelEach(pctx, n, func(i int) error {
+			idx := fw.lo + i
+			chunk, err := c.codec.Decrypt(core.Package{Trimmed: fw.trimmed[i], Stub: stubs[idx]})
+			if err != nil {
+				return fmt.Errorf("chunk %d: %w", idx, err)
+			}
+			if uint32(len(chunk)) != rec.Chunks[idx].Size {
+				return fmt.Errorf("chunk %d: size %d, recipe says %d", idx, len(chunk), rec.Chunks[idx].Size)
+			}
+			plain[i] = chunk
+			return nil
+		})
+		if err != nil {
+			consumeErr = err
+			cancel()
+			break
+		}
+		for _, p := range plain {
+			// Writes are the only stage the context cannot interrupt
+			// (w is caller-owned); re-check between chunks so a
+			// cancelled download stops at chunk granularity.
+			if err := pctx.Err(); err != nil {
+				consumeErr = err
+				break
+			}
+			if _, err := w.Write(p); err != nil {
+				consumeErr = fmt.Errorf("client: write output: %w", err)
+				cancel()
+				break
+			}
+			total += int64(len(p))
+		}
+		if consumeErr != nil {
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+	// Drain anything the producer managed to enqueue after we broke out.
+	for range fetched {
+	}
+	if consumeErr != nil {
+		return nil, consumeErr
+	}
+	if producerErr != nil {
+		return nil, producerErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(total) != rec.Size {
+		return nil, fmt.Errorf("client: reassembled %d bytes, recipe says %d", total, rec.Size)
+	}
+	return &DownloadResult{
+		Chunks:       len(rec.Chunks),
+		LogicalBytes: total,
+		KeyVersion:   rec.KeyVersion,
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// splitWindows cuts the recipe's chunk list into [lo, hi) index ranges
+// of at most budget plaintext bytes each (at least one chunk per
+// window).
+func splitWindows(rec *recipe.Recipe, budget int64) [][2]int {
+	var (
+		out   [][2]int
+		lo    int
+		bytes int64
+	)
+	for i, ref := range rec.Chunks {
+		if i > lo && bytes+int64(ref.Size) > budget {
+			out = append(out, [2]int{lo, i})
+			lo, bytes = i, 0
+		}
+		bytes += int64(ref.Size)
+	}
+	if lo < len(rec.Chunks) {
+		out = append(out, [2]int{lo, len(rec.Chunks)})
+	}
+	return out
+}
+
+// fetchWindow fetches trimmed packages [lo, hi) of the recipe, striped
+// across the data servers in parallel, preserving recipe order.
+func (c *Client) fetchWindow(ctx context.Context, rec *recipe.Recipe, lo, hi int) ([][]byte, error) {
+	type want struct {
+		idx int
+		fp  fingerprint.Fingerprint
+	}
+	perServer := make([][]want, len(c.data))
+	for i := lo; i < hi; i++ {
+		ref := rec.Chunks[i]
+		s := c.serverFor(ref.Fingerprint)
+		perServer[s] = append(perServer[s], want{idx: i - lo, fp: ref.Fingerprint})
+	}
+
+	out := make([][]byte, hi-lo)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range c.data {
+		if len(perServer[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			wants := perServer[s]
+			const batch = 4096
+			for start := 0; start < len(wants); start += batch {
+				end := start + batch
+				if end > len(wants) {
+					end = len(wants)
+				}
+				fps := make([]fingerprint.Fingerprint, 0, end-start)
+				for _, w := range wants[start:end] {
+					fps = append(fps, w.fp)
+				}
+				datas, err := c.getChunks(ctx, c.data[s], fps)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client: download from server %d: %w", s, err)
+					}
+					mu.Unlock()
+					return
+				}
+				for i, w := range wants[start:end] {
+					out[w.idx] = datas[i]
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -57,7 +57,7 @@ func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
 
 	data := randomFile(t, 64<<10, 61)
 	pol := policy.OrOfUsers([]string{"alice"})
-	if _, err := c.Upload("/ok", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/ok", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,7 +68,7 @@ func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Upload("/after-crash", bytes.NewReader(data), pol)
+		_, err := c.Upload(ctx, "/after-crash", bytes.NewReader(data), pol)
 		done <- err
 	}()
 	select {
@@ -106,13 +106,13 @@ func TestDownloadFailsCleanlyWhenKeyStoreDies(t *testing.T) {
 
 	data := randomFile(t, 32<<10, 62)
 	pol := policy.OrOfUsers([]string{"alice"})
-	if _, err := c.Upload("/k", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/k", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 	if err := keySrv.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Download("/k"); err == nil {
+	if _, err := c.Download(ctx, "/k"); err == nil {
 		t.Fatal("download succeeded without the key store")
 	}
 }
@@ -131,14 +131,14 @@ func TestUploadFailsCleanlyWhenKeyManagerDies(t *testing.T) {
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
 	data := randomFile(t, 32<<10, 63)
 	pol := policy.OrOfUsers([]string{"alice"})
-	if _, err := c.Upload("/pre", bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(ctx, "/pre", bytes.NewReader(data), pol); err != nil {
 		t.Fatal(err)
 	}
 
 	cluster.Close() // kills the key manager (and everything else)
 
 	other := randomFile(t, 32<<10, 64)
-	if _, err := c.Upload("/post", bytes.NewReader(other), pol); err == nil {
+	if _, err := c.Upload(ctx, "/post", bytes.NewReader(other), pol); err == nil {
 		t.Fatal("upload succeeded without a key manager")
 	}
 }
@@ -149,7 +149,7 @@ func TestDownloadAfterDataLoss(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
 	data := randomFile(t, 128<<10, 65)
-	if _, err := c.Upload("/lost", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, "/lost", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
 	for _, srv := range cluster.DataServers {
@@ -167,7 +167,7 @@ func TestDownloadAfterDataLoss(t *testing.T) {
 			}
 		}
 	}
-	if _, err := c.Download("/lost"); err == nil {
+	if _, err := c.Download(ctx, "/lost"); err == nil {
 		t.Fatal("download succeeded after container loss")
 	}
 }

@@ -45,18 +45,18 @@ func TestPathObfuscationRoundTrip(t *testing.T) {
 
 	data := randomFile(t, 64<<10, 21)
 	secretPath := "/hr/salaries-2016.xlsx"
-	if _, err := c.Upload(secretPath, bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, secretPath, bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Download(secretPath)
+	got, err := c.Download(ctx, secretPath)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("obfuscated round trip: %v", err)
 	}
 	// Rekeying works through the obfuscated name too.
-	if _, err := c.Rekey(secretPath, policy.OrOfUsers([]string{"alice"}), true); err != nil {
+	if _, err := c.Rekey(ctx, secretPath, policy.OrOfUsers([]string{"alice"}), true); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := c.Download(secretPath); err != nil || !bytes.Equal(got, data) {
+	if got, err := c.Download(ctx, secretPath); err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("download after rekey: %v", err)
 	}
 }
@@ -69,7 +69,7 @@ func TestPathObfuscationHidesNames(t *testing.T) {
 	c := newObfuscatedUser(t, cluster, "alice", salt)
 
 	data := randomFile(t, 32<<10, 22)
-	if _, err := c.Upload("/secret-project/plan.doc", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
+	if _, err := c.Upload(ctx, "/secret-project/plan.doc", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"})); err != nil {
 		t.Fatal(err)
 	}
 	for _, srv := range cluster.DataServers {
@@ -94,11 +94,11 @@ func TestPathObfuscationSaltMatters(t *testing.T) {
 	c2 := newObfuscatedUser(t, cluster, "alice2", []byte("salt-two-salt-two-salt-two-32byt"))
 
 	data := randomFile(t, 16<<10, 23)
-	if _, err := c1.Upload("/x", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "alice2"})); err != nil {
+	if _, err := c1.Upload(ctx, "/x", bytes.NewReader(data), policy.OrOfUsers([]string{"alice", "alice2"})); err != nil {
 		t.Fatal(err)
 	}
 	// A client with a different salt addresses a different object.
-	if _, err := c2.Download("/x"); err == nil {
+	if _, err := c2.Download(ctx, "/x"); err == nil {
 		t.Fatal("client with different salt found the file")
 	}
 }
@@ -137,14 +137,14 @@ func TestRekeyGroup(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		path := fmt.Sprintf("/group/file-%d", i)
 		data := randomFile(t, 32<<10, int64(40+i))
-		if _, err := alice.Upload(path, bytes.NewReader(data), shared); err != nil {
+		if _, err := alice.Upload(ctx, path, bytes.NewReader(data), shared); err != nil {
 			t.Fatal(err)
 		}
 		paths = append(paths, path)
 		files[path] = data
 	}
 
-	res, err := alice.RekeyGroup(paths, policy.OrOfUsers([]string{"alice"}), true)
+	res, err := alice.RekeyGroup(ctx, paths, policy.OrOfUsers([]string{"alice"}), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +160,11 @@ func TestRekeyGroup(t *testing.T) {
 
 	// Alice keeps access to every file; bob loses all of them.
 	for path, data := range files {
-		got, err := alice.Download(path)
+		got, err := alice.Download(ctx, path)
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("alice download %s after group rekey: %v", path, err)
 		}
-		if _, err := bob.Download(path); err == nil {
+		if _, err := bob.Download(ctx, path); err == nil {
 			t.Fatalf("bob still reads %s after group revocation", path)
 		}
 	}
@@ -179,12 +179,12 @@ func TestRekeyGroupLazy(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		path := fmt.Sprintf("/lazy-group/%d", i)
 		data := randomFile(t, 16<<10, int64(50+i))
-		if _, err := alice.Upload(path, bytes.NewReader(data), pol); err != nil {
+		if _, err := alice.Upload(ctx, path, bytes.NewReader(data), pol); err != nil {
 			t.Fatal(err)
 		}
 		paths = append(paths, path)
 	}
-	res, err := alice.RekeyGroup(paths, pol, false)
+	res, err := alice.RekeyGroup(ctx, paths, pol, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestRekeyGroupLazy(t *testing.T) {
 	}
 	// Files remain readable via key regression.
 	for _, path := range paths {
-		if _, err := alice.Download(path); err != nil {
+		if _, err := alice.Download(ctx, path); err != nil {
 			t.Fatalf("download %s after lazy group rekey: %v", path, err)
 		}
 	}
@@ -203,10 +203,10 @@ func TestRekeyGroupValidation(t *testing.T) {
 	cluster := startCluster(t)
 	alice := newUser(t, cluster, "alice", core.SchemeBasic)
 	pol := policy.OrOfUsers([]string{"alice"})
-	if _, err := alice.RekeyGroup(nil, pol, false); err == nil {
+	if _, err := alice.RekeyGroup(ctx, nil, pol, false); err == nil {
 		t.Fatal("empty path list accepted")
 	}
-	if _, err := alice.RekeyGroup([]string{"/absent"}, pol, false); err == nil {
+	if _, err := alice.RekeyGroup(ctx, []string{"/absent"}, pol, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -216,11 +216,11 @@ func TestList(t *testing.T) {
 	c := newUser(t, cluster, "alice", core.SchemeBasic)
 	pol := policy.OrOfUsers([]string{"alice"})
 	for _, path := range []string{"/z", "/a", "/m"} {
-		if _, err := c.Upload(path, bytes.NewReader(randomFile(t, 8<<10, 70)), pol); err != nil {
+		if _, err := c.Upload(ctx, path, bytes.NewReader(randomFile(t, 8<<10, 70)), pol); err != nil {
 			t.Fatal(err)
 		}
 	}
-	names, err := c.List()
+	names, err := c.List(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

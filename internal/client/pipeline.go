@@ -1,0 +1,594 @@
+package client
+
+import (
+	"context"
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/chunker"
+	"repro/internal/fingerprint"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/recipe"
+	"repro/internal/store"
+)
+
+// The streaming upload engine. The input is cut into pipeline segments
+// of at most a quarter of Config.SegmentBytes of plaintext chunks;
+// segments flow through four overlapped stages connected by capacity-1
+// channels:
+//
+//	chunk+fingerprint → MLE keys (batched OPRF) → CAONT encrypt → upload
+//
+// so segment i+1 is being chunked while segment i resolves keys,
+// segment i−1 encrypts on the worker pool, and segment i−2 stripes to
+// the data servers. A byteGate admission controller bounds the bytes
+// alive across all stages to ~2× the segment budget; with
+// quarter-budget units, the stages plus their connecting channels hold
+// at most ~7/4 of the budget, so every stage keeps a unit in flight
+// without the chunking stage starving. The chunking stage blocks when
+// the pipeline is full and resumes as uploaded segments release their
+// budget. Each stage is a single goroutine (encryption fans out
+// internally but joins before emitting), so segments — and therefore
+// recipe entries and stubs — stay in file order.
+//
+// File metadata (stub file, recipe, policy-sealed key state) is written
+// only after the last segment uploads: cancelling mid-flight leaves no
+// partial file visible, only unreferenced chunks that deduplicate or
+// age out.
+
+// byteGate is the pipeline's admission controller: a byte-counted
+// semaphore that also records its high-water mark.
+type byteGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+func newByteGate(capacity int64) *byteGate {
+	g := &byteGate{capacity: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until n bytes fit under the capacity. A request larger
+// than the whole capacity is admitted once the gate is empty, so one
+// oversized chunk cannot deadlock the pipeline. The pipeline wakes the
+// gate on cancellation; acquire then returns the context's error.
+func (g *byteGate) acquire(ctx context.Context, n int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.used > 0 && g.used+n > g.capacity {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	return nil
+}
+
+// force charges n bytes without blocking. The encrypt stage uses it for
+// the ciphertext it just produced: blocking there would deadlock (the
+// bytes already exist), and the overshoot is bounded by one segment's
+// expansion because the matching plaintext is released immediately
+// after.
+func (g *byteGate) force(n int64) {
+	g.mu.Lock()
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	g.mu.Unlock()
+}
+
+func (g *byteGate) release(n int64) {
+	g.mu.Lock()
+	g.used -= n
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// wake pokes blocked acquirers so they re-check their context.
+func (g *byteGate) wake() { g.cond.Broadcast() }
+
+func (g *byteGate) peakBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// chunkSource yields the upload's chunks one at a time. next returns
+// io.EOF after the last chunk; the returned slice must be owned by the
+// callee (not reused for the following chunk).
+type chunkSource interface {
+	next() ([]byte, error)
+}
+
+// readerSource chunks an io.Reader with the configured chunker.
+type readerSource struct {
+	ck chunker.Chunker
+}
+
+func (c *Client) newReaderSource(r io.Reader) (*readerSource, error) {
+	var (
+		ck  chunker.Chunker
+		err error
+	)
+	if c.cfg.FixedChunkSize > 0 {
+		ck, err = chunker.NewFixed(r, c.cfg.FixedChunkSize)
+	} else {
+		ck, err = chunker.NewRabin(r, c.cfg.Chunking)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &readerSource{ck: ck}, nil
+}
+
+func (s *readerSource) next() ([]byte, error) {
+	data, err := s.ck.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("client: chunking: %w", err)
+	}
+	// The chunker reuses its window buffer; take ownership.
+	return append([]byte(nil), data...), nil
+}
+
+// sliceSource replays caller-provided chunks (trace-driven uploads).
+type sliceSource struct {
+	chunks [][]byte
+	pos    int
+}
+
+func (s *sliceSource) next() ([]byte, error) {
+	if s.pos >= len(s.chunks) {
+		return nil, io.EOF
+	}
+	data := s.chunks[s.pos]
+	s.pos++
+	return data, nil
+}
+
+// segment is one pipeline unit: up to a quarter of Config.SegmentBytes
+// of chunks.
+type segment struct {
+	index  int
+	chunks []encChunk
+	bytes  int64 // plaintext bytes
+}
+
+// Upload stores the file read from r under path, accessible per pol,
+// streaming it through the segment pipeline. The client must have an
+// Owner (the file key comes from the owner's key-regression chain).
+// Cancelling ctx aborts the pipeline without leaving a recipe or stub
+// file behind, even while r blocks in Read; a Read that never returns
+// strands only its reading goroutine, not the Upload call.
+func (c *Client) Upload(ctx context.Context, path string, r io.Reader, pol *policy.Node) (*UploadResult, error) {
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := c.newReaderSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return c.runUpload(ctx, c.remoteName(path), src, pol)
+}
+
+// UploadPrechunked uploads a file whose chunk boundaries the caller
+// already determined (trace replay feeds recorded chunks directly, so
+// chunking time is excluded as in the paper's Experiment B.2). Chunks
+// must be non-empty.
+func (c *Client) UploadPrechunked(ctx context.Context, path string, rawChunks [][]byte, pol *policy.Node) (*UploadResult, error) {
+	if c.cfg.Owner == nil {
+		return nil, ErrNoOwner
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	for i, data := range rawChunks {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("client: pre-chunked upload: empty chunk %d", i)
+		}
+	}
+	return c.runUpload(ctx, c.remoteName(path), &sliceSource{chunks: rawChunks}, pol)
+}
+
+// pipeFail records the pipeline's first error and cancels everything
+// downstream.
+type pipeFail struct {
+	once   sync.Once
+	err    error
+	cancel context.CancelFunc
+	gate   *byteGate
+}
+
+func (p *pipeFail) fail(err error) {
+	p.once.Do(func() {
+		p.err = err
+		p.cancel()
+		p.gate.wake()
+	})
+}
+
+// sendSeg delivers s unless the pipeline is cancelled first.
+func sendSeg(ctx context.Context, ch chan<- *segment, s *segment) bool {
+	select {
+	case ch <- s:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runUpload drives the four-stage pipeline and, once every segment has
+// uploaded, finalizes the file: stub file, recipe, and key state.
+func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, pol *policy.Node) (*UploadResult, error) {
+	start := time.Now()
+	state := c.cfg.Owner.Current()
+	fileKey := state.Key()
+
+	segBytes := int64(c.cfg.SegmentBytes)
+	gate := newByteGate(2 * segBytes)
+	// Quarter-budget pipeline units: four stages and three capacity-1
+	// channels hold at most ~7 units, comfortably under the gate, so
+	// every stage stays busy while memory remains O(SegmentBytes).
+	unit := segBytes / 4
+	if unit < 1 {
+		unit = 1
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := &pipeFail{cancel: cancel, gate: gate}
+
+	// If the caller cancels (rather than a stage failing), blocked
+	// acquirers still need a wake-up.
+	wakeDone := make(chan struct{})
+	go func() {
+		<-pctx.Done()
+		gate.wake()
+		close(wakeDone)
+	}()
+
+	chunked := make(chan *segment, 1)
+	keyed := make(chan *segment, 1)
+	encrypted := make(chan *segment, 1)
+
+	var wg sync.WaitGroup
+
+	// Source pump: reads run on their own goroutine with a select
+	// handoff so cancellation returns promptly even while a read is
+	// blocked (a stalled pipe, a hung network filesystem). The pump is
+	// deliberately outside wg — an uninterruptible Read keeps only this
+	// goroutine until it returns, never the Upload call.
+	type readResult struct {
+		data []byte
+		err  error
+	}
+	reads := make(chan readResult)
+	go func() {
+		defer close(reads)
+		for {
+			data, err := src.next()
+			select {
+			case reads <- readResult{data, err}:
+				if err != nil {
+					return
+				}
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 1: chunk + fingerprint, cutting segments at the budget.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chunked)
+		seg := &segment{}
+		for {
+			var rr readResult
+			var ok bool
+			select {
+			case rr, ok = <-reads:
+			case <-pctx.Done():
+				return
+			}
+			if !ok { // pump exited on cancellation
+				return
+			}
+			if errors.Is(rr.err, io.EOF) {
+				break
+			}
+			if rr.err != nil {
+				fail.fail(rr.err)
+				return
+			}
+			data := rr.data
+			if err := gate.acquire(pctx, int64(len(data))); err != nil {
+				fail.fail(err)
+				return
+			}
+			seg.chunks = append(seg.chunks, encChunk{
+				data:    data,
+				size:    len(data),
+				fpPlain: fingerprint.New(data),
+			})
+			seg.bytes += int64(len(data))
+			if seg.bytes >= unit {
+				if !sendSeg(pctx, chunked, seg) {
+					return
+				}
+				seg = &segment{index: seg.index + 1}
+			}
+		}
+		if len(seg.chunks) > 0 {
+			sendSeg(pctx, chunked, seg)
+		}
+	}()
+
+	// Stage 2: MLE keys via the key manager (cache, then batched OPRF).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(keyed)
+		for seg := range chunked {
+			fps := make([]fingerprint.Fingerprint, len(seg.chunks))
+			for i := range seg.chunks {
+				fps[i] = seg.chunks[i].fpPlain
+			}
+			keys, err := c.generateKeys(pctx, fps)
+			if err != nil {
+				fail.fail(fmt.Errorf("client: key generation: %w", err))
+				return
+			}
+			for i := range seg.chunks {
+				seg.chunks[i].key = keys[i]
+			}
+			if !sendSeg(pctx, keyed, seg) {
+				return
+			}
+		}
+	}()
+
+	// Stage 3: CAONT-encrypt on the worker pool. The ciphertext is
+	// force-charged and the plaintext released right after, so the gate
+	// tracks live bytes without the stage ever blocking on itself.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(encrypted)
+		for seg := range keyed {
+			err := c.parallelEach(pctx, len(seg.chunks), func(i int) error {
+				ch := &seg.chunks[i]
+				pkg, err := c.codec.Encrypt(ch.data, ch.key)
+				if err != nil {
+					return fmt.Errorf("chunk %d: %w", i, err)
+				}
+				ch.pkg = pkg
+				ch.fpTrim = fingerprint.New(pkg.Trimmed)
+				gate.force(int64(len(pkg.Trimmed)))
+				ch.data = nil
+				ch.key = nil
+				gate.release(int64(ch.size))
+				return nil
+			})
+			if err != nil {
+				fail.fail(err)
+				return
+			}
+			if !sendSeg(pctx, encrypted, seg) {
+				return
+			}
+		}
+	}()
+
+	// Stage 4 (this goroutine): stripe each segment to the data servers,
+	// then accumulate the file-level state — recipe refs and stubs in
+	// segment order, plus a reservoir sample of ciphertext chunks for
+	// the audit book.
+	rec := &recipe.Recipe{
+		Path:       name,
+		Scheme:     uint8(c.cfg.Scheme),
+		KeyVersion: state.Version,
+	}
+	var (
+		stubs    [][]byte
+		logical  int64
+		dups     int
+		segments int
+		resv     *auditReservoir
+	)
+	if c.cfg.AuditTickets > 0 {
+		resv = newAuditReservoir(c.cfg.AuditTickets)
+	}
+	for seg := range encrypted {
+		n, err := c.uploadSegment(pctx, seg)
+		if err != nil {
+			fail.fail(err)
+			break
+		}
+		dups += n
+		segments++
+		logical += seg.bytes
+		var released int64
+		for i := range seg.chunks {
+			ch := &seg.chunks[i]
+			rec.Chunks = append(rec.Chunks, recipe.ChunkRef{
+				Fingerprint: ch.fpTrim,
+				Size:        uint32(ch.size),
+			})
+			stubs = append(stubs, ch.pkg.Stub)
+			if resv != nil {
+				resv.offer(audit.ChunkData{FP: ch.fpTrim, Data: ch.pkg.Trimmed})
+			}
+			released += int64(len(ch.pkg.Trimmed))
+			ch.pkg.Trimmed = nil
+		}
+		gate.release(released)
+	}
+	cancel() // release the wake-up goroutine and any straggling stage
+	wg.Wait()
+	<-wakeDone
+	if fail.err != nil {
+		return nil, fail.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Finalize: everything below is file metadata — nothing was visible
+	// to a downloader before this point.
+	rec.Size = uint64(logical)
+	stubFile, err := c.sealStubsChecked(stubs, fileKey[:], name)
+	if err != nil {
+		return nil, err
+	}
+	stateBlob, err := c.sealKeyState(state, pol)
+	if err != nil {
+		return nil, err
+	}
+	home := c.homeServer(name)
+	if err := c.putBlob(ctx, home, store.NSStubs, name, stubFile); err != nil {
+		return nil, fmt.Errorf("client: upload stub file: %w", err)
+	}
+	if err := c.putBlob(ctx, home, store.NSRecipes, name, rec.Marshal()); err != nil {
+		return nil, fmt.Errorf("client: upload recipe: %w", err)
+	}
+	if err := c.putBlob(ctx, c.keyConn, store.NSKeyStates, name, stateBlob); err != nil {
+		return nil, fmt.Errorf("client: upload key state: %w", err)
+	}
+
+	result := &UploadResult{
+		Chunks:          len(rec.Chunks),
+		LogicalBytes:    logical,
+		DuplicateChunks: dups,
+		Segments:        segments,
+		PeakBuffered:    gate.peakBytes(),
+		KeyVersion:      state.Version,
+		Elapsed:         time.Since(start),
+	}
+	if resv != nil && len(resv.sample) > 0 {
+		book, err := audit.Generate(name, resv.sample, c.cfg.AuditTickets, nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: audit book: %w", err)
+		}
+		result.AuditBook = book
+	}
+	return result, nil
+}
+
+// sealStubsChecked validates stub sizes before sealing the stub file.
+func (c *Client) sealStubsChecked(stubs [][]byte, fileKey []byte, name string) ([]byte, error) {
+	for i, s := range stubs {
+		if len(s) != c.cfg.StubSize {
+			return nil, fmt.Errorf("client: chunk %d stub size %d, want %d", i, len(s), c.cfg.StubSize)
+		}
+	}
+	return sealStubs(stubs, fileKey, name)
+}
+
+// uploadSegment stripes one segment's trimmed packages across the data
+// servers in parallel UploadBuffer-sized batches, returning the number
+// of duplicates the servers reported.
+func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
+	perServer := make([][]proto.ChunkUpload, len(c.data))
+	for i := range seg.chunks {
+		s := c.serverFor(seg.chunks[i].fpTrim)
+		perServer[s] = append(perServer[s], proto.ChunkUpload{
+			FP:   seg.chunks[i].fpTrim,
+			Data: seg.chunks[i].pkg.Trimmed,
+		})
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		dups     int
+	)
+	for s := range c.data {
+		if len(perServer[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, batch := range splitBatches(perServer[s], c.cfg.UploadBuffer) {
+				flags, err := c.putChunks(ctx, c.data[s], batch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client: upload to server %d: %w", s, err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				for _, d := range flags {
+					if d {
+						dups++
+					}
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return dups, nil
+}
+
+// auditReservoir keeps a uniform sample of at most k ciphertext chunks
+// from the upload stream (reservoir sampling), so the audit book can be
+// generated without retaining every trimmed package.
+type auditReservoir struct {
+	k      int
+	seen   int
+	sample []audit.ChunkData
+	rng    *mrand.Rand
+}
+
+func newAuditReservoir(k int) *auditReservoir {
+	var seed [8]byte
+	_, _ = crand.Read(seed[:])
+	var seedInt int64
+	for _, b := range seed {
+		seedInt = seedInt<<8 | int64(b)
+	}
+	return &auditReservoir{k: k, rng: mrand.New(mrand.NewSource(seedInt))}
+}
+
+func (r *auditReservoir) offer(cd audit.ChunkData) {
+	r.seen++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, cd)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.sample[j] = cd
+	}
+}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,9 +17,9 @@ type GroupRekeyResult struct {
 	Files int
 	// NewVersion is the key-state version now protecting all of them.
 	NewVersion uint64
-	// StubBytes is the total stub data re-encrypted (active revocation
-	// only).
-	StubBytes int
+	// StubBytes is the total stub data re-encrypted in bytes (active
+	// revocation only).
+	StubBytes int64
 	// PolicyEncryptions counts CP-ABE encryptions performed — 1,
 	// versus len(paths) for file-by-file rekeying; this amortization is
 	// the point of group rekeying (the paper's Section IV-D poses it as
@@ -33,7 +34,7 @@ type GroupRekeyResult struct {
 // policy encryption shared by every file. Semantics per file match
 // Rekey: lazy revocation replaces only the key states; active
 // revocation also re-encrypts each file's stub file.
-func (c *Client) RekeyGroup(paths []string, newPol *policy.Node, active bool) (*GroupRekeyResult, error) {
+func (c *Client) RekeyGroup(ctx context.Context, paths []string, newPol *policy.Node, active bool) (*GroupRekeyResult, error) {
 	start := time.Now()
 	if c.cfg.Owner == nil {
 		return nil, ErrNoOwner
@@ -55,7 +56,7 @@ func (c *Client) RekeyGroup(paths []string, newPol *policy.Node, active bool) (*
 	oldStates := make([]keyreg.State, len(names))
 	derivPubs := make([]keyreg.Public, len(names))
 	for i, name := range names {
-		state, pub, err := c.fetchKeyStateRemote(name)
+		state, pub, err := c.fetchKeyState(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("client: rekey group %q: %w", paths[i], err)
 		}
@@ -76,34 +77,28 @@ func (c *Client) RekeyGroup(paths []string, newPol *policy.Node, active bool) (*
 		PolicyEncryptions: 1,
 	}
 	for i, name := range names {
-		if err := c.keyConn.PutBlob(store.NSKeyStates, name, stateBlob); err != nil {
+		if err := c.putBlob(ctx, c.keyConn, store.NSKeyStates, name, stateBlob); err != nil {
 			return nil, fmt.Errorf("client: rekey group %q: upload key state: %w", paths[i], err)
 		}
 		if !active {
 			continue
 		}
-		stubBytes, err := c.reencryptStubs(name, oldStates[i], derivPubs[i], newState)
+		stubBytes, err := c.reencryptStubs(ctx, name, oldStates[i], derivPubs[i], newState)
 		if err != nil {
 			return nil, fmt.Errorf("client: rekey group %q: %w", paths[i], err)
 		}
-		result.StubBytes += stubBytes
+		result.StubBytes += int64(stubBytes)
 	}
 	result.Elapsed = time.Since(start)
 	return result, nil
 }
 
-// fetchKeyStateRemote is fetchKeyState for an already-resolved remote
-// name.
-func (c *Client) fetchKeyStateRemote(name string) (keyreg.State, keyreg.Public, error) {
-	return c.fetchKeyState(name)
-}
-
 // reencryptStubs downloads a file's stub file, re-encrypts it under the
 // new state's file key, uploads it, and bumps the recipe's key version.
 // It returns the re-encrypted stub file size.
-func (c *Client) reencryptStubs(name string, oldState keyreg.State, derivPub keyreg.Public, newState keyreg.State) (int, error) {
+func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyreg.State, derivPub keyreg.Public, newState keyreg.State) (int, error) {
 	home := c.homeServer(name)
-	recBytes, err := home.GetBlob(store.NSRecipes, name)
+	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
 	if err != nil {
 		return 0, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
 	}
@@ -111,7 +106,7 @@ func (c *Client) reencryptStubs(name string, oldState keyreg.State, derivPub key
 	if err != nil {
 		return 0, err
 	}
-	stubFile, err := home.GetBlob(store.NSStubs, name)
+	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
 	if err != nil {
 		return 0, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
 	}
@@ -133,11 +128,11 @@ func (c *Client) reencryptStubs(name string, oldState keyreg.State, derivPub key
 	if err != nil {
 		return 0, err
 	}
-	if err := home.PutBlob(store.NSStubs, name, reStubFile); err != nil {
+	if err := c.putBlob(ctx, home, store.NSStubs, name, reStubFile); err != nil {
 		return 0, fmt.Errorf("client: re-upload stub file: %w", err)
 	}
 	rec.KeyVersion = newState.Version
-	if err := home.PutBlob(store.NSRecipes, name, rec.Marshal()); err != nil {
+	if err := c.putBlob(ctx, home, store.NSRecipes, name, rec.Marshal()); err != nil {
 		return 0, fmt.Errorf("client: re-upload recipe: %w", err)
 	}
 	return len(reStubFile), nil

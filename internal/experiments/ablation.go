@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -182,13 +183,13 @@ func AblationStubSize(o Options, stubSizes []int) ([]AblationStubPoint, error) {
 		data := uniqueData(o.FileBytes, o.Seed+int64(stub))
 		pol := policy.OrOfUsers([]string{user})
 		path := "/ab-stub/" + user
-		res, err := c.Upload(path, bytes.NewReader(data), pol)
+		res, err := c.Upload(context.Background(), path, bytes.NewReader(data), pol)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := c.Rekey(path, pol, true); err != nil {
+		if _, err := c.Rekey(context.Background(), path, pol, true); err != nil {
 			c.Close()
 			return nil, err
 		}

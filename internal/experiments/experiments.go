@@ -17,6 +17,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -123,6 +124,7 @@ type clientParams struct {
 	cache    bool
 	workers  int
 	stubSize int
+	segBytes int  // pipeline segment budget (0 = default 64 MB)
 	ownLink  bool // give this client its own emulated NIC
 }
 
@@ -141,6 +143,7 @@ func newClient(cluster *testenv.Cluster, o Options, p clientParams) (*client.Cli
 		KeyGenBatch:    p.batch,
 		Workers:        p.workers,
 		StubSize:       p.stubSize,
+		SegmentBytes:   p.segBytes,
 		PrivateKey:     cluster.Authority.IssueKey(p.user, []string{p.user}),
 		Directory:      cluster.Authority,
 		Owner:          owner,
@@ -178,16 +181,27 @@ func mbps(bytes int, d time.Duration) float64 {
 // timeUpload uploads data and returns the measured speed.
 func timeUpload(c *client.Client, path string, data []byte, pol *policy.Node) (float64, error) {
 	start := time.Now()
-	if _, err := c.Upload(path, bytes.NewReader(data), pol); err != nil {
+	if _, err := c.Upload(context.Background(), path, bytes.NewReader(data), pol); err != nil {
 		return 0, err
 	}
 	return mbps(len(data), time.Since(start)), nil
 }
 
+// timeUploadResult uploads data and returns the measured speed along
+// with the full upload result.
+func timeUploadResult(c *client.Client, path string, data []byte, pol *policy.Node) (float64, *client.UploadResult, error) {
+	start := time.Now()
+	res, err := c.Upload(context.Background(), path, bytes.NewReader(data), pol)
+	if err != nil {
+		return 0, nil, err
+	}
+	return mbps(len(data), time.Since(start)), res, nil
+}
+
 // timeDownload downloads a file and returns the measured speed.
 func timeDownload(c *client.Client, path string, wantBytes int) (float64, error) {
 	start := time.Now()
-	got, err := c.Download(path)
+	got, err := c.Download(context.Background(), path)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -109,7 +110,7 @@ func keyGenRun(cluster *testenv.Cluster, o Options, avgKB, batch, fileBytes int)
 	defer km.Close()
 
 	start := time.Now()
-	if _, err := km.GenerateKeys(fps); err != nil {
+	if _, err := km.GenerateKeys(context.Background(), fps); err != nil {
 		return KeyGenPoint{}, err
 	}
 	return KeyGenPoint{
@@ -468,7 +469,7 @@ func rekeyRun(cluster *testenv.Cluster, o Options, users, ratio, fileBytes int) 
 	data := uniqueData(fileBytes, o.Seed+int64(users)*7+int64(ratio)*13+int64(fileBytes))
 	path := fmt.Sprintf("/fig8/%d/%d/%d", users, ratio, fileBytes)
 	oldPol := policy.OrOfUsers(names)
-	if _, err := c.Upload(path, bytes.NewReader(data), oldPol); err != nil {
+	if _, err := c.Upload(context.Background(), path, bytes.NewReader(data), oldPol); err != nil {
 		return RekeyPoint{}, err
 	}
 
@@ -482,20 +483,20 @@ func rekeyRun(cluster *testenv.Cluster, o Options, users, ratio, fileBytes int) 
 
 	// Warm up code paths once, then average a few timed runs; rekeying
 	// is idempotent in structure (each run winds the chain one step).
-	if _, err := c.Rekey(path, newPol, false); err != nil {
+	if _, err := c.Rekey(context.Background(), path, newPol, false); err != nil {
 		return RekeyPoint{}, fmt.Errorf("warmup rekey: %w", err)
 	}
 	const reps = 3
 	var point RekeyPoint
 	for r := 0; r < reps; r++ {
 		start := time.Now()
-		if _, err := c.Rekey(path, newPol, false); err != nil {
+		if _, err := c.Rekey(context.Background(), path, newPol, false); err != nil {
 			return RekeyPoint{}, fmt.Errorf("lazy rekey: %w", err)
 		}
 		point.LazySec += time.Since(start).Seconds() / reps
 
 		start = time.Now()
-		if _, err := c.Rekey(path, newPol, true); err != nil {
+		if _, err := c.Rekey(context.Background(), path, newPol, true); err != nil {
 			return RekeyPoint{}, fmt.Errorf("active rekey: %w", err)
 		}
 		point.ActiveSec += time.Since(start).Seconds() / reps

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -212,7 +213,7 @@ func Fig10TraceDriven(o Options, to TraceOptions) ([]TraceDay, error) {
 			}
 			out[d].LogicalBytes += snap.LogicalBytes()
 			start := time.Now()
-			if _, err := c.UploadPrechunked(tracePath(snap), chunks, pol); err != nil {
+			if _, err := c.UploadPrechunked(context.Background(), tracePath(snap), chunks, pol); err != nil {
 				return nil, fmt.Errorf("upload %s day %d: %w", snap.User, d, err)
 			}
 			out[d].uploadSecs += time.Since(start).Seconds()
@@ -223,7 +224,7 @@ func Fig10TraceDriven(o Options, to TraceOptions) ([]TraceDay, error) {
 		for d := 0; d < to.Days; d++ {
 			snap := days[d][u]
 			start := time.Now()
-			got, err := c.Download(tracePath(snap))
+			got, err := c.Download(context.Background(), tracePath(snap))
 			if err != nil {
 				return nil, fmt.Errorf("download %s day %d: %w", snap.User, d, err)
 			}

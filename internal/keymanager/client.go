@@ -2,6 +2,7 @@ package keymanager
 
 import (
 	"bufio"
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -14,6 +15,10 @@ import (
 	"repro/internal/oprf"
 	"repro/internal/proto"
 )
+
+// ErrConnClosed is returned for calls on a connection torn down by Close
+// or by a context cancellation that interrupted an in-flight frame.
+var ErrConnClosed = errors.New("keymanager: connection closed")
 
 // Dialer opens a connection to an address; injectable so benchmarks can
 // route through internal/netem's emulated link.
@@ -46,6 +51,7 @@ type Client struct {
 	br     *bufio.Reader
 	bw     *bufio.Writer
 	params oprf.PublicParams
+	closed bool
 
 	batchSize int
 	cache     *keycache.Cache
@@ -121,6 +127,10 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	return c.conn.Close()
 }
 
@@ -128,7 +138,7 @@ func (c *Client) Close() error {
 func (c *Client) Params() oprf.PublicParams { return c.params }
 
 func (c *Client) fetchParams() error {
-	typ, payload, err := c.call(proto.MsgKMParamsReq, nil)
+	typ, payload, err := c.call(context.Background(), proto.MsgKMParamsReq, nil)
 	if err != nil {
 		return err
 	}
@@ -143,17 +153,22 @@ func (c *Client) fetchParams() error {
 	return nil
 }
 
-// call performs one synchronous RPC.
-func (c *Client) call(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+// call performs one synchronous RPC. Cancelling ctx interrupts blocked
+// network I/O; the connection is then closed (the frame stream may be
+// desynchronized) and later calls fail with ErrConnClosed.
+func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
-		return 0, nil, err
+	if c.closed {
+		return 0, nil, ErrConnClosed
 	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, err
+	release := proto.GuardConn(ctx, c.conn)
+	respType, respPayload, err := c.roundTrip(typ, payload)
+	if cerr := release(); cerr != nil {
+		c.closed = true
+		_ = c.conn.Close()
+		return 0, nil, fmt.Errorf("keymanager: %w", cerr)
 	}
-	respType, respPayload, err := proto.ReadFrame(c.br)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -167,11 +182,23 @@ func (c *Client) call(typ proto.MsgType, payload []byte) (proto.MsgType, []byte,
 	return respType, respPayload, nil
 }
 
+// roundTrip writes one frame and reads the response. Callers hold c.mu.
+func (c *Client) roundTrip(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return proto.ReadFrame(c.br)
+}
+
 // GenerateKeys returns the MLE key for every fingerprint, in order. Keys
 // found in the cache skip the network; the rest are blinded, batched
 // into round trips of the configured batch size, evaluated remotely,
-// unblinded, verified, and cached.
-func (c *Client) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
+// unblinded, verified, and cached. Cancelling ctx aborts between and
+// during batches.
+func (c *Client) GenerateKeys(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
 	keys := make([][]byte, len(fps))
 	var missIdx []int
 	if c.cache != nil {
@@ -194,7 +221,10 @@ func (c *Client) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
 		if end > len(missIdx) {
 			end = len(missIdx)
 		}
-		if err := c.generateBatch(fps, keys, missIdx[start:end]); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("keymanager: %w", err)
+		}
+		if err := c.generateBatch(ctx, fps, keys, missIdx[start:end]); err != nil {
 			return nil, err
 		}
 	}
@@ -202,7 +232,7 @@ func (c *Client) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
 }
 
 // generateBatch resolves one batch of cache misses.
-func (c *Client) generateBatch(fps []fingerprint.Fingerprint, keys [][]byte, idx []int) error {
+func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprint, keys [][]byte, idx []int) error {
 	blinded := make([][]byte, len(idx))
 	unblinders := make([]*oprf.Unblinder, len(idx))
 	for i, j := range idx {
@@ -214,7 +244,7 @@ func (c *Client) generateBatch(fps []fingerprint.Fingerprint, keys [][]byte, idx
 		unblinders[i] = u
 	}
 
-	typ, payload, err := c.call(proto.MsgKeyGenReq, proto.EncodeBlobList(blinded))
+	typ, payload, err := c.call(ctx, proto.MsgKeyGenReq, proto.EncodeBlobList(blinded))
 	if err != nil {
 		return fmt.Errorf("keymanager: keygen rpc: %w", err)
 	}
@@ -241,9 +271,10 @@ func (c *Client) generateBatch(fps []fingerprint.Fingerprint, keys [][]byte, idx
 	return nil
 }
 
-// DeriveKey implements mle.KeyDeriver for single-chunk callers.
+// DeriveKey implements mle.KeyDeriver for single-chunk callers (the
+// interface carries no context, so the call is not cancellable).
 func (c *Client) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
-	keys, err := c.GenerateKeys([]fingerprint.Fingerprint{fp})
+	keys, err := c.GenerateKeys(context.Background(), []fingerprint.Fingerprint{fp})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package keymanager
 
 import (
+	"context"
 	"bytes"
 	"net"
 	"sync"
@@ -10,6 +11,9 @@ import (
 	"repro/internal/keycache"
 	"repro/internal/oprf"
 )
+
+// ctx is the default context test call sites run under.
+var ctx = context.Background()
 
 var (
 	kmKeyOnce sync.Once
@@ -59,7 +63,7 @@ func TestGenerateKeysMatchesDirectDerivation(t *testing.T) {
 	defer client.Close()
 
 	ids := fps(10)
-	keys, err := client.GenerateKeys(ids)
+	keys, err := client.GenerateKeys(ctx, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +87,7 @@ func TestGenerateKeysBatches(t *testing.T) {
 	defer client.Close()
 
 	before := srv.Evaluations()
-	if _, err := client.GenerateKeys(fps(10)); err != nil {
+	if _, err := client.GenerateKeys(ctx, fps(10)); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.Evaluations() - before; got != 10 {
@@ -104,13 +108,13 @@ func TestCacheAvoidsNetwork(t *testing.T) {
 	defer client.Close()
 
 	ids := fps(8)
-	first, err := client.GenerateKeys(ids)
+	first, err := client.GenerateKeys(ctx, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
 	evalsAfterFirst := srv.Evaluations()
 
-	second, err := client.GenerateKeys(ids)
+	second, err := client.GenerateKeys(ctx, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +160,7 @@ func TestMultipleClients(t *testing.T) {
 				return
 			}
 			defer client.Close()
-			if _, err := client.GenerateKeys(fps(20)); err != nil {
+			if _, err := client.GenerateKeys(ctx, fps(20)); err != nil {
 				errs <- err
 			}
 		}()
@@ -177,7 +181,7 @@ func TestRateLimitSlowsClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.GenerateKeys(fps(5)); err != nil {
+	if _, err := client.GenerateKeys(ctx, fps(5)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -201,7 +205,7 @@ func TestGenerateKeysEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	keys, err := client.GenerateKeys(nil)
+	keys, err := client.GenerateKeys(ctx, nil)
 	if err != nil || len(keys) != 0 {
 		t.Fatalf("GenerateKeys(nil) = %v, %v", keys, err)
 	}
@@ -225,7 +229,7 @@ func TestShutdownClosesConnections(t *testing.T) {
 	srv.Shutdown()
 	<-done
 	// Requests after shutdown must fail, not hang.
-	if _, err := client.GenerateKeys(fps(1)); err == nil {
+	if _, err := client.GenerateKeys(ctx, fps(1)); err == nil {
 		t.Fatal("request after shutdown expected error")
 	}
 }

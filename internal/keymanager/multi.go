@@ -1,6 +1,7 @@
 package keymanager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -82,7 +83,9 @@ func (m *MultiClient) connectLocked() error {
 
 // GenerateKeys resolves MLE keys with failover: a transport error
 // triggers reconnection to the next replica and one retry per replica.
-func (m *MultiClient) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, error) {
+// Context cancellation is terminal — it aborts the call without trying
+// further replicas.
+func (m *MultiClient) GenerateKeys(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var lastErr error
@@ -92,9 +95,12 @@ func (m *MultiClient) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, err
 				return nil, err
 			}
 		}
-		keys, err := m.cur.GenerateKeys(fps)
+		keys, err := m.cur.GenerateKeys(ctx, fps)
 		if err == nil {
 			return keys, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
 		}
 		lastErr = err
 		m.cur.Close()
@@ -104,9 +110,10 @@ func (m *MultiClient) GenerateKeys(fps []fingerprint.Fingerprint) ([][]byte, err
 	return nil, fmt.Errorf("%w: %v", ErrNoKeyManager, lastErr)
 }
 
-// DeriveKey implements mle.KeyDeriver.
+// DeriveKey implements mle.KeyDeriver (the interface carries no
+// context, so the call is not cancellable).
 func (m *MultiClient) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
-	keys, err := m.GenerateKeys([]fingerprint.Fingerprint{fp})
+	keys, err := m.GenerateKeys(context.Background(), []fingerprint.Fingerprint{fp})
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,7 @@ func TestMultiClientFailover(t *testing.T) {
 	defer mc.Close()
 
 	ids := fps(5)
-	before, err := mc.GenerateKeys(ids)
+	before, err := mc.GenerateKeys(ctx, ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestMultiClientFailover(t *testing.T) {
 	// Kill the active replica; the next request must fail over and
 	// return identical keys.
 	srvA.Shutdown()
-	after, err := mc.GenerateKeys(ids)
+	after, err := mc.GenerateKeys(ctx, ids)
 	if err != nil {
 		t.Fatalf("failover failed: %v", err)
 	}
@@ -83,14 +83,14 @@ func TestMultiClientRejectsMismatchedReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mc.Close()
-	if _, err := mc.GenerateKeys(fps(1)); err != nil {
+	if _, err := mc.GenerateKeys(ctx, fps(1)); err != nil {
 		t.Fatal(err)
 	}
 
 	// Failover to the mismatched replica must be refused, not silently
 	// accepted (it would fracture deduplication).
 	srvA.Shutdown()
-	if _, err := mc.GenerateKeys(fps(1)); err == nil {
+	if _, err := mc.GenerateKeys(ctx, fps(1)); err == nil {
 		t.Fatal("mismatched replica accepted")
 	}
 }

@@ -1,0 +1,48 @@
+package proto
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// aLongTimeAgo is a non-zero instant in the past. Setting it as a
+// connection deadline fails all in-flight and future I/O immediately,
+// which is how a blocked RPC is interrupted on context cancellation
+// (the same trick net/http uses).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// GuardConn arms a connection against ctx cancellation: while the guard
+// is active, cancelling ctx poisons conn's deadline so any blocked read
+// or write returns promptly. The returned release function must be
+// called exactly once when the guarded I/O completes; it reports
+// ctx.Err() if the context fired (in which case the connection's frame
+// stream must be considered desynchronized and the connection discarded)
+// and nil otherwise.
+func GuardConn(ctx context.Context, conn net.Conn) (release func() error) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() error { return nil }
+	}
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: fail fast without arming a goroutine.
+		return func() error { return err }
+	}
+	stop := make(chan struct{})
+	fired := make(chan struct{})
+	go func() {
+		defer close(fired)
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(aLongTimeAgo)
+		case <-stop:
+		}
+	}()
+	return func() error {
+		close(stop)
+		<-fired
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -15,14 +16,25 @@ import (
 // emulation).
 type Dialer func(addr string) (net.Conn, error)
 
+// ErrConnClosed is returned for calls on a connection that was torn
+// down, either by Close or by a context cancellation that interrupted an
+// in-flight frame (after which the stream is desynchronized and cannot
+// be reused).
+var ErrConnClosed = errors.New("server client: connection closed")
+
 // Client is the client side of one storage-server connection. Requests
 // serialize on the connection; open several Clients to the same server
 // for parallelism, as the REED client does (Section V-B).
+//
+// Every RPC takes a context. Cancellation interrupts blocked network
+// I/O promptly; because a frame may then be half-written or half-read,
+// the connection is closed and all later calls fail with ErrConnClosed.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	closed bool
 }
 
 // DialStore connects to the storage server at addr. A nil dialer uses
@@ -46,19 +58,27 @@ func DialStore(addr string, dialer Dialer) (*Client, error) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	return c.conn.Close()
 }
 
-func (c *Client) call(typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
+func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
-		return nil, err
+	if c.closed {
+		return nil, ErrConnClosed
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
+	release := proto.GuardConn(ctx, c.conn)
+	respType, respPayload, err := c.roundTrip(typ, payload)
+	if cerr := release(); cerr != nil {
+		// The frame stream may be desynchronized: retire the connection.
+		c.closed = true
+		_ = c.conn.Close()
+		return nil, fmt.Errorf("server client: %w", cerr)
 	}
-	respType, respPayload, err := proto.ReadFrame(c.br)
 	if err != nil {
 		return nil, err
 	}
@@ -75,13 +95,24 @@ func (c *Client) call(typ proto.MsgType, payload []byte, want proto.MsgType) ([]
 	return respPayload, nil
 }
 
+// roundTrip writes one frame and reads the response. Callers hold c.mu.
+func (c *Client) roundTrip(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
+	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return proto.ReadFrame(c.br)
+}
+
 // PutChunks uploads a batch of trimmed packages and returns per-chunk
 // duplicate flags.
-func (c *Client) PutChunks(chunks []proto.ChunkUpload) ([]bool, error) {
+func (c *Client) PutChunks(ctx context.Context, chunks []proto.ChunkUpload) ([]bool, error) {
 	if len(chunks) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(proto.MsgPutChunksReq, proto.EncodePutChunksReq(chunks), proto.MsgPutChunksResp)
+	payload, err := c.call(ctx, proto.MsgPutChunksReq, proto.EncodePutChunksReq(chunks), proto.MsgPutChunksResp)
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +128,11 @@ func (c *Client) PutChunks(chunks []proto.ChunkUpload) ([]bool, error) {
 
 // GetChunks fetches a batch of trimmed packages by fingerprint, in
 // order.
-func (c *Client) GetChunks(fps []fingerprint.Fingerprint) ([][]byte, error) {
+func (c *Client) GetChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
 	if len(fps) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(proto.MsgGetChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgGetChunksResp)
+	payload, err := c.call(ctx, proto.MsgGetChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgGetChunksResp)
 	if err != nil {
 		return nil, err
 	}
@@ -116,23 +147,23 @@ func (c *Client) GetChunks(fps []fingerprint.Fingerprint) ([][]byte, error) {
 }
 
 // PutBlob stores a blob (recipe, stub file, or key state).
-func (c *Client) PutBlob(ns, name string, data []byte) error {
-	_, err := c.call(proto.MsgPutBlobReq, proto.EncodeBlobReq(ns, name, data), proto.MsgPutBlobResp)
+func (c *Client) PutBlob(ctx context.Context, ns, name string, data []byte) error {
+	_, err := c.call(ctx, proto.MsgPutBlobReq, proto.EncodeBlobReq(ns, name, data), proto.MsgPutBlobResp)
 	return err
 }
 
 // GetBlob fetches a blob.
-func (c *Client) GetBlob(ns, name string) ([]byte, error) {
-	return c.call(proto.MsgGetBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgGetBlobResp)
+func (c *Client) GetBlob(ctx context.Context, ns, name string) ([]byte, error) {
+	return c.call(ctx, proto.MsgGetBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgGetBlobResp)
 }
 
 // DerefChunks drops one reference from each listed chunk, returning how
 // many were freed entirely.
-func (c *Client) DerefChunks(fps []fingerprint.Fingerprint) (uint64, error) {
+func (c *Client) DerefChunks(ctx context.Context, fps []fingerprint.Fingerprint) (uint64, error) {
 	if len(fps) == 0 {
 		return 0, nil
 	}
-	payload, err := c.call(proto.MsgDerefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgDerefChunksResp)
+	payload, err := c.call(ctx, proto.MsgDerefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgDerefChunksResp)
 	if err != nil {
 		return 0, err
 	}
@@ -140,20 +171,20 @@ func (c *Client) DerefChunks(fps []fingerprint.Fingerprint) (uint64, error) {
 }
 
 // DeleteBlob removes a blob.
-func (c *Client) DeleteBlob(ns, name string) error {
-	_, err := c.call(proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp)
+func (c *Client) DeleteBlob(ctx context.Context, ns, name string) error {
+	_, err := c.call(ctx, proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp)
 	return err
 }
 
 // Challenge asks the server to prove possession of a chunk: it returns
 // H(nonce || stored bytes).
-func (c *Client) Challenge(fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
-	return c.call(proto.MsgChallengeReq, proto.EncodeChallengeReq(fp, nonce), proto.MsgChallengeResp)
+func (c *Client) Challenge(ctx context.Context, fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
+	return c.call(ctx, proto.MsgChallengeReq, proto.EncodeChallengeReq(fp, nonce), proto.MsgChallengeResp)
 }
 
 // ListBlobs lists the blob names in a namespace.
-func (c *Client) ListBlobs(ns string) ([]string, error) {
-	payload, err := c.call(proto.MsgListBlobsReq, proto.EncodeListBlobsReq(ns), proto.MsgListBlobsResp)
+func (c *Client) ListBlobs(ctx context.Context, ns string) ([]string, error) {
+	payload, err := c.call(ctx, proto.MsgListBlobsReq, proto.EncodeListBlobsReq(ns), proto.MsgListBlobsResp)
 	if err != nil {
 		return nil, err
 	}
@@ -161,8 +192,8 @@ func (c *Client) ListBlobs(ns string) ([]string, error) {
 }
 
 // Stats fetches the server's dedup statistics.
-func (c *Client) Stats() (proto.Stats, error) {
-	payload, err := c.call(proto.MsgStatsReq, nil, proto.MsgStatsResp)
+func (c *Client) Stats(ctx context.Context) (proto.Stats, error) {
+	payload, err := c.call(ctx, proto.MsgStatsReq, nil, proto.MsgStatsResp)
 	if err != nil {
 		return proto.Stats{}, err
 	}

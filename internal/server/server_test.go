@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"net"
@@ -12,6 +13,9 @@ import (
 	"repro/internal/proto"
 	"repro/internal/store"
 )
+
+// ctx is the default context test call sites run under.
+var ctx = context.Background()
 
 // startServer runs a storage server over an in-memory backend.
 func startServer(t testing.TB) (*Server, string) {
@@ -53,7 +57,7 @@ func TestPutGetChunks(t *testing.T) {
 	c := dialTest(t, addr)
 
 	chunks := uploads(5, "a")
-	dups, err := c.PutChunks(chunks)
+	dups, err := c.PutChunks(ctx, chunks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +71,7 @@ func TestPutGetChunks(t *testing.T) {
 	for i := range chunks {
 		fps[i] = chunks[i].FP
 	}
-	datas, err := c.GetChunks(fps)
+	datas, err := c.GetChunks(ctx, fps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +87,10 @@ func TestServerSideDedup(t *testing.T) {
 	c := dialTest(t, addr)
 
 	chunks := uploads(5, "dup")
-	if _, err := c.PutChunks(chunks); err != nil {
+	if _, err := c.PutChunks(ctx, chunks); err != nil {
 		t.Fatal(err)
 	}
-	dups, err := c.PutChunks(chunks)
+	dups, err := c.PutChunks(ctx, chunks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +99,7 @@ func TestServerSideDedup(t *testing.T) {
 			t.Fatalf("chunk %d not deduplicated on second upload", i)
 		}
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +119,10 @@ func TestCrossClientDedup(t *testing.T) {
 	c2 := dialTest(t, addr)
 
 	chunks := uploads(3, "shared")
-	if _, err := c1.PutChunks(chunks); err != nil {
+	if _, err := c1.PutChunks(ctx, chunks); err != nil {
 		t.Fatal(err)
 	}
-	dups, err := c2.PutChunks(chunks)
+	dups, err := c2.PutChunks(ctx, chunks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +136,7 @@ func TestCrossClientDedup(t *testing.T) {
 func TestGetMissingChunk(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialTest(t, addr)
-	if _, err := c.GetChunks([]fingerprint.Fingerprint{fingerprint.New([]byte("absent"))}); err == nil {
+	if _, err := c.GetChunks(ctx, []fingerprint.Fingerprint{fingerprint.New([]byte("absent"))}); err == nil {
 		t.Fatal("missing chunk expected error")
 	}
 }
@@ -142,10 +146,10 @@ func TestBlobRoundTrip(t *testing.T) {
 	c := dialTest(t, addr)
 
 	for _, ns := range []string{store.NSRecipes, store.NSStubs, store.NSKeyStates} {
-		if err := c.PutBlob(ns, "file-1", []byte(ns+" payload")); err != nil {
+		if err := c.PutBlob(ctx, ns, "file-1", []byte(ns+" payload")); err != nil {
 			t.Fatalf("PutBlob(%s): %v", ns, err)
 		}
-		got, err := c.GetBlob(ns, "file-1")
+		got, err := c.GetBlob(ctx, ns, "file-1")
 		if err != nil {
 			t.Fatalf("GetBlob(%s): %v", ns, err)
 		}
@@ -158,13 +162,13 @@ func TestBlobRoundTrip(t *testing.T) {
 func TestBlobNamespaceRestricted(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialTest(t, addr)
-	if err := c.PutBlob(store.NSContainers, "evil", []byte("x")); err == nil {
+	if err := c.PutBlob(ctx, store.NSContainers, "evil", []byte("x")); err == nil {
 		t.Fatal("write to containers namespace should be rejected")
 	}
-	if err := c.PutBlob(store.NSMeta, "evil", []byte("x")); err == nil {
+	if err := c.PutBlob(ctx, store.NSMeta, "evil", []byte("x")); err == nil {
 		t.Fatal("write to meta namespace should be rejected")
 	}
-	if _, err := c.GetBlob(store.NSMeta, "dedup-index"); err == nil {
+	if _, err := c.GetBlob(ctx, store.NSMeta, "dedup-index"); err == nil {
 		t.Fatal("read of meta namespace should be rejected")
 	}
 }
@@ -172,7 +176,7 @@ func TestBlobNamespaceRestricted(t *testing.T) {
 func TestGetMissingBlob(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialTest(t, addr)
-	if _, err := c.GetBlob(store.NSRecipes, "absent"); err == nil {
+	if _, err := c.GetBlob(ctx, store.NSRecipes, "absent"); err == nil {
 		t.Fatal("missing blob expected error")
 	}
 }
@@ -181,13 +185,13 @@ func TestStubByteAccounting(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialTest(t, addr)
 
-	if err := c.PutBlob(store.NSStubs, "f1", make([]byte, 100)); err != nil {
+	if err := c.PutBlob(ctx, store.NSStubs, "f1", make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.PutBlob(store.NSStubs, "f2", make([]byte, 50)); err != nil {
+	if err := c.PutBlob(ctx, store.NSStubs, "f2", make([]byte, 50)); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +200,10 @@ func TestStubByteAccounting(t *testing.T) {
 	}
 	// Re-uploading a stub file (active revocation) must not double
 	// count.
-	if err := c.PutBlob(store.NSStubs, "f1", make([]byte, 100)); err != nil {
+	if err := c.PutBlob(ctx, store.NSStubs, "f1", make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ = c.Stats()
+	stats, _ = c.Stats(ctx)
 	if stats.StubBytes != 150 {
 		t.Fatalf("StubBytes after re-upload = %d, want 150", stats.StubBytes)
 	}
@@ -208,10 +212,10 @@ func TestStubByteAccounting(t *testing.T) {
 func TestEmptyBatches(t *testing.T) {
 	_, addr := startServer(t)
 	c := dialTest(t, addr)
-	if dups, err := c.PutChunks(nil); err != nil || dups != nil {
+	if dups, err := c.PutChunks(ctx, nil); err != nil || dups != nil {
 		t.Fatalf("PutChunks(nil) = %v, %v", dups, err)
 	}
-	if datas, err := c.GetChunks(nil); err != nil || datas != nil {
+	if datas, err := c.GetChunks(ctx, nil); err != nil || datas != nil {
 		t.Fatalf("GetChunks(nil) = %v, %v", datas, err)
 	}
 }
@@ -231,7 +235,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			chunks := uploads(20, fmt.Sprintf("g%d", g%4))
-			if _, err := c.PutChunks(chunks); err != nil {
+			if _, err := c.PutChunks(ctx, chunks); err != nil {
 				errs <- err
 			}
 		}(g)
@@ -259,7 +263,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	chunks := uploads(3, "persist")
-	if _, err := c1.PutChunks(chunks); err != nil {
+	if _, err := c1.PutChunks(ctx, chunks); err != nil {
 		t.Fatal(err)
 	}
 	c1.Close()
@@ -281,7 +285,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	c2 := dialTest(t, ln2.Addr().String())
 
 	fps := []fingerprint.Fingerprint{chunks[0].FP, chunks[1].FP, chunks[2].FP}
-	datas, err := c2.GetChunks(fps)
+	datas, err := c2.GetChunks(ctx, fps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,16 +309,16 @@ func TestPoisoningRejected(t *testing.T) {
 		FP:   fingerprint.New(victim),
 		Data: []byte("attacker-controlled garbage of any length"),
 	}
-	if _, err := c.PutChunks([]proto.ChunkUpload{poisoned}); err == nil {
+	if _, err := c.PutChunks(ctx, []proto.ChunkUpload{poisoned}); err == nil {
 		t.Fatal("server accepted a poisoned chunk")
 	}
 
 	// The honest upload must still go through and round-trip.
 	honest := proto.ChunkUpload{FP: fingerprint.New(victim), Data: victim}
-	if _, err := c.PutChunks([]proto.ChunkUpload{honest}); err != nil {
+	if _, err := c.PutChunks(ctx, []proto.ChunkUpload{honest}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.GetChunks([]fingerprint.Fingerprint{honest.FP})
+	got, err := c.GetChunks(ctx, []fingerprint.Fingerprint{honest.FP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,11 +332,11 @@ func TestListBlobs(t *testing.T) {
 	c := dialTest(t, addr)
 
 	for _, name := range []string{"/b", "/a"} {
-		if err := c.PutBlob(store.NSRecipes, name, []byte("r")); err != nil {
+		if err := c.PutBlob(ctx, store.NSRecipes, name, []byte("r")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	names, err := c.ListBlobs(store.NSRecipes)
+	names, err := c.ListBlobs(ctx, store.NSRecipes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +344,7 @@ func TestListBlobs(t *testing.T) {
 		t.Fatalf("ListBlobs = %v, want sorted [/a /b]", names)
 	}
 	// Restricted namespaces stay restricted.
-	if _, err := c.ListBlobs(store.NSContainers); err == nil {
+	if _, err := c.ListBlobs(ctx, store.NSContainers); err == nil {
 		t.Fatal("listing containers namespace should be rejected")
 	}
 }

@@ -36,8 +36,11 @@
 //
 // # Quick start
 //
-// See examples/quickstart for a complete runnable program. In sketch:
+// See examples/quickstart for a complete runnable program. Every client
+// operation takes a context.Context first; cancel it to abort cleanly.
+// In sketch:
 //
+//	ctx := context.Background()
 //	authority, _ := reed.NewAuthority()
 //	owner, _ := reed.NewOwner()
 //	client, _ := reed.NewClient(reed.ClientConfig{
@@ -50,9 +53,32 @@
 //		Directory:      authority,
 //		Owner:          owner,
 //	})
-//	client.Upload("/backup/day1.tar", file, reed.PolicyForUsers("alice", "bob"))
-//	data, _ := client.Download("/backup/day1.tar")
-//	client.Rekey("/backup/day1.tar", reed.PolicyForUsers("alice"), reed.ActiveRevocation)
+//	client.Upload(ctx, "/backup/day1.tar", file, reed.PolicyForUsers("alice", "bob"))
+//	client.DownloadTo(ctx, "/backup/day1.tar", out)
+//	client.Rekey(ctx, "/backup/day1.tar", reed.PolicyForUsers("alice"), reed.ActiveRevocation)
+//
+// Uploads stream through a bounded segment pipeline (chunking, OPRF key
+// fetch, CAONT encryption, and striped upload overlap), so memory stays
+// O(ClientConfig.SegmentBytes) regardless of file size; DownloadTo
+// streams symmetrically with windowed prefetch.
+//
+// # Migration from the v0 API
+//
+// v0 methods took no context and Download returned the whole file:
+//
+//	res, err := client.Upload(path, r, pol)        // v0
+//	res, err := client.Upload(ctx, path, r, pol)   // v1
+//
+//	data, err := client.Download(path)             // v0
+//	data, err := client.Download(ctx, path)        // v1 (buffers)
+//	res, err := client.DownloadTo(ctx, path, w)    // v1 (streams)
+//
+// Result types changed too: byte counts are int64 (UploadResult's
+// LogicalBytes was uint64), DeleteResult.FreedChunks is an int (was
+// uint64), RekeyResult and GroupRekeyResult count stub bytes as
+// StubBytes int64, and every result carries an Elapsed time.Duration.
+// Callers that never cancel can pass context.Background() everywhere
+// and behave exactly as before.
 //
 // # Encryption schemes
 //
@@ -100,6 +126,8 @@ type (
 	ClientConfig = client.Config
 	// UploadResult summarizes an upload.
 	UploadResult = client.UploadResult
+	// DownloadResult summarizes a download.
+	DownloadResult = client.DownloadResult
 	// RekeyResult summarizes a rekey operation.
 	RekeyResult = client.RekeyResult
 	// Scheme selects the chunk encryption scheme.

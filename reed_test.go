@@ -90,24 +90,24 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	data := make([]byte, 200<<10)
 	rand.New(rand.NewSource(42)).Read(data)
 
-	res, err := alice.Upload("/shared.dat", bytes.NewReader(data), reed.PolicyForUsers("alice", "bob"))
+	res, err := alice.Upload(ctx, "/shared.dat", bytes.NewReader(data), reed.PolicyForUsers("alice", "bob"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Chunks == 0 || res.LogicalBytes != uint64(len(data)) {
+	if res.Chunks == 0 || res.LogicalBytes != int64(len(data)) {
 		t.Fatalf("upload result = %+v", res)
 	}
 
 	// Both users read the shared file.
 	for name, c := range map[string]*reed.Client{"alice": alice, "bob": bob} {
-		got, err := c.Download("/shared.dat")
+		got, err := c.Download(ctx, "/shared.dat")
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("%s download: %v", name, err)
 		}
 	}
 
 	// A second upload of the same content deduplicates fully.
-	res2, err := alice.Upload("/copy.dat", bytes.NewReader(data), reed.PolicyForUsers("alice"))
+	res2, err := alice.Upload(ctx, "/copy.dat", bytes.NewReader(data), reed.PolicyForUsers("alice"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +116,13 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Revoke bob actively; alice keeps access, bob loses it.
-	if _, err := alice.Rekey("/shared.dat", reed.PolicyForUsers("alice"), reed.ActiveRevocation); err != nil {
+	if _, err := alice.Rekey(ctx, "/shared.dat", reed.PolicyForUsers("alice"), reed.ActiveRevocation); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := alice.Download("/shared.dat"); err != nil || !bytes.Equal(got, data) {
+	if got, err := alice.Download(ctx, "/shared.dat"); err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("alice after revocation: %v", err)
 	}
-	if _, err := bob.Download("/shared.dat"); err == nil {
+	if _, err := bob.Download(ctx, "/shared.dat"); err == nil {
 		t.Fatal("bob still reads after revocation")
 	}
 }
@@ -179,10 +179,10 @@ func TestDiskBackedDeployment(t *testing.T) {
 
 	data := make([]byte, 64<<10)
 	rand.New(rand.NewSource(7)).Read(data)
-	if _, err := c.Upload("/on-disk", bytes.NewReader(data), reed.PolicyForUsers("disk-user")); err != nil {
+	if _, err := c.Upload(ctx, "/on-disk", bytes.NewReader(data), reed.PolicyForUsers("disk-user")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Download("/on-disk")
+	got, err := c.Download(ctx, "/on-disk")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("disk-backed round trip: %v", err)
 	}
