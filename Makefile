@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke clean
+.PHONY: check vet staticcheck build test race bench-smoke bench-mux clean
 
 # check is the CI gate: vet, build everything, race-enabled tests.
 check: vet build race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools if installed; CI installs it, and
+# locally it degrades to a note instead of failing the build.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,6 +30,12 @@ race:
 # benchmark as a cheap end-to-end exercise of the full data path.
 bench-smoke:
 	$(GO) test -run NONE -bench=Fig7 -benchtime=1x .
+
+# bench-mux measures request pipelining over one connection with an
+# emulated 2 ms propagation delay: inflight=1 is the lockstep baseline,
+# inflight>=8 should beat it by well over 2x.
+bench-mux:
+	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/
 
 clean:
 	$(GO) clean ./...

@@ -1,8 +1,8 @@
 package client
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -100,7 +100,7 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 				t.Fatal("no chunks")
 			}
 
-			got, err := c.Download(ctx, "/f/" + scheme.String())
+			got, err := c.Download(ctx, "/f/"+scheme.String())
 			if err != nil {
 				t.Fatal(err)
 			}

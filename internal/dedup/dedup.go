@@ -63,6 +63,15 @@ func (s Stats) SavingsRatio() float64 {
 
 // Store deduplicates chunks into containers on a backend. It is safe for
 // concurrent use.
+//
+// Two locks split the hot paths so concurrent server handlers
+// parallelize. s.mu guards the mutable dedup state (index, refs, open
+// container, accounting); cacheMu guards the sealed-container read cache
+// and the singleflight table. Get never holds s.mu across a backend
+// container fetch — it snapshots the chunk's location under s.mu, fetches
+// the (immutable) sealed container under cacheMu/singleflight, and
+// retries from the index if a concurrent compaction deleted the container
+// in between. Lock order: s.mu before cacheMu, never the reverse.
 type Store struct {
 	mu            sync.Mutex
 	backend       store.Backend
@@ -79,8 +88,19 @@ type Store struct {
 	// compaction decisions.
 	containers map[uint64]containerInfo
 
+	cacheMu   sync.Mutex
 	readCache map[uint64][]byte
 	readOrder []uint64 // FIFO eviction
+	inflight  map[uint64]*fetchCall
+}
+
+// fetchCall is an in-flight backend container read shared by concurrent
+// Gets (singleflight): followers wait on done instead of issuing a
+// duplicate backend read.
+type fetchCall struct {
+	done chan struct{}
+	blob []byte
+	err  error
 }
 
 // Open loads (or initializes) a dedup store over the backend.
@@ -95,6 +115,7 @@ func Open(backend store.Backend, containerSize int) (*Store, error) {
 		refs:          make(map[fingerprint.Fingerprint]uint32),
 		current:       make([]byte, 0, containerSize),
 		readCache:     make(map[uint64][]byte),
+		inflight:      make(map[uint64]*fetchCall),
 		containers:    make(map[uint64]containerInfo),
 	}
 	if err := s.loadIndex(); err != nil {
@@ -145,39 +166,94 @@ func (s *Store) Has(fp fingerprint.Fingerprint) bool {
 	return ok
 }
 
-// Get returns the stored chunk for fp.
+// Get returns the stored chunk for fp. The backend fetch of a sealed
+// container happens outside s.mu, so concurrent Gets (and Puts) overlap.
 func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	loc, ok := s.index[fp]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownChunk, fp.Short())
+	// A retry means a compaction deleted the container between our index
+	// read and the backend fetch; the chunk has moved, so re-reading the
+	// index finds its new home. Two compactions racing the same Get is
+	// already vanishingly rare — the bound only guards against a bug
+	// turning into a spin.
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		loc, ok := s.index[fp]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrUnknownChunk, fp.Short())
+		}
+		if loc.Container == s.currentID {
+			// Open container: copy while s.mu pins it.
+			end := int(loc.Offset) + int(loc.Length)
+			if end > len(s.current) {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("dedup: corrupt location for %s", fp.Short())
+			}
+			out := make([]byte, loc.Length)
+			copy(out, s.current[loc.Offset:end])
+			s.mu.Unlock()
+			return out, nil
+		}
+		s.mu.Unlock()
+
+		container, err := s.sealedContainer(loc.Container)
+		if errors.Is(err, store.ErrNotFound) && attempt < 4 {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Sealed containers are immutable (compaction copies live chunks
+		// elsewhere and deletes the blob, never rewrites it), so even a
+		// fetch that raced a compaction returns correct bytes at loc.
+		end := int(loc.Offset) + int(loc.Length)
+		if end > len(container) {
+			return nil, fmt.Errorf("dedup: corrupt location for %s", fp.Short())
+		}
+		out := make([]byte, loc.Length)
+		copy(out, container[loc.Offset:end])
+		return out, nil
 	}
-	container, err := s.containerLocked(loc.Container)
-	if err != nil {
-		return nil, err
-	}
-	end := int(loc.Offset) + int(loc.Length)
-	if end > len(container) {
-		return nil, fmt.Errorf("dedup: corrupt location for %s", fp.Short())
-	}
-	out := make([]byte, loc.Length)
-	copy(out, container[loc.Offset:end])
-	return out, nil
 }
 
-// containerLocked returns the bytes of a container: the open one, a
-// cached one, or one fetched from the backend.
-func (s *Store) containerLocked(id uint64) ([]byte, error) {
-	if id == s.currentID {
-		return s.current, nil
-	}
+// sealedContainer returns a sealed container's bytes from the read
+// cache, joining an in-flight fetch when one exists. The backend read
+// itself runs outside every store lock.
+func (s *Store) sealedContainer(id uint64) ([]byte, error) {
+	s.cacheMu.Lock()
 	if blob, ok := s.readCache[id]; ok {
+		s.cacheMu.Unlock()
 		return blob, nil
 	}
+	if call, ok := s.inflight[id]; ok {
+		s.cacheMu.Unlock()
+		<-call.done
+		return call.blob, call.err
+	}
+	call := &fetchCall{done: make(chan struct{})}
+	s.inflight[id] = call
+	s.cacheMu.Unlock()
+
 	blob, err := s.backend.Get(store.NSContainers, containerName(id))
 	if err != nil {
-		return nil, fmt.Errorf("dedup: load container %d: %w", id, err)
+		err = fmt.Errorf("dedup: load container %d: %w", id, err)
+	}
+	call.blob, call.err = blob, err
+
+	s.cacheMu.Lock()
+	delete(s.inflight, id)
+	if err == nil {
+		s.cacheInsertLocked(id, blob)
+	}
+	s.cacheMu.Unlock()
+	close(call.done)
+	return blob, err
+}
+
+// cacheInsertLocked adds a container to the read cache (caller holds
+// cacheMu), evicting the oldest entry beyond the cap.
+func (s *Store) cacheInsertLocked(id uint64, blob []byte) {
+	if _, ok := s.readCache[id]; ok {
+		return
 	}
 	s.readCache[id] = blob
 	s.readOrder = append(s.readOrder, id)
@@ -186,7 +262,23 @@ func (s *Store) containerLocked(id uint64) ([]byte, error) {
 		s.readOrder = s.readOrder[1:]
 		delete(s.readCache, evict)
 	}
-	return blob, nil
+}
+
+// cacheInvalidate removes a compacted container from the read cache.
+// Callers may hold s.mu (lock order s.mu → cacheMu).
+func (s *Store) cacheInvalidate(id uint64) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if _, ok := s.readCache[id]; !ok {
+		return
+	}
+	delete(s.readCache, id)
+	for i, cid := range s.readOrder {
+		if cid == id {
+			s.readOrder = append(s.readOrder[:i], s.readOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // sealLocked writes the open container to the backend and starts a new

@@ -277,3 +277,161 @@ func binaryFill(data []byte, v int) {
 		data[i] = byte(v >> (8 * i))
 	}
 }
+
+// TestConcurrentMixedOpsWithCompaction churns the store from every
+// direction at once — readers verifying stable chunks, writers forcing
+// container seals, derefs forcing compaction, stats polling — under a
+// tiny container size so the Get-vs-compaction retry path actually runs.
+func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
+	s, _ := newStore(t, 4096)
+
+	// Stable chunks keep their single reference throughout; their bytes
+	// must read back intact no matter how often compaction moves them.
+	const stable = 64
+	stableData := make([][]byte, stable)
+	stableFPs := make([]fingerprint.Fingerprint, stable)
+	for i := range stableData {
+		stableData[i], stableFPs[i] = chunk(1000+i, 512)
+		if _, err := s.Put(stableFPs[i], stableData[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Victims are dereffed to zero to create dead space in sealed
+	// containers.
+	const victims = 128
+	victimFPs := make([]fingerprint.Fingerprint, victims)
+	for i := range victimFPs {
+		var data []byte
+		data, victimFPs[i] = chunk(2000+i, 512)
+		if _, err := s.Put(victimFPs[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := (g*7 + i) % stable
+				got, err := s.Get(stableFPs[j])
+				if err != nil {
+					t.Errorf("Get stable %d: %v", j, err)
+					return
+				}
+				if !bytes.Equal(got, stableData[j]) {
+					t.Errorf("Get stable %d: wrong bytes", j)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				data, fp := chunk(10000+g*1000+i, 512)
+				if _, err := s.Put(fp, data); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, fp := range victimFPs {
+			if _, err := s.Deref(fp); err != nil {
+				t.Errorf("Deref: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			s.Stats()
+			s.Has(stableFPs[i%stable])
+		}
+	}()
+	wg.Wait()
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for j := range stableFPs {
+		got, err := s.Get(stableFPs[j])
+		if err != nil {
+			t.Fatalf("post-churn Get stable %d: %v", j, err)
+		}
+		if !bytes.Equal(got, stableData[j]) {
+			t.Fatalf("post-churn Get stable %d: wrong bytes", j)
+		}
+	}
+}
+
+// countingBackend counts backend Gets per blob to observe cache and
+// singleflight behavior.
+type countingBackend struct {
+	store.Backend
+	mu   sync.Mutex
+	gets map[string]int
+}
+
+func (c *countingBackend) Get(ns, name string) ([]byte, error) {
+	c.mu.Lock()
+	if c.gets == nil {
+		c.gets = make(map[string]int)
+	}
+	c.gets[ns+"/"+name]++
+	c.mu.Unlock()
+	return c.Backend.Get(ns, name)
+}
+
+// TestSealedContainerFetchedOnce: concurrent Gets of chunks in one
+// sealed container trigger exactly one backend read — followers either
+// join the in-flight fetch or hit the cache.
+func TestSealedContainerFetchedOnce(t *testing.T) {
+	backend := &countingBackend{Backend: store.NewMemory()}
+	s, err := Open(backend, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	fps := make([]fingerprint.Fingerprint, n)
+	datas := make([][]byte, n)
+	for i := range fps {
+		datas[i], fps[i] = chunk(100+i, 512)
+		if _, err := s.Put(fps[i], datas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil { // seals container 0
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := s.Get(fps[g%n])
+			if err != nil || !bytes.Equal(got, datas[g%n]) {
+				t.Errorf("Get: %v", err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	backend.mu.Lock()
+	count := backend.gets["containers/"+containerName(0)]
+	backend.mu.Unlock()
+	if count != 1 {
+		t.Fatalf("container fetched %d times, want 1", count)
+	}
+}

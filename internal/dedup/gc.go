@@ -107,14 +107,23 @@ func (s *Store) compactOpenLocked() {
 }
 
 // compactLocked rewrites a sealed container's live chunks into the open
-// container and deletes the old blob.
+// container and deletes the old blob. Caller holds s.mu; compaction is
+// rare enough that keeping it while reading the backend is fine, and a
+// cache miss here skips the singleflight table so a concurrent Get's
+// fetch never ends up waited on from under s.mu.
 func (s *Store) compactLocked(id uint64) error {
-	blob, err := s.containerLocked(id)
-	if err != nil {
-		return fmt.Errorf("dedup: compact: %w", err)
+	s.cacheMu.Lock()
+	blob, cached := s.readCache[id]
+	s.cacheMu.Unlock()
+	if !cached {
+		var err error
+		blob, err = s.backend.Get(store.NSContainers, containerName(id))
+		if err != nil {
+			return fmt.Errorf("dedup: compact: load container %d: %w", id, err)
+		}
 	}
-	// Copy out: containerLocked may return a cache entry that the
-	// deletes below invalidate.
+	// Copy out: the cache entry is shared with concurrent readers and the
+	// invalidation below drops it.
 	blob = append([]byte(nil), blob...)
 
 	for fp, loc := range s.index {
@@ -138,7 +147,7 @@ func (s *Store) compactLocked(id uint64) error {
 	}
 
 	delete(s.containers, id)
-	delete(s.readCache, id)
+	s.cacheInvalidate(id)
 	s.stats.CompactedContainers++
 	if err := s.backend.Delete(store.NSContainers, containerName(id)); err != nil {
 		return fmt.Errorf("dedup: delete compacted container: %w", err)

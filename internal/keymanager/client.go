@@ -1,24 +1,23 @@
 package keymanager
 
 import (
-	"bufio"
 	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 
 	"repro/internal/fingerprint"
 	"repro/internal/keycache"
 	"repro/internal/mle"
 	"repro/internal/oprf"
 	"repro/internal/proto"
+	"repro/internal/rpcmux"
 )
 
 // ErrConnClosed is returned for calls on a connection torn down by Close
 // or by a context cancellation that interrupted an in-flight frame.
-var ErrConnClosed = errors.New("keymanager: connection closed")
+var ErrConnClosed = rpcmux.ErrClosed
 
 // Dialer opens a connection to an address; injectable so benchmarks can
 // route through internal/netem's emulated link.
@@ -44,14 +43,12 @@ func TLSDialer(cfg *tls.Config) Dialer {
 
 // Client talks to a key manager. It batches per-chunk key requests and
 // optionally consults an MLE key cache before going to the network. It
-// is safe for concurrent use; requests on one connection serialize.
+// is safe for concurrent use; requests on one connection multiplex by
+// request ID (internal/rpcmux), so concurrent batches overlap their
+// round trips instead of serializing.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
+	mux    *rpcmux.Conn
 	params oprf.PublicParams
-	closed bool
 
 	batchSize int
 	cache     *keycache.Cache
@@ -110,14 +107,12 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		return nil, fmt.Errorf("keymanager: dial: %w", err)
 	}
 	c := &Client{
-		conn:      conn,
-		br:        bufio.NewReaderSize(conn, 256<<10),
-		bw:        bufio.NewWriterSize(conn, 256<<10),
+		mux:       rpcmux.New(conn, 256<<10, 256<<10),
 		batchSize: cfg.batchSize,
 		cache:     cfg.cache,
 	}
 	if err := c.fetchParams(); err != nil {
-		conn.Close()
+		c.mux.Close()
 		return nil, err
 	}
 	return c, nil
@@ -125,25 +120,16 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.conn.Close()
+	return c.mux.Close()
 }
 
 // Params returns the key manager's public parameters.
 func (c *Client) Params() oprf.PublicParams { return c.params }
 
 func (c *Client) fetchParams() error {
-	typ, payload, err := c.call(context.Background(), proto.MsgKMParamsReq, nil)
+	payload, err := c.call(context.Background(), proto.MsgKMParamsReq, nil, proto.MsgKMParamsResp)
 	if err != nil {
 		return err
-	}
-	if typ != proto.MsgKMParamsResp {
-		return fmt.Errorf("keymanager: unexpected response %v", typ)
 	}
 	params, err := oprf.UnmarshalPublicParams(payload)
 	if err != nil {
@@ -153,44 +139,21 @@ func (c *Client) fetchParams() error {
 	return nil
 }
 
-// call performs one synchronous RPC. Cancelling ctx interrupts blocked
-// network I/O; the connection is then closed (the frame stream may be
+// call performs one RPC over the multiplexed connection. Concurrent
+// calls overlap their round trips. Cancelling a call waiting for its
+// response abandons just that call; cancellation that interrupts the
+// request frame write closes the connection (the stream may be
 // desynchronized) and later calls fail with ErrConnClosed.
-func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return 0, nil, ErrConnClosed
-	}
-	release := proto.GuardConn(ctx, c.conn)
-	respType, respPayload, err := c.roundTrip(typ, payload)
-	if cerr := release(); cerr != nil {
-		c.closed = true
-		_ = c.conn.Close()
-		return 0, nil, fmt.Errorf("keymanager: %w", cerr)
-	}
+func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
+	resp, err := c.mux.Call(ctx, typ, payload, want)
 	if err != nil {
-		return 0, nil, err
-	}
-	if respType == proto.MsgError {
-		re, derr := proto.DecodeError(respPayload)
-		if derr != nil {
-			return 0, nil, derr
+		var re *proto.RemoteError
+		if errors.As(err, &re) {
+			return nil, re
 		}
-		return 0, nil, re
+		return nil, fmt.Errorf("keymanager: %w", err)
 	}
-	return respType, respPayload, nil
-}
-
-// roundTrip writes one frame and reads the response. Callers hold c.mu.
-func (c *Client) roundTrip(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
-	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
-		return 0, nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, err
-	}
-	return proto.ReadFrame(c.br)
+	return resp, nil
 }
 
 // GenerateKeys returns the MLE key for every fingerprint, in order. Keys
@@ -244,12 +207,9 @@ func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprin
 		unblinders[i] = u
 	}
 
-	typ, payload, err := c.call(ctx, proto.MsgKeyGenReq, proto.EncodeBlobList(blinded))
+	payload, err := c.call(ctx, proto.MsgKeyGenReq, proto.EncodeBlobList(blinded), proto.MsgKeyGenResp)
 	if err != nil {
 		return fmt.Errorf("keymanager: keygen rpc: %w", err)
-	}
-	if typ != proto.MsgKeyGenResp {
-		return fmt.Errorf("keymanager: unexpected response %v", typ)
 	}
 	responses, err := proto.DecodeBlobList(payload, len(idx))
 	if err != nil {

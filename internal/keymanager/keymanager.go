@@ -30,12 +30,16 @@ const DefaultBatchSize = 256
 // maxBatch bounds a single key-generation request.
 const maxBatch = 1 << 16
 
+// DefaultWorkers is the per-connection handler pool size.
+const DefaultWorkers = 4
+
 // Server is the key manager process.
 type Server struct {
 	key      *oprf.ServerKey
 	params   []byte // marshaled public params
 	rate     float64
 	burst    float64
+	workers  int
 	limiters sync.Map // remote host -> *ratelimit.Limiter
 
 	mu       sync.Mutex
@@ -64,15 +68,28 @@ func WithRateLimit(rate, burst float64) ServerOption {
 	return rateLimitOption{rate: rate, burst: burst}
 }
 
+type workersOption int
+
+func (o workersOption) applyServer(s *Server) { s.workers = int(o) }
+
+// WithWorkers sets the per-connection handler pool size (default
+// DefaultWorkers): how many key-generation batches from one connection
+// may evaluate concurrently.
+func WithWorkers(n int) ServerOption { return workersOption(n) }
+
 // NewServer returns a key manager serving the given OPRF key.
 func NewServer(key *oprf.ServerKey, opts ...ServerOption) *Server {
 	s := &Server{
-		key:    key,
-		params: key.PublicParams().Marshal(),
-		conns:  make(map[net.Conn]struct{}),
+		key:     key,
+		params:  key.PublicParams().Marshal(),
+		workers: DefaultWorkers,
+		conns:   make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o.applyServer(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
 	}
 	return s
 }
@@ -91,6 +108,15 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Shutdown closes the listener out from under Accept;
+			// normalize the raw closed-connection error to net.ErrClosed
+			// so callers can test for a clean stop.
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return net.ErrClosed
+			}
 			return err
 		}
 		s.mu.Lock()
@@ -132,6 +158,18 @@ func (s *Server) Evaluations() uint64 {
 	return s.evaluations
 }
 
+// outFrame is one response queued for a connection's writer goroutine.
+type outFrame struct {
+	typ     proto.MsgType
+	id      uint64
+	payload []byte
+}
+
+// handleConn serves one connection with concurrent dispatch: the read
+// loop keeps draining frames while up to s.workers key-generation
+// batches evaluate, and responses return tagged with their request IDs
+// (possibly out of order). See server.Server.handleConn for the shape;
+// the two stay deliberately parallel.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -144,19 +182,45 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 256<<10)
 	bw := bufio.NewWriterSize(conn, 256<<10)
 
+	respCh := make(chan outFrame, s.workers)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var werr error
+		for f := range respCh {
+			if werr != nil {
+				continue // drain so handlers never block on a dead writer
+			}
+			if werr = proto.WriteFrame(bw, f.typ, f.id, f.payload); werr == nil && len(respCh) == 0 {
+				werr = bw.Flush()
+			}
+			if werr != nil {
+				conn.Close() // unblock the read loop
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, s.workers)
+	var handlers sync.WaitGroup
 	for {
-		typ, payload, err := proto.ReadFrame(br)
+		typ, id, payload, err := proto.ReadFrame(br)
 		if err != nil {
-			return // EOF or broken conn: drop silently
+			break // EOF or broken conn: drop silently
 		}
-		respType, respPayload := s.dispatch(typ, payload, limiter)
-		if err := proto.WriteFrame(bw, respType, respPayload); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
+		sem <- struct{}{} // backpressure: pool full ⇒ stop reading
+		handlers.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				handlers.Done()
+			}()
+			respType, respPayload := s.dispatch(typ, payload, limiter)
+			respCh <- outFrame{typ: respType, id: id, payload: respPayload}
+		}()
 	}
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
 }
 
 func (s *Server) dispatch(typ proto.MsgType, payload []byte, limiter *ratelimit.Limiter) (proto.MsgType, []byte) {

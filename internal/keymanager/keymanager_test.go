@@ -1,11 +1,13 @@
 package keymanager
 
 import (
-	"context"
 	"bytes"
+	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/fingerprint"
 	"repro/internal/keycache"
@@ -232,4 +234,79 @@ func TestShutdownClosesConnections(t *testing.T) {
 	if _, err := client.GenerateKeys(ctx, fps(1)); err == nil {
 		t.Fatal("request after shutdown expected error")
 	}
+}
+
+// TestServeReturnsErrClosedAfterShutdown mirrors the storage server's
+// contract: a Serve loop stopped by Shutdown reports net.ErrClosed.
+func TestServeReturnsErrClosedAfterShutdown(t *testing.T) {
+	srv := NewServer(serverKey(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	srv.Shutdown()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestConcurrentBatchesOneConnection issues key-generation batches from
+// several goroutines over one client connection. The mux tags each
+// batch with a request ID, so responses returning out of order must
+// still unblind to the same keys direct derivation produces.
+func TestConcurrentBatchesOneConnection(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial(addr, WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	all := fps(32)
+	want := make([][]byte, len(all))
+	for i, fp := range all {
+		k, err := serverKey(t).Derive(fp[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = k
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine requests an overlapping window, in several
+			// batches (batch size 4 over 16 fingerprints).
+			window := all[(g*4)%16 : (g*4)%16+16]
+			keys, err := client.GenerateKeys(ctx, window)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			for i, k := range keys {
+				j := (g*4)%16 + i
+				if !bytes.Equal(k, want[j]) {
+					t.Errorf("goroutine %d: key %d mismatched its fingerprint", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/ratelimit"
@@ -127,4 +128,95 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 	}
 	return written, nil
+}
+
+// Delay wraps c so that every written byte is delivered after a fixed
+// one-way propagation delay, without blocking the writer. This is the
+// crucial difference from Link's rtt (a sleep inside Write): a blocking
+// sleep serializes concurrent requests on the sender, so pipelining
+// could never hide it. Delay instead stamps each write with a due time
+// and a pump goroutine delivers it when due — requests in flight overlap
+// their latency exactly as they would over a real long link.
+//
+// Wrap the client side only; requests then pay the delay and responses
+// return undelayed, giving each round trip one delay of hideable
+// latency. Close drops any bytes not yet delivered.
+func Delay(c net.Conn, d time.Duration) net.Conn {
+	dc := &delayConn{Conn: c, delay: d}
+	dc.cond = sync.NewCond(&dc.mu)
+	go dc.pump()
+	return dc
+}
+
+// delayedChunk is one Write's bytes waiting for their due time.
+type delayedChunk struct {
+	due  time.Time
+	data []byte
+}
+
+type delayConn struct {
+	net.Conn
+	delay time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delayedChunk
+	closed bool
+	werr   error // first delivery error, surfaced to later Writes
+}
+
+// Write queues the bytes for delayed delivery and returns immediately.
+func (c *delayConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	if c.werr != nil {
+		return 0, c.werr
+	}
+	c.queue = append(c.queue, delayedChunk{
+		due:  time.Now().Add(c.delay),
+		data: append([]byte(nil), p...),
+	})
+	c.cond.Signal()
+	return len(p), nil
+}
+
+// Close stops the pump and closes the underlying connection; queued
+// bytes not yet due are discarded.
+func (c *delayConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// pump delivers queued chunks in order once their due time arrives.
+func (c *delayConn) pump() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		chunk := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+
+		if wait := time.Until(chunk.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		if _, err := c.Conn.Write(chunk.data); err != nil {
+			c.mu.Lock()
+			if c.werr == nil {
+				c.werr = err
+			}
+			c.mu.Unlock()
+		}
+	}
 }

@@ -166,3 +166,72 @@ func TestDialerWrapping(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDelayDeliversIntactAndOrdered checks that bytes pass through a
+// Delay wrapper unmodified and in write order.
+func TestDelayDeliversIntactAndOrdered(t *testing.T) {
+	client, srv := pipePair(t)
+	dc := Delay(client, 5*time.Millisecond)
+	defer dc.Close()
+
+	want := []byte("hello delayed world; hello again")
+	go func() {
+		dc.Write(want[:10])
+		dc.Write(want[10:])
+	}()
+
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestDelayDoesNotBlockWriter is the property the mux benchmark relies
+// on: N back-to-back writes complete in far less than N*delay because
+// the delay applies to delivery, not to the Write call.
+func TestDelayDoesNotBlockWriter(t *testing.T) {
+	client, srv := pipePair(t)
+	const delay = 20 * time.Millisecond
+	dc := Delay(client, delay)
+	defer dc.Close()
+
+	// Drain the server side so TCP buffers never push back.
+	go io.Copy(io.Discard, srv)
+
+	start := time.Now()
+	const writes = 8
+	for i := 0; i < writes; i++ {
+		if _, err := dc.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > delay {
+		t.Fatalf("%d writes took %v; a blocking delay would take %v", writes, elapsed, writes*delay)
+	}
+}
+
+// TestDelayCloseUnblocks: Close while chunks are queued returns promptly
+// and later writes fail.
+func TestDelayCloseUnblocks(t *testing.T) {
+	client, _ := pipePair(t)
+	dc := Delay(client, time.Hour)
+	if _, err := dc.Write([]byte("never delivered")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		dc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if _, err := dc.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}

@@ -13,12 +13,13 @@ import (
 
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
-	_ = WriteFrame(&buf, MsgKeyGenReq, []byte("seed"))
+	_ = WriteFrame(&buf, MsgKeyGenReq, 99, []byte("seed"))
 	f.Add(buf.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 5, 1, 0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		typ, _, payload, err := ReadFrame(bytes.NewReader(data))
 		if err == nil && int(typ) == 0 && payload == nil {
 			t.Fatal("nil frame decoded without error")
 		}

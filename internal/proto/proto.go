@@ -2,11 +2,16 @@
 // frames carrying typed messages between clients, storage servers, and
 // the key manager.
 //
-// Every frame is [4-byte big-endian length][1-byte type][payload]. All
-// RPCs are synchronous request/response over a connection; clients open
-// multiple connections for parallelism (Section V-B). Payload encodings
-// live beside their message types below so both endpoints share one
-// source of truth.
+// Every frame is [4-byte big-endian length][1-byte type][8-byte
+// big-endian request ID][payload]; the length counts everything after
+// itself. The request ID tags a response to the request that caused it,
+// so many requests may be in flight on one connection and responses may
+// return in any order (see internal/rpcmux for the client-side
+// demultiplexer and the servers' bounded worker pools for the other
+// side). The paper's prototype instead opened many connections per
+// client for parallelism (Section V-B); one multiplexed connection now
+// pipelines the same work. Payload encodings live beside their message
+// types below so both endpoints share one source of truth.
 package proto
 
 import (
@@ -67,33 +72,41 @@ const (
 	MsgChallengeResp
 )
 
+// msgTypeNames is the static name table behind MsgType.String. A
+// package-level array keeps String allocation-free on the error and
+// trace paths that format message types.
+var msgTypeNames = [...]string{
+	MsgError:           "Error",
+	MsgKMParamsReq:     "KMParamsReq",
+	MsgKMParamsResp:    "KMParamsResp",
+	MsgKeyGenReq:       "KeyGenReq",
+	MsgKeyGenResp:      "KeyGenResp",
+	MsgPutChunksReq:    "PutChunksReq",
+	MsgPutChunksResp:   "PutChunksResp",
+	MsgGetChunksReq:    "GetChunksReq",
+	MsgGetChunksResp:   "GetChunksResp",
+	MsgPutBlobReq:      "PutBlobReq",
+	MsgPutBlobResp:     "PutBlobResp",
+	MsgGetBlobReq:      "GetBlobReq",
+	MsgGetBlobResp:     "GetBlobResp",
+	MsgStatsReq:        "StatsReq",
+	MsgStatsResp:       "StatsResp",
+	MsgListBlobsReq:    "ListBlobsReq",
+	MsgListBlobsResp:   "ListBlobsResp",
+	MsgDerefChunksReq:  "DerefChunksReq",
+	MsgDerefChunksResp: "DerefChunksResp",
+	MsgDeleteBlobReq:   "DeleteBlobReq",
+	MsgDeleteBlobResp:  "DeleteBlobResp",
+	MsgChallengeReq:    "ChallengeReq",
+	MsgChallengeResp:   "ChallengeResp",
+}
+
 // String implements fmt.Stringer for diagnostics.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		MsgError:           "Error",
-		MsgKMParamsReq:     "KMParamsReq",
-		MsgKMParamsResp:    "KMParamsResp",
-		MsgKeyGenReq:       "KeyGenReq",
-		MsgKeyGenResp:      "KeyGenResp",
-		MsgPutChunksReq:    "PutChunksReq",
-		MsgPutChunksResp:   "PutChunksResp",
-		MsgGetChunksReq:    "GetChunksReq",
-		MsgGetChunksResp:   "GetChunksResp",
-		MsgPutBlobReq:      "PutBlobReq",
-		MsgPutBlobResp:     "PutBlobResp",
-		MsgGetBlobReq:      "GetBlobReq",
-		MsgGetBlobResp:     "GetBlobResp",
-		MsgStatsReq:        "StatsReq",
-		MsgStatsResp:       "StatsResp",
-		MsgListBlobsReq:    "ListBlobsReq",
-		MsgListBlobsResp:   "ListBlobsResp",
-		MsgDerefChunksReq:  "DerefChunksReq",
-		MsgDerefChunksResp: "DerefChunksResp",
-		MsgDeleteBlobReq:   "DeleteBlobReq",
-		MsgDeleteBlobResp:  "DeleteBlobResp",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if int(t) < len(msgTypeNames) {
+		if n := msgTypeNames[t]; n != "" {
+			return n
+		}
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -113,14 +126,21 @@ type RemoteError struct {
 // Error implements error.
 func (e *RemoteError) Error() string { return "remote: " + e.Message }
 
-// WriteFrame writes one frame.
-func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
-	if len(payload)+1 > MaxFrameSize {
+// frameOverhead is the framed size of a frame's non-payload body: the
+// type byte plus the 8-byte request ID.
+const frameOverhead = 1 + 8
+
+// WriteFrame writes one frame tagged with the given request ID.
+// Responses carry the ID of the request that caused them; unsolicited
+// frames use ID 0.
+func WriteFrame(w io.Writer, t MsgType, id uint64, payload []byte) error {
+	if len(payload)+frameOverhead > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var header [5]byte
-	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)+1))
+	var header [4 + frameOverhead]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)+frameOverhead))
 	header[4] = byte(t)
+	binary.BigEndian.PutUint64(header[5:], id)
 	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("proto: write header: %w", err)
 	}
@@ -130,24 +150,25 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame.
-func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+// ReadFrame reads one frame, returning its type, request ID, and
+// payload.
+func ReadFrame(r io.Reader) (MsgType, uint64, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err // io.EOF propagates for clean shutdown
+		return 0, 0, nil, err // io.EOF propagates for clean shutdown
 	}
 	size := binary.BigEndian.Uint32(lenBuf[:])
-	if size < 1 {
-		return 0, nil, fmt.Errorf("%w: empty frame", ErrBadMessage)
+	if size < frameOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: short frame (%d bytes)", ErrBadMessage, size)
 	}
 	if size > MaxFrameSize {
-		return 0, nil, ErrFrameTooLarge
+		return 0, 0, nil, ErrFrameTooLarge
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("proto: read body: %w", err)
+		return 0, 0, nil, fmt.Errorf("proto: read body: %w", err)
 	}
-	return MsgType(body[0]), body[1:], nil
+	return MsgType(body[0]), binary.BigEndian.Uint64(body[1:9]), body[9:], nil
 }
 
 // EncodeError encodes an MsgError payload.

@@ -12,46 +12,60 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("hello frame")
-	if err := WriteFrame(&buf, MsgKeyGenReq, payload); err != nil {
+	if err := WriteFrame(&buf, MsgKeyGenReq, 42, payload); err != nil {
 		t.Fatal(err)
 	}
-	typ, got, err := ReadFrame(&buf)
+	typ, id, got, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if typ != MsgKeyGenReq || !bytes.Equal(got, payload) {
-		t.Fatalf("frame = %v, %q", typ, got)
+	if typ != MsgKeyGenReq || id != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %v, %d, %q", typ, id, got)
 	}
 }
 
 func TestFrameEmptyPayload(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, MsgStatsReq, nil); err != nil {
+	if err := WriteFrame(&buf, MsgStatsReq, 7, nil); err != nil {
 		t.Fatal(err)
 	}
-	typ, got, err := ReadFrame(&buf)
-	if err != nil || typ != MsgStatsReq || len(got) != 0 {
-		t.Fatalf("frame = %v, %v, %v", typ, got, err)
+	typ, id, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgStatsReq || id != 7 || len(got) != 0 {
+		t.Fatalf("frame = %v, %d, %v, %v", typ, id, got, err)
+	}
+}
+
+func TestFrameRequestIDRange(t *testing.T) {
+	// The full 64-bit ID range must survive the round trip.
+	for _, id := range []uint64{0, 1, 1<<32 - 1, 1 << 32, 1<<64 - 1} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgStatsReq, id, nil); err != nil {
+			t.Fatal(err)
+		}
+		_, got, _, err := ReadFrame(&buf)
+		if err != nil || got != id {
+			t.Fatalf("id %d round-tripped to %d (err %v)", id, got, err)
+		}
 	}
 }
 
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	for i := 0; i < 5; i++ {
-		if err := WriteFrame(&buf, MsgPutBlobReq, []byte{byte(i)}); err != nil {
+		if err := WriteFrame(&buf, MsgPutBlobReq, uint64(i), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 5; i++ {
-		_, payload, err := ReadFrame(&buf)
+		_, id, payload, err := ReadFrame(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if payload[0] != byte(i) {
-			t.Fatalf("frame %d out of order", i)
+		if payload[0] != byte(i) || id != uint64(i) {
+			t.Fatalf("frame %d out of order (id %d)", i, id)
 		}
 	}
-	if _, _, err := ReadFrame(&buf); err != io.EOF {
+	if _, _, _, err := ReadFrame(&buf); err != io.EOF {
 		t.Fatalf("expected EOF, got %v", err)
 	}
 }
@@ -59,21 +73,30 @@ func TestMultipleFramesSequential(t *testing.T) {
 func TestReadFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+	if _, _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameShort(t *testing.T) {
+	// A length below the type+ID overhead cannot be a valid frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 5, byte(MsgError), 0, 0, 0, 0})
+	if _, _, _, err := ReadFrame(&buf); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("error = %v, want ErrBadMessage", err)
 	}
 }
 
 func TestReadFrameTruncatedBody(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 10, byte(MsgError), 1, 2}) // claims 10, has 3
-	if _, _, err := ReadFrame(&buf); err == nil {
+	buf.Write([]byte{0, 0, 0, 20, byte(MsgError), 1, 2}) // claims 20, has 3
+	if _, _, _, err := ReadFrame(&buf); err == nil {
 		t.Fatal("truncated body expected error")
 	}
 }
 
 func TestWriteFrameTooLarge(t *testing.T) {
-	if err := WriteFrame(io.Discard, MsgError, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+	if err := WriteFrame(io.Discard, MsgError, 0, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("error = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -201,6 +224,22 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	if MsgType(200).String() != "MsgType(200)" {
 		t.Fatalf("String = %q", MsgType(200).String())
+	}
+	if MsgType(0).String() != "MsgType(0)" {
+		t.Fatalf("String = %q", MsgType(0).String())
+	}
+	// Every defined type must have a table entry (catches new types
+	// added without a name — ChallengeReq/Resp were once missing).
+	for typ := MsgError; typ <= MsgChallengeResp; typ++ {
+		if s := typ.String(); len(s) > 7 && s[:7] == "MsgType" {
+			t.Fatalf("type %d has no name", typ)
+		}
+	}
+}
+
+func TestMsgTypeStringAllocFree(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() { _ = MsgPutChunksReq.String() }); n != 0 {
+		t.Fatalf("String allocates %v times per call for named types", n)
 	}
 }
 

@@ -1,0 +1,236 @@
+// Package rpcmux multiplexes many in-flight RPCs over one framed
+// connection.
+//
+// The wire protocol tags every frame with an 8-byte request ID
+// (internal/proto), so responses may return in any order. A Conn owns
+// the connection: callers issue Call concurrently, each call is
+// assigned a fresh ID and written to the socket, and a single reader
+// goroutine demultiplexes response frames back to the waiting callers.
+// This converts the paper's many-connections-per-client parallelism
+// (Section V-B) into pipelining on a single connection: with N calls in
+// flight, N network round trips overlap.
+//
+// Cancellation follows the GuardConn discipline from internal/proto:
+//
+//   - cancelling a call while its request frame is being *written*
+//     poisons the connection's deadline, because a half-written frame
+//     desynchronizes the stream; the Conn then fails permanently;
+//   - cancelling a call while *waiting* for its response is clean: the
+//     caller abandons its ID, the late response is discarded on
+//     arrival, and the connection remains usable by other calls.
+package rpcmux
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// ErrClosed is returned for calls on a Conn that was closed by Close,
+// poisoned by a cancelled write, or torn down by a read error.
+var ErrClosed = errors.New("rpcmux: connection closed")
+
+// response is one demultiplexed frame.
+type response struct {
+	typ     proto.MsgType
+	payload []byte
+}
+
+// Conn is a multiplexed client connection. It is safe for concurrent
+// use; calls on one Conn pipeline rather than serialize.
+type Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	// wmu serializes frame writes; a frame must hit the socket intact.
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	nextID uint64 // guarded by wmu; IDs start at 1
+
+	// mu guards the demux state below.
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	closed  bool
+	readErr error // terminal error observed by the read loop
+
+	// done closes when the Conn is dead: Close was called, a write was
+	// poisoned, or the read loop exited. Waiters select on it.
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// New wraps conn in a multiplexer and starts its reader goroutine. The
+// buffer sizes are the bufio reader/writer capacities; zero means a
+// 64 KiB default.
+func New(conn net.Conn, readBuf, writeBuf int) *Conn {
+	if readBuf <= 0 {
+		readBuf = 64 << 10
+	}
+	if writeBuf <= 0 {
+		writeBuf = 64 << 10
+	}
+	c := &Conn{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, readBuf),
+		bw:      bufio.NewWriterSize(conn, writeBuf),
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection. In-flight calls fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+	return c.conn.Close()
+}
+
+// fail marks the Conn dead with err and releases every waiter.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.readErr = err
+	}
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+	_ = c.conn.Close()
+}
+
+// closedErr reports the terminal error to surface for a dead Conn.
+func (c *Conn) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil && !errors.Is(c.readErr, net.ErrClosed) {
+		return fmt.Errorf("%w: %v", ErrClosed, c.readErr)
+	}
+	return ErrClosed
+}
+
+// readLoop demultiplexes response frames to waiting callers. Responses
+// for abandoned IDs (cancelled waiters) are discarded.
+func (c *Conn) readLoop() {
+	for {
+		typ, id, payload, err := proto.ReadFrame(c.br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- response{typ: typ, payload: payload} // buffered: never blocks
+		}
+	}
+}
+
+// Call performs one RPC: it writes a frame carrying typ/payload tagged
+// with a fresh request ID and waits for the matching response. A
+// response of type want returns its payload; a proto.MsgError response
+// decodes into a *proto.RemoteError; any other type is a protocol
+// error. Concurrent calls share the connection and their round trips
+// overlap.
+func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
+	ch := make(chan response, 1)
+
+	// Register before writing so a fast response cannot race the
+	// pending-table entry.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, c.closedErr()
+	}
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return nil, c.closedErr()
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	// Guard the write: if ctx fires mid-frame the stream is
+	// desynchronized and the whole Conn must die.
+	release := proto.GuardConn(ctx, c.conn)
+	err := proto.WriteFrame(c.bw, typ, id, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	cancelled := release()
+	c.wmu.Unlock()
+	if cancelled != nil {
+		c.fail(cancelled)
+		return nil, fmt.Errorf("rpcmux: %w", cancelled)
+	}
+	if err != nil {
+		c.forget(id)
+		c.fail(err)
+		return nil, fmt.Errorf("rpcmux: write: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		return c.handleResponse(resp, want)
+	case <-ctx.Done():
+		// Clean abandon: the reader discards the late response and the
+		// connection stays in sync for other callers.
+		c.forget(id)
+		// The response may have landed between ctx firing and forget;
+		// prefer delivering it.
+		select {
+		case resp := <-ch:
+			return c.handleResponse(resp, want)
+		default:
+		}
+		return nil, fmt.Errorf("rpcmux: %w", ctx.Err())
+	case <-c.done:
+		// A response may have been delivered just before teardown.
+		select {
+		case resp := <-ch:
+			return c.handleResponse(resp, want)
+		default:
+		}
+		return nil, c.closedErr()
+	}
+}
+
+// forget drops a pending ID (cancelled or failed call).
+func (c *Conn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Conn) handleResponse(resp response, want proto.MsgType) ([]byte, error) {
+	if resp.typ == proto.MsgError {
+		re, derr := proto.DecodeError(resp.payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, re
+	}
+	if resp.typ != want {
+		return nil, fmt.Errorf("rpcmux: unexpected response %v, want %v", resp.typ, want)
+	}
+	return resp.payload, nil
+}

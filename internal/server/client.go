@@ -1,15 +1,14 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 
 	"repro/internal/fingerprint"
 	"repro/internal/proto"
+	"repro/internal/rpcmux"
 )
 
 // Dialer opens a connection to an address (injectable for link
@@ -20,21 +19,21 @@ type Dialer func(addr string) (net.Conn, error)
 // down, either by Close or by a context cancellation that interrupted an
 // in-flight frame (after which the stream is desynchronized and cannot
 // be reused).
-var ErrConnClosed = errors.New("server client: connection closed")
+var ErrConnClosed = rpcmux.ErrClosed
 
 // Client is the client side of one storage-server connection. Requests
-// serialize on the connection; open several Clients to the same server
-// for parallelism, as the REED client does (Section V-B).
+// multiplex over the connection: concurrent calls are tagged with
+// request IDs and their round trips overlap (internal/rpcmux), so a
+// single connection pipelines. Opening several Clients still helps when
+// the bottleneck is a single TCP stream, as in the paper's multi-
+// connection deployment (Section V-B).
 //
-// Every RPC takes a context. Cancellation interrupts blocked network
-// I/O promptly; because a frame may then be half-written or half-read,
-// the connection is closed and all later calls fail with ErrConnClosed.
+// Every RPC takes a context. Cancelling a call that is waiting for its
+// response abandons just that call; cancellation that interrupts an
+// in-flight frame write closes the connection and all later calls fail
+// with ErrConnClosed.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	closed bool
+	mux *rpcmux.Conn
 }
 
 // DialStore connects to the storage server at addr. A nil dialer uses
@@ -47,63 +46,24 @@ func DialStore(addr string, dialer Dialer) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server client: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<20),
-		bw:   bufio.NewWriterSize(conn, 1<<20),
-	}, nil
+	return &Client{mux: rpcmux.New(conn, 1<<20, 1<<20)}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.conn.Close()
+	return c.mux.Close()
 }
 
 func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrConnClosed
-	}
-	release := proto.GuardConn(ctx, c.conn)
-	respType, respPayload, err := c.roundTrip(typ, payload)
-	if cerr := release(); cerr != nil {
-		// The frame stream may be desynchronized: retire the connection.
-		c.closed = true
-		_ = c.conn.Close()
-		return nil, fmt.Errorf("server client: %w", cerr)
-	}
+	resp, err := c.mux.Call(ctx, typ, payload, want)
 	if err != nil {
-		return nil, err
-	}
-	if respType == proto.MsgError {
-		re, derr := proto.DecodeError(respPayload)
-		if derr != nil {
-			return nil, derr
+		var re *proto.RemoteError
+		if errors.As(err, &re) {
+			return nil, re
 		}
-		return nil, re
+		return nil, fmt.Errorf("server client: %w", err)
 	}
-	if respType != want {
-		return nil, fmt.Errorf("server client: unexpected response %v, want %v", respType, want)
-	}
-	return respPayload, nil
-}
-
-// roundTrip writes one frame and reads the response. Callers hold c.mu.
-func (c *Client) roundTrip(typ proto.MsgType, payload []byte) (proto.MsgType, []byte, error) {
-	if err := proto.WriteFrame(c.bw, typ, payload); err != nil {
-		return 0, nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, err
-	}
-	return proto.ReadFrame(c.br)
+	return resp, nil
 }
 
 // PutChunks uploads a batch of trimmed packages and returns per-chunk

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/netem"
+)
+
+// BenchmarkMuxedGets measures single-chunk gets over ONE connection with
+// an emulated one-way propagation delay on the request path
+// (netem.Delay, 2 ms). inflight=1 is the lockstep baseline — each
+// request waits for its response before the next is sent — and higher
+// inflight counts issue concurrent calls that the rpcmux layer pipelines
+// over the same connection, overlapping their latency. The wire refactor
+// is working when inflight=8 beats inflight=1 by well over 2x
+// (ideally ~8x: 64 round trips collapse into 8 waves).
+func BenchmarkMuxedGets(b *testing.B) {
+	const (
+		delay = 2 * time.Millisecond
+		gets  = 64
+	)
+
+	_, addr := startServer(b)
+	dialer := func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return netem.Delay(c, delay), nil
+	}
+	client, err := DialStore(addr, dialer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = client.Close() })
+
+	chunks := uploads(gets, "mux-bench")
+	if _, err := client.PutChunks(ctx, chunks); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, inflight := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			per := gets / inflight
+			for i := 0; i < b.N; i++ {
+				var (
+					wg       sync.WaitGroup
+					errMu    sync.Mutex
+					firstErr error
+				)
+				for w := 0; w < inflight; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for j := 0; j < per; j++ {
+							fp := chunks[w*per+j].FP
+							if _, err := client.GetChunks(ctx, []fingerprint.Fingerprint{fp}); err != nil {
+								errMu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								errMu.Unlock()
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if firstErr != nil {
+					b.Fatal(firstErr)
+				}
+			}
+		})
+	}
+}

@@ -35,35 +35,69 @@ var allowedNamespaces = map[string]bool{
 	store.NSKeyStates: true,
 }
 
+// DefaultWorkers is the per-connection handler pool size: how many
+// request frames from one connection may execute concurrently.
+const DefaultWorkers = 8
+
 // Server is one REED storage server.
 type Server struct {
 	backend store.Backend
 	chunks  *dedup.Store
+	workers int
 
-	mu        sync.Mutex
-	ln        net.Listener
-	conns     map[net.Conn]struct{}
-	wg        sync.WaitGroup
-	shutdown  bool
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	shutdown bool
+
+	// stubMu guards stub-size accounting separately from the
+	// connection-tracking mutex so blob handlers never contend with
+	// accept/shutdown bookkeeping.
+	stubMu    sync.Mutex
 	stubSizes map[string]int // stub blob name -> current size
 	stubBytes uint64
 }
 
+// Option configures a Server.
+type Option interface {
+	applyServer(*Server)
+}
+
+type workersOption int
+
+func (o workersOption) applyServer(s *Server) { s.workers = int(o) }
+
+// WithWorkers sets the per-connection handler pool size (default
+// DefaultWorkers). One connection executes at most this many requests
+// concurrently; further frames queue in the socket, which is the
+// protocol's backpressure.
+func WithWorkers(n int) Option { return workersOption(n) }
+
 // New returns a server over the given backend.
-func New(backend store.Backend) (*Server, error) {
+func New(backend store.Backend, opts ...Option) (*Server, error) {
 	chunks, err := dedup.Open(backend, dedup.DefaultContainerSize)
 	if err != nil {
 		return nil, fmt.Errorf("server: open dedup store: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		backend:   backend,
 		chunks:    chunks,
+		workers:   DefaultWorkers,
 		conns:     make(map[net.Conn]struct{}),
 		stubSizes: make(map[string]int),
-	}, nil
+	}
+	for _, o := range opts {
+		o.applyServer(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	return s, nil
 }
 
-// Serve accepts connections until Shutdown.
+// Serve accepts connections until Shutdown. It always returns a
+// non-nil error; after a clean Shutdown the error is net.ErrClosed.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.shutdown {
@@ -76,6 +110,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Shutdown closes the listener out from under Accept, which
+			// surfaces as a raw "use of closed network connection";
+			// normalize that to net.ErrClosed so callers can test for a
+			// clean stop.
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return net.ErrClosed
+			}
 			return err
 		}
 		s.mu.Lock()
@@ -112,9 +156,9 @@ func (s *Server) Shutdown() error {
 // Stats returns the server's dedup statistics.
 func (s *Server) Stats() proto.Stats {
 	d := s.chunks.Stats()
-	s.mu.Lock()
+	s.stubMu.Lock()
 	stub := s.stubBytes
-	s.mu.Unlock()
+	s.stubMu.Unlock()
 	return proto.Stats{
 		TotalPuts:     d.TotalPuts,
 		DedupedPuts:   d.DedupedPuts,
@@ -124,6 +168,21 @@ func (s *Server) Stats() proto.Stats {
 	}
 }
 
+// outFrame is one response queued for a connection's writer goroutine.
+type outFrame struct {
+	typ     proto.MsgType
+	id      uint64
+	payload []byte
+}
+
+// handleConn serves one connection with concurrent dispatch: the read
+// loop keeps draining request frames while up to s.workers handlers for
+// earlier frames run; each response is written back tagged with its
+// request's ID by a dedicated writer goroutine, so responses may return
+// out of order. A full pool blocks the read loop (backpressure), and a
+// closed connection — peer disconnect or Shutdown — unwinds cleanly:
+// in-flight handlers finish, their responses are drained, and only then
+// does the connection retire.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -134,19 +193,48 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<20)
+
+	respCh := make(chan outFrame, s.workers)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var werr error
+		for f := range respCh {
+			if werr != nil {
+				continue // drain so handlers never block on a dead writer
+			}
+			if werr = proto.WriteFrame(bw, f.typ, f.id, f.payload); werr == nil && len(respCh) == 0 {
+				// Flush only when no more responses are queued,
+				// coalescing bursts into one syscall.
+				werr = bw.Flush()
+			}
+			if werr != nil {
+				conn.Close() // unblock the read loop
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, s.workers)
+	var handlers sync.WaitGroup
 	for {
-		typ, payload, err := proto.ReadFrame(br)
+		typ, id, payload, err := proto.ReadFrame(br)
 		if err != nil {
-			return
+			break
 		}
-		respType, respPayload := s.dispatch(typ, payload)
-		if err := proto.WriteFrame(bw, respType, respPayload); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
+		sem <- struct{}{} // backpressure: pool full ⇒ stop reading
+		handlers.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				handlers.Done()
+			}()
+			respType, respPayload := s.dispatch(typ, payload)
+			respCh <- outFrame{typ: respType, id: id, payload: respPayload}
+		}()
 	}
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
 }
 
 func (s *Server) dispatch(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
@@ -228,11 +316,11 @@ func (s *Server) putBlob(payload []byte) (proto.MsgType, []byte) {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	if ns == store.NSStubs {
-		s.mu.Lock()
+		s.stubMu.Lock()
 		s.stubBytes -= uint64(s.stubSizes[name])
 		s.stubSizes[name] = len(data)
 		s.stubBytes += uint64(len(data))
-		s.mu.Unlock()
+		s.stubMu.Unlock()
 	}
 	return proto.MsgPutBlobResp, nil
 }
@@ -300,10 +388,10 @@ func (s *Server) deleteBlob(payload []byte) (proto.MsgType, []byte) {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	if ns == store.NSStubs {
-		s.mu.Lock()
+		s.stubMu.Lock()
 		s.stubBytes -= uint64(s.stubSizes[name])
 		delete(s.stubSizes, name)
-		s.mu.Unlock()
+		s.stubMu.Unlock()
 	}
 	return proto.MsgDeleteBlobResp, nil
 }

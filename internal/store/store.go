@@ -127,11 +127,22 @@ func (m *Memory) TotalBytes(ns string) int64 {
 	return total
 }
 
+// diskStripes is the number of lock stripes in a Disk backend. Power
+// of two so the stripe index is a mask.
+const diskStripes = 64
+
 // Disk is a Backend storing each blob as a file under root/ns/name.
 // Names are percent-escaped to stay within a single directory level.
+//
+// Locking is striped per (namespace, name): operations on different
+// blobs proceed in parallel (the server's concurrent handlers convoy
+// otherwise), while operations on the same blob serialize through its
+// stripe. List takes no lock at all — Put publishes blobs atomically
+// via rename, so a directory scan never observes a torn blob, only a
+// point-in-time name set, the same guarantee a global lock gave.
 type Disk struct {
-	root string
-	mu   sync.RWMutex
+	root    string
+	stripes [diskStripes]sync.RWMutex
 }
 
 var _ Backend = (*Disk)(nil)
@@ -142,6 +153,24 @@ func NewDisk(dir string) (*Disk, error) {
 		return nil, fmt.Errorf("store: create root: %w", err)
 	}
 	return &Disk{root: dir}, nil
+}
+
+// stripe returns the lock guarding (ns, name), via FNV-1a over the
+// joined key.
+func (d *Disk) stripe(ns, name string) *sync.RWMutex {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(ns); i++ {
+		h = (h ^ uint64(ns[i])) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return &d.stripes[h&(diskStripes-1)]
 }
 
 // escape makes a blob name filesystem-safe.
@@ -189,8 +218,9 @@ func (d *Disk) path(ns, name string) string {
 // Put implements Backend. Writes go through a temp file + rename so a
 // crash never leaves a torn blob.
 func (d *Disk) Put(ns, name string, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	mu := d.stripe(ns, name)
+	mu.Lock()
+	defer mu.Unlock()
 	dir := filepath.Join(d.root, escape(ns))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: mkdir: %w", err)
@@ -218,8 +248,9 @@ func (d *Disk) Put(ns, name string, data []byte) error {
 
 // Get implements Backend.
 func (d *Disk) Get(ns, name string) ([]byte, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	mu := d.stripe(ns, name)
+	mu.RLock()
+	defer mu.RUnlock()
 	data, err := os.ReadFile(d.path(ns, name))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, ns, name)
@@ -232,8 +263,9 @@ func (d *Disk) Get(ns, name string) ([]byte, error) {
 
 // Has implements Backend.
 func (d *Disk) Has(ns, name string) (bool, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	mu := d.stripe(ns, name)
+	mu.RLock()
+	defer mu.RUnlock()
 	_, err := os.Stat(d.path(ns, name))
 	if errors.Is(err, os.ErrNotExist) {
 		return false, nil
@@ -246,8 +278,9 @@ func (d *Disk) Has(ns, name string) (bool, error) {
 
 // Delete implements Backend.
 func (d *Disk) Delete(ns, name string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	mu := d.stripe(ns, name)
+	mu.Lock()
+	defer mu.Unlock()
 	err := os.Remove(d.path(ns, name))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("store: delete: %w", err)
@@ -255,10 +288,9 @@ func (d *Disk) Delete(ns, name string) error {
 	return nil
 }
 
-// List implements Backend.
+// List implements Backend. Lock-free: rename-published blobs mean the
+// scan sees a consistent name set without excluding writers.
 func (d *Disk) List(ns string) ([]string, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	entries, err := os.ReadDir(filepath.Join(d.root, escape(ns)))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
