@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench-smoke bench-mux clean
+# Tool versions are pinned here (not in ci.yml) so local runs and CI
+# install the same thing.
+STATICCHECK_VERSION ?= 2023.1.7
+
+.PHONY: check vet tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux clean
 
 # check is the CI gate: vet, build everything, race-enabled tests.
 check: vet build race
@@ -8,13 +12,20 @@ check: vet build race
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs honnef.co/go/tools if installed; CI installs it, and
-# locally it degrades to a note instead of failing the build.
+# tools installs the pinned lint/scan tools (CI calls this; local runs
+# may prefer their own versions and skip it).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+
+# staticcheck runs honnef.co/go/tools if installed; CI installs the
+# pinned version, and locally it degrades to a note instead of failing
+# the build.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 build:
@@ -25,6 +36,33 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suite twice under the race detector:
+# scripted connection cuts (internal/netem) fire at deterministic byte
+# offsets while uploads/downloads run, exercising reconnect and retry.
+# -count=2 proves the seeded faults are reproducible, not flaky.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault' -count=2 ./...
+
+# fmt-check fails if any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# vuln runs govulncheck if installed; locally it degrades to a note.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# cover writes an aggregate coverage profile to cover.out.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # bench-smoke runs one iteration of the Figure 7 upload/download
 # benchmark as a cheap end-to-end exercise of the full data path.
@@ -39,3 +77,4 @@ bench-mux:
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

@@ -281,7 +281,18 @@ func cmdUpload(ctx context.Context, args []string) error {
 	fmt.Printf("uploaded %s as %s: %d bytes, %d chunks (%d duplicate), key version %d, %.2fs\n",
 		*file, *as, res.LogicalBytes, res.Chunks, res.DuplicateChunks, res.KeyVersion,
 		res.Elapsed.Seconds())
+	printRetryStats(res.Retry)
 	return nil
+}
+
+// printRetryStats surfaces fault recovery when any happened; a healthy
+// run prints nothing.
+func printRetryStats(r reed.RetryStats) {
+	if r.Reconnects == 0 && r.RetriedCalls == 0 && r.RetriedBatches == 0 {
+		return
+	}
+	fmt.Printf("recovered from network faults: %d reconnects, %d retried calls, %d re-sent batches\n",
+		r.Reconnects, r.RetriedCalls, r.RetriedBatches)
 }
 
 func cmdDownload(ctx context.Context, args []string) error {
@@ -316,6 +327,7 @@ func cmdDownload(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("downloaded %s to %s: %d bytes, %.2fs\n",
 		*path, *out, res.LogicalBytes, res.Elapsed.Seconds())
+	printRetryStats(res.Retry)
 	return nil
 }
 

@@ -1,8 +1,8 @@
 package reed_test
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 

@@ -13,8 +13,8 @@
 package main
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"

@@ -20,8 +20,8 @@
 package main
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"

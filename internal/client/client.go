@@ -58,6 +58,7 @@ import (
 	"repro/internal/keyreg"
 	"repro/internal/policy"
 	"repro/internal/proto"
+	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -156,6 +157,14 @@ type Config struct {
 	// Dialer overrides connection establishment (e.g. to route through
 	// internal/netem). Nil uses plain TCP.
 	Dialer server.Dialer
+
+	// Retry bounds fault recovery on every connection: reconnect
+	// backoff, transparent re-issue of idempotent RPCs, and the upload
+	// pipeline's chunk-batch re-sends. The zero value uses the retry
+	// package defaults (10 ms initial, 500 ms cap, 4 attempts), which
+	// ride out a flapping server in well under the paper's per-request
+	// timeouts while keeping a truly dead server's failure bounded.
+	Retry retry.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -229,7 +238,10 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 
-	kmOpts := []keymanager.ClientOption{keymanager.WithBatchSize(cfg.KeyGenBatch)}
+	kmOpts := []keymanager.ClientOption{
+		keymanager.WithBatchSize(cfg.KeyGenBatch),
+		keymanager.WithRetryPolicy(cfg.Retry),
+	}
 	if cache != nil {
 		kmOpts = append(kmOpts, keymanager.WithCache(cache))
 	}
@@ -243,14 +255,14 @@ func New(cfg Config) (*Client, error) {
 
 	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km}
 	for _, addr := range cfg.DataServers {
-		conn, err := server.DialStore(addr, cfg.Dialer)
+		conn, err := server.DialStore(addr, cfg.Dialer, cfg.Retry)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.data = append(c.data, conn)
 	}
-	c.keyConn, err = server.DialStore(cfg.KeyStoreServer, cfg.Dialer)
+	c.keyConn, err = server.DialStore(cfg.KeyStoreServer, cfg.Dialer, cfg.Retry)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -293,6 +305,53 @@ func (c *Client) CacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return c.cache.Stats()
+}
+
+// --- fault-recovery accounting ---
+
+// RetryStats summarizes the fault recovery one operation needed. All
+// zeros means the operation saw a healthy network.
+type RetryStats struct {
+	// Reconnects is how many times a connection (key manager, data
+	// server, or key-store server) was re-established mid-operation.
+	Reconnects uint64
+	// RetriedCalls is how many RPCs the transport re-issued
+	// transparently after a connection fault (idempotent calls only).
+	RetriedCalls uint64
+	// RetriedBatches is how many chunk-upload batches the upload
+	// pipeline re-sent after a transport failure. Re-sending is
+	// dedup-safe for the stored bytes (see internal/dedup); it can only
+	// over-retain via refcounts, never corrupt.
+	RetriedBatches uint64
+}
+
+// retrySnapshot sums reconnect/retry counters across every connection
+// the client holds. Operation results report the delta between two
+// snapshots.
+func (c *Client) retrySnapshot() RetryStats {
+	var s RetryStats
+	if c.km != nil {
+		s.Reconnects += c.km.Reconnects()
+		s.RetriedCalls += c.km.Retries()
+	}
+	for _, conn := range c.data {
+		s.Reconnects += conn.Reconnects()
+		s.RetriedCalls += conn.Retries()
+	}
+	if c.keyConn != nil {
+		s.Reconnects += c.keyConn.Reconnects()
+		s.RetriedCalls += c.keyConn.Retries()
+	}
+	return s
+}
+
+// retryDelta reports the recovery work since an earlier snapshot.
+func (c *Client) retryDelta(before RetryStats) RetryStats {
+	now := c.retrySnapshot()
+	return RetryStats{
+		Reconnects:   now.Reconnects - before.Reconnects,
+		RetriedCalls: now.RetriedCalls - before.RetriedCalls,
+	}
 }
 
 // --- per-call deadlines ---
@@ -372,6 +431,9 @@ type UploadResult struct {
 	// AuditBook holds remote-data-checking tickets when
 	// Config.AuditTickets is set; it is a client-side secret.
 	AuditBook *audit.Book
+	// Retry reports the fault recovery this upload needed: reconnects,
+	// transparently re-issued RPCs, and re-sent chunk batches.
+	Retry RetryStats
 	// Elapsed is the wall-clock duration of the whole operation.
 	Elapsed time.Duration
 }

@@ -24,6 +24,10 @@ type DownloadResult struct {
 	// KeyVersion is the key-state version the stub file was sealed
 	// under.
 	KeyVersion uint64
+	// Retry reports the fault recovery this download needed. Every RPC
+	// a download issues is a read, so recovery is entirely transparent
+	// re-issue at the transport layer.
+	Retry RetryStats
 	// Elapsed is the wall-clock duration of the whole operation.
 	Elapsed time.Duration
 }
@@ -68,6 +72,7 @@ func (c *Client) Download(ctx context.Context, path string) ([]byte, error) {
 // callers can size their sink.
 func (c *Client) downloadStream(ctx context.Context, name string, open func(*recipe.Recipe) (io.Writer, error)) (*DownloadResult, error) {
 	start := time.Now()
+	retryBefore := c.retrySnapshot()
 	// Key state → file key. After a lazy revocation the stored state is
 	// newer than the one that sealed this file's stubs; key regression
 	// lets any authorized user unwind to the file's version using the
@@ -207,6 +212,7 @@ func (c *Client) downloadStream(ctx context.Context, name string, open func(*rec
 		Chunks:       len(rec.Chunks),
 		LogicalBytes: total,
 		KeyVersion:   rec.KeyVersion,
+		Retry:        c.retryDelta(retryBefore),
 		Elapsed:      time.Since(start),
 	}, nil
 }

@@ -2,39 +2,25 @@ package client
 
 import (
 	"bytes"
-	"net"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/keyreg"
 	"repro/internal/policy"
-	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/testenv"
 )
 
 // Failure-injection tests: REED clients must fail cleanly (error, not
-// hang or corrupt) when infrastructure disappears mid-session.
-
-// startStoppable runs one extra storage server the test can kill.
-func startStoppable(t *testing.T) (*server.Server, string) {
-	t.Helper()
-	srv, err := server.New(store.NewMemory())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String()
-}
+// hang or corrupt) when infrastructure disappears mid-session. The
+// extra killable servers come from testenv.StartServer, whose cleanup
+// waits for the serve loop to exit — these tests leak no goroutines
+// even when they fail early.
 
 func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
 	cluster := startCluster(t)
-	srv, addr := startStoppable(t)
+	srv, addr := testenv.StartServer(t)
 
 	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
 	if err != nil {
@@ -83,7 +69,7 @@ func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
 
 func TestDownloadFailsCleanlyWhenKeyStoreDies(t *testing.T) {
 	cluster := startCluster(t)
-	keySrv, keyAddr := startStoppable(t)
+	keySrv, keyAddr := testenv.StartServer(t)
 
 	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
 	if err != nil {

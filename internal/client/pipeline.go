@@ -8,6 +8,7 @@ import (
 	"io"
 	mrand "math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/recipe"
+	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -414,17 +416,19 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		KeyVersion: state.Version,
 	}
 	var (
-		stubs    [][]byte
-		logical  int64
-		dups     int
-		segments int
-		resv     *auditReservoir
+		stubs      [][]byte
+		logical    int64
+		dups       int
+		segments   int
+		resv       *auditReservoir
+		segRetries atomic.Uint64
 	)
+	retryBefore := c.retrySnapshot()
 	if c.cfg.AuditTickets > 0 {
 		resv = newAuditReservoir(c.cfg.AuditTickets)
 	}
 	for seg := range encrypted {
-		n, err := c.uploadSegment(pctx, seg)
+		n, err := c.uploadSegment(pctx, seg, &segRetries)
 		if err != nil {
 			fail.fail(err)
 			break
@@ -480,6 +484,8 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		return nil, fmt.Errorf("client: upload key state: %w", err)
 	}
 
+	retryStats := c.retryDelta(retryBefore)
+	retryStats.RetriedBatches = segRetries.Load()
 	result := &UploadResult{
 		Chunks:          len(rec.Chunks),
 		LogicalBytes:    logical,
@@ -487,6 +493,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		Segments:        segments,
 		PeakBuffered:    gate.peakBytes(),
 		KeyVersion:      state.Version,
+		Retry:           retryStats,
 		Elapsed:         time.Since(start),
 	}
 	if resv != nil && len(resv.sample) > 0 {
@@ -512,7 +519,15 @@ func (c *Client) sealStubsChecked(stubs [][]byte, fileKey []byte, name string) (
 // uploadSegment stripes one segment's trimmed packages across the data
 // servers in parallel UploadBuffer-sized batches, returning the number
 // of duplicates the servers reported.
-func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
+//
+// This is the pipeline-owned retry layer: PutChunks is not re-issued by
+// the transport (a replay inflates refcounts, see internal/dedup and
+// server.Client.PutChunks), so a batch that dies with its connection is
+// re-sent here under Config.Retry. Re-PUT converges byte-identically —
+// the store detects the duplicate fingerprint and only bumps a
+// refcount — so a flapping server costs over-retention at worst, never
+// corruption. Application errors from a healthy server are permanent.
+func (c *Client) uploadSegment(ctx context.Context, seg *segment, retried *atomic.Uint64) (int, error) {
 	perServer := make([][]proto.ChunkUpload, len(c.data))
 	for i := range seg.chunks {
 		s := c.serverFor(seg.chunks[i].fpTrim)
@@ -521,6 +536,9 @@ func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
 			Data: seg.chunks[i].pkg.Trimmed,
 		})
 	}
+
+	policy := c.cfg.Retry
+	policy.OnRetry = func(int, error, time.Duration) { retried.Add(1) }
 
 	var (
 		wg       sync.WaitGroup
@@ -536,7 +554,19 @@ func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
 		go func(s int) {
 			defer wg.Done()
 			for _, batch := range splitBatches(perServer[s], c.cfg.UploadBuffer) {
-				flags, err := c.putChunks(ctx, c.data[s], batch)
+				var flags []bool
+				err := retry.Do(ctx, policy, func(ctx context.Context) error {
+					var err error
+					flags, err = c.putChunks(ctx, c.data[s], batch)
+					if err == nil {
+						return nil
+					}
+					var re *proto.RemoteError
+					if errors.As(err, &re) {
+						return retry.Permanent(err)
+					}
+					return err
+				})
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

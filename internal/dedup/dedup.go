@@ -126,6 +126,16 @@ func Open(backend store.Backend, containerSize int) (*Store, error) {
 
 // Put stores a chunk if new. It returns true when the chunk was a
 // duplicate (index hit, nothing written).
+//
+// Replaying a Put — a client re-sending an upload batch after a
+// connection fault, unsure whether the first delivery landed — is
+// byte-idempotent: the duplicate path stores nothing, PhysicalBytes is
+// unchanged, and a later Get returns the same bytes. The only effect is
+// one extra reference on the chunk, so the failure mode of a replay is
+// over-retention (the chunk outlives its last real reference until a
+// matching Deref), never corruption or premature reclamation. This is
+// the invariant the client's upload pipeline relies on when it re-sends
+// batches whose connection died mid-flight.
 func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
 	if len(data) == 0 {
 		return false, errors.New("dedup: empty chunk")

@@ -435,3 +435,51 @@ func TestSealedContainerFetchedOnce(t *testing.T) {
 		t.Fatalf("container fetched %d times, want 1", count)
 	}
 }
+
+// TestFaultReplayPutIsByteIdempotent pins the invariant the client's
+// upload pipeline relies on when it re-sends a batch after a connection
+// fault: replaying a Put stores nothing new — same bytes on Get,
+// PhysicalBytes unchanged, dup reported — and only the refcount moves,
+// so a replay can over-retain but never corrupt or free early.
+func TestFaultReplayPutIsByteIdempotent(t *testing.T) {
+	s, _ := newStore(t, 0)
+	data, fp := chunk(9, 4096)
+	if dup, err := s.Put(fp, data); err != nil || dup {
+		t.Fatalf("first Put = %v, %v", dup, err)
+	}
+	phys := s.Stats().PhysicalBytes
+
+	// The "uncertain delivery" replay: same fingerprint, same bytes.
+	for i := 0; i < 3; i++ {
+		dup, err := s.Put(fp, data)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if !dup {
+			t.Fatalf("replay %d not reported as duplicate", i)
+		}
+	}
+	if got := s.Stats().PhysicalBytes; got != phys {
+		t.Fatalf("PhysicalBytes = %d after replays, want %d (nothing rewritten)", got, phys)
+	}
+	got, err := s.Get(fp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get after replays: %v", err)
+	}
+
+	// The inflated refcount over-retains: the original reference plus
+	// three replays means three Derefs still leave the chunk live.
+	for i := 0; i < 3; i++ {
+		left, err := s.Deref(fp)
+		if err != nil || left == 0 {
+			t.Fatalf("Deref %d left %d refs, %v; chunk freed too early", i, left, err)
+		}
+	}
+	if _, err := s.Get(fp); err != nil {
+		t.Fatalf("chunk unreadable while still referenced: %v", err)
+	}
+	left, err := s.Deref(fp)
+	if err != nil || left != 0 {
+		t.Fatalf("final Deref left %d refs, %v, want 0", left, err)
+	}
+}

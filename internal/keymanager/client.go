@@ -12,6 +12,7 @@ import (
 	"repro/internal/mle"
 	"repro/internal/oprf"
 	"repro/internal/proto"
+	"repro/internal/retry"
 	"repro/internal/rpcmux"
 )
 
@@ -46,8 +47,13 @@ func TLSDialer(cfg *tls.Config) Dialer {
 // is safe for concurrent use; requests on one connection multiplex by
 // request ID (internal/rpcmux), so concurrent batches overlap their
 // round trips instead of serializing.
+//
+// The connection heals itself: a mid-session fault triggers a redial
+// with capped-jitter backoff, and OPRF evaluations — deterministic,
+// stateless on the server beyond a counter — are re-issued
+// transparently.
 type Client struct {
-	mux    *rpcmux.Conn
+	mux    *rpcmux.Redialer
 	params oprf.PublicParams
 
 	batchSize int
@@ -63,6 +69,7 @@ type clientConfig struct {
 	batchSize int
 	cache     *keycache.Cache
 	dialer    Dialer
+	retry     retry.Policy
 }
 
 type batchSizeOption int
@@ -88,6 +95,14 @@ func (o dialerOption) applyClient(c *clientConfig) { c.dialer = o.d }
 // throttled link).
 func WithDialer(d Dialer) ClientOption { return dialerOption{d: d} }
 
+type retryOption struct{ p retry.Policy }
+
+func (o retryOption) applyClient(c *clientConfig) { c.retry = o.p }
+
+// WithRetryPolicy sets the reconnect/retry backoff policy applied after
+// mid-session connection faults (zero value: retry package defaults).
+func WithRetryPolicy(p retry.Policy) ClientOption { return retryOption{p: p} }
+
 // Dial connects to the key manager at addr and fetches its public
 // parameters.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
@@ -106,8 +121,9 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keymanager: dial: %w", err)
 	}
+	redial := func() (net.Conn, error) { return dial(addr) }
 	c := &Client{
-		mux:       rpcmux.New(conn, 256<<10, 256<<10),
+		mux:       rpcmux.NewRedialer(conn, redial, 256<<10, 256<<10, cfg.retry),
 		batchSize: cfg.batchSize,
 		cache:     cfg.cache,
 	}
@@ -122,6 +138,14 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 func (c *Client) Close() error {
 	return c.mux.Close()
 }
+
+// Reconnects reports how many times the connection has been
+// re-established after a fault.
+func (c *Client) Reconnects() uint64 { return c.mux.Reconnects() }
+
+// Retries reports how many RPCs were transparently re-issued after a
+// transport fault.
+func (c *Client) Retries() uint64 { return c.mux.Retries() }
 
 // Params returns the key manager's public parameters.
 func (c *Client) Params() oprf.PublicParams { return c.params }
@@ -140,12 +164,15 @@ func (c *Client) fetchParams() error {
 }
 
 // call performs one RPC over the multiplexed connection. Concurrent
-// calls overlap their round trips. Cancelling a call waiting for its
-// response abandons just that call; cancellation that interrupts the
-// request frame write closes the connection (the stream may be
-// desynchronized) and later calls fail with ErrConnClosed.
+// calls overlap their round trips. Every key-manager RPC is idempotent
+// — parameter fetches are reads and OPRF evaluations are deterministic
+// functions of the blinded input — so all calls are re-issued
+// transparently after a connection fault. Cancelling a call waiting
+// for its response abandons just that call; cancellation that
+// interrupts the request frame write retires the connection and the
+// next call redials.
 func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
-	resp, err := c.mux.Call(ctx, typ, payload, want)
+	resp, err := c.mux.Call(ctx, typ, payload, want, true)
 	if err != nil {
 		var re *proto.RemoteError
 		if errors.As(err, &re) {

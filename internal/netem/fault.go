@@ -1,0 +1,247 @@
+package netem
+
+// Fault injection. Faulty wraps a net.Conn so that a scripted fault
+// fires at a deterministic byte offset: the connection is severed after
+// N written bytes (mid-write, as a real RST would land), after N read
+// bytes, or a read stalls for a fixed duration at a chosen offset.
+// Because triggers are byte counts rather than timers, the same script
+// produces the same failure point on every run — chaos tests are
+// seeded, not flaky.
+//
+// Plan scripts faults across the connections of one client: it counts
+// dials and applies each scripted fault to the matching dial index, so a
+// test can express "kill the second connection the client opens (the
+// first data server) once 48 KiB of requests have gone out" — i.e. the
+// link dies during the 3rd PUT — and nothing else.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error surfaced by reads and writes that trip an
+// injected fault. The underlying connection is closed at the same
+// moment, so the peer observes a genuine connection reset.
+var ErrInjected = errors.New("netem: injected fault")
+
+// Fault describes one scripted connection fault. Byte thresholds are
+// cumulative over the connection's lifetime; zero fields disable that
+// trigger. A Fault value is a script, not live state: wrapping a
+// connection copies it.
+type Fault struct {
+	// CutAfterWriteBytes severs the connection once that many bytes
+	// have been written. The triggering Write delivers the bytes up to
+	// the threshold (a half-written frame, exactly what a mid-stream
+	// reset leaves behind), closes the connection, and returns
+	// ErrInjected.
+	CutAfterWriteBytes int64
+
+	// CutAfterReadBytes severs the connection once that many bytes have
+	// been read: the triggering Read returns the bytes up to the
+	// threshold, then the next Read fails with ErrInjected.
+	CutAfterReadBytes int64
+
+	// StallReadAfterBytes, with StallFor, delays the first Read at or
+	// beyond that byte offset by StallFor (a stalled-but-alive link).
+	// The stall fires once.
+	StallReadAfterBytes int64
+	StallFor            time.Duration
+}
+
+// zero reports whether the fault does nothing.
+func (f Fault) zero() bool {
+	return f.CutAfterWriteBytes <= 0 && f.CutAfterReadBytes <= 0 && f.StallFor <= 0
+}
+
+// Faulty wraps c so the scripted fault fires at its byte thresholds.
+// onTrip, if non-nil, is called exactly once when any cut fires (stalls
+// do not count as trips).
+func Faulty(c net.Conn, f Fault, onTrip func()) net.Conn {
+	return &faultConn{Conn: c, fault: f, onTrip: onTrip}
+}
+
+type faultConn struct {
+	net.Conn
+	fault  Fault
+	onTrip func()
+
+	mu       sync.Mutex
+	written  int64
+	read     int64
+	stalled  bool
+	tripped  bool
+	tripOnce sync.Once
+}
+
+// trip closes the transport and fires the one-shot notification so
+// both ends observe the failure. Callers must have set c.tripped under
+// c.mu already.
+func (c *faultConn) trip() {
+	c.tripOnce.Do(func() {
+		if c.onTrip != nil {
+			c.onTrip()
+		}
+	})
+	_ = c.Conn.Close()
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("write: %w", ErrInjected)
+	}
+	cut := c.fault.CutAfterWriteBytes
+	if cut > 0 && c.written+int64(len(p)) >= cut {
+		// Deliver only the prefix that fits under the threshold, then
+		// sever: the peer sees a truncated frame and a dead socket.
+		keep := cut - c.written
+		if keep < 0 {
+			keep = 0
+		}
+		c.written = cut
+		c.tripped = true
+		c.mu.Unlock()
+		var n int
+		if keep > 0 {
+			n, _ = c.Conn.Write(p[:keep])
+		}
+		c.trip()
+		return n, fmt.Errorf("write after %d bytes: %w", cut, ErrInjected)
+	}
+	c.written += int64(len(p))
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("read: %w", ErrInjected)
+	}
+	var stall time.Duration
+	if c.fault.StallFor > 0 && !c.stalled && c.read >= c.fault.StallReadAfterBytes {
+		c.stalled = true
+		stall = c.fault.StallFor
+	}
+	cut := c.fault.CutAfterReadBytes
+	if cut > 0 && c.read >= cut {
+		c.tripped = true
+		c.mu.Unlock()
+		c.trip()
+		return 0, fmt.Errorf("read after %d bytes: %w", cut, ErrInjected)
+	}
+	// Clamp the read so it cannot overshoot the cut threshold; the cut
+	// then fires exactly at its offset on the following Read.
+	limit := len(p)
+	if cut > 0 && c.read+int64(limit) > cut {
+		limit = int(cut - c.read)
+	}
+	c.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	n, err := c.Conn.Read(p[:limit])
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close closes the underlying connection without counting as a trip.
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	c.tripped = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// Plan scripts faults across the sequence of connections a client
+// dials. Dials are numbered from zero in the order they happen; each
+// scripted index gets its fault exactly once, and connections without a
+// script pass through untouched. The seed feeds Rand for tests that
+// want reproducible randomized cut points.
+type Plan struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	scripts  map[int]Fault
+	dialed   int
+	injected int
+}
+
+// NewPlan returns an empty fault plan whose Rand is seeded with seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		rng:     rand.New(rand.NewSource(seed)),
+		scripts: make(map[int]Fault),
+	}
+}
+
+// OnDial scripts a fault for the nth (0-based) connection dialed
+// through the plan. Scripting the same index twice replaces the fault.
+func (p *Plan) OnDial(n int, f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.scripts[n] = f
+}
+
+// Rand exposes the plan's seeded random source so tests can derive
+// reproducible cut offsets.
+func (p *Plan) Rand() *rand.Rand {
+	return p.rng
+}
+
+// Dialed returns how many connections have been dialed through the
+// plan.
+func (p *Plan) Dialed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dialed
+}
+
+// Injected returns how many scripted cuts have fired.
+func (p *Plan) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+func (p *Plan) noteTrip() {
+	p.mu.Lock()
+	p.injected++
+	p.mu.Unlock()
+}
+
+// Wrap applies the next dial slot's scripted fault (if any) to c.
+func (p *Plan) Wrap(c net.Conn) net.Conn {
+	p.mu.Lock()
+	f, ok := p.scripts[p.dialed]
+	p.dialed++
+	p.mu.Unlock()
+	if !ok || f.zero() {
+		return c
+	}
+	return Faulty(c, f, p.noteTrip)
+}
+
+// Dialer wraps a dial function so every new connection consults the
+// plan. A nil next dials plain TCP. Compose with Link.Dialer or Delay
+// to test faults under bandwidth caps and latency.
+func (p *Plan) Dialer(next func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if next == nil {
+		next = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		c, err := next(addr)
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(c), nil
+	}
+}

@@ -1,0 +1,183 @@
+package rpcmux
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/retry"
+)
+
+// DialFunc opens a transport connection to the redialer's peer.
+type DialFunc func() (net.Conn, error)
+
+// Redialer keeps one multiplexed connection alive across transport
+// faults. A Call that fails at the connection level (peer reset, dead
+// socket, poisoned stream) retires the current Conn; the next attempt
+// redials with capped-jitter backoff and, when the call is idempotent,
+// re-issues the request transparently. Non-idempotent calls are never
+// re-issued — their failure is surfaced to the caller, but the retired
+// connection is still replaced so the caller's own retry (or the next
+// call) finds a fresh link.
+//
+// Remote errors (proto.RemoteError) are application responses carried
+// over a healthy connection: they are returned as-is and never retried
+// here.
+//
+// Counters distinguish the two recovery layers: Reconnects counts
+// replacement dials that succeeded, Retries counts calls re-issued
+// after a transport failure.
+type Redialer struct {
+	dial     DialFunc
+	readBuf  int
+	writeBuf int
+	policy   retry.Policy
+
+	mu     sync.Mutex
+	conn   *Conn
+	closed bool
+
+	statsMu    sync.Mutex
+	reconnects uint64
+	retries    uint64
+}
+
+// NewRedialer wraps an already-established connection (the eager first
+// dial stays with the caller so dial errors surface at construction
+// time) and the dial function used to replace it after faults. The
+// buffer sizes match New; the policy bounds reconnect/retry backoff and
+// is used with its zero-value defaults if unset.
+func NewRedialer(conn net.Conn, dial DialFunc, readBuf, writeBuf int, policy retry.Policy) *Redialer {
+	r := &Redialer{
+		dial:     dial,
+		readBuf:  readBuf,
+		writeBuf: writeBuf,
+		policy:   policy,
+	}
+	if conn != nil {
+		r.conn = New(conn, readBuf, writeBuf)
+	}
+	return r
+}
+
+// Close tears down the current connection and stops all future redials.
+func (r *Redialer) Close() error {
+	r.mu.Lock()
+	conn := r.conn
+	r.conn = nil
+	r.closed = true
+	r.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Reconnects returns how many replacement connections have been
+// established after transport faults.
+func (r *Redialer) Reconnects() uint64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.reconnects
+}
+
+// Retries returns how many calls were re-issued after a transport
+// failure.
+func (r *Redialer) Retries() uint64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.retries
+}
+
+// acquire returns the live Conn, dialing a replacement if the previous
+// one was retired. Concurrent callers share one replacement dial: the
+// lock is held across the dial, so the first caller to notice the dead
+// connection pays for the redial and the rest reuse it.
+func (r *Redialer) acquire() (*Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	raw, err := r.dial()
+	if err != nil {
+		return nil, fmt.Errorf("rpcmux: redial: %w", err)
+	}
+	r.conn = New(raw, r.readBuf, r.writeBuf)
+	r.statsMu.Lock()
+	r.reconnects++
+	r.statsMu.Unlock()
+	return r.conn, nil
+}
+
+// retire drops conn from the redialer if it is still current, so the
+// next acquire dials a replacement. Late retires of already-replaced
+// connections are no-ops.
+func (r *Redialer) retire(conn *Conn) {
+	r.mu.Lock()
+	if r.conn == conn {
+		r.conn = nil
+	}
+	r.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Call performs one RPC with transparent reconnection. When idempotent
+// is true the call is re-issued (with backoff) after connection-level
+// failures; otherwise the first transport failure is returned, though
+// the dead connection is still retired so later calls recover. Context
+// cancellation always stops the loop promptly.
+func (r *Redialer) Call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
+	var resp []byte
+	p := r.policy
+	inner := p.OnRetry
+	p.OnRetry = func(attempt int, err error, d time.Duration) {
+		r.statsMu.Lock()
+		r.retries++
+		r.statsMu.Unlock()
+		if inner != nil {
+			inner(attempt, err, d)
+		}
+	}
+	op := func(ctx context.Context) error {
+		conn, err := r.acquire()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return retry.Permanent(err)
+			}
+			return err // dial failure: transient, retry
+		}
+		resp, err = conn.Call(ctx, typ, payload, want)
+		if err == nil {
+			return nil
+		}
+		var re *proto.RemoteError
+		if errors.As(err, &re) {
+			return retry.Permanent(err) // healthy connection, app-level error
+		}
+		if ctx.Err() != nil {
+			// The caller's context ended; whether the conn died with it
+			// is settled below by the mux itself.
+			return retry.Permanent(err)
+		}
+		// Connection-level failure: replace the link either way, but
+		// only re-issue when the request cannot have executed remotely —
+		// either the RPC is idempotent, or the frame never hit the wire.
+		r.retire(conn)
+		if !idempotent && !errors.Is(err, ErrNotIssued) {
+			return retry.Permanent(err)
+		}
+		return err
+	}
+	if err := retry.Do(ctx, p, op); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -35,6 +35,12 @@ import (
 // poisoned by a cancelled write, or torn down by a read error.
 var ErrClosed = errors.New("rpcmux: connection closed")
 
+// ErrNotIssued additionally marks a failed call whose request frame was
+// never written to the socket: the peer cannot have executed it, so
+// re-issuing is safe even for non-idempotent RPCs. Redialer relies on
+// this to recover queued calls that hit an already-dead connection.
+var ErrNotIssued = errors.New("rpcmux: request not issued")
+
 // response is one demultiplexed frame.
 type response struct {
 	typ     proto.MsgType
@@ -153,7 +159,7 @@ func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, c.closedErr()
+		return nil, fmt.Errorf("%w: %w", ErrNotIssued, c.closedErr())
 	}
 	c.mu.Unlock()
 
@@ -164,7 +170,7 @@ func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want
 	if c.closed {
 		c.mu.Unlock()
 		c.wmu.Unlock()
-		return nil, c.closedErr()
+		return nil, fmt.Errorf("%w: %w", ErrNotIssued, c.closedErr())
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()

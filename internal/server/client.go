@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/proto"
+	"repro/internal/retry"
 	"repro/internal/rpcmux"
 )
 
@@ -28,17 +29,27 @@ var ErrConnClosed = rpcmux.ErrClosed
 // the bottleneck is a single TCP stream, as in the paper's multi-
 // connection deployment (Section V-B).
 //
+// The connection heals itself: when it dies mid-session (peer reset,
+// transient network fault) the client redials with capped-jitter
+// backoff, and idempotent RPCs — all reads, plus blob puts, which are
+// verbatim overwrites — are re-issued transparently. Chunk puts and the
+// reference-counted mutations (DerefChunks, DeleteBlob) are never
+// auto-re-issued once their frame may have reached the server; their
+// callers own the retry decision (see internal/client's segment retry
+// and DESIGN.md on idempotency).
+//
 // Every RPC takes a context. Cancelling a call that is waiting for its
 // response abandons just that call; cancellation that interrupts an
-// in-flight frame write closes the connection and all later calls fail
-// with ErrConnClosed.
+// in-flight frame write retires the connection, and the next call
+// redials.
 type Client struct {
-	mux *rpcmux.Conn
+	mux *rpcmux.Redialer
 }
 
 // DialStore connects to the storage server at addr. A nil dialer uses
-// plain TCP.
-func DialStore(addr string, dialer Dialer) (*Client, error) {
+// plain TCP. The retry policy governs reconnection backoff after
+// mid-session faults; a zero policy uses the retry package defaults.
+func DialStore(addr string, dialer Dialer, policy retry.Policy) (*Client, error) {
 	if dialer == nil {
 		dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
@@ -46,7 +57,8 @@ func DialStore(addr string, dialer Dialer) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server client: dial %s: %w", addr, err)
 	}
-	return &Client{mux: rpcmux.New(conn, 1<<20, 1<<20)}, nil
+	redial := func() (net.Conn, error) { return dialer(addr) }
+	return &Client{mux: rpcmux.NewRedialer(conn, redial, 1<<20, 1<<20, policy)}, nil
 }
 
 // Close closes the connection.
@@ -54,8 +66,16 @@ func (c *Client) Close() error {
 	return c.mux.Close()
 }
 
-func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
-	resp, err := c.mux.Call(ctx, typ, payload, want)
+// Reconnects reports how many times the underlying connection has been
+// re-established after a fault.
+func (c *Client) Reconnects() uint64 { return c.mux.Reconnects() }
+
+// Retries reports how many RPCs were transparently re-issued after a
+// transport fault.
+func (c *Client) Retries() uint64 { return c.mux.Retries() }
+
+func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
+	resp, err := c.mux.Call(ctx, typ, payload, want, idempotent)
 	if err != nil {
 		var re *proto.RemoteError
 		if errors.As(err, &re) {
@@ -67,12 +87,15 @@ func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, wa
 }
 
 // PutChunks uploads a batch of trimmed packages and returns per-chunk
-// duplicate flags.
+// duplicate flags. It is not auto-re-issued after a mid-flight
+// connection fault: re-PUT is dedup-safe for the stored bytes, but it
+// inflates reference counts (see internal/dedup), so the upload
+// pipeline owns that retry.
 func (c *Client) PutChunks(ctx context.Context, chunks []proto.ChunkUpload) ([]bool, error) {
 	if len(chunks) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(ctx, proto.MsgPutChunksReq, proto.EncodePutChunksReq(chunks), proto.MsgPutChunksResp)
+	payload, err := c.call(ctx, proto.MsgPutChunksReq, proto.EncodePutChunksReq(chunks), proto.MsgPutChunksResp, false)
 	if err != nil {
 		return nil, err
 	}
@@ -87,12 +110,12 @@ func (c *Client) PutChunks(ctx context.Context, chunks []proto.ChunkUpload) ([]b
 }
 
 // GetChunks fetches a batch of trimmed packages by fingerprint, in
-// order.
+// order. Read-only: re-issued transparently after connection faults.
 func (c *Client) GetChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
 	if len(fps) == 0 {
 		return nil, nil
 	}
-	payload, err := c.call(ctx, proto.MsgGetChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgGetChunksResp)
+	payload, err := c.call(ctx, proto.MsgGetChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgGetChunksResp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -106,54 +129,62 @@ func (c *Client) GetChunks(ctx context.Context, fps []fingerprint.Fingerprint) (
 	return datas, nil
 }
 
-// PutBlob stores a blob (recipe, stub file, or key state).
+// PutBlob stores a blob (recipe, stub file, or key state). Blob puts
+// are verbatim whole-object overwrites, so replaying one after a
+// connection fault converges to the same state; the call is re-issued
+// transparently.
 func (c *Client) PutBlob(ctx context.Context, ns, name string, data []byte) error {
-	_, err := c.call(ctx, proto.MsgPutBlobReq, proto.EncodeBlobReq(ns, name, data), proto.MsgPutBlobResp)
+	_, err := c.call(ctx, proto.MsgPutBlobReq, proto.EncodeBlobReq(ns, name, data), proto.MsgPutBlobResp, true)
 	return err
 }
 
-// GetBlob fetches a blob.
+// GetBlob fetches a blob. Read-only: re-issued transparently.
 func (c *Client) GetBlob(ctx context.Context, ns, name string) ([]byte, error) {
-	return c.call(ctx, proto.MsgGetBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgGetBlobResp)
+	return c.call(ctx, proto.MsgGetBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgGetBlobResp, true)
 }
 
 // DerefChunks drops one reference from each listed chunk, returning how
-// many were freed entirely.
+// many were freed entirely. Each delivery decrements refcounts, so the
+// call is never auto-re-issued once it may have executed.
 func (c *Client) DerefChunks(ctx context.Context, fps []fingerprint.Fingerprint) (uint64, error) {
 	if len(fps) == 0 {
 		return 0, nil
 	}
-	payload, err := c.call(ctx, proto.MsgDerefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgDerefChunksResp)
+	payload, err := c.call(ctx, proto.MsgDerefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgDerefChunksResp, false)
 	if err != nil {
 		return 0, err
 	}
 	return proto.DecodeDerefChunksResp(payload)
 }
 
-// DeleteBlob removes a blob.
+// DeleteBlob removes a blob. A replay would turn success into a
+// spurious not-found error, so the call is never auto-re-issued once it
+// may have executed.
 func (c *Client) DeleteBlob(ctx context.Context, ns, name string) error {
-	_, err := c.call(ctx, proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp)
+	_, err := c.call(ctx, proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp, false)
 	return err
 }
 
 // Challenge asks the server to prove possession of a chunk: it returns
-// H(nonce || stored bytes).
+// H(nonce || stored bytes). Read-only: re-issued transparently.
 func (c *Client) Challenge(ctx context.Context, fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
-	return c.call(ctx, proto.MsgChallengeReq, proto.EncodeChallengeReq(fp, nonce), proto.MsgChallengeResp)
+	return c.call(ctx, proto.MsgChallengeReq, proto.EncodeChallengeReq(fp, nonce), proto.MsgChallengeResp, true)
 }
 
-// ListBlobs lists the blob names in a namespace.
+// ListBlobs lists the blob names in a namespace. Read-only: re-issued
+// transparently.
 func (c *Client) ListBlobs(ctx context.Context, ns string) ([]string, error) {
-	payload, err := c.call(ctx, proto.MsgListBlobsReq, proto.EncodeListBlobsReq(ns), proto.MsgListBlobsResp)
+	payload, err := c.call(ctx, proto.MsgListBlobsReq, proto.EncodeListBlobsReq(ns), proto.MsgListBlobsResp, true)
 	if err != nil {
 		return nil, err
 	}
 	return proto.DecodeListBlobsResp(payload)
 }
 
-// Stats fetches the server's dedup statistics.
+// Stats fetches the server's dedup statistics. Read-only: re-issued
+// transparently.
 func (c *Client) Stats(ctx context.Context) (proto.Stats, error) {
-	payload, err := c.call(ctx, proto.MsgStatsReq, nil, proto.MsgStatsResp)
+	payload, err := c.call(ctx, proto.MsgStatsReq, nil, proto.MsgStatsResp, true)
 	if err != nil {
 		return proto.Stats{}, err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/proto"
+	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -70,7 +71,7 @@ func TestOneConnectionMixedPlanes(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
-	client, err := DialStore(ln.Addr().String(), nil)
+	client, err := DialStore(ln.Addr().String(), nil, retry.Policy{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/netem"
+	"repro/internal/retry"
 )
 
 // BenchmarkMuxedGets measures single-chunk gets over ONE connection with
@@ -33,7 +34,7 @@ func BenchmarkMuxedGets(b *testing.B) {
 		}
 		return netem.Delay(c, delay), nil
 	}
-	client, err := DialStore(addr, dialer)
+	client, err := DialStore(addr, dialer, retry.Policy{})
 	if err != nil {
 		b.Fatal(err)
 	}

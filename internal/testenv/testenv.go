@@ -11,6 +11,7 @@ package testenv
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/abe"
@@ -59,6 +60,7 @@ type Cluster struct {
 	servers     []*server.Server
 	DataServers []*server.Server
 	listeners   []net.Listener
+	serveWG     sync.WaitGroup
 }
 
 // Start boots a cluster.
@@ -97,7 +99,11 @@ func Start(opts Options) (*Cluster, error) {
 	}
 	c.listeners = append(c.listeners, kmLn)
 	c.KMAddr = kmLn.Addr().String()
-	go func() { _ = c.km.Serve(kmLn) }()
+	c.serveWG.Add(1)
+	go func() {
+		defer c.serveWG.Done()
+		_ = c.km.Serve(kmLn)
+	}()
 
 	// Data servers plus one key-store server.
 	for i := 0; i <= opts.DataServers; i++ {
@@ -111,7 +117,11 @@ func Start(opts Options) (*Cluster, error) {
 		}
 		c.listeners = append(c.listeners, ln)
 		c.servers = append(c.servers, srv)
-		go func() { _ = srv.Serve(ln) }()
+		c.serveWG.Add(1)
+		go func() {
+			defer c.serveWG.Done()
+			_ = srv.Serve(ln)
+		}()
 		if i < opts.DataServers {
 			c.DataAddrs = append(c.DataAddrs, ln.Addr().String())
 			c.DataServers = append(c.DataServers, srv)
@@ -154,7 +164,9 @@ func (c *Cluster) KMEvaluations() uint64 {
 	return c.km.Evaluations()
 }
 
-// Close shuts everything down.
+// Close shuts everything down and waits for every serve loop to exit,
+// so tests with goroutine-leak checks see a quiet process afterwards.
+// It is idempotent.
 func (c *Cluster) Close() {
 	if c.km != nil {
 		c.km.Shutdown()
@@ -165,4 +177,41 @@ func (c *Cluster) Close() {
 	for _, ln := range c.listeners {
 		_ = ln.Close()
 	}
+	c.serveWG.Wait()
+}
+
+// TB is the subset of testing.TB the test helpers need; an interface so
+// testenv does not import testing into non-test binaries.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Cleanup(func())
+}
+
+// StartServer boots one standalone storage server on loopback TCP —
+// for tests that need a server they can kill independently of a shared
+// cluster. Cleanup shuts the server down and waits for its serve loop
+// to exit, so a test that already killed it (Shutdown is idempotent)
+// or failed mid-way leaks neither the goroutine nor the listener.
+func StartServer(tb TB) (*server.Server, string) {
+	tb.Helper()
+	srv, err := server.New(store.NewMemory())
+	if err != nil {
+		tb.Fatalf("testenv: start server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatalf("testenv: listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	tb.Cleanup(func() {
+		_ = srv.Shutdown()
+		_ = ln.Close()
+		<-done
+	})
+	return srv, ln.Addr().String()
 }

@@ -112,6 +112,7 @@ import (
 	"repro/internal/oprf"
 	"repro/internal/policy"
 	"repro/internal/proto"
+	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -152,6 +153,14 @@ type (
 	DeleteResult = client.DeleteResult
 	// GroupRekeyResult summarizes a group rekey.
 	GroupRekeyResult = client.GroupRekeyResult
+	// RetryStats reports the fault recovery an operation needed:
+	// reconnects, transparently re-issued RPCs, and re-sent upload
+	// batches (all zero on a healthy network).
+	RetryStats = client.RetryStats
+	// RetryPolicy bounds reconnect/retry backoff after connection
+	// faults (ClientConfig.Retry); the zero value uses sensible
+	// defaults.
+	RetryPolicy = retry.Policy
 )
 
 // Server-side types.
