@@ -4,7 +4,7 @@ GO ?= go
 # install the same thing.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: check vet tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux clean
+.PHONY: check vet tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
 
 # check is the CI gate: vet, build everything, race-enabled tests.
 check: vet build race
@@ -74,6 +74,21 @@ bench-smoke:
 # inflight>=8 should beat it by well over 2x.
 bench-mux:
 	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/
+
+# bench-json runs the pipeline and mux benchmarks and archives machine-
+# readable results (cmd/reed-benchjson), for diffing runs across
+# commits or machines.
+bench-json:
+	$(GO) test -run NONE -bench=BenchmarkStreamingUpload -benchtime=1x . \
+		| $(GO) run ./cmd/reed-benchjson -o BENCH_pipeline.json
+	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/ \
+		| $(GO) run ./cmd/reed-benchjson -o BENCH_mux.json
+
+# admin-smoke boots a real reed-server with the admin endpoint enabled
+# and checks /metrics (valid JSON), /metrics?format=text, and /healthz
+# from the outside. CI runs this; it needs only curl and go.
+admin-smoke:
+	@sh scripts/admin_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,135 @@
+// Command reed-benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark results can be archived, diffed,
+// and plotted without scraping Go's human-oriented format.
+//
+// Usage:
+//
+//	go test -run NONE -bench=BenchmarkStreamingUpload . | reed-benchjson -o BENCH_pipeline.json
+//
+// Every benchmark line becomes one record with its name, iteration
+// count, and all reported value/unit pairs (ns/op, MB/s, B/op,
+// allocs/op, and any custom b.ReportMetric units). Context lines
+// (goos, goarch, pkg, cpu) are carried through as metadata. Input that
+// contains no benchmark lines is an error — it usually means the
+// -bench pattern matched nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reed-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the output document.
+type Report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func run(in io.Reader, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("reed-benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := parse(in)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *outPath == "" {
+		_, err = out.Write(b)
+		return err
+	}
+	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d benchmark(s) to %s\n", len(report.Benchmarks), *outPath)
+	return nil
+}
+
+// parse reads `go test -bench` output. Lines it does not recognize
+// (test chatter, PASS/ok trailers) are skipped, so piping a full test
+// run through is safe.
+func parse(in io.Reader) (*Report, error) {
+	r := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			r.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			r.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				r.Benchmarks = append(r.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input (did -bench match anything?)")
+	}
+	return r, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-8   10   123456 ns/op   120.5 MB/s   64 B/op   2 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkStreamingUpload/seg=1MiB-8         	      10	 123456789 ns/op	 120.50 MB/s
+BenchmarkMuxedGets/inflight=8-8             	       3	   9876543 ns/op	      64 B/op	       2 allocs/op
+--- some test chatter that must be ignored
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GoOS != "linux" || r.GoArch != "amd64" || r.Pkg != "repro" {
+		t.Fatalf("metadata = %q/%q/%q", r.GoOS, r.GoArch, r.Pkg)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(r.Benchmarks))
+	}
+	up := r.Benchmarks[0]
+	if up.Name != "BenchmarkStreamingUpload/seg=1MiB-8" || up.Iterations != 10 {
+		t.Fatalf("first result = %+v", up)
+	}
+	if up.Metrics["ns/op"] != 123456789 || up.Metrics["MB/s"] != 120.50 {
+		t.Fatalf("first metrics = %v", up.Metrics)
+	}
+	if got := r.Benchmarks[1].Metrics["allocs/op"]; got != 2 {
+		t.Fatalf("allocs/op = %v, want 2", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \trepro\t0.1s\n")); err == nil {
+		t.Fatal("want error when no benchmark lines present")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, []string{"-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("file has %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if !strings.Contains(out.String(), "wrote 2 benchmark(s)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

@@ -235,6 +235,7 @@ func (cf connFlags) connect() (*reed.Client, func() error, error) {
 		PrivateKey:     access,
 		Directory:      bundle,
 		Owner:          owner,
+		Metrics:        reed.NewMetricsRegistry(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -476,6 +477,18 @@ func cmdStats(ctx context.Context, args []string) error {
 	if logical > 0 {
 		saving := 1 - float64(physical+stub)/float64(logical)
 		fmt.Printf("total: logical=%d stored=%d saving=%.2f%%\n", logical, physical+stub, saving*100)
+	}
+
+	// Cluster-wide metrics: the merged view of every server's registry
+	// plus this client's own. Uninstrumented servers contribute empty
+	// snapshots, so on an old deployment this section simply stays short.
+	snap, err := client.ClusterMetrics(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster metrics: %w", err)
+	}
+	if text := snap.Text(); text != "" {
+		fmt.Println("\ncluster metrics:")
+		fmt.Print(text)
 	}
 	return nil
 }

@@ -32,13 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":9002", "address to listen on")
-		bits   = flag.Int("bits", 1024, "RSA modulus size for the OPRF key")
-		rate   = flag.Float64("rate", 0, "per-client key generations per second (0 = unlimited)")
+		listen    = flag.String("listen", ":9002", "address to listen on")
+		bits      = flag.Int("bits", 1024, "RSA modulus size for the OPRF key")
+		rate      = flag.Float64("rate", 0, "per-client key generations per second (0 = unlimited)")
+		adminAddr = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (e.g. 127.0.0.1:9091; empty = disabled)")
 	)
 	flag.Parse()
 
-	srv, err := reed.NewKeyManagerServer(*bits, *rate)
+	reg := reed.NewMetricsRegistry()
+	srv, err := reed.NewKeyManagerServer(*bits, *rate, reed.WithKeyManagerMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -47,6 +49,15 @@ func run() error {
 		return err
 	}
 	log.Printf("key manager listening on %s (rsa=%d bits, rate=%v/s)", ln.Addr(), *bits, *rate)
+
+	if *adminAddr != "" {
+		adm, err := reed.StartAdmin(*adminAddr, reg.Snapshot, nil)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adm.Close()
+		log.Printf("admin endpoint on http://%s/metrics (unauthenticated; keep it loopback or firewalled)", adm.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

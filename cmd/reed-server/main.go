@@ -35,8 +35,9 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":9000", "address to listen on")
-		dir    = flag.String("dir", "", "storage directory (empty = in-memory)")
+		listen    = flag.String("listen", ":9000", "address to listen on")
+		dir       = flag.String("dir", "", "storage directory (empty = in-memory)")
+		adminAddr = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (e.g. 127.0.0.1:9090; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,8 @@ func run() error {
 		}
 	}
 
-	srv, err := reed.NewStorageServer(backend)
+	reg := reed.NewMetricsRegistry()
+	srv, err := reed.NewStorageServer(backend, reed.WithStorageMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -58,6 +60,15 @@ func run() error {
 		return err
 	}
 	log.Printf("storage server listening on %s (dir=%q)", ln.Addr(), *dir)
+
+	if *adminAddr != "" {
+		adm, err := reed.StartAdmin(*adminAddr, reg.Snapshot, nil)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adm.Close()
+		log.Printf("admin endpoint on http://%s/metrics (unauthenticated; keep it loopback or firewalled)", adm.Addr())
+	}
 
 	// Flush containers and the dedup index on SIGINT/SIGTERM.
 	sig := make(chan os.Signal, 1)

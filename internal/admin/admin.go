@@ -1,0 +1,104 @@
+// Package admin is the opt-in HTTP introspection plane for reed-server
+// and reed-keymanager: /metrics (JSON or text table), /healthz, and the
+// net/http/pprof handlers. It is a debugging surface, not a public API
+// — bind it to localhost (the default in both binaries) or put it
+// behind network controls; it has no authentication of its own.
+package admin
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Server serves the introspection endpoints on its own listener so the
+// admin plane shares nothing with the storage wire protocol and can be
+// shut down independently.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// Handler returns the admin mux for a metrics source. snapshot is
+// called per /metrics request; healthy gates /healthz (nil means always
+// healthy).
+func Handler(snapshot func() metrics.Snapshot, healthy func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(s.Text()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// pprof registers on http.DefaultServeMux via init; wire the
+	// handlers explicitly so this mux works without the default one.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves the admin
+// endpoints until Close. The serve loop runs in a goroutine; Start
+// returns once the listener is bound so Addr is immediately usable.
+func Start(addr string, snapshot func() metrics.Snapshot, healthy func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		http: &http.Server{
+			Handler:           Handler(snapshot, healthy),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve loop to exit. Safe
+// on a nil receiver so callers can unconditionally defer it.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.http.Close()
+	<-s.done
+	return err
+}

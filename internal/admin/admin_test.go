@@ -1,0 +1,168 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func testRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.Counter("puts").Add(42)
+	r.Gauge("conns").Set(3)
+	r.Histogram("lat").Observe(5 * time.Millisecond)
+	return r
+}
+
+func TestMetricsEndpointJSON(t *testing.T) {
+	r := testRegistry()
+	s, err := Start("127.0.0.1:0", r.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["puts"] != 42 {
+		t.Fatalf("puts = %d, want 42", snap.Counters["puts"])
+	}
+	if snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("lat count = %d, want 1", snap.Histograms["lat"].Count)
+	}
+}
+
+func TestMetricsEndpointText(t *testing.T) {
+	r := testRegistry()
+	s, err := Start("127.0.0.1:0", r.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("status = %d, body %q", resp.StatusCode, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	r := testRegistry()
+	fail := false
+	healthy := func() error {
+		if fail {
+			return io.ErrClosedPipe
+		}
+		return nil
+	}
+	s, err := Start("127.0.0.1:0", r.Snapshot, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status = %d, want 200", resp.StatusCode)
+	}
+
+	fail = true
+	resp, err = http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	r := testRegistry()
+	s, err := Start("127.0.0.1:0", r.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCloseStopsListener is the leak check: Close must tear down the
+// listener and the serve goroutine, and further connections must fail.
+func TestCloseStopsListener(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := testRegistry()
+	s, err := Start("127.0.0.1:0", r.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("request after Close must fail")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		n2 := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak after Close: %d before, %d after\n%s", before, n, buf[:n2])
+	}
+
+	// Double Close and nil Close must be safe.
+	_ = s.Close()
+	var nilS *Server
+	if err := nilS.Close(); err != nil {
+		t.Fatal("nil Close must be a no-op")
+	}
+}

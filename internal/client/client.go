@@ -56,6 +56,7 @@ import (
 	"repro/internal/keycache"
 	"repro/internal/keymanager"
 	"repro/internal/keyreg"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/retry"
@@ -165,6 +166,13 @@ type Config struct {
 	// ride out a flapping server in well under the paper's per-request
 	// timeouts while keeping a truly dead server's failure bounded.
 	Retry retry.Policy
+
+	// Metrics, when set, instruments the client: per-op RPC latency and
+	// in-flight counts on every connection, pipeline stage latencies,
+	// bytes in flight, and retry counters (the same numbers RetryStats
+	// reports, exposed as registry families). Nil leaves the client
+	// uninstrumented at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +205,20 @@ type Client struct {
 	km      *keymanager.Client
 	data    []*server.Client
 	keyConn *server.Client
+
+	// retriedBatches counts the upload pipeline's chunk-batch re-sends.
+	// It backs both RetryStats.RetriedBatches and, when a registry is
+	// configured, the upload_retried_batches family — one counter, two
+	// views (see initMetrics).
+	retriedBatches *metrics.Counter
+
+	// Pipeline instruments; nil (and hence no-ops) when Config.Metrics
+	// is unset.
+	stageChunk    *metrics.Histogram
+	stageKeys     *metrics.Histogram
+	stageEncrypt  *metrics.Histogram
+	stageUpload   *metrics.Histogram
+	bytesInFlight *metrics.Gauge
 }
 
 // New dials the key manager and all storage servers.
@@ -253,7 +275,7 @@ func New(cfg Config) (*Client, error) {
 		return nil, err
 	}
 
-	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km}
+	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km, retriedBatches: metrics.NewCounter()}
 	for _, addr := range cfg.DataServers {
 		conn, err := server.DialStore(addr, cfg.Dialer, cfg.Retry)
 		if err != nil {
@@ -267,6 +289,7 @@ func New(cfg Config) (*Client, error) {
 		c.Close()
 		return nil, err
 	}
+	c.initMetrics()
 	return c, nil
 }
 
@@ -342,6 +365,7 @@ func (c *Client) retrySnapshot() RetryStats {
 		s.Reconnects += c.keyConn.Reconnects()
 		s.RetriedCalls += c.keyConn.Retries()
 	}
+	s.RetriedBatches = c.retriedBatches.Value()
 	return s
 }
 
@@ -349,8 +373,9 @@ func (c *Client) retrySnapshot() RetryStats {
 func (c *Client) retryDelta(before RetryStats) RetryStats {
 	now := c.retrySnapshot()
 	return RetryStats{
-		Reconnects:   now.Reconnects - before.Reconnects,
-		RetriedCalls: now.RetriedCalls - before.RetriedCalls,
+		Reconnects:     now.Reconnects - before.Reconnects,
+		RetriedCalls:   now.RetriedCalls - before.RetriedCalls,
+		RetriedBatches: now.RetriedBatches - before.RetriedBatches,
 	}
 }
 

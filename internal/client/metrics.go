@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/rpcmux"
+)
+
+// initMetrics attaches the configured registry to every connection and
+// registers the client-level views. Counters that other layers already
+// own — the per-connection reconnect/retry counters behind RetryStats —
+// are exposed as snapshot-time sums rather than copied, so the Metrics
+// path and the RetryStats path always report the same numbers.
+func (c *Client) initMetrics() {
+	reg := c.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	inst := &rpcmux.Instruments{
+		Ops:      metrics.NewOpSet(reg, "rpc", proto.OpNames()),
+		Inflight: reg.Gauge("rpc_inflight"),
+	}
+	c.km.Instrument(inst)
+	for _, conn := range c.data {
+		conn.Instrument(inst)
+	}
+	c.keyConn.Instrument(inst)
+
+	c.stageChunk = reg.Histogram("pipeline_stage_latency", "stage", "chunk")
+	c.stageKeys = reg.Histogram("pipeline_stage_latency", "stage", "keys")
+	c.stageEncrypt = reg.Histogram("pipeline_stage_latency", "stage", "encrypt")
+	c.stageUpload = reg.Histogram("pipeline_stage_latency", "stage", "upload")
+	c.bytesInFlight = reg.Gauge("pipeline_bytes_in_flight")
+
+	reg.SetCounterFunc("rpc_reconnects", func() uint64 { return c.retrySnapshot().Reconnects })
+	reg.SetCounterFunc("rpc_retried_calls", func() uint64 { return c.retrySnapshot().RetriedCalls })
+	reg.SetCounterFunc("upload_retried_batches", c.retriedBatches.Value)
+}
+
+// Metrics returns the client's registry (nil when uninstrumented).
+func (c *Client) Metrics() *metrics.Registry { return c.cfg.Metrics }
+
+// ClusterMetrics fetches a metrics snapshot from every server the
+// client is connected to and merges them — plus the client's own
+// registry, when configured — into one cluster-wide view. Servers
+// running uninstrumented contribute empty snapshots. The key-store
+// connection is skipped when it targets one of the data servers, so a
+// shared server is never counted twice.
+func (c *Client) ClusterMetrics(ctx context.Context) (metrics.Snapshot, error) {
+	snaps := make([]metrics.Snapshot, 0, len(c.data)+3)
+	if c.cfg.Metrics != nil {
+		snaps = append(snaps, c.cfg.Metrics.Snapshot())
+	}
+	rctx, cancel := c.rpc(ctx)
+	s, err := c.km.Metrics(rctx)
+	cancel()
+	if err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("client: key manager metrics: %w", err)
+	}
+	snaps = append(snaps, s)
+	for i, conn := range c.data {
+		rctx, cancel := c.rpc(ctx)
+		s, err := conn.Metrics(rctx)
+		cancel()
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("client: server %d metrics: %w", i, err)
+		}
+		snaps = append(snaps, s)
+	}
+	shared := false
+	for _, addr := range c.cfg.DataServers {
+		if addr == c.cfg.KeyStoreServer {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		rctx, cancel := c.rpc(ctx)
+		s, err := c.keyConn.Metrics(rctx)
+		cancel()
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("client: key-store metrics: %w", err)
+		}
+		snaps = append(snaps, s)
+	}
+	merged := metrics.Merge(snaps...)
+	// Ratios are per-process and sum under Merge (two servers at 0.5
+	// would read 1.0); recompute the cluster-wide value from the byte
+	// gauges, which do sum meaningfully.
+	if logical := merged.Gauges["dedup_logical_bytes"]; logical > 0 {
+		merged.Gauges["dedup_savings_ratio"] = 1 - merged.Gauges["dedup_physical_bytes"]/logical
+	}
+	return merged, nil
+}

@@ -1,0 +1,142 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keyreg"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/policy"
+)
+
+// TestChaosClusterMetricsAfterFaultedUpload is the observability
+// acceptance path: upload through a scripted data-server cut, then ask
+// ClusterMetrics for the merged client+server view. RPC latency
+// histograms, dedup effectiveness, and the fault-recovery counters must
+// all be nonzero, and the RPC-visible retry counters must agree with
+// the RetryStats the upload reported.
+func TestChaosClusterMetricsAfterFaultedUpload(t *testing.T) {
+	cluster := startCluster(t)
+	plan := netem.NewPlan(42)
+	plan.OnDial(1, netem.Fault{CutAfterWriteBytes: 48 << 10})
+
+	owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(cluster, "alice", owner, plan)
+	cfg.Metrics = metrics.NewRegistry()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	data := randomFile(t, 256<<10, 99)
+	res, err := c.Upload(ctx, "/metrics/faulted", bytes.NewReader(data), policy.OrOfUsers([]string{"alice"}))
+	if err != nil {
+		t.Fatalf("upload across data-server cut: %v", err)
+	}
+	if res.Retry.Reconnects < 1 {
+		t.Fatalf("Retry.Reconnects = %d, want >= 1 (fault must fire)", res.Retry.Reconnects)
+	}
+
+	snap, err := c.ClusterMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-side RPC latency for the chunk plane.
+	put := metrics.Label("rpc_latency", "op", "PutChunks")
+	if h, ok := snap.Histograms[put]; !ok || h.Count == 0 {
+		t.Fatalf("%s is empty; client RPC instrumentation missing", put)
+	}
+	// Server-side dispatch latency, merged in over the Metrics RPC.
+	disp := metrics.Label("dispatch_latency", "op", "PutChunks")
+	if h, ok := snap.Histograms[disp]; !ok || h.Count == 0 {
+		t.Fatalf("%s is empty; server snapshots not merged", disp)
+	}
+	// Pipeline stage latencies recorded during the upload.
+	for _, stage := range []string{"chunk", "keys", "encrypt", "upload"} {
+		name := metrics.Label("pipeline_stage_latency", "stage", stage)
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// Dedup effectiveness from the data servers.
+	if snap.Gauges["dedup_logical_bytes"] <= 0 {
+		t.Error("dedup_logical_bytes not positive after upload")
+	}
+	if snap.Gauges["dedup_physical_bytes"] <= 0 {
+		t.Error("dedup_physical_bytes not positive after upload")
+	}
+	// Merged ratio must be recomputed from bytes, not summed per-server
+	// (summing two servers at 0.5 would read 1.0).
+	if r := snap.Gauges["dedup_savings_ratio"]; r < 0 || r >= 1 {
+		t.Errorf("dedup_savings_ratio = %v, want [0, 1)", r)
+	}
+	// OPRF work reached the key manager.
+	if snap.Counters["oprf_evaluations"] == 0 {
+		t.Error("oprf_evaluations = 0; key manager snapshot not merged")
+	}
+	// Fault recovery is visible through metrics and agrees with
+	// RetryStats — the satellite contract: one count, two views.
+	if snap.Counters["rpc_reconnects"] != res.Retry.Reconnects {
+		t.Errorf("rpc_reconnects = %d, RetryStats.Reconnects = %d; must match",
+			snap.Counters["rpc_reconnects"], res.Retry.Reconnects)
+	}
+	if snap.Counters["upload_retried_batches"] != res.Retry.RetriedBatches {
+		t.Errorf("upload_retried_batches = %d, RetryStats.RetriedBatches = %d; must match",
+			snap.Counters["upload_retried_batches"], res.Retry.RetriedBatches)
+	}
+
+	// The human-readable rendering carries the same families.
+	text := snap.Text()
+	for _, want := range []string{"rpc_latency", "dedup_logical_bytes", "oprf_evaluations"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q", want)
+		}
+	}
+	// And the whole snapshot survives the wire encoding.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back metrics.Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms[put].Count != snap.Histograms[put].Count {
+		t.Error("JSON round trip lost histogram observations")
+	}
+}
+
+// TestClusterMetricsUninstrumentedClient checks ClusterMetrics still
+// works when the client itself has no registry: server-side snapshots
+// alone come back merged.
+func TestClusterMetricsUninstrumentedClient(t *testing.T) {
+	cluster := startCluster(t)
+	c := newUser(t, cluster, "bob", core.SchemeBasic)
+	if c.Metrics() != nil {
+		t.Fatal("newUser should build an uninstrumented client")
+	}
+	data := randomFile(t, 64<<10, 7)
+	if _, err := c.Upload(ctx, "/metrics/plain", bytes.NewReader(data), policy.OrOfUsers([]string{"bob"})); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.ClusterMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := metrics.Label("dispatch_latency", "op", "PutChunks")
+	if h, ok := snap.Histograms[disp]; !ok || h.Count == 0 {
+		t.Fatalf("%s is empty; server snapshots not merged", disp)
+	}
+	if snap.Counters["oprf_evaluations"] == 0 {
+		t.Error("oprf_evaluations = 0")
+	}
+}

@@ -8,12 +8,12 @@ import (
 	"io"
 	mrand "math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/chunker"
 	"repro/internal/fingerprint"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/recipe"
@@ -53,6 +53,9 @@ type byteGate struct {
 	capacity int64
 	used     int64
 	peak     int64
+	// gauge mirrors used for the metrics registry (nil when the client
+	// is uninstrumented; a nil gauge is a no-op).
+	gauge *metrics.Gauge
 }
 
 func newByteGate(capacity int64) *byteGate {
@@ -81,6 +84,7 @@ func (g *byteGate) acquire(ctx context.Context, n int64) error {
 	if g.used > g.peak {
 		g.peak = g.used
 	}
+	g.gauge.Add(n)
 	return nil
 }
 
@@ -95,12 +99,14 @@ func (g *byteGate) force(n int64) {
 	if g.used > g.peak {
 		g.peak = g.used
 	}
+	g.gauge.Add(n)
 	g.mu.Unlock()
 }
 
 func (g *byteGate) release(n int64) {
 	g.mu.Lock()
 	g.used -= n
+	g.gauge.Add(-n)
 	g.mu.Unlock()
 	g.cond.Broadcast()
 }
@@ -252,6 +258,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 
 	segBytes := int64(c.cfg.SegmentBytes)
 	gate := newByteGate(2 * segBytes)
+	gate.gauge = c.bytesInFlight
 	// Quarter-budget pipeline units: four stages and three capacity-1
 	// channels hold at most ~7 units, comfortably under the gate, so
 	// every stage stays busy while memory remains O(SegmentBytes).
@@ -303,12 +310,17 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		}
 	}()
 
-	// Stage 1: chunk + fingerprint, cutting segments at the budget.
+	// Stage 1: chunk + fingerprint, cutting segments at the budget. The
+	// per-segment latency observation covers everything from the
+	// segment's first byte to its handoff — including source reads and
+	// gate waits, which is what an operator watching a slow upload needs
+	// to see.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chunked)
 		seg := &segment{}
+		segStart := time.Now()
 		for {
 			var rr readResult
 			var ok bool
@@ -339,13 +351,16 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 			})
 			seg.bytes += int64(len(data))
 			if seg.bytes >= unit {
+				c.stageChunk.Observe(time.Since(segStart))
 				if !sendSeg(pctx, chunked, seg) {
 					return
 				}
 				seg = &segment{index: seg.index + 1}
+				segStart = time.Now()
 			}
 		}
 		if len(seg.chunks) > 0 {
+			c.stageChunk.Observe(time.Since(segStart))
 			sendSeg(pctx, chunked, seg)
 		}
 	}()
@@ -356,6 +371,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		defer wg.Done()
 		defer close(keyed)
 		for seg := range chunked {
+			stageStart := time.Now()
 			fps := make([]fingerprint.Fingerprint, len(seg.chunks))
 			for i := range seg.chunks {
 				fps[i] = seg.chunks[i].fpPlain
@@ -368,6 +384,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 			for i := range seg.chunks {
 				seg.chunks[i].key = keys[i]
 			}
+			c.stageKeys.Observe(time.Since(stageStart))
 			if !sendSeg(pctx, keyed, seg) {
 				return
 			}
@@ -382,6 +399,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		defer wg.Done()
 		defer close(encrypted)
 		for seg := range keyed {
+			stageStart := time.Now()
 			err := c.parallelEach(pctx, len(seg.chunks), func(i int) error {
 				ch := &seg.chunks[i]
 				pkg, err := c.codec.Encrypt(ch.data, ch.key)
@@ -400,6 +418,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 				fail.fail(err)
 				return
 			}
+			c.stageEncrypt.Observe(time.Since(stageStart))
 			if !sendSeg(pctx, encrypted, seg) {
 				return
 			}
@@ -416,23 +435,24 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 		KeyVersion: state.Version,
 	}
 	var (
-		stubs      [][]byte
-		logical    int64
-		dups       int
-		segments   int
-		resv       *auditReservoir
-		segRetries atomic.Uint64
+		stubs    [][]byte
+		logical  int64
+		dups     int
+		segments int
+		resv     *auditReservoir
 	)
 	retryBefore := c.retrySnapshot()
 	if c.cfg.AuditTickets > 0 {
 		resv = newAuditReservoir(c.cfg.AuditTickets)
 	}
 	for seg := range encrypted {
-		n, err := c.uploadSegment(pctx, seg, &segRetries)
+		stageStart := time.Now()
+		n, err := c.uploadSegment(pctx, seg)
 		if err != nil {
 			fail.fail(err)
 			break
 		}
+		c.stageUpload.Observe(time.Since(stageStart))
 		dups += n
 		segments++
 		logical += seg.bytes
@@ -485,7 +505,6 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	}
 
 	retryStats := c.retryDelta(retryBefore)
-	retryStats.RetriedBatches = segRetries.Load()
 	result := &UploadResult{
 		Chunks:          len(rec.Chunks),
 		LogicalBytes:    logical,
@@ -527,7 +546,7 @@ func (c *Client) sealStubsChecked(stubs [][]byte, fileKey []byte, name string) (
 // the store detects the duplicate fingerprint and only bumps a
 // refcount — so a flapping server costs over-retention at worst, never
 // corruption. Application errors from a healthy server are permanent.
-func (c *Client) uploadSegment(ctx context.Context, seg *segment, retried *atomic.Uint64) (int, error) {
+func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
 	perServer := make([][]proto.ChunkUpload, len(c.data))
 	for i := range seg.chunks {
 		s := c.serverFor(seg.chunks[i].fpTrim)
@@ -537,8 +556,11 @@ func (c *Client) uploadSegment(ctx context.Context, seg *segment, retried *atomi
 		})
 	}
 
+	// Re-sent batches land in the client-level counter: RetryStats
+	// deltas and the metrics registry both read it, so the two report
+	// paths can never drift.
 	policy := c.cfg.Retry
-	policy.OnRetry = func(int, error, time.Duration) { retried.Add(1) }
+	policy.OnRetry = func(int, error, time.Duration) { c.retriedBatches.Inc() }
 
 	var (
 		wg       sync.WaitGroup

@@ -168,6 +168,38 @@ func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
 	return false, nil
 }
 
+// ContainerCount returns how many containers currently hold data: the
+// sealed containers plus the open one when it is nonempty.
+func (s *Store) ContainerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.containers)
+	if len(s.current) > 0 {
+		n++
+	}
+	return n
+}
+
+// RefInflation returns the number of references in excess of one per
+// stored chunk. Dedup hits from distinct files raise it legitimately;
+// replayed PutChunks batches (connection faults mid-upload) raise it
+// spuriously — either way it bounds how much reclamation is deferred by
+// outstanding references, which makes it worth watching on a long-lived
+// deployment.
+func (s *Store) RefInflation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, c := range s.refs {
+		total += uint64(c)
+	}
+	stored := uint64(len(s.index))
+	if total < stored {
+		return 0
+	}
+	return total - stored
+}
+
 // Has reports whether the chunk is stored.
 func (s *Store) Has(fp fingerprint.Fingerprint) bool {
 	s.mu.Lock()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/keycache"
+	"repro/internal/metrics"
 	"repro/internal/mle"
 	"repro/internal/oprf"
 	"repro/internal/proto"
@@ -149,6 +150,20 @@ func (c *Client) Retries() uint64 { return c.mux.Retries() }
 
 // Params returns the key manager's public parameters.
 func (c *Client) Params() oprf.PublicParams { return c.params }
+
+// Metrics fetches the key manager's metrics snapshot (empty when it
+// runs uninstrumented). Read-only: re-issued transparently.
+func (c *Client) Metrics(ctx context.Context) (metrics.Snapshot, error) {
+	payload, err := c.call(ctx, proto.MsgMetricsReq, nil, proto.MsgMetricsResp)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return proto.DecodeMetricsResp(payload)
+}
+
+// Instrument attaches client-side RPC instrumentation (per-op latency
+// and in-flight gauge) to this connection. Passing nil detaches.
+func (c *Client) Instrument(in *rpcmux.Instruments) { c.mux.Instrument(in) }
 
 func (c *Client) fetchParams() error {
 	payload, err := c.call(context.Background(), proto.MsgKMParamsReq, nil, proto.MsgKMParamsResp)

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/oprf"
 	"repro/internal/proto"
 	"repro/internal/ratelimit"
@@ -49,6 +51,13 @@ type Server struct {
 	shutdown bool
 
 	evaluations uint64
+
+	// Observability (see WithMetrics); all nil when uninstrumented.
+	reg          *metrics.Registry
+	ops          *metrics.OpSet
+	connsGauge   *metrics.Gauge
+	inflightReqs *metrics.Gauge
+	rateDrops    *metrics.Counter
 }
 
 // ServerOption configures a Server.
@@ -77,6 +86,15 @@ func (o workersOption) applyServer(s *Server) { s.workers = int(o) }
 // may evaluate concurrently.
 func WithWorkers(n int) ServerOption { return workersOption(n) }
 
+type metricsOption struct{ reg *metrics.Registry }
+
+func (o metricsOption) applyServer(s *Server) { s.reg = o.reg }
+
+// WithMetrics instruments the key manager: per-op dispatch latency,
+// connection/worker gauges, OPRF evaluation and rate-limit-drop
+// counters. A nil registry leaves the server uninstrumented.
+func WithMetrics(reg *metrics.Registry) ServerOption { return metricsOption{reg} }
+
 // NewServer returns a key manager serving the given OPRF key.
 func NewServer(key *oprf.ServerKey, opts ...ServerOption) *Server {
 	s := &Server{
@@ -90,6 +108,13 @@ func NewServer(key *oprf.ServerKey, opts ...ServerOption) *Server {
 	}
 	if s.workers < 1 {
 		s.workers = 1
+	}
+	if s.reg != nil {
+		s.ops = metrics.NewOpSet(s.reg, "dispatch", proto.OpNames())
+		s.connsGauge = s.reg.Gauge("km_connections")
+		s.inflightReqs = s.reg.Gauge("dispatch_inflight")
+		s.rateDrops = s.reg.Counter("oprf_ratelimit_drops")
+		s.reg.SetCounterFunc("oprf_evaluations", s.Evaluations)
 	}
 	return s
 }
@@ -158,6 +183,13 @@ func (s *Server) Evaluations() uint64 {
 	return s.evaluations
 }
 
+// Metrics returns the key manager's registry (nil when uninstrumented).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// MetricsSnapshot captures the key manager's registry; empty when
+// uninstrumented.
+func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
 // outFrame is one response queued for a connection's writer goroutine.
 type outFrame struct {
 	typ     proto.MsgType
@@ -171,11 +203,13 @@ type outFrame struct {
 // (possibly out of order). See server.Server.handleConn for the shape;
 // the two stay deliberately parallel.
 func (s *Server) handleConn(conn net.Conn) {
+	s.connsGauge.Inc()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.connsGauge.Dec()
 	}()
 
 	limiter := s.limiterFor(conn)
@@ -214,7 +248,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				<-sem
 				handlers.Done()
 			}()
-			respType, respPayload := s.dispatch(typ, payload, limiter)
+			respType, respPayload := s.dispatchTimed(typ, payload, limiter)
 			respCh <- outFrame{typ: respType, id: id, payload: respPayload}
 		}()
 	}
@@ -223,10 +257,31 @@ func (s *Server) handleConn(conn net.Conn) {
 	<-writerDone
 }
 
+// dispatchTimed wraps dispatch with per-op accounting; a plain tail
+// call when uninstrumented.
+func (s *Server) dispatchTimed(typ proto.MsgType, payload []byte, limiter *ratelimit.Limiter) (proto.MsgType, []byte) {
+	if s.ops == nil {
+		return s.dispatch(typ, payload, limiter)
+	}
+	s.inflightReqs.Inc()
+	start := time.Now()
+	respType, respPayload := s.dispatch(typ, payload, limiter)
+	s.inflightReqs.Dec()
+	s.ops.Observe(int(typ), time.Since(start), respType == proto.MsgError)
+	return respType, respPayload
+}
+
 func (s *Server) dispatch(typ proto.MsgType, payload []byte, limiter *ratelimit.Limiter) (proto.MsgType, []byte) {
 	switch typ {
 	case proto.MsgKMParamsReq:
 		return proto.MsgKMParamsResp, s.params
+
+	case proto.MsgMetricsReq:
+		resp, err := proto.EncodeMetricsResp(s.reg.Snapshot())
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(err.Error())
+		}
+		return proto.MsgMetricsResp, resp
 
 	case proto.MsgKeyGenReq:
 		blinded, err := proto.DecodeBlobList(payload, maxBatch)
@@ -235,6 +290,7 @@ func (s *Server) dispatch(typ proto.MsgType, payload []byte, limiter *ratelimit.
 		}
 		if limiter != nil {
 			if err := limiter.Wait(context.Background(), float64(len(blinded))); err != nil {
+				s.rateDrops.Inc()
 				return proto.MsgError, proto.EncodeError("rate limited: " + err.Error())
 			}
 		}

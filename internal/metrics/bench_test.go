@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterParallel contrasts the sharded counter against a
+// single atomic under contention. On multi-core hardware the sharded
+// version avoids the cache-line ping-pong that serializes the single
+// atomic; SetParallelism(8) forces 8-way contention even when
+// GOMAXPROCS is low.
+func BenchmarkCounterParallel(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) {
+		c := NewCounter()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+		if c.Value() == 0 {
+			b.Fatal("counter unused")
+		}
+	})
+	b.Run("single-atomic", func(b *testing.B) {
+		var c atomic.Uint64
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+		if c.Load() == 0 {
+			b.Fatal("counter unused")
+		}
+	})
+}
+
+func BenchmarkCounterSerial(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 100 * time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Microsecond
+		}
+	})
+}
+
+func BenchmarkOpSetObserve(b *testing.B) {
+	r := NewRegistry()
+	o := NewOpSet(r, "rpc", []string{"A", "B", "C"})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			o.Observe(1, 250*time.Microsecond, false)
+		}
+	})
+}
+
+// BenchmarkNilOpSetObserve measures the disabled path: this is the cost
+// instrumentation adds to uninstrumented deployments.
+func BenchmarkNilOpSetObserve(b *testing.B) {
+	var o *OpSet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Observe(1, 250*time.Microsecond, false)
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are fixed at construction: powers of two from 1 µs
+// up to histMaxBucket, plus an overflow bucket. Fixed buckets make
+// Observe a branch-free bit-length computation and one atomic
+// increment, and make snapshots mergeable across servers (bucket i
+// always means the same range everywhere).
+const (
+	histBase    = int64(time.Microsecond) // upper bound of bucket 0
+	histBuckets = 28                      // 1 µs << 27 ≈ 134 s, then overflow
+)
+
+// Histogram records a latency distribution in fixed exponential
+// buckets with an exact count and sum. A nil Histogram is a no-op.
+//
+// Quantiles are estimated from a Snapshot: the per-bucket counts are
+// read once into a consistent view first, so a quantile computation
+// never mixes buckets from different instants mid-scan.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketFor maps a duration to its bucket index: bucket 0 holds
+// d ≤ 1 µs, bucket i holds (1µs·2^(i-1), 1µs·2^i], and the last bucket
+// holds everything beyond the largest bound.
+func bucketFor(d time.Duration) int {
+	if d <= time.Duration(histBase) {
+		return 0
+	}
+	// Number of doublings of histBase needed to cover d.
+	i := bits.Len64(uint64((int64(d) - 1) / histBase))
+	if i > histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// bucketBound returns the inclusive upper bound of bucket i; the
+// overflow bucket reports the largest finite bound (its contents lie
+// above it).
+func bucketBound(i int) time.Duration {
+	if i >= histBuckets {
+		i = histBuckets
+	}
+	return time.Duration(histBase << uint(i))
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumNS:   h.sum.Load(),
+		Buckets: make([]uint64, histBuckets+1),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, the unit
+// quantile estimates and merges operate on. Buckets[i] counts
+// observations in bucket i (see bucketBound); the JSON form carries the
+// raw bucket counts so any consumer can recompute quantiles.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumNS   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank. The error
+// is bounded by one bucket's width (a factor of two at worst, in
+// practice much less for smooth distributions).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == len(s.Buckets)-1 {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(bucketBound(i - 1))
+			}
+			hi := int64(bucketBound(i))
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		cum = next
+	}
+	return bucketBound(len(s.Buckets) - 1)
+}
+
+// merge adds o's buckets into s (for cluster-wide summaries).
+func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if len(o.Buckets) == 0 {
+		return
+	}
+	if len(s.Buckets) < len(o.Buckets) {
+		b := make([]uint64, len(o.Buckets))
+		copy(b, s.Buckets)
+		s.Buckets = b
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+}

@@ -1,0 +1,377 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasic(t *testing.T) {
+	c := NewCounter()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("new counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(10)
+	g.Add(5)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 15 {
+		t.Fatalf("gauge = %d, want 15", got)
+	}
+	g.Add(-20)
+	if got := g.Value(); got != -5 {
+		t.Fatalf("gauge = %d, want -5", got)
+	}
+}
+
+// TestNilInstrumentsSafe covers the "disabled means free" contract: a
+// nil registry and the nil instruments it yields must accept every
+// method without panicking or allocating.
+func TestNilInstrumentsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	o := NewOpSet(r, "rpc", []string{"A", "B"})
+	if c != nil || g != nil || h != nil || o != nil {
+		t.Fatal("nil registry must yield nil instruments")
+	}
+	r.SetCounterFunc("f", func() uint64 { return 1 })
+	r.SetGaugeFunc("f", func() float64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		c.Inc()
+		_ = c.Value()
+		g.Set(1)
+		g.Add(1)
+		g.Inc()
+		g.Dec()
+		_ = g.Value()
+		h.Observe(time.Millisecond)
+		o.Observe(0, time.Millisecond, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instruments allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterZeroAlloc pins the hot path: an enabled counter
+// increment must not allocate either (the stack-address shard hint must
+// not escape).
+func TestEnabledCounterZeroAlloc(t *testing.T) {
+	c := NewCounter()
+	h := NewHistogram()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled hot path allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	cases := []struct {
+		family string
+		kv     []string
+		want   string
+	}{
+		{"up", nil, "up"},
+		{"up", []string{"odd"}, "up"},
+		{"rpc_latency", []string{"op", "PutChunks"}, `rpc_latency{op="PutChunks"}`},
+		{"x", []string{"a", "1", "b", "2"}, `x{a="1",b="2"}`},
+	}
+	for _, c := range cases {
+		if got := Label(c.family, c.kv...); got != c.want {
+			t.Errorf("Label(%q, %v) = %q, want %q", c.family, c.kv, got, c.want)
+		}
+	}
+}
+
+func TestRegistrySharedInstruments(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("puts", "server", "0")
+	b := r.Counter("puts", "server", "0")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	other := r.Counter("puts", "server", "1")
+	if a == other {
+		t.Fatal("different labels must return different counters")
+	}
+	a.Add(3)
+	s := r.Snapshot()
+	if s.Counters[`puts{server="0"}`] != 3 {
+		t.Fatalf("snapshot = %+v, want puts{server=\"0\"}=3", s.Counters)
+	}
+}
+
+func TestRegistryFuncs(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.SetCounterFunc("derived_total", func() uint64 { return n })
+	r.SetGaugeFunc("ratio", func() float64 { return 2.5 })
+	s := r.Snapshot()
+	if s.Counters["derived_total"] != 7 {
+		t.Fatalf("counter func = %d, want 7", s.Counters["derived_total"])
+	}
+	if s.Gauges["ratio"] != 2.5 {
+		t.Fatalf("gauge func = %v, want 2.5", s.Gauges["ratio"])
+	}
+	n = 9
+	if s2 := r.Snapshot(); s2.Counters["derived_total"] != 9 {
+		t.Fatal("counter func must be re-evaluated per snapshot")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{200 * time.Second, histBuckets},
+		{time.Hour, histBuckets},
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0
+		}
+		if got := bucketFor(d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound must land in its own bucket, and one past it
+	// in the next.
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketFor(bucketBound(i)); got != i {
+			t.Errorf("bucketFor(bound(%d)) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy checks quantile estimates against a
+// known distribution: with exponential buckets the estimate must land
+// within one bucket width (factor of two) of the true quantile.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		// Log-uniform between 10 µs and 100 ms, a plausible RPC latency
+		// spread.
+		exp := 1 + 3*rng.Float64() // 10^1 .. 10^4 µs
+		d := time.Duration(math.Pow(10, exp)) * time.Microsecond
+		samples[i] = d
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		truth := samples[int(q*float64(n))-1]
+		got := s.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("q%.2f = %v, true %v: off by more than one bucket", q, got, truth)
+		}
+	}
+	if mean := s.Mean(); mean <= 0 {
+		t.Fatalf("mean = %v, want > 0", mean)
+	}
+}
+
+func TestHistogramQuantileEdge(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean must be 0")
+	}
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	s = h.Snapshot()
+	if got := s.Quantile(-1); got < 0 {
+		t.Fatalf("clamped quantile = %v", got)
+	}
+	if got := s.Quantile(2); got == 0 {
+		t.Fatalf("q>1 clamps to max, got %v", got)
+	}
+}
+
+func TestSnapshotMergeAndJSON(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("puts").Add(3)
+	r2.Counter("puts").Add(4)
+	r1.Gauge("conns").Set(2)
+	r2.Gauge("conns").Set(5)
+	r1.Histogram("lat").Observe(time.Millisecond)
+	r2.Histogram("lat").Observe(2 * time.Millisecond)
+
+	m := Merge(r1.Snapshot(), r2.Snapshot())
+	if m.Counters["puts"] != 7 {
+		t.Fatalf("merged counter = %d, want 7", m.Counters["puts"])
+	}
+	if m.Gauges["conns"] != 7 {
+		t.Fatalf("merged gauge = %v, want 7", m.Gauges["conns"])
+	}
+	if m.Histograms["lat"].Count != 2 {
+		t.Fatalf("merged hist count = %d, want 2", m.Histograms["lat"].Count)
+	}
+
+	// The snapshot must round-trip through JSON (it crosses the wire in
+	// MsgMetricsResp) without losing quantile fidelity.
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms["lat"].Quantile(0.5) != m.Histograms["lat"].Quantile(0.5) {
+		t.Fatal("quantiles must survive a JSON round trip")
+	}
+
+	if txt := m.Text(); txt == "" {
+		t.Fatal("text rendering must be nonempty")
+	}
+}
+
+func TestOpSet(t *testing.T) {
+	r := NewRegistry()
+	o := NewOpSet(r, "rpc", []string{"", "PutChunks", "GetChunks"})
+	o.Observe(1, time.Millisecond, false)
+	o.Observe(1, 2*time.Millisecond, true)
+	o.Observe(0, time.Millisecond, false)  // unnamed slot: dropped
+	o.Observe(99, time.Millisecond, false) // out of range: dropped
+	o.Observe(-1, time.Millisecond, false)
+	s := r.Snapshot()
+	if s.Counters[`rpc_total{op="PutChunks"}`] != 2 {
+		t.Fatalf("total = %d, want 2", s.Counters[`rpc_total{op="PutChunks"}`])
+	}
+	if s.Counters[`rpc_errors{op="PutChunks"}`] != 1 {
+		t.Fatalf("errors = %d, want 1", s.Counters[`rpc_errors{op="PutChunks"}`])
+	}
+	if s.Histograms[`rpc_latency{op="PutChunks"}`].Count != 2 {
+		t.Fatal("latency histogram must have 2 observations")
+	}
+	if s.Counters[`rpc_total{op="GetChunks"}`] != 0 {
+		t.Fatal("untouched op must read 0")
+	}
+}
+
+// TestRegistryChaosConcurrentSnapshot hammers a single registry from 32
+// goroutines — creating instruments, incrementing, observing — while
+// snapshots are taken concurrently. Run under -race in CI's chaos job;
+// the final snapshot must account for every write.
+func TestRegistryChaosConcurrentSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const perG = 2000
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Snapshot continuously while writers run.
+	var snapWG sync.WaitGroup
+	snapWG.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				// Monotonicity within a snapshot: totals can never exceed
+				// the theoretical maximum.
+				for n, v := range s.Counters {
+					if v > goroutines*perG {
+						panic("counter " + n + " overshot")
+					}
+				}
+				_ = s.Text()
+				raw, err := json.Marshal(s)
+				if err != nil || len(raw) == 0 {
+					panic("snapshot must marshal")
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := names[id%len(names)]
+			for j := 0; j < perG; j++ {
+				r.Counter("hits", "class", name).Inc()
+				r.Gauge("depth", "class", name).Add(1)
+				r.Histogram("lat", "class", name).Observe(time.Duration(j) * time.Microsecond)
+				r.Gauge("depth", "class", name).Add(-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := r.Snapshot()
+	var totalHits uint64
+	for _, name := range names {
+		totalHits += s.Counters[Label("hits", "class", name)]
+		if g := s.Gauges[Label("depth", "class", name)]; g != 0 {
+			t.Fatalf("gauge %s = %v, want 0 after balanced adds", name, g)
+		}
+	}
+	if totalHits != goroutines*perG {
+		t.Fatalf("total hits = %d, want %d", totalHits, goroutines*perG)
+	}
+}

@@ -1,0 +1,324 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry names and owns a process's metrics. Instruments are
+// get-or-create by full name (including labels), so two subsystems
+// asking for the same family share one instrument and exposition sees
+// unified totals. A nil *Registry is valid everywhere and yields nil
+// instruments, which are themselves no-ops — metrics are opt-in and
+// disabling them costs nothing on the hot paths.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	// funcs are computed at snapshot time: cheap hooks into state other
+	// subsystems already maintain (dedup accounting, refcount sums).
+	counterFuncs map[string]func() uint64
+	gaugeFuncs   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Histogram),
+		counterFuncs: make(map[string]func() uint64),
+		gaugeFuncs:   make(map[string]func() float64),
+	}
+}
+
+// Label formats a family name with label pairs in exposition order:
+// Label("rpc_latency", "op", "PutChunks") = `rpc_latency{op="PutChunks"}`.
+// Keys must come in pairs; a trailing odd value is ignored.
+func Label(family string, kv ...string) string {
+	if len(kv) < 2 {
+		return family
+	}
+	var b strings.Builder
+	b.Grow(len(family) + 16)
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	name = Label(name, kv...)
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	name = Label(name, kv...)
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name = Label(name, kv...)
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetCounterFunc registers a counter whose value is computed at
+// snapshot time — for totals another subsystem already tracks (OPRF
+// evaluations, reconnect sums across connections) so the registry
+// exposes the same number the subsystem reports, with no second copy
+// to drift.
+func (r *Registry) SetCounterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counterFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// SetGaugeFunc registers a gauge computed at snapshot time (dedup
+// ratios, container counts, byte totals).
+func (r *Registry) SetGaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot captures every instrument. Function-backed instruments are
+// evaluated now; their panics are not recovered (they are this
+// process's own hooks). Safe for concurrent use with all writers.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	counterFuncs := make(map[string]func() uint64, len(r.counterFuncs))
+	for n, fn := range r.counterFuncs {
+		counterFuncs[n] = fn
+	}
+	gaugeFuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for n, fn := range r.gaugeFuncs {
+		gaugeFuncs[n] = fn
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)+len(counterFuncs)),
+		Gauges:     make(map[string]float64, len(gauges)+len(gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, fn := range counterFuncs {
+		s.Counters[n] = fn()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = float64(g.Value())
+	}
+	for n, fn := range gaugeFuncs {
+		s.Gauges[n] = fn()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry, the unit of
+// exposition: the admin endpoint serves it as JSON or a text table,
+// and the Metrics RPC carries it over the wire.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Merge combines snapshots from several processes into a cluster-wide
+// view: counters and gauges sum, histograms merge bucket-wise (buckets
+// are fixed, so quantiles of the merge are meaningful).
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for n, v := range s.Counters {
+			out.Counters[n] += v
+		}
+		for n, v := range s.Gauges {
+			out.Gauges[n] += v
+		}
+		for n, h := range s.Histograms {
+			m := out.Histograms[n]
+			m.merge(h)
+			out.Histograms[n] = m
+		}
+	}
+	return out
+}
+
+// Text renders the snapshot as an aligned, sorted table: counters and
+// gauges one per line, histograms as count/mean/p50/p95/p99.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-56s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := s.Gauges[n]
+		if v == float64(int64(v)) {
+			fmt.Fprintf(&b, "%-56s %d\n", n, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%-56s %.4f\n", n, v)
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-56s count=%d mean=%v p50=%v p95=%v p99=%v\n",
+			n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	return b.String()
+}
+
+// OpSet is a fixed family of per-operation instruments indexed by a
+// small integer (a proto.MsgType on the wire paths): a total counter,
+// an error counter, and a latency histogram per named op. Instruments
+// resolve once at construction so the per-call path is two array
+// lookups and three atomic ops — no map lookups, no label formatting,
+// no allocation. A nil OpSet (from a nil registry) is a no-op.
+type OpSet struct {
+	total   []*Counter
+	errs    []*Counter
+	latency []*Histogram
+}
+
+// NewOpSet registers <prefix>_total{op=...}, <prefix>_errors{op=...},
+// and <prefix>_latency{op=...} for every non-empty name; Observe calls
+// for indexes with empty names (or out of range) are dropped. Returns
+// nil on a nil registry.
+func NewOpSet(r *Registry, prefix string, names []string) *OpSet {
+	if r == nil {
+		return nil
+	}
+	o := &OpSet{
+		total:   make([]*Counter, len(names)),
+		errs:    make([]*Counter, len(names)),
+		latency: make([]*Histogram, len(names)),
+	}
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		o.total[i] = r.Counter(prefix+"_total", "op", name)
+		o.errs[i] = r.Counter(prefix+"_errors", "op", name)
+		o.latency[i] = r.Histogram(prefix+"_latency", "op", name)
+	}
+	return o
+}
+
+// Observe records one completed operation.
+func (o *OpSet) Observe(op int, d time.Duration, failed bool) {
+	if o == nil || op < 0 || op >= len(o.total) {
+		return
+	}
+	o.total[op].Add(1)
+	if failed {
+		o.errs[op].Add(1)
+	}
+	o.latency[op].Observe(d)
+}

@@ -16,12 +16,15 @@ package proto
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/binenc"
 	"repro/internal/fingerprint"
+	"repro/internal/metrics"
 )
 
 // MaxFrameSize bounds a single frame (64 MiB) so a corrupt length prefix
@@ -70,6 +73,11 @@ const (
 	// Storage server: remote data checking.
 	MsgChallengeReq
 	MsgChallengeResp
+
+	// Metrics snapshot (served by both storage servers and the key
+	// manager; see internal/metrics).
+	MsgMetricsReq
+	MsgMetricsResp
 )
 
 // msgTypeNames is the static name table behind MsgType.String. A
@@ -99,6 +107,23 @@ var msgTypeNames = [...]string{
 	MsgDeleteBlobResp:  "DeleteBlobResp",
 	MsgChallengeReq:    "ChallengeReq",
 	MsgChallengeResp:   "ChallengeResp",
+	MsgMetricsReq:      "MetricsReq",
+	MsgMetricsResp:     "MetricsResp",
+}
+
+// OpNames returns operation labels indexed by request MsgType — the
+// request name with its "Req" suffix trimmed ("PutChunks", "KeyGen").
+// Response and error slots are empty, so an OpSet built from this slice
+// drops observations for non-request types. The slice is freshly
+// allocated; callers may blank entries they do not serve.
+func OpNames() []string {
+	names := make([]string, len(msgTypeNames))
+	for t, n := range msgTypeNames {
+		if strings.HasSuffix(n, "Req") {
+			names[t] = strings.TrimSuffix(n, "Req")
+		}
+	}
+	return names
 }
 
 // String implements fmt.Stringer for diagnostics.
@@ -528,6 +553,28 @@ func DecodeStats(b []byte) (Stats, error) {
 	}
 	if !r.Done() {
 		return s, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return s, nil
+}
+
+// EncodeMetricsResp encodes a metrics snapshot. JSON rather than binenc:
+// the snapshot's instrument set is open-ended (labeled families appear
+// as subsystems see traffic), and the same bytes are served verbatim on
+// the admin /metrics endpoint, so RPC and HTTP consumers can never
+// disagree about the encoding.
+func EncodeMetricsResp(s metrics.Snapshot) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("proto: encode metrics: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeMetricsResp decodes EncodeMetricsResp output.
+func DecodeMetricsResp(b []byte) (metrics.Snapshot, error) {
+	var s metrics.Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%w: metrics payload: %v", ErrBadMessage, err)
 	}
 	return s, nil
 }

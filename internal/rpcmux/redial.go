@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/retry"
 )
@@ -41,9 +43,24 @@ type Redialer struct {
 	conn   *Conn
 	closed bool
 
-	statsMu    sync.Mutex
-	reconnects uint64
-	retries    uint64
+	// Per-redialer fault counters. These back both the RetryStats
+	// surfaces (Reconnects/Retries accessors) and, when a registry is
+	// attached upstream, its reconnect/retry families — one set of
+	// numbers, two views.
+	reconnects *metrics.Counter
+	retries    *metrics.Counter
+
+	inst atomic.Pointer[Instruments]
+}
+
+// Instruments is the optional registry-backed instrumentation for a
+// Redialer: per-op call/error/latency and an in-flight gauge. Fields
+// may be nil (nil instruments are no-ops).
+type Instruments struct {
+	// Ops is indexed by the request's proto.MsgType.
+	Ops *metrics.OpSet
+	// Inflight counts calls currently executing through this redialer.
+	Inflight *metrics.Gauge
 }
 
 // NewRedialer wraps an already-established connection (the eager first
@@ -53,10 +70,12 @@ type Redialer struct {
 // is used with its zero-value defaults if unset.
 func NewRedialer(conn net.Conn, dial DialFunc, readBuf, writeBuf int, policy retry.Policy) *Redialer {
 	r := &Redialer{
-		dial:     dial,
-		readBuf:  readBuf,
-		writeBuf: writeBuf,
-		policy:   policy,
+		dial:       dial,
+		readBuf:    readBuf,
+		writeBuf:   writeBuf,
+		policy:     policy,
+		reconnects: metrics.NewCounter(),
+		retries:    metrics.NewCounter(),
 	}
 	if conn != nil {
 		r.conn = New(conn, readBuf, writeBuf)
@@ -79,19 +98,15 @@ func (r *Redialer) Close() error {
 
 // Reconnects returns how many replacement connections have been
 // established after transport faults.
-func (r *Redialer) Reconnects() uint64 {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.reconnects
-}
+func (r *Redialer) Reconnects() uint64 { return r.reconnects.Value() }
 
 // Retries returns how many calls were re-issued after a transport
 // failure.
-func (r *Redialer) Retries() uint64 {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.retries
-}
+func (r *Redialer) Retries() uint64 { return r.retries.Value() }
+
+// Instrument attaches per-op instrumentation to subsequent Calls.
+// Passing nil detaches. Safe to call concurrently with Calls.
+func (r *Redialer) Instrument(in *Instruments) { r.inst.Store(in) }
 
 // acquire returns the live Conn, dialing a replacement if the previous
 // one was retired. Concurrent callers share one replacement dial: the
@@ -111,9 +126,7 @@ func (r *Redialer) acquire() (*Conn, error) {
 		return nil, fmt.Errorf("rpcmux: redial: %w", err)
 	}
 	r.conn = New(raw, r.readBuf, r.writeBuf)
-	r.statsMu.Lock()
-	r.reconnects++
-	r.statsMu.Unlock()
+	r.reconnects.Inc()
 	return r.conn, nil
 }
 
@@ -135,13 +148,25 @@ func (r *Redialer) retire(conn *Conn) {
 // the dead connection is still retired so later calls recover. Context
 // cancellation always stops the loop promptly.
 func (r *Redialer) Call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
+	inst := r.inst.Load()
+	if inst == nil {
+		return r.call(ctx, typ, payload, want, idempotent)
+	}
+	inst.Inflight.Inc()
+	start := time.Now()
+	resp, err := r.call(ctx, typ, payload, want, idempotent)
+	inst.Inflight.Dec()
+	inst.Ops.Observe(int(typ), time.Since(start), err != nil)
+	return resp, err
+}
+
+// call is the uninstrumented redial/re-issue loop behind Call.
+func (r *Redialer) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
 	var resp []byte
 	p := r.policy
 	inner := p.OnRetry
 	p.OnRetry = func(attempt int, err error, d time.Duration) {
-		r.statsMu.Lock()
-		r.retries++
-		r.statsMu.Unlock()
+		r.retries.Inc()
 		if inner != nil {
 			inner(attempt, err, d)
 		}

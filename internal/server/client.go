@@ -7,6 +7,7 @@ import (
 	"net"
 
 	"repro/internal/fingerprint"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/retry"
 	"repro/internal/rpcmux"
@@ -190,3 +191,17 @@ func (c *Client) Stats(ctx context.Context) (proto.Stats, error) {
 	}
 	return proto.DecodeStats(payload)
 }
+
+// Metrics fetches the server's metrics snapshot (empty when the server
+// runs uninstrumented). Read-only: re-issued transparently.
+func (c *Client) Metrics(ctx context.Context) (metrics.Snapshot, error) {
+	payload, err := c.call(ctx, proto.MsgMetricsReq, nil, proto.MsgMetricsResp, true)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return proto.DecodeMetricsResp(payload)
+}
+
+// Instrument attaches client-side RPC instrumentation (per-op latency
+// and in-flight gauge) to this connection. Passing nil detaches.
+func (c *Client) Instrument(in *rpcmux.Instruments) { c.mux.Instrument(in) }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/dedup"
 	"repro/internal/fingerprint"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/store"
 )
@@ -57,6 +58,12 @@ type Server struct {
 	stubMu    sync.Mutex
 	stubSizes map[string]int // stub blob name -> current size
 	stubBytes uint64
+
+	// Observability (see metrics.go); all nil when uninstrumented.
+	reg          *metrics.Registry
+	ops          *metrics.OpSet
+	connsGauge   *metrics.Gauge
+	inflightReqs *metrics.Gauge
 }
 
 // Option configures a Server.
@@ -93,6 +100,7 @@ func New(backend store.Backend, opts ...Option) (*Server, error) {
 	if s.workers < 1 {
 		s.workers = 1
 	}
+	s.initMetrics()
 	return s, nil
 }
 
@@ -184,11 +192,13 @@ type outFrame struct {
 // in-flight handlers finish, their responses are drained, and only then
 // does the connection retire.
 func (s *Server) handleConn(conn net.Conn) {
+	s.connsGauge.Inc()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.connsGauge.Dec()
 	}()
 
 	br := bufio.NewReaderSize(conn, 1<<20)
@@ -228,7 +238,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				<-sem
 				handlers.Done()
 			}()
-			respType, respPayload := s.dispatch(typ, payload)
+			respType, respPayload := s.dispatchTimed(typ, payload)
 			respCh <- outFrame{typ: respType, id: id, payload: respPayload}
 		}()
 	}
@@ -257,6 +267,8 @@ func (s *Server) dispatch(typ proto.MsgType, payload []byte) (proto.MsgType, []b
 		return s.challenge(payload)
 	case proto.MsgStatsReq:
 		return proto.MsgStatsResp, proto.EncodeStats(s.Stats())
+	case proto.MsgMetricsReq:
+		return s.metricsResp()
 	default:
 		return proto.MsgError, proto.EncodeError("server: unexpected message " + typ.String())
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/abe"
 	"repro/internal/keymanager"
+	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/oprf"
 	"repro/internal/server"
@@ -88,7 +89,7 @@ func Start(opts Options) (*Cluster, error) {
 			return nil, fmt.Errorf("testenv: key manager key: %w", err)
 		}
 	}
-	var kmOpts []keymanager.ServerOption
+	kmOpts := []keymanager.ServerOption{keymanager.WithMetrics(metrics.NewRegistry())}
 	if opts.RateLimit > 0 {
 		kmOpts = append(kmOpts, keymanager.WithRateLimit(opts.RateLimit, opts.RateLimit))
 	}
@@ -107,7 +108,7 @@ func Start(opts Options) (*Cluster, error) {
 
 	// Data servers plus one key-store server.
 	for i := 0; i <= opts.DataServers; i++ {
-		srv, err := server.New(store.NewMemory())
+		srv, err := server.New(store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +156,10 @@ func (c *Cluster) Dialer() func(addr string) (net.Conn, error) {
 	return nil
 }
 
+// KM returns the cluster's key manager (for metrics inspection and
+// direct shutdown in fault tests).
+func (c *Cluster) KM() *keymanager.Server { return c.km }
+
 // KMEvaluations returns the number of OPRF evaluations the key manager
 // has served.
 func (c *Cluster) KMEvaluations() uint64 {
@@ -195,7 +200,7 @@ type TB interface {
 // or failed mid-way leaks neither the goroutine nor the listener.
 func StartServer(tb TB) (*server.Server, string) {
 	tb.Helper()
-	srv, err := server.New(store.NewMemory())
+	srv, err := server.New(store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
 	if err != nil {
 		tb.Fatalf("testenv: start server: %v", err)
 	}

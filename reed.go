@@ -103,12 +103,14 @@ import (
 	"fmt"
 
 	"repro/internal/abe"
+	"repro/internal/admin"
 	"repro/internal/audit"
 	"repro/internal/chunker"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/keymanager"
 	"repro/internal/keyreg"
+	"repro/internal/metrics"
 	"repro/internal/oprf"
 	"repro/internal/policy"
 	"repro/internal/proto"
@@ -171,6 +173,27 @@ type (
 	StorageServer = server.Server
 	// KeyManagerServer serves MLE keys via the oblivious PRF.
 	KeyManagerServer = keymanager.Server
+	// StorageServerOption configures a StorageServer
+	// (e.g. WithStorageMetrics).
+	StorageServerOption = server.Option
+	// KeyManagerOption configures a KeyManagerServer
+	// (e.g. WithKeyManagerMetrics).
+	KeyManagerOption = keymanager.ServerOption
+)
+
+// Observability types (see internal/metrics and internal/admin).
+type (
+	// MetricsRegistry collects a process's counters, gauges, and latency
+	// histograms. Create one with NewMetricsRegistry, hand it to a
+	// server option or ClientConfig.Metrics, and read it via Snapshot.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time, JSON-serializable view of a
+	// registry; snapshots from several processes merge with
+	// MergeSnapshots.
+	MetricsSnapshot = metrics.Snapshot
+	// AdminServer is an opt-in HTTP debugging surface (/metrics,
+	// /healthz, /debug/pprof) started with StartAdmin.
+	AdminServer = admin.Server
 )
 
 // Encryption schemes.
@@ -263,14 +286,14 @@ func NewDiskBackend(dir string) (Backend, error) {
 
 // NewStorageServer builds a storage server over a backend. Call Serve
 // with a net.Listener to start it, Shutdown to stop.
-func NewStorageServer(backend Backend) (*StorageServer, error) {
-	return server.New(backend)
+func NewStorageServer(backend Backend, opts ...StorageServerOption) (*StorageServer, error) {
+	return server.New(backend, opts...)
 }
 
 // NewKeyManagerServer builds a key manager with a fresh OPRF key of the
 // given RSA modulus size (0 selects the paper's 1024 bits). Rate
 // limiting, when positive, caps per-client key generations per second.
-func NewKeyManagerServer(rsaBits int, rateLimit float64) (*KeyManagerServer, error) {
+func NewKeyManagerServer(rsaBits int, rateLimit float64, opts ...KeyManagerOption) (*KeyManagerServer, error) {
 	if rsaBits <= 0 {
 		rsaBits = oprf.DefaultBits
 	}
@@ -278,9 +301,43 @@ func NewKeyManagerServer(rsaBits int, rateLimit float64) (*KeyManagerServer, err
 	if err != nil {
 		return nil, fmt.Errorf("reed: key manager key: %w", err)
 	}
-	var opts []keymanager.ServerOption
 	if rateLimit > 0 {
 		opts = append(opts, keymanager.WithRateLimit(rateLimit, rateLimit))
 	}
 	return keymanager.NewServer(key, opts...), nil
+}
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MergeSnapshots combines snapshots from several processes into one
+// cluster-wide view: counters and gauges sum, histograms merge
+// bucket-wise.
+func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
+	return metrics.Merge(snaps...)
+}
+
+// WithStorageMetrics instruments a storage server with the registry:
+// per-op dispatch latency, connection and in-flight gauges, and
+// deduplication effectiveness (logical vs physical bytes, container
+// count, GC reclamation).
+func WithStorageMetrics(reg *MetricsRegistry) StorageServerOption {
+	return server.WithMetrics(reg)
+}
+
+// WithKeyManagerMetrics instruments a key manager with the registry:
+// per-op dispatch latency, connection gauges, OPRF evaluation and
+// rate-limit-drop counters.
+func WithKeyManagerMetrics(reg *MetricsRegistry) KeyManagerOption {
+	return keymanager.WithMetrics(reg)
+}
+
+// StartAdmin serves the admin debugging plane (JSON /metrics, /healthz,
+// /debug/pprof) for a snapshot source on addr. It is opt-in and
+// unauthenticated: bind loopback (e.g. "127.0.0.1:9090") unless the
+// network is trusted. healthy may be nil (always healthy); a non-nil
+// error from it turns /healthz into a 503. Close the returned server
+// to stop.
+func StartAdmin(addr string, snapshot func() MetricsSnapshot, healthy func() error) (*AdminServer, error) {
+	return admin.Start(addr, snapshot, healthy)
 }

@@ -1,0 +1,65 @@
+#!/bin/sh
+# admin_smoke.sh — end-to-end check of the admin introspection plane.
+#
+# Boots a real reed-server with -admin enabled, then verifies from the
+# outside that /healthz answers 200, /metrics serves parseable JSON
+# with the expected top-level keys, and /metrics?format=text renders.
+# Any non-200 status or unparseable body fails the script.
+#
+# Needs: go, curl, and jq or python3 (for JSON validation).
+set -eu
+
+ADMIN_ADDR=${ADMIN_ADDR:-127.0.0.1:19095}
+LISTEN_ADDR=${LISTEN_ADDR:-127.0.0.1:19005}
+BIN=$(mktemp -d)/reed-server
+METRICS=$(mktemp)
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$METRICS"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT INT TERM
+
+echo "building reed-server..."
+go build -o "$BIN" ./cmd/reed-server
+
+"$BIN" -listen "$LISTEN_ADDR" -admin "$ADMIN_ADDR" &
+SRV_PID=$!
+
+# Wait for the admin listener (the server binds before serving, so a
+# short poll suffices; bail out if the process died).
+i=0
+until curl -fsS -o /dev/null "http://$ADMIN_ADDR/healthz" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "admin endpoint never came up on $ADMIN_ADDR" >&2
+        exit 1
+    fi
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "reed-server exited early" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "checking /healthz..."
+body=$(curl -fsS "http://$ADMIN_ADDR/healthz")
+[ "$body" = "ok" ] || { echo "/healthz body = '$body', want 'ok'" >&2; exit 1; }
+
+echo "checking /metrics (JSON)..."
+curl -fsS "http://$ADMIN_ADDR/metrics" >"$METRICS"
+if command -v jq >/dev/null 2>&1; then
+    jq -e 'has("counters") and has("gauges") and has("histograms")' "$METRICS" >/dev/null \
+        || { echo "/metrics JSON missing counters/gauges/histograms keys" >&2; cat "$METRICS" >&2; exit 1; }
+else
+    python3 -c 'import json,sys; s=json.load(open(sys.argv[1])); assert {"counters","gauges","histograms"} <= set(s), s.keys()' "$METRICS" \
+        || { echo "/metrics JSON invalid" >&2; cat "$METRICS" >&2; exit 1; }
+fi
+
+echo "checking /metrics?format=text..."
+text=$(curl -fsS "http://$ADMIN_ADDR/metrics?format=text")
+echo "$text" | grep -q "server_connections" \
+    || { echo "text rendering missing server_connections gauge" >&2; echo "$text" >&2; exit 1; }
+
+echo "checking /debug/pprof/ is served..."
+curl -fsS -o /dev/null "http://$ADMIN_ADDR/debug/pprof/"
+
+echo "admin smoke: OK"
