@@ -4,13 +4,34 @@ GO ?= go
 # install the same thing.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: check vet tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
+.PHONY: check vet vet-reed vet-reed-test fuzz-smoke tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
 
-# check is the CI gate: vet, build everything, race-enabled tests.
-check: vet build race
+# check is the CI gate: vet, project-specific static analysis, build
+# everything, race-enabled tests.
+check: vet vet-reed build race
 
 vet:
 	$(GO) vet ./...
+
+# vet-reed runs the project's own static-analysis suite (tools/reed-vet):
+# key-material hygiene, context-first APIs, lock-scope discipline, metric
+# naming, and retry-path error classification. See DESIGN.md "Static
+# analysis". Exits non-zero on any diagnostic.
+vet-reed:
+	cd tools/reed-vet && $(GO) run . -dir ../.. ./...
+
+# vet-reed-test runs the analyzer suite's own tests: golden-file fixture
+# expectations plus the meta-test asserting the repo is diagnostic-free.
+vet-reed-test:
+	cd tools/reed-vet && $(GO) test ./...
+
+# fuzz-smoke runs each native fuzz target that guards a parsing or
+# crypto boundary for a short burst — a cheap CI regression net on the
+# codepaths that face attacker-controlled bytes.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzUnmarshalCiphertext -fuzztime 30s ./internal/abe/
+	$(GO) test -run NONE -fuzz FuzzUnmarshalPrivateKey -fuzztime 30s ./internal/abe/
+	$(GO) test -run NONE -fuzz FuzzAONTRoundTrip -fuzztime 30s ./internal/aont/
 
 # tools installs the pinned lint/scan tools (CI calls this; local runs
 # may prefer their own versions and skip it).

@@ -226,7 +226,7 @@ func (cf connFlags) connect() (*reed.Client, func() error, error) {
 		return nil, nil, err
 	}
 
-	client, err := reed.NewClient(reed.ClientConfig{
+	client, err := reed.NewClient(context.Background(), reed.ClientConfig{
 		UserID:         *cf.user,
 		Scheme:         scheme,
 		DataServers:    strings.Split(*cf.servers, ","),

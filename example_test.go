@@ -42,7 +42,7 @@ func Example() {
 	authority, _ := reed.NewAuthority()
 	owner, _ := reed.NewOwner()
 
-	client, err := reed.NewClient(reed.ClientConfig{
+	client, err := reed.NewClient(context.Background(), reed.ClientConfig{
 		UserID:         "alice",
 		Scheme:         reed.SchemeEnhanced,
 		DataServers:    []string{dataLn.Addr().String()},

@@ -48,7 +48,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := reed.NewClient(reed.ClientConfig{
+	client, err := reed.NewClient(context.Background(), reed.ClientConfig{
 		UserID:         "backup-operator",
 		Scheme:         reed.SchemeEnhanced,
 		DataServers:    dataAddrs,

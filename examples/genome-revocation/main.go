@@ -53,7 +53,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		c, err := reed.NewClient(reed.ClientConfig{
+		c, err := reed.NewClient(context.Background(), reed.ClientConfig{
 			UserID:         name,
 			Scheme:         reed.SchemeEnhanced, // resists MLE-key leakage
 			DataServers:    dataAddrs,

@@ -86,7 +86,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		client, err := reed.NewClient(reed.ClientConfig{
+		client, err := reed.NewClient(context.Background(), reed.ClientConfig{
 			UserID:         user,
 			Scheme:         scheme,
 			DataServers:    dataAddrs,

@@ -20,11 +20,11 @@
 package aont
 
 import (
-	"bytes"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -145,8 +145,11 @@ func ConvergentKey(msg []byte) []byte {
 
 // VerifyConvergent checks that key is the convergent key of msg; it is the
 // CAONT integrity check ("compute the hash of M and check it equals h").
+// The comparison is constant-time: an early-exit equality check would
+// hand an active adversary a byte-position timing oracle on the
+// recovered key, so key material is never compared with bytes.Equal.
 func VerifyConvergent(msg, key []byte) bool {
-	return bytes.Equal(ConvergentKey(msg), key)
+	return subtle.ConstantTimeCompare(ConvergentKey(msg), key) == 1
 }
 
 // SelfXOR computes the XOR of all TailSize-aligned pieces of data, zero-

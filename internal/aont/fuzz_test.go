@@ -1,0 +1,48 @@
+package aont
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAONTRoundTrip drives the CAONT core with arbitrary messages:
+// TransformWithKey then Revert must return the original message and
+// key, and the recovered key must pass the convergent integrity check.
+// Flipping one package byte must break that check — the all-or-nothing
+// property the stub/trimmed-package split depends on.
+func FuzzAONTRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("m"))
+	f.Add(bytes.Repeat([]byte{0xA5}, 8<<10))
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		key := ConvergentKey(msg)
+		pkg, err := TransformWithKey(msg, key)
+		if err != nil {
+			t.Fatalf("transform: %v", err)
+		}
+		if len(pkg) != len(msg)+TailSize {
+			t.Fatalf("package length %d, want %d", len(pkg), len(msg)+TailSize)
+		}
+		got, gotKey, err := Revert(pkg)
+		if err != nil {
+			t.Fatalf("revert: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("revert did not recover the message")
+		}
+		if !VerifyConvergent(got, gotKey) {
+			t.Fatal("recovered key fails the convergent check")
+		}
+
+		// All-or-nothing: any single-byte corruption must be caught by
+		// the convergent integrity check on the recovered key.
+		if len(pkg) > 0 {
+			i := len(msg) % len(pkg) // deterministic, input-dependent position
+			pkg[i] ^= 0x01
+			m2, k2, err := Revert(pkg)
+			if err == nil && VerifyConvergent(m2, k2) {
+				t.Fatalf("corrupted package at byte %d passed verification", i)
+			}
+		}
+	})
+}

@@ -63,7 +63,7 @@ func newChaosUser(t testing.TB, cluster *testenv.Cluster, user string, plan *net
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(chaosConfig(cluster, user, owner, plan))
+	c, err := New(ctx, chaosConfig(cluster, user, owner, plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestChaosFaultUnderLatency(t *testing.T) {
 	}
 	cfg := chaosConfig(cluster, "alice", owner, plan)
 	cfg.Dialer = plan.Dialer(link.Dialer(nil))
-	c, err := New(cfg)
+	c, err := New(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestChaosRecoveryLeaksNoGoroutines(t *testing.T) {
 	}
 	plan := netem.NewPlan(46)
 	plan.OnDial(1, netem.Fault{CutAfterWriteBytes: 48 << 10})
-	c, err := New(chaosConfig(cluster, "alice", owner, plan))
+	c, err := New(ctx, chaosConfig(cluster, "alice", owner, plan))
 	if err != nil {
 		cluster.Close()
 		t.Fatal(err)

@@ -221,8 +221,9 @@ type Client struct {
 	bytesInFlight *metrics.Gauge
 }
 
-// New dials the key manager and all storage servers.
-func New(cfg Config) (*Client, error) {
+// New dials the key manager and all storage servers. ctx bounds the
+// initial connection handshakes, not the client's lifetime.
+func New(ctx context.Context, cfg Config) (*Client, error) {
 	cfg = cfg.withDefaults()
 	if cfg.UserID == "" {
 		return nil, errors.New("client: UserID required")
@@ -270,21 +271,21 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Dialer != nil {
 		kmOpts = append(kmOpts, keymanager.WithDialer(keymanager.Dialer(cfg.Dialer)))
 	}
-	km, err := keymanager.Dial(cfg.KeyManager, kmOpts...)
+	km, err := keymanager.Dial(ctx, cfg.KeyManager, kmOpts...)
 	if err != nil {
 		return nil, err
 	}
 
 	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km, retriedBatches: metrics.NewCounter()}
 	for _, addr := range cfg.DataServers {
-		conn, err := server.DialStore(addr, cfg.Dialer, cfg.Retry)
+		conn, err := server.DialStore(ctx, addr, cfg.Dialer, cfg.Retry)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.data = append(c.data, conn)
 	}
-	c.keyConn, err = server.DialStore(cfg.KeyStoreServer, cfg.Dialer, cfg.Retry)
+	c.keyConn, err = server.DialStore(ctx, cfg.KeyStoreServer, cfg.Dialer, cfg.Retry)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -610,7 +611,7 @@ func (c *Client) ServerStats(ctx context.Context) ([]proto.Stats, error) {
 func (c *Client) fetchKeyState(ctx context.Context, path string) (keyreg.State, keyreg.Public, error) {
 	blob, err := c.getBlob(ctx, c.keyConn, store.NSKeyStates, path)
 	if err != nil {
-		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("%w: key state: %v", ErrNotFound, err)
+		return keyreg.State{}, keyreg.Public{}, fmt.Errorf("%w: key state: %w", ErrNotFound, err)
 	}
 	r := binenc.NewReader(blob)
 	ctBytes, err := r.ReadBytes()

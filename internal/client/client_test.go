@@ -57,7 +57,7 @@ func newUser(t testing.TB, cluster *testenv.Cluster, user string, scheme core.Sc
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         user,
 		Scheme:         scheme,
 		DataServers:    cluster.DataAddrs,
@@ -286,7 +286,7 @@ func TestDownloadMissingFile(t *testing.T) {
 
 func TestUploadWithoutOwner(t *testing.T) {
 	cluster := startCluster(t)
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "noowner",
 		Scheme:         core.SchemeBasic,
 		DataServers:    cluster.DataAddrs,
@@ -337,7 +337,7 @@ func TestConfigValidation(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			cfg := valid
 			tt.mutate(&cfg)
-			if _, err := New(cfg); err == nil {
+			if _, err := New(ctx, cfg); err == nil {
 				t.Fatal("expected error")
 			}
 		})
@@ -369,7 +369,7 @@ func TestFixedChunking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "alice",
 		Scheme:         core.SchemeEnhanced,
 		DataServers:    cluster.DataAddrs,

@@ -46,7 +46,7 @@ func (c *Client) Delete(ctx context.Context, path string) (*DeleteResult, error)
 	home := c.homeServer(path)
 	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, path)
 	if err != nil {
-		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+		return nil, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
 	rec, err := recipe.Unmarshal(recBytes)
 	if err != nil {

@@ -144,7 +144,7 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "auditor",
 		Scheme:         core.SchemeEnhanced,
 		DataServers:    cluster.DataAddrs,
@@ -218,7 +218,7 @@ func TestAuditExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "auditor2",
 		Scheme:         core.SchemeBasic,
 		DataServers:    cluster.DataAddrs,

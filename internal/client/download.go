@@ -85,7 +85,7 @@ func (c *Client) downloadStream(ctx context.Context, name string, open func(*rec
 	home := c.homeServer(name)
 	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
 	if err != nil {
-		return nil, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+		return nil, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
 	rec, err := recipe.Unmarshal(recBytes)
 	if err != nil {
@@ -102,11 +102,12 @@ func (c *Client) downloadStream(ctx context.Context, name string, open func(*rec
 			return nil, fmt.Errorf("client: unwind key state: %w", err)
 		}
 	}
-	fileKey := fileState.Key()
+	fileKey := fileState.Key() //reed:secret — transient file-key copy
+	defer core.Wipe(fileKey[:])
 
 	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
 	if err != nil {
-		return nil, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
+		return nil, fmt.Errorf("%w: stub file: %w", ErrNotFound, err)
 	}
 	stubs, err := openStubFile(stubFile, fileKey[:], name, c.cfg.StubSize, len(rec.Chunks))
 	if err != nil {

@@ -26,7 +26,7 @@ func TestUploadFailsCleanlyWhenDataServerDies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "alice",
 		Scheme:         core.SchemeBasic,
 		DataServers:    []string{addr}, // only the stoppable server
@@ -75,7 +75,7 @@ func TestDownloadFailsCleanlyWhenKeyStoreDies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         "alice",
 		Scheme:         core.SchemeBasic,
 		DataServers:    cluster.DataAddrs,

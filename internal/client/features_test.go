@@ -19,7 +19,7 @@ func newObfuscatedUser(t testing.TB, cluster *testenv.Cluster, user string, salt
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         user,
 		Scheme:         core.SchemeEnhanced,
 		DataServers:    cluster.DataAddrs,
@@ -109,7 +109,7 @@ func TestObfuscationRequiresSalt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = New(Config{
+	_, err = New(ctx, Config{
 		UserID:         "alice",
 		Scheme:         core.SchemeBasic,
 		DataServers:    cluster.DataAddrs,

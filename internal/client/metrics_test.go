@@ -30,7 +30,7 @@ func TestChaosClusterMetricsAfterFaultedUpload(t *testing.T) {
 	}
 	cfg := chaosConfig(cluster, "alice", owner, plan)
 	cfg.Metrics = metrics.NewRegistry()
-	c, err := New(cfg)
+	c, err := New(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

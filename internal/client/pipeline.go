@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/chunker"
+	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 	"repro/internal/policy"
@@ -254,7 +255,8 @@ func sendSeg(ctx context.Context, ch chan<- *segment, s *segment) bool {
 func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, pol *policy.Node) (*UploadResult, error) {
 	start := time.Now()
 	state := c.cfg.Owner.Current()
-	fileKey := state.Key()
+	fileKey := state.Key() //reed:secret — transient file-key copy
+	defer core.Wipe(fileKey[:])
 
 	segBytes := int64(c.cfg.SegmentBytes)
 	gate := newByteGate(2 * segBytes)

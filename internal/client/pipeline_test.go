@@ -24,7 +24,7 @@ func newUserSegmented(t testing.TB, cluster *testenv.Cluster, user string, segBy
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	c, err := New(ctx, Config{
 		UserID:         user,
 		Scheme:         core.SchemeEnhanced,
 		DataServers:    cluster.DataAddrs,

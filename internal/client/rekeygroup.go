@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/keyreg"
 	"repro/internal/policy"
 	"repro/internal/recipe"
@@ -100,7 +101,7 @@ func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyre
 	home := c.homeServer(name)
 	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
 	if err != nil {
-		return 0, fmt.Errorf("%w: recipe: %v", ErrNotFound, err)
+		return 0, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
 	rec, err := recipe.Unmarshal(recBytes)
 	if err != nil {
@@ -108,7 +109,7 @@ func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyre
 	}
 	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
 	if err != nil {
-		return 0, fmt.Errorf("%w: stub file: %v", ErrNotFound, err)
+		return 0, fmt.Errorf("%w: stub file: %w", ErrNotFound, err)
 	}
 
 	fileState := oldState
@@ -118,12 +119,14 @@ func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyre
 			return 0, fmt.Errorf("client: unwind key state: %w", err)
 		}
 	}
-	oldKey := fileState.Key()
+	oldKey := fileState.Key() //reed:secret — transient file-key copy
+	defer core.Wipe(oldKey[:])
 	stubs, err := openStubFile(stubFile, oldKey[:], name, c.cfg.StubSize, len(rec.Chunks))
 	if err != nil {
 		return 0, err
 	}
-	newKey := newState.Key()
+	newKey := newState.Key() //reed:secret — transient file-key copy
+	defer core.Wipe(newKey[:])
 	reStubFile, err := sealStubs(stubs, newKey[:], name)
 	if err != nil {
 		return 0, err

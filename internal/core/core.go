@@ -328,3 +328,15 @@ func mleEncrypt(dst, src, key []byte) error {
 	cipher.NewCTR(block, iv[:]).XORKeyStream(dst, src)
 	return nil
 }
+
+// Wipe zeroes b in place. It is the project-wide helper for scrubbing
+// transient key material — file-key copies, recovered MLE keys, evicted
+// cache entries — once the buffer is dead, shrinking the window in which
+// a heap dump or swapped page exposes a key. Best-effort: Go gives no
+// guarantee against copies made by the runtime (stack growth, GC
+// moves), so Wipe bounds exposure rather than eliminating it.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -356,3 +356,15 @@ func benchDecrypt(b *testing.B, scheme Scheme, size int) {
 		}
 	}
 }
+
+func TestWipe(t *testing.T) {
+	key := []byte{1, 2, 3, 4, 5}
+	Wipe(key)
+	for i, b := range key {
+		if b != 0 {
+			t.Fatalf("byte %d not zeroized: %#x", i, b)
+		}
+	}
+	Wipe(nil) // must not panic
+	Wipe([]byte{})
+}

@@ -160,7 +160,7 @@ func newClient(cluster *testenv.Cluster, o Options, p clientParams) (*client.Cli
 	} else {
 		cfg.Dialer = cluster.Dialer()
 	}
-	return client.New(cfg)
+	return client.New(context.Background(), cfg)
 }
 
 func maxInt(a, b int) int {

@@ -103,7 +103,7 @@ func keyGenRun(cluster *testenv.Cluster, o Options, avgKB, batch, fileBytes int)
 	if dialer := cluster.Dialer(); dialer != nil {
 		kmOpts = append(kmOpts, keymanager.WithDialer(dialer))
 	}
-	km, err := keymanager.Dial(cluster.KMAddr, kmOpts...)
+	km, err := keymanager.Dial(context.Background(), cluster.KMAddr, kmOpts...)
 	if err != nil {
 		return KeyGenPoint{}, err
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/fingerprint"
 )
 
@@ -55,8 +56,10 @@ func New(capacity int64) (*Cache, error) {
 	}, nil
 }
 
-// Get returns the cached key for fp, marking it most recently used. The
-// returned slice must not be modified by the caller.
+// Get returns a copy of the cached key for fp, marking it most recently
+// used. Returning a copy (rather than the interior slice) lets eviction
+// zeroize cache buffers without yanking key material out from under a
+// caller that is still encrypting with it.
 func (c *Cache) Get(fp fingerprint.Fingerprint) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -68,7 +71,7 @@ func (c *Cache) Get(fp fingerprint.Fingerprint) ([]byte, bool) {
 	c.hits++
 	c.order.MoveToFront(el)
 	e, _ := el.Value.(*entry)
-	return e.key, true
+	return append([]byte(nil), e.key...), true
 }
 
 // Put inserts or refreshes the key for fp, evicting least recently used
@@ -96,6 +99,8 @@ func (c *Cache) cost(e *entry) int64 {
 }
 
 // evictLocked drops LRU entries until the cache fits its capacity.
+// Evicted keys are zeroized: the cache owns its buffers (Put copies),
+// so a dropped MLE key must not linger in freed heap memory.
 func (c *Cache) evictLocked() {
 	for c.used > c.capacity {
 		back := c.order.Back()
@@ -106,6 +111,7 @@ func (c *Cache) evictLocked() {
 		c.order.Remove(back)
 		delete(c.entries, e.fp)
 		c.used -= c.cost(e)
+		core.Wipe(e.key) //reed:secret — evicted MLE key
 	}
 }
 
@@ -123,11 +129,16 @@ func (c *Cache) Used() int64 {
 	return c.used
 }
 
-// Clear empties the cache. REED's trace experiments clear the cache
-// between users so users do not share key locality.
+// Clear empties the cache, zeroizing every cached key. REED's trace
+// experiments clear the cache between users so users do not share key
+// locality.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e, _ := el.Value.(*entry)
+		core.Wipe(e.key) //reed:secret — dropped MLE key
+	}
 	c.order.Init()
 	c.entries = make(map[fingerprint.Fingerprint]*list.Element)
 	c.used = 0

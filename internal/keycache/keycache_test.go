@@ -200,3 +200,46 @@ func TestRandomOpsNeverExceedCapacity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestZeroizeOnDrop pins the scrubbing behavior: keys leaving the cache
+// (eviction or Clear) are zeroized in place, and Get hands out copies so
+// scrubbing can never corrupt a key a caller is still using.
+func TestZeroizeOnDrop(t *testing.T) {
+	c, err := New(2 * (32 + 32 + entryOverhead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := bytes.Repeat([]byte{0xAA}, 32)
+	fp := fingerprint.New([]byte("a"))
+	c.Put(fp, key)
+
+	got, ok := c.Get(fp)
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if &got[0] == &c.entries[fp].Value.(*entry).key[0] {
+		t.Fatal("Get returned the interior buffer, not a copy")
+	}
+
+	internal := c.entries[fp].Value.(*entry).key
+	c.Clear()
+	if !bytes.Equal(internal, make([]byte, 32)) {
+		t.Fatal("Clear did not zeroize the dropped key")
+	}
+	if !bytes.Equal(got, key) {
+		t.Fatal("caller's copy was clobbered by Clear")
+	}
+
+	// Refill past capacity: the evicted LRU entry must be scrubbed too.
+	c.Put(fp, key)
+	evictee := c.entries[fp].Value.(*entry).key
+	for i := 0; i < 2; i++ {
+		c.Put(fingerprint.New([]byte{byte(i)}), key)
+	}
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("expected fp to be evicted")
+	}
+	if !bytes.Equal(evictee, make([]byte, 32)) {
+		t.Fatal("eviction did not zeroize the dropped key")
+	}
+}

@@ -105,8 +105,9 @@ func (o retryOption) applyClient(c *clientConfig) { c.retry = o.p }
 func WithRetryPolicy(p retry.Policy) ClientOption { return retryOption{p: p} }
 
 // Dial connects to the key manager at addr and fetches its public
-// parameters.
-func Dial(addr string, opts ...ClientOption) (*Client, error) {
+// parameters. ctx bounds the initial connection attempt and the
+// parameter fetch; it does not govern the connection's lifetime.
+func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
 	cfg := clientConfig{batchSize: DefaultBatchSize}
 	for _, o := range opts {
 		o.applyClient(&cfg)
@@ -114,11 +115,19 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	if cfg.batchSize <= 0 {
 		return nil, errors.New("keymanager: batch size must be positive")
 	}
+	// Redials happen long after the dialing context has expired, so the
+	// redial path always uses the context-free Dialer form.
 	dial := cfg.dialer
 	if dial == nil {
 		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	conn, err := dial(addr)
+	var conn net.Conn
+	var err error
+	if cfg.dialer != nil {
+		conn, err = cfg.dialer(addr)
+	} else {
+		conn, err = (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("keymanager: dial: %w", err)
 	}
@@ -128,7 +137,7 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		batchSize: cfg.batchSize,
 		cache:     cfg.cache,
 	}
-	if err := c.fetchParams(); err != nil {
+	if err := c.fetchParams(ctx); err != nil {
 		c.mux.Close()
 		return nil, err
 	}
@@ -165,8 +174,8 @@ func (c *Client) Metrics(ctx context.Context) (metrics.Snapshot, error) {
 // and in-flight gauge) to this connection. Passing nil detaches.
 func (c *Client) Instrument(in *rpcmux.Instruments) { c.mux.Instrument(in) }
 
-func (c *Client) fetchParams() error {
-	payload, err := c.call(context.Background(), proto.MsgKMParamsReq, nil, proto.MsgKMParamsResp)
+func (c *Client) fetchParams(ctx context.Context) error {
+	payload, err := c.call(ctx, proto.MsgKMParamsReq, nil, proto.MsgKMParamsResp)
 	if err != nil {
 		return err
 	}
@@ -276,6 +285,7 @@ func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprin
 // DeriveKey implements mle.KeyDeriver for single-chunk callers (the
 // interface carries no context, so the call is not cancellable).
 func (c *Client) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	//reed-vet:ignore ctxrule — mle.KeyDeriver's signature carries no context.
 	keys, err := c.GenerateKeys(context.Background(), []fingerprint.Fingerprint{fp})
 	if err != nil {
 		return nil, err

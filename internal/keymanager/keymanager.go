@@ -44,6 +44,12 @@ type Server struct {
 	workers  int
 	limiters sync.Map // remote host -> *ratelimit.Limiter
 
+	// baseCtx is the server's lifecycle context: rate-limit waits and
+	// other blocking work inside request handlers select on it so
+	// Shutdown can interrupt them instead of waiting out the limiter.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -103,6 +109,8 @@ func NewServer(key *oprf.ServerKey, opts ...ServerOption) *Server {
 		workers: DefaultWorkers,
 		conns:   make(map[net.Conn]struct{}),
 	}
+	//reed-vet:ignore ctxrule — the server's lifecycle root, canceled by Shutdown.
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o.applyServer(s)
 	}
@@ -163,6 +171,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // Shutdown stops accepting, closes active connections, and waits for
 // handlers to drain.
 func (s *Server) Shutdown() {
+	s.cancelBase()
 	s.mu.Lock()
 	s.shutdown = true
 	if s.ln != nil {
@@ -289,7 +298,7 @@ func (s *Server) dispatch(typ proto.MsgType, payload []byte, limiter *ratelimit.
 			return proto.MsgError, proto.EncodeError(err.Error())
 		}
 		if limiter != nil {
-			if err := limiter.Wait(context.Background(), float64(len(blinded))); err != nil {
+			if err := limiter.Wait(s.baseCtx, float64(len(blinded))); err != nil {
 				s.rateDrops.Inc()
 				return proto.MsgError, proto.EncodeError("rate limited: " + err.Error())
 			}

@@ -58,7 +58,7 @@ func fps(n int) []fingerprint.Fingerprint {
 
 func TestGenerateKeysMatchesDirectDerivation(t *testing.T) {
 	_, addr := startServer(t)
-	client, err := Dial(addr)
+	client, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestGenerateKeysMatchesDirectDerivation(t *testing.T) {
 
 func TestGenerateKeysBatches(t *testing.T) {
 	srv, addr := startServer(t)
-	client, err := Dial(addr, WithBatchSize(4))
+	client, err := Dial(ctx, addr, WithBatchSize(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestCacheAvoidsNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := Dial(addr, WithCache(cache))
+	client, err := Dial(ctx, addr, WithCache(cache))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestCacheAvoidsNetwork(t *testing.T) {
 
 func TestDeriveKeyInterface(t *testing.T) {
 	_, addr := startServer(t)
-	client, err := Dial(addr)
+	client, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestMultipleClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			client, err := Dial(addr)
+			client, err := Dial(ctx, addr)
 			if err != nil {
 				errs <- err
 				return
@@ -178,7 +178,7 @@ func TestRateLimitSlowsClients(t *testing.T) {
 	// Generous burst so the test stays fast, but verify the limiter
 	// path executes without error.
 	_, addr := startServer(t, WithRateLimit(10000, 10000))
-	client, err := Dial(addr)
+	client, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,20 +189,20 @@ func TestRateLimitSlowsClients(t *testing.T) {
 }
 
 func TestDialBadBatchSize(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1", WithBatchSize(0)); err == nil {
+	if _, err := Dial(ctx, "127.0.0.1:1", WithBatchSize(0)); err == nil {
 		t.Fatal("batch size 0 expected error")
 	}
 }
 
 func TestDialUnreachable(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1"); err == nil {
+	if _, err := Dial(ctx, "127.0.0.1:1"); err == nil {
 		t.Fatal("unreachable address expected error")
 	}
 }
 
 func TestGenerateKeysEmpty(t *testing.T) {
 	_, addr := startServer(t)
-	client, err := Dial(addr)
+	client, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestShutdownClosesConnections(t *testing.T) {
 		defer close(done)
 		_ = srv.Serve(ln)
 	}()
-	client, err := Dial(ln.Addr().String())
+	client, err := Dial(ctx, ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestServeReturnsErrClosedAfterShutdown(t *testing.T) {
 // still unblind to the same keys direct derivation produces.
 func TestConcurrentBatchesOneConnection(t *testing.T) {
 	_, addr := startServer(t)
-	client, err := Dial(addr, WithBatchSize(4))
+	client, err := Dial(ctx, addr, WithBatchSize(4))
 	if err != nil {
 		t.Fatal(err)
 	}

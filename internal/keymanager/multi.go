@@ -36,13 +36,14 @@ type MultiClient struct {
 // ErrNoKeyManager is returned when every replica is unreachable.
 var ErrNoKeyManager = errors.New("keymanager: no reachable key manager")
 
-// DialMulti connects to the first reachable replica.
-func DialMulti(addrs []string, opts ...ClientOption) (*MultiClient, error) {
+// DialMulti connects to the first reachable replica. ctx bounds the
+// initial connection sweep.
+func DialMulti(ctx context.Context, addrs []string, opts ...ClientOption) (*MultiClient, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("keymanager: no addresses")
 	}
 	m := &MultiClient{addrs: addrs, opts: opts}
-	if err := m.connectLocked(); err != nil {
+	if err := m.connectLocked(ctx); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -50,11 +51,11 @@ func DialMulti(addrs []string, opts ...ClientOption) (*MultiClient, error) {
 
 // connectLocked dials replicas starting at the current index until one
 // answers. Callers hold m.mu (or are the constructor).
-func (m *MultiClient) connectLocked() error {
+func (m *MultiClient) connectLocked(ctx context.Context) error {
 	var lastErr error
 	for attempt := 0; attempt < len(m.addrs); attempt++ {
 		addr := m.addrs[m.idx]
-		client, err := Dial(addr, m.opts...)
+		client, err := Dial(ctx, addr, m.opts...)
 		if err == nil {
 			// Replicas must share the OPRF key: identical public
 			// parameters mean identical MLE keys. Pin the first
@@ -76,7 +77,7 @@ func (m *MultiClient) connectLocked() error {
 		m.idx = (m.idx + 1) % len(m.addrs)
 	}
 	if lastErr != nil {
-		return fmt.Errorf("%w: %v", ErrNoKeyManager, lastErr)
+		return fmt.Errorf("%w: %w", ErrNoKeyManager, lastErr)
 	}
 	return ErrNoKeyManager
 }
@@ -91,7 +92,7 @@ func (m *MultiClient) GenerateKeys(ctx context.Context, fps []fingerprint.Finger
 	var lastErr error
 	for attempt := 0; attempt <= len(m.addrs); attempt++ {
 		if m.cur == nil {
-			if err := m.connectLocked(); err != nil {
+			if err := m.connectLocked(ctx); err != nil {
 				return nil, err
 			}
 		}
@@ -107,12 +108,13 @@ func (m *MultiClient) GenerateKeys(ctx context.Context, fps []fingerprint.Finger
 		m.cur = nil
 		m.idx = (m.idx + 1) % len(m.addrs)
 	}
-	return nil, fmt.Errorf("%w: %v", ErrNoKeyManager, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrNoKeyManager, lastErr)
 }
 
 // DeriveKey implements mle.KeyDeriver (the interface carries no
 // context, so the call is not cancellable).
 func (m *MultiClient) DeriveKey(fp fingerprint.Fingerprint) ([]byte, error) {
+	//reed-vet:ignore ctxrule — mle.KeyDeriver's signature carries no context.
 	keys, err := m.GenerateKeys(context.Background(), []fingerprint.Fingerprint{fp})
 	if err != nil {
 		return nil, err

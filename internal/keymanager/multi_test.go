@@ -27,7 +27,7 @@ func TestMultiClientFailover(t *testing.T) {
 	go func() { _ = srvB.Serve(lnB) }()
 	t.Cleanup(srvB.Shutdown)
 
-	mc, err := DialMulti([]string{lnA.Addr().String(), lnB.Addr().String()})
+	mc, err := DialMulti(ctx, []string{lnA.Addr().String(), lnB.Addr().String()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestMultiClientRejectsMismatchedReplica(t *testing.T) {
 	go func() { _ = srvB.Serve(lnB) }()
 	t.Cleanup(srvB.Shutdown)
 
-	mc, err := DialMulti([]string{lnA.Addr().String(), lnB.Addr().String()})
+	mc, err := DialMulti(ctx, []string{lnA.Addr().String(), lnB.Addr().String()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,13 +96,13 @@ func TestMultiClientRejectsMismatchedReplica(t *testing.T) {
 }
 
 func TestMultiClientAllDown(t *testing.T) {
-	if _, err := DialMulti([]string{"127.0.0.1:1", "127.0.0.1:2"}); !errors.Is(err, ErrNoKeyManager) {
+	if _, err := DialMulti(ctx, []string{"127.0.0.1:1", "127.0.0.1:2"}); !errors.Is(err, ErrNoKeyManager) {
 		t.Fatalf("error = %v, want ErrNoKeyManager", err)
 	}
 }
 
 func TestMultiClientNoAddrs(t *testing.T) {
-	if _, err := DialMulti(nil); err == nil {
+	if _, err := DialMulti(ctx, nil); err == nil {
 		t.Fatal("empty address list accepted")
 	}
 }
@@ -117,7 +117,7 @@ func TestMultiClientDeriveKey(t *testing.T) {
 	go func() { _ = srv.Serve(ln) }()
 	t.Cleanup(srv.Shutdown)
 
-	mc, err := DialMulti([]string{ln.Addr().String()})
+	mc, err := DialMulti(ctx, []string{ln.Addr().String()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func TestKeyManagerOverTLS(t *testing.T) {
 	go func() { _ = srv.Serve(ln) }()
 	t.Cleanup(srv.Shutdown)
 
-	client, err := Dial(rawLn.Addr().String(), WithDialer(TLSDialer(id.ClientConfig)))
+	client, err := Dial(ctx, rawLn.Addr().String(), WithDialer(TLSDialer(id.ClientConfig)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestTLSRejectsPlaintextClient(t *testing.T) {
 	go func() { _ = srv.Serve(tls.NewListener(rawLn, id.ServerConfig)) }()
 	t.Cleanup(srv.Shutdown)
 
-	if _, err := Dial(rawLn.Addr().String()); err == nil {
+	if _, err := Dial(ctx, rawLn.Addr().String()); err == nil {
 		t.Fatal("plaintext client completed against TLS server")
 	}
 }

@@ -121,7 +121,7 @@ func (c *Conn) closedErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.readErr != nil && !errors.Is(c.readErr, net.ErrClosed) {
-		return fmt.Errorf("%w: %v", ErrClosed, c.readErr)
+		return fmt.Errorf("%w: %w", ErrClosed, c.readErr)
 	}
 	return ErrClosed
 }

@@ -47,18 +47,28 @@ type Client struct {
 	mux *rpcmux.Redialer
 }
 
-// DialStore connects to the storage server at addr. A nil dialer uses
-// plain TCP. The retry policy governs reconnection backoff after
-// mid-session faults; a zero policy uses the retry package defaults.
-func DialStore(addr string, dialer Dialer, policy retry.Policy) (*Client, error) {
-	if dialer == nil {
-		dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+// DialStore connects to the storage server at addr. ctx bounds the
+// initial connection attempt only. A nil dialer uses plain TCP. The
+// retry policy governs reconnection backoff after mid-session faults; a
+// zero policy uses the retry package defaults.
+func DialStore(ctx context.Context, addr string, dialer Dialer, policy retry.Policy) (*Client, error) {
+	// Redials run long after the dialing context has expired, so the
+	// redial closure uses the context-free Dialer form.
+	redialer := dialer
+	if redialer == nil {
+		redialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	conn, err := dialer(addr)
+	var conn net.Conn
+	var err error
+	if dialer != nil {
+		conn, err = dialer(addr)
+	} else {
+		conn, err = (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server client: dial %s: %w", addr, err)
 	}
-	redial := func() (net.Conn, error) { return dialer(addr) }
+	redial := func() (net.Conn, error) { return redialer(addr) }
 	return &Client{mux: rpcmux.NewRedialer(conn, redial, 1<<20, 1<<20, policy)}, nil
 }
 

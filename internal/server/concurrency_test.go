@@ -71,7 +71,7 @@ func TestOneConnectionMixedPlanes(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
-	client, err := DialStore(ln.Addr().String(), nil, retry.Policy{})
+	client, err := DialStore(ctx, ln.Addr().String(), nil, retry.Policy{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func BenchmarkMuxedGets(b *testing.B) {
 		}
 		return netem.Delay(c, delay), nil
 	}
-	client, err := DialStore(addr, dialer, retry.Policy{})
+	client, err := DialStore(ctx, addr, dialer, retry.Policy{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func startServer(t testing.TB) (*Server, string) {
 
 func dialTest(t testing.TB, addr string) *Client {
 	t.Helper()
-	c, err := DialStore(addr, nil, retry.Policy{})
+	c, err := DialStore(ctx, addr, nil, retry.Policy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := DialStore(addr, nil, retry.Policy{})
+			c, err := DialStore(ctx, addr, nil, retry.Policy{})
 			if err != nil {
 				errs <- err
 				return
@@ -259,7 +259,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	go func() { _ = srv1.Serve(ln1) }()
-	c1, err := DialStore(ln1.Addr().String(), nil, retry.Policy{})
+	c1, err := DialStore(ctx, ln1.Addr().String(), nil, retry.Policy{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package testenv
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestStartAndClose(t *testing.T) {
 	}
 
 	// The key manager answers.
-	km, err := keymanager.Dial(cluster.KMAddr)
+	km, err := keymanager.Dial(context.Background(), cluster.KMAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestStartWithLink(t *testing.T) {
 		t.Fatal("link emulation not active")
 	}
 	// Dialing through the link works.
-	km, err := keymanager.Dial(cluster.KMAddr, keymanager.WithDialer(cluster.Dialer()))
+	km, err := keymanager.Dial(context.Background(), cluster.KMAddr, keymanager.WithDialer(cluster.Dialer()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,7 +43,7 @@
 //	ctx := context.Background()
 //	authority, _ := reed.NewAuthority()
 //	owner, _ := reed.NewOwner()
-//	client, _ := reed.NewClient(reed.ClientConfig{
+//	client, _ := reed.NewClient(ctx, reed.ClientConfig{
 //		UserID:         "alice",
 //		Scheme:         reed.SchemeEnhanced,
 //		DataServers:    []string{"10.0.0.1:9000", "10.0.0.2:9000"},
@@ -100,6 +100,7 @@
 package reed
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/abe"
@@ -217,9 +218,10 @@ const (
 // DefaultStubSize is the per-chunk stub size (64 bytes).
 const DefaultStubSize = core.DefaultStubSize
 
-// NewClient connects a client to a deployment.
-func NewClient(cfg ClientConfig) (*Client, error) {
-	return client.New(cfg)
+// NewClient connects a client to a deployment. ctx bounds the initial
+// connection handshakes, not the client's lifetime.
+func NewClient(ctx context.Context, cfg ClientConfig) (*Client, error) {
+	return client.New(ctx, cfg)
 }
 
 // NewAuthority creates the deployment's access-control authority.

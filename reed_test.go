@@ -63,7 +63,7 @@ func newPublicClient(t *testing.T, user string, dataAddrs []string, keyAddr, kmA
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := reed.NewClient(reed.ClientConfig{
+	c, err := reed.NewClient(ctx, reed.ClientConfig{
 		UserID:         user,
 		Scheme:         reed.SchemeEnhanced,
 		DataServers:    dataAddrs,
@@ -162,7 +162,7 @@ func TestDiskBackedDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := reed.NewClient(reed.ClientConfig{
+	c, err := reed.NewClient(ctx, reed.ClientConfig{
 		UserID:         "disk-user",
 		Scheme:         reed.SchemeBasic,
 		DataServers:    []string{ln.Addr().String()},

@@ -1,0 +1,139 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their diagnostics against golden expectations written as
+// trailing comments in the fixtures, x/tools-style:
+//
+//	bad()  // want `regexp` `second regexp`
+//
+// Each quoted regexp must match one diagnostic reported on that line;
+// diagnostics without a matching expectation, and expectations
+// without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"reedvet/analysis"
+	"reedvet/load"
+	"reedvet/runner"
+)
+
+// Run loads the packages matched by patterns under dir and applies
+// the analyzers, comparing against want-comments.
+func Run(t *testing.T, dir string, patterns []string, as ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v under %s", patterns, dir)
+	}
+	diags, err := runner.Run(pkgs, as)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		key := lineKey{d.Position.Filename, d.Position.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("unexpected diagnostic at %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[lineKey][]*want
+
+// match consumes one unmatched expectation on key that matches msg.
+func (m wantMap) match(key lineKey, msg string) bool {
+	for _, w := range m[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts `// want "re"...` expectations from every
+// fixture file.
+func collectWants(t *testing.T, pkgs []*load.Package) wantMap {
+	t.Helper()
+	out := wantMap{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := lineKey{pos.Filename, pos.Line}
+					res, err := parseWants(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					out[key] = append(out[key], res...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWants parses a space-separated list of quoted regexps
+// (double-quoted or backquoted).
+func parseWants(s string) ([]*want, error) {
+	var out []*want
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		q, rest, err := quotedPrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("bad regexp %q: %v", q, err)
+		}
+		out = append(out, &want{re: re})
+		s = rest
+	}
+}
+
+// quotedPrefix splits one leading quoted string off s.
+func quotedPrefix(s string) (unquoted, rest string, err error) {
+	prefix, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", fmt.Errorf("expected quoted regexp at %q", s)
+	}
+	unq, err := strconv.Unquote(prefix)
+	if err != nil {
+		return "", "", err
+	}
+	return unq, s[len(prefix):], nil
+}

@@ -1,0 +1,109 @@
+// Package ctxrule enforces REED's context discipline in the network-
+// facing library packages (internal/client, internal/server,
+// internal/keymanager, internal/rpcmux).
+//
+// The PR-1 API redesign made every blocking operation ctx-first so
+// uploads, downloads, and rekey operations cancel cleanly; a single
+// function that ignores cancellation (or roots itself in
+// context.Background) reintroduces the hangs that redesign removed.
+// Three rules:
+//
+//  1. if a function takes a context.Context, it is the first
+//     parameter;
+//  2. library code never calls context.Background() or context.TODO()
+//     — the caller's context is threaded down (lifecycle roots that
+//     genuinely own a context use the //reed-vet:ignore escape hatch
+//     with a justification comment);
+//  3. an exported function that dials (net.Dial / net.DialTimeout /
+//     (*net.Dialer).Dial) takes a context and uses DialContext.
+//     Redial closures are exempt: they run long after the original
+//     context died, so a FuncLit body is not charged to its enclosing
+//     function.
+package ctxrule
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxrule",
+	Doc:  "ctx-first signatures and no context.Background in network-facing library packages",
+	Run:  run,
+}
+
+// scopedPkgs are the package-path suffixes the rules govern.
+var scopedPkgs = []string{
+	"internal/client", "internal/server", "internal/keymanager", "internal/rpcmux",
+}
+
+func run(pass *analysis.Pass) error {
+	if !astq.PathMatches(pass.Pkg.Path(), scopedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkFunc(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if astq.IsPkgFunc(pass.TypesInfo, call, "context", "Background", "TODO") {
+					pass.Reportf(call.Pos(), "context.%s in a library package; thread the caller's context instead", astq.Callee(pass.TypesInfo, call).Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	return astq.IsNamed(t, "context", "Context")
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	params := fd.Type.Params
+	hasCtx := false
+	if params != nil {
+		argIdx := 0
+		for _, field := range params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if t, ok := pass.TypesInfo.Types[field.Type]; ok && isCtxType(t.Type) {
+				hasCtx = true
+				if argIdx != 0 {
+					pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
+				}
+			}
+			argIdx += n
+		}
+	}
+
+	// Rule 3: exported dialers must accept a context.
+	if !fd.Name.IsExported() || hasCtx || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // redial closures run under their own lifetime
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Covers net.Dial, net.DialTimeout, and (*net.Dialer).Dial —
+		// all resolve to *types.Func objects in package net.
+		if astq.IsPkgFunc(pass.TypesInfo, call, "net", "Dial", "DialTimeout") {
+			pass.Reportf(call.Pos(), "%s dials without a context; take ctx as the first parameter and use DialContext", fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package ctxrule_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/ctxrule"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./internal/client", "./plainlib"}, ctxrule.Analyzer)
+}

@@ -1,0 +1,162 @@
+// Package errclass keeps error classification intact on the
+// retryable RPC paths (internal/rpcmux, internal/server,
+// internal/keymanager, internal/client).
+//
+// The Redialer re-issues idempotent calls after a transport fault and
+// consults errors.Is/As to decide what is retryable (retry.Permanent,
+// proto.RemoteError, net.ErrClosed, context cancellation). Formatting
+// an error with %v or %s flattens it to text and severs that chain:
+// the caller then retries permanent failures or gives up on transient
+// ones. The rule: in these packages, every error argument to
+// fmt.Errorf is wrapped with %w — or the whole Errorf is explicitly
+// classified by passing it straight to retry.Permanent.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "errors on retryable RPC paths wrap with %w or classify via retry.Permanent",
+	Run:  run,
+}
+
+// scopedPkgs are the retry-sensitive packages (path suffixes).
+var scopedPkgs = []string{
+	"internal/rpcmux", "internal/server", "internal/keymanager", "internal/client",
+}
+
+func run(pass *analysis.Pass) error {
+	if !astq.PathMatches(pass.Pkg.Path(), scopedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkErrorf(pass, call, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	if !astq.IsPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	if lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := parseVerbs(format)
+
+	// Explicit classification exempts the whole call: the enclosing
+	// retry.Permanent marks it non-retryable on purpose.
+	if inPermanent(info, stack) {
+		return
+	}
+
+	for i, argExpr := range call.Args[1:] {
+		if !isErrorType(info, argExpr) {
+			continue
+		}
+		if i >= len(verbs) {
+			break // malformed format; vet proper flags it
+		}
+		if v := verbs[i]; v == 'v' || v == 's' || v == 'q' {
+			pass.Reportf(argExpr.Pos(), "error formatted with %%%c loses errors.Is/As classification on a retryable path; wrap with %%w or mark retry.Permanent", v)
+		}
+	}
+}
+
+// inPermanent reports whether the innermost enclosing call (other
+// than the Errorf itself) is retry.Permanent.
+func inPermanent(info *types.Info, stack []ast.Node) bool {
+	// stack[len-1] is the Errorf call; look for a direct parent call.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.CallExpr:
+			return astq.IsPkgFunc(info, n, "internal/retry", "Permanent") ||
+				astq.IsPkgFunc(info, n, "retry", "Permanent")
+		case *ast.ParenExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func isErrorType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return true
+	}
+	// Concrete error implementations passed directly also count.
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType)
+}
+
+// parseVerbs extracts the verb letter for each argument-consuming
+// directive in a Printf format string, in argument order. Width and
+// precision stars consume arguments too and are recorded as '*'.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,13 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/errclass"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./internal/rpcmux", "./plainlib"}, errclass.Analyzer)
+}

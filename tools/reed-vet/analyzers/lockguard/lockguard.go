@@ -1,0 +1,245 @@
+// Package lockguard flags blocking operations performed while holding
+// a storage-layer mutex — the deadlock-and-latency class the PR-2
+// lock split (dedup.Store.mu vs cacheMu, store.Disk stripe locks) was
+// designed to eliminate.
+//
+// Within internal/dedup, internal/store, and internal/keycache, while
+// a sync.Mutex/RWMutex is held the function must not:
+//
+//   - send on a channel (another goroutine may need the same lock to
+//     drain it);
+//   - write to or read from a net.Conn (a stalled peer extends the
+//     critical section indefinitely);
+//   - call into an RPC client or any context-taking function (these
+//     block on the network by design);
+//   - sleep.
+//
+// The analysis is intra-procedural and syntactic about lock regions:
+// a region opens at x.Lock()/x.RLock() and closes at the matching
+// x.Unlock()/x.RUnlock(); a deferred unlock holds the lock to the end
+// of the function. Function literals are analyzed as their own
+// functions — a goroutine spawned under a lock does not itself hold
+// the lock.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "no channel sends, conn I/O, RPCs, or sleeps while holding a storage-layer lock",
+	Run:  run,
+}
+
+// scopedPkgs are the storage-layer packages the rule governs.
+var scopedPkgs = []string{"internal/dedup", "internal/store", "internal/keycache"}
+
+func run(pass *analysis.Pass) error {
+	if !astq.PathMatches(pass.Pkg.Path(), scopedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false // checkBody recurses into nested FuncLits itself
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody walks one function body in source order tracking held
+// locks.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{} // lock expression string -> held
+	walkStmts(pass, body.List, held)
+}
+
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		walkStmt(pass, s, held)
+	}
+}
+
+// walkStmt updates the held set for lock/unlock statements and scans
+// everything else for violations while locks are held.
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, op, ok := lockOp(pass.TypesInfo, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[name] = true
+			case "Unlock", "RUnlock":
+				delete(held, name)
+			}
+			return
+		}
+		scan(pass, s, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lockOp(pass.TypesInfo, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return // releases at function exit: lock stays held for the walk
+		}
+		// Deferred work runs after the locks are released.
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, held)
+	case *ast.IfStmt:
+		scanExpr(pass, s.Cond, held)
+		inner := copyHeld(held)
+		walkStmt(pass, s.Body, inner)
+		if s.Else != nil {
+			walkStmt(pass, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		walkStmt(pass, s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		walkStmt(pass, s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		// A select whose every armed case is a receive merely waits;
+		// sends inside are flagged by scan below. Bodies run with the
+		// same locks held.
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if len(held) > 0 && cc.Comm != nil {
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						report(pass, send.Pos(), "channel send", held)
+					}
+				}
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body does not hold our locks; its FuncLit is
+		// analyzed separately with an empty held set.
+	default:
+		scan(pass, s, held)
+	}
+}
+
+// scan inspects a statement (not a control-flow container) for
+// violations under held locks.
+func scan(pass *analysis.Pass, n ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(pass, m.Pos(), "channel send", held)
+		case *ast.CallExpr:
+			checkCall(pass, m, held)
+		}
+		return true
+	})
+}
+
+func scanExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if e != nil {
+		scan(pass, e, held)
+	}
+}
+
+// checkCall flags blocking calls: net.Conn methods, RPC-client
+// methods, context-taking functions, time.Sleep.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held map[string]bool) {
+	info := pass.TypesInfo
+	if astq.IsPkgFunc(info, call, "time", "Sleep") {
+		report(pass, call.Pos(), "time.Sleep", held)
+		return
+	}
+	if recv := astq.ReceiverType(info, call); recv != nil && isNetConn(recv) {
+		report(pass, call.Pos(), "net.Conn I/O", held)
+		return
+	}
+	fn := astq.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	if astq.IsNamed(sig.Params().At(0).Type(), "context", "Context") {
+		report(pass, call.Pos(), "call to context-taking (blocking) "+fn.Name(), held)
+	}
+}
+
+// isNetConn reports whether t is net.Conn or a named type from
+// package net implementing it.
+func isNetConn(t types.Type) bool {
+	return astq.IsNamed(t, "net", "Conn") || astq.IsNamed(t, "net", "TCPConn") || astq.IsNamed(t, "net", "UnixConn")
+}
+
+// lockOp recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the lock's expression string
+// as its identity.
+func lockOp(info *types.Info, e ast.Expr) (name, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT {
+		return "", "", false
+	}
+	if !astq.IsNamed(tv.Type, "sync", "Mutex") && !astq.IsNamed(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func report(pass *analysis.Pass, pos token.Pos, what string, held map[string]bool) {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos, "%s while holding %s; move blocking work outside the critical section", what, strings.Join(names, ", "))
+}

@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/lockguard"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./internal/dedup", "./plainlib"}, lockguard.Analyzer)
+}

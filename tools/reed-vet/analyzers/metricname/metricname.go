@@ -1,0 +1,157 @@
+// Package metricname enforces the metric naming convention from
+// DESIGN.md §7 ("Naming conventions") at the call sites that mint
+// names: snake_case families with a unit/kind suffix appropriate to
+// the instrument, and snapshot-function registrations
+// (SetCounterFunc/SetGaugeFunc) bound exactly once per name — a
+// second registration silently overwrites the first, so the duplicate
+// is a bug, not a merge.
+//
+// Checked constructors (package internal/metrics): Registry.Counter,
+// Registry.Gauge, Registry.Histogram, Registry.SetCounterFunc,
+// Registry.SetGaugeFunc, NewOpSet (prefix), Label (family). Only
+// compile-time-constant names are checked; dynamically built names
+// are out of scope.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "metric names are snake_case with unit suffixes and func-backed instruments register once",
+	Run:  run,
+}
+
+// snakeRE is the base shape every family name and OpSet prefix obeys.
+var snakeRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// suffixes per instrument kind; a name passes if it ends with any
+// entry for its kind. These mirror the DESIGN.md §7 catalog.
+var (
+	counterSuffixes = []string{
+		"_total", "_errors", "_bytes", "_chunks", "_drops", "_puts", "_gets",
+		"_hits", "_misses", "_evictions", "_reconnects", "_retries", "_calls",
+		"_batches", "_evaluations", "_containers", "_ops", "_frees",
+	}
+	gaugeSuffixes = []string{
+		"_bytes", "_ratio", "_count", "_inflight", "_in_flight",
+		"_connections", "_inflation", "_depth",
+	}
+	histogramSuffixes = []string{"_latency", "_seconds", "_ms", "_ns"}
+)
+
+func run(pass *analysis.Pass) error {
+	// seen maps a registered name to its first binding within this
+	// package.
+	seen := map[string]registration{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call, seen)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, seen map[string]registration) {
+	info := pass.TypesInfo
+	fn := astq.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !astq.PathMatches(fn.Pkg().Path(), "internal/metrics") {
+		return
+	}
+
+	var nameArg ast.Expr
+	var kindSuffixes []string
+	kind := fn.Name()
+	switch kind {
+	case "Counter", "SetCounterFunc":
+		nameArg, kindSuffixes = arg(call, 0), counterSuffixes
+	case "Gauge", "SetGaugeFunc":
+		nameArg, kindSuffixes = arg(call, 0), gaugeSuffixes
+	case "Histogram":
+		nameArg, kindSuffixes = arg(call, 0), histogramSuffixes
+	case "NewOpSet":
+		nameArg, kindSuffixes = arg(call, 1), nil // prefix: shape only
+	case "Label":
+		nameArg, kindSuffixes = arg(call, 0), nil // family: shape only
+	default:
+		return
+	}
+	name, ok := constString(pass, nameArg)
+	if !ok {
+		return
+	}
+
+	if !snakeRE.MatchString(name) {
+		pass.Reportf(nameArg.Pos(), "metric name %q is not snake_case (DESIGN.md §7)", name)
+	} else if kindSuffixes != nil && !hasAnySuffix(name, kindSuffixes) {
+		pass.Reportf(nameArg.Pos(), "%s name %q lacks a unit suffix (want one of %s; DESIGN.md §7)",
+			kind, name, strings.Join(kindSuffixes, " "))
+	}
+
+	// Exactly-once: a Set*Func overwrites any earlier binding of the
+	// same name silently, and a plain instrument sharing a func-backed
+	// name reports whichever wrote the snapshot map last. Two plain
+	// instruments sharing a name are fine — that is the documented
+	// get-or-create sharing.
+	if kind == "SetCounterFunc" || kind == "SetGaugeFunc" || kind == "Counter" || kind == "Gauge" {
+		isFunc := strings.HasPrefix(kind, "Set")
+		prev, dup := seen[name]
+		if dup && (isFunc || prev.wasFunc) {
+			p := pass.Position(prev.pos)
+			pass.Reportf(nameArg.Pos(), "metric %q already registered at %s:%d; func-backed instruments bind exactly once per name",
+				name, p.Filename, p.Line)
+		}
+		if !dup || isFunc {
+			seen[name] = registration{pos: nameArg.Pos(), wasFunc: isFunc}
+		}
+	}
+}
+
+// registration records where a metric name was first bound and
+// whether that binding was function-backed.
+type registration struct {
+	pos     token.Pos
+	wasFunc bool
+}
+
+// arg returns the i'th argument or nil.
+func arg(call *ast.CallExpr, i int) ast.Expr {
+	if i >= len(call.Args) {
+		return nil
+	}
+	return call.Args[i]
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func hasAnySuffix(name string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}

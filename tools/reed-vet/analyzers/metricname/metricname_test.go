@@ -1,0 +1,13 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/metricname"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./metricuser", "./internal/metrics"}, metricname.Analyzer)
+}

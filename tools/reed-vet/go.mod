@@ -1,0 +1,3 @@
+module reedvet
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package astq holds the small type- and AST-query helpers the
+// analyzers share: resolving a call's callee, matching package paths
+// by suffix, and unwrapping expressions.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathMatches reports whether pkgPath ends with one of the given
+// path suffixes at a path-segment boundary. Suffix matching (rather
+// than exact matching) lets the same analyzer govern both the real
+// module ("repro/internal/client") and the test fixture module
+// ("reedvet.fixtures/internal/client").
+func PathMatches(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the function or method a call invokes, or nil for
+// indirect calls (function values, method values via interfaces still
+// resolve to the interface method).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether the call invokes a function or method
+// named fname declared in a package whose path matches pkgSuffix
+// (PathMatches semantics; exact stdlib paths like "fmt" also work).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgSuffix string, fnames ...string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !PathMatches(fn.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	for _, n := range fnames {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedType unwraps pointers and aliases and returns the named type
+// of t, or nil.
+func NamedType(t types.Type) *types.Named {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (possibly behind a pointer) is the named
+// type tname declared in a package matching pkgSuffix.
+func IsNamed(t types.Type, pkgSuffix, tname string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == tname && PathMatches(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// ReceiverType returns the type of the receiver expression of a
+// method call's selector, or nil.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// IsNilLiteral reports whether e is the predeclared nil.
+func IsNilLiteral(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,64 @@
+// Command reed-vet runs REED's project-specific static-analysis suite
+// over a Go module: five analyzers enforcing the invariants the
+// compiler cannot see (key hygiene, context discipline, lock
+// discipline, metric naming, error classification). See DESIGN.md
+// "Static analysis" for the catalog.
+//
+// Usage:
+//
+//	reed-vet [-dir DIR] [-only a,b] [patterns ...]
+//
+// Patterns default to ./... relative to -dir (default "."). Exits 1
+// if any diagnostic is reported, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"reedvet/analyzers"
+	"reedvet/load"
+	"reedvet/runner"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module directory to analyze")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		suite = analyzers.ByName(strings.Split(*only, ","))
+		if suite == nil {
+			fmt.Fprintf(os.Stderr, "reed-vet: unknown analyzer in -only=%s\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := load.Packages(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reed-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := runner.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reed-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reed-vet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

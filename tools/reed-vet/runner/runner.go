@@ -1,0 +1,92 @@
+// Package runner executes analyzers over loaded packages and collects
+// their diagnostics: the shared engine behind the reed-vet CLI, the
+// analysistest harness, and the repo meta-test.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reedvet/analysis"
+	"reedvet/load"
+)
+
+// ignoreMarker suppresses any diagnostic reported on its own line or
+// the line directly below. It is the escape hatch for the rare sites
+// where an invariant is deliberately broken (documented next to the
+// marker), e.g. a context.Background() at a lifecycle root.
+const ignoreMarker = "//reed-vet:ignore"
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Packages with type errors
+// abort the run: analyzing half-typed code yields nonsense.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("runner: %s has type errors: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		ignored := ignoredLines(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				d.Analyzer = name
+				d.Position = pkg.Fset.Position(d.Pos)
+				if ignored[lineKey{d.Position.Filename, d.Position.Line}] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("runner: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoredLines maps every line governed by an ignore marker: the
+// marker's own line (trailing-comment style) and the next line
+// (standalone-comment style).
+func ignoredLines(pkg *load.Package) map[lineKey]bool {
+	out := make(map[lineKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreMarker) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[lineKey{pos.Filename, pos.Line}] = true
+				out[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return out
+}

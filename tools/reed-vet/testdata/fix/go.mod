@@ -1,0 +1,3 @@
+module reedvet.fixtures
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package client is a ctxrule fixture: its import path suffix puts it
+// in scope for the context rules.
+package client
+
+import (
+	"context"
+	"net"
+)
+
+func Fetch(name string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+func Get(ctx context.Context, name string) error { return ctx.Err() }
+
+func background() context.Context {
+	return context.Background() // want `context.Background in a library package`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO in a library package`
+}
+
+func lifecycleRoot() context.Context {
+	//reed-vet:ignore fixture lifecycle root, justified escape hatch
+	return context.Background()
+}
+
+func DialPeer(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `DialPeer dials without a context`
+}
+
+func DialPeerCtx(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Redialer returns a closure for reconnect paths: closures run long
+// after the original context died, so the FuncLit body is exempt.
+func Redialer(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// dialInternal is unexported: rule 3 only governs the exported API.
+func dialInternal(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

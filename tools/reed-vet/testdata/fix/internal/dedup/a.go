@@ -1,0 +1,86 @@
+// Package dedup is a lockguard fixture: its import path suffix puts
+// it in scope for the lock-discipline rules.
+package dedup
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu   sync.Mutex
+	conn net.Conn
+	ch   chan int
+}
+
+func (s *Store) deferredBad(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1                    // want `channel send while holding s.mu`
+	s.conn.Write(nil)            // want `net.Conn I/O while holding s.mu`
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+	s.fetch(ctx)                 // want `context-taking`
+}
+
+func (s *Store) pairedBad() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *Store) unlockThenSendOK(ctx context.Context) {
+	s.mu.Lock()
+	v := s.snapshot()
+	s.mu.Unlock()
+	s.ch <- v
+	s.fetch(ctx)
+}
+
+func (s *Store) goroutineOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- 1 }() // the spawned goroutine does not hold s.mu
+}
+
+func (s *Store) branchBad(cond bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		s.conn.Write(nil) // want `net.Conn I/O while holding s.mu`
+	}
+}
+
+func (s *Store) selectSendBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // want `channel send while holding s.mu`
+	default:
+	}
+}
+
+func (s *Store) fetch(ctx context.Context) { _ = ctx }
+func (s *Store) snapshot() int             { return 0 }
+
+type Disk struct {
+	stripes [8]sync.RWMutex
+	conn    net.Conn
+}
+
+func (d *Disk) stripeBad(i int) {
+	mu := &d.stripes[i]
+	mu.RLock()
+	defer mu.RUnlock()
+	d.conn.Write(nil) // want `net.Conn I/O while holding mu`
+}
+
+func (d *Disk) stripeOK(i int) int {
+	mu := &d.stripes[i]
+	mu.RLock()
+	n := len(d.stripes)
+	mu.RUnlock()
+	d.conn.Write(nil)
+	return n
+}

@@ -1,0 +1,21 @@
+// Package metrics is a stub of the real internal/metrics API surface:
+// the metricname analyzer resolves constructors by package-path
+// suffix and method name, so this fixture exercises the same
+// detection as the real registry.
+package metrics
+
+type (
+	Registry  struct{}
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+	OpSet     struct{}
+)
+
+func (r *Registry) Counter(name string, kv ...string) *Counter     { return nil }
+func (r *Registry) Gauge(name string, kv ...string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string, kv ...string) *Histogram { return nil }
+func (r *Registry) SetCounterFunc(name string, fn func() uint64)   {}
+func (r *Registry) SetGaugeFunc(name string, fn func() float64)    {}
+func NewOpSet(r *Registry, prefix string, names []string) *OpSet   { return nil }
+func Label(family string, kv ...string) string                     { return family }

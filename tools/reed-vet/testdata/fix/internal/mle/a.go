@@ -1,0 +1,78 @@
+// Package mle is a keyhygiene fixture: its import path suffix
+// (internal/mle) makes the bare names key/keys/secret/stub secret
+// here, and the named type Key is always secret.
+package mle
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"fmt"
+	"log"
+)
+
+// Key mirrors the real mle key type.
+type Key []byte
+
+func compareBad(key, other []byte) bool {
+	return bytes.Equal(key, other) // want `compared with bytes.Equal`
+}
+
+func compareGood(key, other []byte) bool {
+	return subtle.ConstantTimeCompare(key, other) == 1
+}
+
+func compareTyped(k Key, want []byte) bool {
+	return bytes.Equal(k, want) // want `compared with bytes.Equal`
+}
+
+func compareArrays(masterKey, published [32]byte) bool {
+	return masterKey == published // want `compared with ==`
+}
+
+func nilCheckOK(key []byte) bool {
+	return key == nil // shape check, not content comparison
+}
+
+func logBad(mleKey []byte) {
+	fmt.Printf("derived key %x\n", mleKey) // want `passed to fmt.Printf`
+	log.Println("cache insert", mleKey)    // want `passed to log.Println`
+}
+
+func logLenOK(mleKey []byte) {
+	fmt.Printf("derived %d key bytes\n", len(mleKey)) // lengths are public
+}
+
+func stringifyBad(secret []byte) string {
+	return "prefix-" + string(secret) // want `converted to string`
+}
+
+func sliceBad(fileKey [32]byte) error {
+	return fmt.Errorf("file key %x unusable", fileKey[:]) // want `passed to fmt.Errorf`
+}
+
+type sealed struct {
+	//reed:secret
+	material []byte
+	public   []byte
+}
+
+func markerBad(s sealed) {
+	fmt.Println(s.material) // want `passed to fmt.Println`
+	fmt.Println(s.public)   // unmarked sibling field is fine
+}
+
+type box struct {
+	key []byte
+}
+
+func (b box) String() string {
+	return fmt.Sprintf("box(%d)", len(b.key)) // want `referenced in String\(\)`
+}
+
+type crate struct {
+	count int
+}
+
+func (c crate) String() string {
+	return fmt.Sprintf("crate(%d)", c.count) // no secrets: fine
+}

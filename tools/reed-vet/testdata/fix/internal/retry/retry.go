@@ -1,0 +1,6 @@
+// Package retry stubs the real internal/retry surface the errclass
+// analyzer recognizes as explicit classification.
+package retry
+
+// Permanent marks err as non-retryable.
+func Permanent(err error) error { return err }

@@ -1,0 +1,52 @@
+// Package rpcmux is the errclass fixture: its import path suffix puts
+// it on the retryable RPC path.
+package rpcmux
+
+import (
+	"errors"
+	"fmt"
+
+	"reedvet.fixtures/internal/retry"
+)
+
+var errBase = errors.New("rpcmux: base")
+
+func wrapV(err error) error {
+	return fmt.Errorf("rpcmux: call failed: %v", err) // want `error formatted with %v`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("rpcmux: call failed: %s", err) // want `error formatted with %s`
+}
+
+func wrapQ(err error) error {
+	return fmt.Errorf("rpcmux: call failed: %q", err) // want `error formatted with %q`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("rpcmux: call failed: %w", err)
+}
+
+func wrapDoubleW(err error) error {
+	return fmt.Errorf("%w: read side: %w", errBase, err)
+}
+
+func wrapMixed(err error) error {
+	return fmt.Errorf("%w: read side: %v", errBase, err) // want `error formatted with %v`
+}
+
+func classifiedOK(err error) error {
+	return retry.Permanent(fmt.Errorf("rpcmux: malformed frame: %v", err))
+}
+
+func nonErrorArgsOK(n int) error {
+	return fmt.Errorf("rpcmux: %d frames, want %s, %08b flags", n, "three", 7)
+}
+
+type frameErr struct{ n int }
+
+func (e *frameErr) Error() string { return "frame" }
+
+func concreteErr(e *frameErr) error {
+	return fmt.Errorf("rpcmux: %v", e) // want `error formatted with %v`
+}

@@ -1,0 +1,43 @@
+// Package metricuser is the metricname fixture: it registers metrics
+// against the stub registry with both conforming and violating names.
+package metricuser
+
+import "reedvet.fixtures/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.Counter("requests_total")
+	r.Counter("RequestsTotal")     // want `not snake_case`
+	r.Counter("requests_now")      // want `lacks a unit suffix`
+	r.Counter("bad__double_total") // want `not snake_case`
+
+	r.Gauge("queue_depth")
+	r.Gauge("pipeline_bytes_in_flight")
+	r.Gauge("queue_items") // want `lacks a unit suffix`
+
+	r.Histogram("rpc_latency")
+	r.Histogram("rpc_time") // want `lacks a unit suffix`
+
+	r.SetCounterFunc("cache_hits", nil)
+	r.SetCounterFunc("cache_hits", nil) // want `already registered`
+	r.SetGaugeFunc("dedup_savings_ratio", nil)
+
+	r.Counter("boot_total")
+	r.SetCounterFunc("boot_total", nil) // want `already registered`
+
+	// Two plain instruments sharing a family is documented
+	// get-or-create sharing, not a duplicate.
+	r.Counter("shared_total")
+	r.Counter("shared_total")
+
+	metrics.NewOpSet(r, "rpc", nil)
+	metrics.NewOpSet(r, "RPC", nil) // want `not snake_case`
+	_ = metrics.Label("rpc_latency", "op", "Get")
+
+	const derived = "derived_chunk_bytes"
+	r.Counter(derived) // constants fold: still checked (and passes)
+
+	dynamic := pick()
+	r.Counter(dynamic) // non-constant names are out of scope
+}
+
+func pick() string { return "x" }

@@ -1,0 +1,21 @@
+// Package plainlib sits outside every scoped path: ctxrule, lockguard,
+// and errclass must stay silent here.
+package plainlib
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func Background() context.Context { return context.Background() }
+
+func Wrap(err error) error { return fmt.Errorf("plainlib: %v", err) }
+
+func Send(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+}
