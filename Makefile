@@ -4,7 +4,7 @@ GO ?= go
 # install the same thing.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: check vet vet-reed vet-reed-test fuzz-smoke tools staticcheck build test race chaos fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
+.PHONY: check vet vet-reed vet-reed-test fuzz-smoke tools staticcheck build test race chaos crash-recovery fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
 
 # check is the CI gate: vet, project-specific static analysis, build
 # everything, race-enabled tests.
@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzUnmarshalCiphertext -fuzztime 30s ./internal/abe/
 	$(GO) test -run NONE -fuzz FuzzUnmarshalPrivateKey -fuzztime 30s ./internal/abe/
 	$(GO) test -run NONE -fuzz FuzzAONTRoundTrip -fuzztime 30s ./internal/aont/
+	$(GO) test -run NONE -fuzz FuzzPackfileDecode -fuzztime 30s ./internal/packfile/
 
 # tools installs the pinned lint/scan tools (CI calls this; local runs
 # may prefer their own versions and skip it).
@@ -64,6 +65,13 @@ race:
 # -count=2 proves the seeded faults are reproducible, not flaky.
 chaos:
 	$(GO) test -race -run 'Chaos|Fault' -count=2 ./...
+
+# crash-recovery boots a real deployment on disk backends, uploads a
+# corpus with duplicate content, SIGKILLs the storage servers (once at
+# rest, once mid-upload), restarts them on the same directories, and
+# asserts the dedup accounting and every acknowledged file survived.
+crash-recovery:
+	@sh scripts/crash_recovery.sh
 
 # fmt-check fails if any file needs gofmt.
 fmt-check:

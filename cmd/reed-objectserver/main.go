@@ -1,0 +1,77 @@
+// Command reed-objectserver runs a minimal S3-style object server over
+// a local backend: blobs live at /{namespace}/{name} and respond to
+// PUT/GET/HEAD/DELETE, namespace listing at /{namespace}/, and ranged
+// GETs via standard Range headers.
+//
+// It exists so a reed-server can be pointed at an http:// backend DSN
+// without standing up real object storage:
+//
+//	reed-objectserver -listen :9100 -dir /var/lib/reed-objects
+//	reed-server -backend http://127.0.0.1:9100
+//
+// With no -dir, objects live in memory and vanish on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reed-objectserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":9100", "address to listen on")
+		dir    = flag.String("dir", "", "storage directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	var backend store.Backend = store.NewMemory()
+	if *dir != "" {
+		var err error
+		backend, err = store.NewDisk(*dir)
+		if err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           store.NewObjectHandler(backend),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("object server listening on %s (dir=%q)", ln.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return backend.Close()
+	case err := <-errc:
+		return err
+	}
+}

@@ -19,6 +19,7 @@
 package baseline
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -49,8 +50,8 @@ type Store struct {
 }
 
 // New builds a store over a backend, deriving MLE keys with deriver.
-func New(backend store.Backend, deriver mle.KeyDeriver) (*Store, error) {
-	chunks, err := dedup.Open(backend, dedup.DefaultContainerSize)
+func New(ctx context.Context, backend store.Backend, deriver mle.KeyDeriver) (*Store, error) {
+	chunks, err := dedup.Open(ctx, backend, dedup.DefaultContainerSize)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +76,7 @@ type fileMeta struct {
 
 // Upload stores chunks, deduplicating ciphertexts, and wraps the MLE
 // keys under masterKey. Returns the number of deduplicated chunks.
-func (s *Store) Upload(path string, chunks [][]byte, masterKey []byte) (int, error) {
+func (s *Store) Upload(ctx context.Context, path string, chunks [][]byte, masterKey []byte) (int, error) {
 	var (
 		meta fileMeta
 		keys [][]byte
@@ -94,7 +95,7 @@ func (s *Store) Upload(path string, chunks [][]byte, masterKey []byte) (int, err
 			return 0, err
 		}
 		fp := fingerprint.New(ct)
-		dup, err := s.chunks.Put(fp, ct)
+		dup, err := s.chunks.Put(ctx, fp, ct)
 		if err != nil {
 			return 0, err
 		}
@@ -110,15 +111,15 @@ func (s *Store) Upload(path string, chunks [][]byte, masterKey []byte) (int, err
 	if err != nil {
 		return 0, err
 	}
-	if err := s.backend.Put(store.NSRecipes, path, blob); err != nil {
+	if err := s.backend.Put(ctx, store.NSRecipes, path, blob); err != nil {
 		return 0, err
 	}
 	return dups, nil
 }
 
 // Download reassembles a file using masterKey to unwrap its MLE keys.
-func (s *Store) Download(path string, masterKey []byte) ([]byte, error) {
-	blob, err := s.backend.Get(store.NSRecipes, path)
+func (s *Store) Download(ctx context.Context, path string, masterKey []byte) ([]byte, error) {
+	blob, err := s.backend.Get(ctx, store.NSRecipes, path)
 	if errors.Is(err, store.ErrNotFound) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -131,7 +132,7 @@ func (s *Store) Download(path string, masterKey []byte) ([]byte, error) {
 	}
 	var out []byte
 	for i, fp := range meta.fps {
-		ct, err := s.chunks.Get(fp)
+		ct, err := s.chunks.Get(ctx, fp)
 		if err != nil {
 			return nil, err
 		}
@@ -150,8 +151,8 @@ func (s *Store) Download(path string, masterKey []byte) ([]byte, error) {
 // Rekey re-wraps the file's MLE keys under a new master key. This is
 // the operation layered encryption makes cheap — but note what it does
 // NOT do: the stored ciphertexts and their MLE keys are unchanged.
-func (s *Store) Rekey(path string, oldMaster, newMaster []byte) error {
-	blob, err := s.backend.Get(store.NSRecipes, path)
+func (s *Store) Rekey(ctx context.Context, path string, oldMaster, newMaster []byte) error {
+	blob, err := s.backend.Get(ctx, store.NSRecipes, path)
 	if errors.Is(err, store.ErrNotFound) {
 		return fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -166,13 +167,13 @@ func (s *Store) Rekey(path string, oldMaster, newMaster []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.backend.Put(store.NSRecipes, path, reblob)
+	return s.backend.Put(ctx, store.NSRecipes, path, reblob)
 }
 
 // Ciphertext returns the stored ciphertext of the chunk with the given
 // plaintext, if present — the adversary's view used by the leak
 // demonstration tests.
-func (s *Store) Ciphertext(chunk []byte) ([]byte, error) {
+func (s *Store) Ciphertext(ctx context.Context, chunk []byte) ([]byte, error) {
 	key, err := s.deriver.DeriveKey(fingerprint.New(chunk))
 	if err != nil {
 		return nil, err
@@ -181,14 +182,14 @@ func (s *Store) Ciphertext(chunk []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.chunks.Get(fingerprint.New(ct))
+	return s.chunks.Get(ctx, fingerprint.New(ct))
 }
 
 // Stats exposes dedup statistics.
 func (s *Store) Stats() dedup.Stats { return s.chunks.Stats() }
 
 // Close flushes the store.
-func (s *Store) Close() error { return s.chunks.Close() }
+func (s *Store) Close(ctx context.Context) error { return s.chunks.Close(ctx) }
 
 // sealKeyFile encodes the metadata and wraps it with AES-256-GCM under
 // the master key.

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -12,17 +13,19 @@ import (
 	"repro/internal/store"
 )
 
+var ctx = context.Background()
+
 func newTestStore(t *testing.T) *Store {
 	t.Helper()
 	deriver, err := mle.NewSecretDeriver([]byte("baseline-test"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(store.NewMemory(), deriver)
+	s, err := New(ctx, store.NewMemory(), deriver)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = s.Close() })
+	t.Cleanup(func() { _ = s.Close(ctx) })
 	return s
 }
 
@@ -44,10 +47,10 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	chunks := testChunks(t, 10, 4096, 1)
-	if _, err := s.Upload("/f", chunks, master); err != nil {
+	if _, err := s.Upload(ctx, "/f", chunks, master); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Download("/f", master)
+	got, err := s.Download(ctx, "/f", master)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,10 +63,10 @@ func TestDeduplication(t *testing.T) {
 	s := newTestStore(t)
 	master, _ := NewMasterKey()
 	chunks := testChunks(t, 10, 4096, 2)
-	if _, err := s.Upload("/a", chunks, master); err != nil {
+	if _, err := s.Upload(ctx, "/a", chunks, master); err != nil {
 		t.Fatal(err)
 	}
-	dups, err := s.Upload("/b", chunks, master)
+	dups, err := s.Upload(ctx, "/b", chunks, master)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,17 +80,17 @@ func TestRekeyPreservesAccess(t *testing.T) {
 	oldMaster, _ := NewMasterKey()
 	newMaster, _ := NewMasterKey()
 	chunks := testChunks(t, 5, 2048, 3)
-	if _, err := s.Upload("/r", chunks, oldMaster); err != nil {
+	if _, err := s.Upload(ctx, "/r", chunks, oldMaster); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Rekey("/r", oldMaster, newMaster); err != nil {
+	if err := s.Rekey(ctx, "/r", oldMaster, newMaster); err != nil {
 		t.Fatal(err)
 	}
 	// New key works; old key does not.
-	if got, err := s.Download("/r", newMaster); err != nil || !bytes.Equal(got, bytes.Join(chunks, nil)) {
+	if got, err := s.Download(ctx, "/r", newMaster); err != nil || !bytes.Equal(got, bytes.Join(chunks, nil)) {
 		t.Fatalf("download with new master: %v", err)
 	}
-	if _, err := s.Download("/r", oldMaster); err == nil {
+	if _, err := s.Download(ctx, "/r", oldMaster); err == nil {
 		t.Fatal("old master key still decrypts the key file")
 	}
 }
@@ -102,15 +105,15 @@ func TestLayeredLeakSurvivesRekey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(store.NewMemory(), deriver)
+	s, err := New(ctx, store.NewMemory(), deriver)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	defer s.Close(ctx)
 
 	master, _ := NewMasterKey()
 	secret := bytes.Repeat([]byte("confidential genome record "), 100)
-	if _, err := s.Upload("/victim", [][]byte{secret}, master); err != nil {
+	if _, err := s.Upload(ctx, "/victim", [][]byte{secret}, master); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,16 +127,16 @@ func TestLayeredLeakSurvivesRekey(t *testing.T) {
 	// The owner rekeys — twice, actively rotating master keys.
 	m2, _ := NewMasterKey()
 	m3, _ := NewMasterKey()
-	if err := s.Rekey("/victim", master, m2); err != nil {
+	if err := s.Rekey(ctx, "/victim", master, m2); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Rekey("/victim", m2, m3); err != nil {
+	if err := s.Rekey(ctx, "/victim", m2, m3); err != nil {
 		t.Fatal(err)
 	}
 
 	// The adversary reads the (deduplicated, unchanged) ciphertext from
 	// the compromised store and decrypts it with the old MLE key.
-	ct, err := s.Ciphertext(secret)
+	ct, err := s.Ciphertext(ctx, secret)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +167,10 @@ func TestLayeredLeakSurvivesRekey(t *testing.T) {
 func TestDownloadMissing(t *testing.T) {
 	s := newTestStore(t)
 	master, _ := NewMasterKey()
-	if _, err := s.Download("/absent", master); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Download(ctx, "/absent", master); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("error = %v, want ErrNotFound", err)
 	}
-	if err := s.Rekey("/absent", master, master); !errors.Is(err, ErrNotFound) {
+	if err := s.Rekey(ctx, "/absent", master, master); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("error = %v, want ErrNotFound", err)
 	}
 }
@@ -175,7 +178,7 @@ func TestDownloadMissing(t *testing.T) {
 func TestUploadEmptyChunkRejected(t *testing.T) {
 	s := newTestStore(t)
 	master, _ := NewMasterKey()
-	if _, err := s.Upload("/bad", [][]byte{{}}, master); err == nil {
+	if _, err := s.Upload(ctx, "/bad", [][]byte{{}}, master); err == nil {
 		t.Fatal("empty chunk accepted")
 	}
 }
@@ -187,7 +190,7 @@ func TestNoStubStorageTax(t *testing.T) {
 	s := newTestStore(t)
 	master, _ := NewMasterKey()
 	chunks := testChunks(t, 100, 8192, 4)
-	if _, err := s.Upload("/tax", chunks, master); err != nil {
+	if _, err := s.Upload(ctx, "/tax", chunks, master); err != nil {
 		t.Fatal(err)
 	}
 	stats := s.Stats()
@@ -202,11 +205,11 @@ func BenchmarkLayeredRekey(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := New(store.NewMemory(), deriver)
+	s, err := New(ctx, store.NewMemory(), deriver)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer s.Close()
+	defer s.Close(ctx)
 	master, _ := NewMasterKey()
 	chunks := make([][]byte, 1000)
 	rng := rand.New(rand.NewSource(1))
@@ -214,14 +217,14 @@ func BenchmarkLayeredRekey(b *testing.B) {
 		chunks[i] = make([]byte, 8192)
 		rng.Read(chunks[i])
 	}
-	if _, err := s.Upload("/bench", chunks, master); err != nil {
+	if _, err := s.Upload(ctx, "/bench", chunks, master); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	cur := master
 	for i := 0; i < b.N; i++ {
 		next, _ := NewMasterKey()
-		if err := s.Rekey("/bench", cur, next); err != nil {
+		if err := s.Rekey(ctx, "/bench", cur, next); err != nil {
 			b.Fatal(err)
 		}
 		cur = next

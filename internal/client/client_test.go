@@ -448,7 +448,7 @@ func TestTamperedChunkDetected(t *testing.T) {
 	}
 	// Seal open containers to the backends, then corrupt them.
 	for _, srv := range cluster.DataServers {
-		if err := srv.Flush(); err != nil {
+		if err := srv.Flush(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -464,12 +464,12 @@ func corruptAll(t *testing.T, cluster *testenv.Cluster) {
 	t.Helper()
 	for _, srv := range cluster.DataServers {
 		backend := srv.Backend()
-		names, err := backend.List(store.NSContainers)
+		names, err := backend.List(ctx, store.NSContainers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range names {
-			blob, err := backend.Get(store.NSContainers, name)
+			blob, err := backend.Get(ctx, store.NSContainers, name)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -477,7 +477,7 @@ func corruptAll(t *testing.T, cluster *testenv.Cluster) {
 				continue
 			}
 			blob[len(blob)/2] ^= 0xFF
-			if err := backend.Put(store.NSContainers, name, blob); err != nil {
+			if err := backend.Put(ctx, store.NSContainers, name, blob); err != nil {
 				t.Fatal(err)
 			}
 		}

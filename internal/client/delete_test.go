@@ -185,23 +185,23 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	// any chunk must fail or error (the dedup layer itself may detect
 	// the loss).
 	for _, srv := range cluster.DataServers {
-		if err := srv.Flush(); err != nil {
+		if err := srv.Flush(ctx); err != nil {
 			t.Fatal(err)
 		}
 		backend := srv.Backend()
-		names, err := backend.List(store.NSContainers)
+		names, err := backend.List(ctx, store.NSContainers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range names {
-			blob, err := backend.Get(store.NSContainers, name)
+			blob, err := backend.Get(ctx, store.NSContainers, name)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for off := 0; off < len(blob); off += 256 {
 				blob[off] ^= 0xFF
 			}
-			if err := backend.Put(store.NSContainers, name, blob); err != nil {
+			if err := backend.Put(ctx, store.NSContainers, name, blob); err != nil {
 				t.Fatal(err)
 			}
 		}

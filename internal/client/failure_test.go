@@ -139,16 +139,16 @@ func TestDownloadAfterDataLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, srv := range cluster.DataServers {
-		if err := srv.Flush(); err != nil {
+		if err := srv.Flush(ctx); err != nil {
 			t.Fatal(err)
 		}
 		backend := srv.Backend()
-		names, err := backend.List(store.NSContainers)
+		names, err := backend.List(ctx, store.NSContainers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range names {
-			if err := backend.Delete(store.NSContainers, name); err != nil {
+			if err := backend.Delete(ctx, store.NSContainers, name); err != nil {
 				t.Fatal(err)
 			}
 		}

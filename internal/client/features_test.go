@@ -74,7 +74,7 @@ func TestPathObfuscationHidesNames(t *testing.T) {
 	}
 	for _, srv := range cluster.DataServers {
 		for _, ns := range []string{store.NSRecipes, store.NSStubs} {
-			names, err := srv.Backend().List(ns)
+			names, err := srv.Backend().List(ctx, ns)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -138,7 +138,7 @@ func assertNoFileMetadata(t *testing.T, cluster *testenv.Cluster) {
 	t.Helper()
 	for i, srv := range cluster.DataServers {
 		for _, ns := range []string{store.NSRecipes, store.NSStubs} {
-			names, err := srv.Backend().List(ns)
+			names, err := srv.Backend().List(ctx, ns)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,29 +4,58 @@
 //
 // Each unique trimmed package is appended to the current in-memory
 // container; full containers are sealed and written to the backend as one
-// blob, amortizing backend I/O. The index maps each fingerprint to its
-// container and offset. Duplicate puts touch only the index.
+// packfile blob (see internal/packfile), amortizing backend I/O. The
+// index maps each fingerprint to its container and offset. Duplicate
+// puts touch only the index.
+//
+// # Durability
+//
+// All index, refcount, and container mutations are journaled to an
+// append-only WAL (internal/wal) before they are acknowledged:
+// mutating operations buffer records under the store lock and Commit
+// writes them as one durable segment — the storage server calls Commit
+// at the end of every chunk RPC batch, so an acknowledged upload
+// survives kill -9. New-chunk records carry the chunk bytes themselves
+// (data journaling), because the open container exists only in memory
+// until it is sealed. The WAL is periodically checkpointed into a
+// sorted snapshot blob (written atomically via the backend's Put
+// contract) and truncated; recovery loads the snapshot, replays the
+// WAL tail with torn-tail tolerance, sweeps orphaned container blobs,
+// and scrubs every sealed container's packfile index against the
+// recovered fingerprint index. See DESIGN.md §9.
 package dedup
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
-	"repro/internal/binenc"
 	"repro/internal/fingerprint"
+	"repro/internal/packfile"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // DefaultContainerSize is the paper's container/batch size: 4 MB.
 const DefaultContainerSize = 4 << 20
 
-// indexBlobName is where the persistent index lives in the backend.
+// indexBlobName is where the checkpoint snapshot lives in the backend.
 const indexBlobName = "dedup-index"
+
+// walPrefix names WAL segment blobs inside store.NSWAL.
+const walPrefix = "w"
 
 // readCacheContainers bounds the container read cache; restores read
 // containers mostly sequentially, so a handful suffices.
 const readCacheContainers = 8
+
+// autoCommitBytes caps how many framed-but-uncommitted WAL bytes may
+// buffer in memory before a mutation forces a segment write, bounding
+// both memory and the worst-case loss window for callers that never
+// Commit (the experiment drivers).
+const autoCommitBytes = 1 << 20
 
 // ErrUnknownChunk is returned by Get for fingerprints never stored.
 var ErrUnknownChunk = errors.New("dedup: unknown chunk")
@@ -66,12 +95,13 @@ func (s Stats) SavingsRatio() float64 {
 //
 // Two locks split the hot paths so concurrent server handlers
 // parallelize. s.mu guards the mutable dedup state (index, refs, open
-// container, accounting); cacheMu guards the sealed-container read cache
-// and the singleflight table. Get never holds s.mu across a backend
-// container fetch — it snapshots the chunk's location under s.mu, fetches
-// the (immutable) sealed container under cacheMu/singleflight, and
-// retries from the index if a concurrent compaction deleted the container
-// in between. Lock order: s.mu before cacheMu, never the reverse.
+// container, accounting, WAL buffer); cacheMu guards the sealed-container
+// read cache and the singleflight table. Get never holds s.mu across a
+// backend container fetch — it snapshots the chunk's location under s.mu,
+// fetches the (immutable) sealed container under cacheMu/singleflight,
+// and retries from the index if a concurrent compaction deleted the
+// container in between. Lock order: s.mu before cacheMu, never the
+// reverse.
 type Store struct {
 	mu            sync.Mutex
 	backend       store.Backend
@@ -88,6 +118,15 @@ type Store struct {
 	// compaction decisions.
 	containers map[uint64]containerInfo
 
+	// Write-ahead logging (see recovery.go). pending holds framed
+	// records not yet written as a segment; walBytes counts segment
+	// bytes since the last checkpoint.
+	log             *wal.Log
+	pending         []byte
+	walBytes        int64
+	checkpointEvery int64
+	replaying       bool
+
 	cacheMu   sync.Mutex
 	readCache map[uint64][]byte
 	readOrder []uint64 // FIFO eviction
@@ -99,26 +138,32 @@ type Store struct {
 // duplicate backend read.
 type fetchCall struct {
 	done chan struct{}
-	blob []byte
+	body []byte
 	err  error
 }
 
-// Open loads (or initializes) a dedup store over the backend.
-func Open(backend store.Backend, containerSize int) (*Store, error) {
+// Open loads a dedup store over the backend, recovering any persisted
+// state: checkpoint snapshot, then WAL replay (torn tail tolerated on
+// the final segment only), then an orphaned-container sweep and a
+// packfile-index scrub of every sealed container.
+func Open(ctx context.Context, backend store.Backend, containerSize int) (*Store, error) {
 	if containerSize <= 0 {
 		containerSize = DefaultContainerSize
 	}
 	s := &Store{
 		backend:       backend,
 		containerSize: containerSize,
-		index:         make(map[fingerprint.Fingerprint]Location),
-		refs:          make(map[fingerprint.Fingerprint]uint32),
-		current:       make([]byte, 0, containerSize),
-		readCache:     make(map[uint64][]byte),
-		inflight:      make(map[uint64]*fetchCall),
-		containers:    make(map[uint64]containerInfo),
+		// Checkpoint cadence: a few containers' worth of WAL amortizes
+		// snapshot writes while keeping replay short.
+		checkpointEvery: int64(containerSize) * 4,
+		index:           make(map[fingerprint.Fingerprint]Location),
+		refs:            make(map[fingerprint.Fingerprint]uint32),
+		current:         make([]byte, 0, containerSize),
+		readCache:       make(map[uint64][]byte),
+		inflight:        make(map[uint64]*fetchCall),
+		containers:      make(map[uint64]containerInfo),
 	}
-	if err := s.loadIndex(); err != nil {
+	if err := s.recover(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -136,23 +181,25 @@ func Open(backend store.Backend, containerSize int) (*Store, error) {
 // matching Deref), never corruption or premature reclamation. This is
 // the invariant the client's upload pipeline relies on when it re-sends
 // batches whose connection died mid-flight.
-func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
+//
+// The mutation is journaled but not yet durable when Put returns; call
+// Commit before acknowledging the batch to the client.
+func (s *Store) Put(ctx context.Context, fp fingerprint.Fingerprint, data []byte) (bool, error) {
 	if len(data) == 0 {
 		return false, errors.New("dedup: empty chunk")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	s.stats.TotalPuts++
-	s.stats.LogicalBytes += uint64(len(data))
 	if _, ok := s.index[fp]; ok {
-		s.stats.DedupedPuts++
-		s.refs[fp]++
-		return true, nil
+		s.applyRef(fp)
+		s.logRef(fp)
+		//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+		return true, s.maybeAutoCommitLocked(ctx)
 	}
 
 	if len(s.current)+len(data) > s.containerSize && len(s.current) > 0 {
-		if err := s.sealLocked(); err != nil {
+		if err := s.sealLocked(ctx); err != nil {
 			return false, err
 		}
 	}
@@ -161,11 +208,79 @@ func (s *Store) Put(fp fingerprint.Fingerprint, data []byte) (bool, error) {
 		Offset:    uint32(len(s.current)),
 		Length:    uint32(len(data)),
 	}
+	s.applyPut(fp, loc, data)
+	s.logPut(fp, loc, data)
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return false, s.maybeAutoCommitLocked(ctx)
+}
+
+// applyRef applies a duplicate-put to in-memory state; shared by the
+// live path and WAL replay.
+func (s *Store) applyRef(fp fingerprint.Fingerprint) {
+	s.stats.TotalPuts++
+	s.stats.LogicalBytes += uint64(s.index[fp].Length)
+	s.stats.DedupedPuts++
+	s.refs[fp]++
+}
+
+// applyPut applies a new-chunk put to in-memory state; shared by the
+// live path and WAL replay. loc must address the tail of the open
+// container.
+func (s *Store) applyPut(fp fingerprint.Fingerprint, loc Location, data []byte) {
+	s.stats.TotalPuts++
+	s.stats.LogicalBytes += uint64(len(data))
 	s.current = append(s.current, data...)
 	s.index[fp] = loc
 	s.refs[fp] = 1
 	s.stats.PhysicalBytes += uint64(len(data))
-	return false, nil
+}
+
+// Commit makes every journaled mutation since the previous Commit
+// durable by writing one WAL segment (and, past the checkpoint
+// threshold, folding the log into a fresh snapshot). The server calls
+// this before acknowledging a chunk batch; until then the mutations
+// exist only in memory and an unlucky crash forgets them — which is
+// correct, because the client has not been told they landed.
+func (s *Store) Commit(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return s.commitLocked(ctx)
+}
+
+// maybeAutoCommitLocked flushes the pending WAL buffer once it grows
+// past autoCommitBytes.
+func (s *Store) maybeAutoCommitLocked(ctx context.Context) error {
+	if len(s.pending) < autoCommitBytes {
+		return nil
+	}
+	return s.commitLocked(ctx)
+}
+
+// commitLocked writes buffered records as one segment and checkpoints
+// when the log has grown enough. On failure the buffer is retained, so
+// a retried Commit re-attempts the same segment.
+func (s *Store) commitLocked(ctx context.Context) error {
+	if err := s.flushPendingLocked(ctx); err != nil {
+		return err
+	}
+	if s.walBytes >= s.checkpointEvery {
+		return s.checkpointLocked(ctx)
+	}
+	return nil
+}
+
+// flushPendingLocked writes the pending buffer as one WAL segment.
+func (s *Store) flushPendingLocked(ctx context.Context) error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	if err := s.log.Append(ctx, s.pending); err != nil {
+		return fmt.Errorf("dedup: commit: %w", err)
+	}
+	s.walBytes += int64(len(s.pending))
+	s.pending = s.pending[:0]
+	return nil
 }
 
 // ContainerCount returns how many containers currently hold data: the
@@ -178,6 +293,13 @@ func (s *Store) ContainerCount() int {
 		n++
 	}
 	return n
+}
+
+// UniqueChunks returns the number of distinct chunks in the index.
+func (s *Store) UniqueChunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
 }
 
 // RefInflation returns the number of references in excess of one per
@@ -210,7 +332,7 @@ func (s *Store) Has(fp fingerprint.Fingerprint) bool {
 
 // Get returns the stored chunk for fp. The backend fetch of a sealed
 // container happens outside s.mu, so concurrent Gets (and Puts) overlap.
-func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, error) {
+func (s *Store) Get(ctx context.Context, fp fingerprint.Fingerprint) ([]byte, error) {
 	// A retry means a compaction deleted the container between our index
 	// read and the backend fetch; the chunk has moved, so re-reading the
 	// index finds its new home. Two compactions racing the same Get is
@@ -237,7 +359,7 @@ func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, error) {
 		}
 		s.mu.Unlock()
 
-		container, err := s.sealedContainer(loc.Container)
+		body, err := s.sealedContainer(ctx, loc.Container)
 		if errors.Is(err, store.ErrNotFound) && attempt < 4 {
 			continue
 		}
@@ -248,56 +370,69 @@ func (s *Store) Get(fp fingerprint.Fingerprint) ([]byte, error) {
 		// elsewhere and deletes the blob, never rewrites it), so even a
 		// fetch that raced a compaction returns correct bytes at loc.
 		end := int(loc.Offset) + int(loc.Length)
-		if end > len(container) {
+		if end > len(body) {
 			return nil, fmt.Errorf("dedup: corrupt location for %s", fp.Short())
 		}
 		out := make([]byte, loc.Length)
-		copy(out, container[loc.Offset:end])
+		copy(out, body[loc.Offset:end])
 		return out, nil
 	}
 }
 
-// sealedContainer returns a sealed container's bytes from the read
-// cache, joining an in-flight fetch when one exists. The backend read
-// itself runs outside every store lock.
-func (s *Store) sealedContainer(id uint64) ([]byte, error) {
+// sealedContainer returns a sealed container's decoded body from the
+// read cache, joining an in-flight fetch when one exists. The backend
+// read itself runs outside every store lock; the packfile decode
+// verifies every chunk checksum, so a corrupted container blob is
+// detected here rather than served.
+func (s *Store) sealedContainer(ctx context.Context, id uint64) ([]byte, error) {
 	s.cacheMu.Lock()
-	if blob, ok := s.readCache[id]; ok {
+	if body, ok := s.readCache[id]; ok {
 		s.cacheMu.Unlock()
-		return blob, nil
+		return body, nil
 	}
 	if call, ok := s.inflight[id]; ok {
 		s.cacheMu.Unlock()
 		<-call.done
-		return call.blob, call.err
+		return call.body, call.err
 	}
 	call := &fetchCall{done: make(chan struct{})}
 	s.inflight[id] = call
 	s.cacheMu.Unlock()
 
-	blob, err := s.backend.Get(store.NSContainers, containerName(id))
-	if err != nil {
-		err = fmt.Errorf("dedup: load container %d: %w", id, err)
-	}
-	call.blob, call.err = blob, err
+	body, err := s.fetchContainer(ctx, id)
+	call.body, call.err = body, err
 
 	s.cacheMu.Lock()
 	delete(s.inflight, id)
 	if err == nil {
-		s.cacheInsertLocked(id, blob)
+		s.cacheInsertLocked(id, body)
 	}
 	s.cacheMu.Unlock()
 	close(call.done)
-	return blob, err
+	return body, err
 }
 
-// cacheInsertLocked adds a container to the read cache (caller holds
-// cacheMu), evicting the oldest entry beyond the cap.
-func (s *Store) cacheInsertLocked(id uint64, blob []byte) {
+// fetchContainer reads and fully verifies one sealed container
+// packfile, returning its body.
+func (s *Store) fetchContainer(ctx context.Context, id uint64) ([]byte, error) {
+	blob, err := s.backend.Get(ctx, store.NSContainers, containerName(id))
+	if err != nil {
+		return nil, fmt.Errorf("dedup: load container %d: %w", id, err)
+	}
+	_, body, err := packfile.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: container %d: %w", id, err)
+	}
+	return body, nil
+}
+
+// cacheInsertLocked adds a container body to the read cache (caller
+// holds cacheMu), evicting the oldest entry beyond the cap.
+func (s *Store) cacheInsertLocked(id uint64, body []byte) {
 	if _, ok := s.readCache[id]; ok {
 		return
 	}
-	s.readCache[id] = blob
+	s.readCache[id] = body
 	s.readOrder = append(s.readOrder, id)
 	if len(s.readOrder) > readCacheContainers {
 		evict := s.readOrder[0]
@@ -323,40 +458,87 @@ func (s *Store) cacheInvalidate(id uint64) {
 	}
 }
 
-// sealLocked writes the open container to the backend and starts a new
-// one. Dead space in the open container is squeezed out first so sealed
-// containers start fully live.
-func (s *Store) sealLocked() error {
+// openEntriesLocked returns the open container's index entries sorted
+// by offset — the canonical iteration order for sealing and
+// compaction, chosen because it is deterministic: WAL replay re-runs
+// these rearrangements and must land on byte-identical state.
+func (s *Store) openEntriesLocked() []struct {
+	fp  fingerprint.Fingerprint
+	loc Location
+} {
+	var entries []struct {
+		fp  fingerprint.Fingerprint
+		loc Location
+	}
+	for fp, loc := range s.index {
+		if loc.Container == s.currentID {
+			entries = append(entries, struct {
+				fp  fingerprint.Fingerprint
+				loc Location
+			}{fp, loc})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].loc.Offset < entries[j].loc.Offset })
+	return entries
+}
+
+// sealLocked writes the open container to the backend as a packfile and
+// starts a new one. Dead space in the open container is squeezed out
+// first so sealed containers start fully live. The container blob is
+// written before the SEAL record is journaled, so replay never points
+// at a container the backend does not hold.
+func (s *Store) sealLocked(ctx context.Context) error {
 	if s.openDead > 0 {
 		s.compactOpenLocked()
 	}
 	if len(s.current) == 0 {
 		return nil
 	}
+	w := packfile.NewWriter(len(s.current))
+	for _, e := range s.openEntriesLocked() {
+		off := w.Add(e.fp, s.current[e.loc.Offset:e.loc.Offset+e.loc.Length])
+		if off != uint64(e.loc.Offset) {
+			return fmt.Errorf("dedup: seal container %d: offset drift at %s (%d != %d)",
+				s.currentID, e.fp.Short(), off, e.loc.Offset)
+		}
+	}
 	name := containerName(s.currentID)
-	if err := s.backend.Put(store.NSContainers, name, s.current); err != nil {
+	if err := s.backend.Put(ctx, store.NSContainers, name, w.Finish()); err != nil {
 		return fmt.Errorf("dedup: seal container: %w", err)
 	}
-	s.containers[s.currentID] = containerInfo{Live: uint64(len(s.current))}
-	s.currentID++
-	s.current = s.current[:0]
-	s.openDead = 0
+	s.logSeal(s.currentID, uint64(len(s.current)))
+	s.applySeal(s.currentID, uint64(len(s.current)))
 	return nil
 }
 
-// Flush seals the open container and persists the index.
-func (s *Store) Flush() error {
+// applySeal applies a seal to in-memory state; shared by the live path
+// and WAL replay. The open container must already be squeezed (no dead
+// space) and live bytes long.
+func (s *Store) applySeal(id, live uint64) {
+	s.containers[id] = containerInfo{Live: live}
+	s.currentID++
+	s.current = s.current[:0]
+	s.openDead = 0
+}
+
+// Flush seals the open container, commits the log, and checkpoints, so
+// all state is in the snapshot and the WAL is empty. Unlike Commit
+// this forces out the partially filled open container; it is the
+// clean-shutdown path, also used by tests and the rekey flow to make
+// storage accounting visible.
+func (s *Store) Flush(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.sealLocked(); err != nil {
+	if err := s.sealLocked(ctx); err != nil {
 		return err
 	}
-	return s.saveIndexLocked()
+	//reed-vet:ignore lockguard — checkpointing must see a quiescent index; the write belongs in this critical section.
+	return s.checkpointLocked(ctx)
 }
 
 // Close flushes and releases the store.
-func (s *Store) Close() error {
-	return s.Flush()
+func (s *Store) Close(ctx context.Context) error {
+	return s.Flush(ctx)
 }
 
 // Stats returns a snapshot of the dedup counters.
@@ -370,125 +552,21 @@ func containerName(id uint64) string {
 	return fmt.Sprintf("c%016x", id)
 }
 
-// indexFormatVersion guards the persistent index encoding.
-const indexFormatVersion = 2
-
-// saveIndexLocked persists the index, reference counts, container
-// accounting, current container id, and stats.
-func (s *Store) saveIndexLocked() error {
-	w := binenc.NewWriter(len(s.index)*56 + 64)
-	w.Uint8(indexFormatVersion)
-	w.Uint64(s.currentID)
-	w.Uint64(s.stats.TotalPuts)
-	w.Uint64(s.stats.DedupedPuts)
-	w.Uint64(s.stats.LogicalBytes)
-	w.Uint64(s.stats.PhysicalBytes)
-	w.Uint64(s.stats.FreedChunks)
-	w.Uint64(s.stats.FreedBytes)
-	w.Uint64(s.stats.CompactedContainers)
-	w.Uvarint(uint64(len(s.index)))
-	for fp, loc := range s.index {
-		w.Raw(fp[:])
-		w.Uint64(loc.Container)
-		w.Uint32(loc.Offset)
-		w.Uint32(loc.Length)
-		w.Uint32(s.refs[fp])
+// parseContainerName inverts containerName.
+func parseContainerName(name string) (uint64, bool) {
+	if len(name) != 17 || name[0] != 'c' {
+		return 0, false
 	}
-	w.Uvarint(uint64(len(s.containers)))
-	for id, info := range s.containers {
-		w.Uint64(id)
-		w.Uint64(info.Live)
-		w.Uint64(info.Dead)
-	}
-	if err := s.backend.Put(store.NSMeta, indexBlobName, w.Bytes()); err != nil {
-		return fmt.Errorf("dedup: save index: %w", err)
-	}
-	return nil
-}
-
-// loadIndex restores persisted state, if any.
-func (s *Store) loadIndex() error {
-	blob, err := s.backend.Get(store.NSMeta, indexBlobName)
-	if errors.Is(err, store.ErrNotFound) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("dedup: load index: %w", err)
-	}
-	r := binenc.NewReader(blob)
-	version, err := r.Uint8()
-	if err != nil {
-		return fmt.Errorf("dedup: parse index: %w", err)
-	}
-	if version != indexFormatVersion {
-		return fmt.Errorf("dedup: unsupported index version %d", version)
-	}
-	if s.currentID, err = r.Uint64(); err != nil {
-		return fmt.Errorf("dedup: parse index: %w", err)
-	}
-	for _, field := range []*uint64{
-		&s.stats.TotalPuts, &s.stats.DedupedPuts,
-		&s.stats.LogicalBytes, &s.stats.PhysicalBytes,
-		&s.stats.FreedChunks, &s.stats.FreedBytes,
-		&s.stats.CompactedContainers,
-	} {
-		if *field, err = r.Uint64(); err != nil {
-			return fmt.Errorf("dedup: parse index: %w", err)
+	var id uint64
+	for _, c := range name[1:] {
+		switch {
+		case c >= '0' && c <= '9':
+			id = id<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			id = id<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
 		}
 	}
-	count, err := r.Uvarint()
-	if err != nil {
-		return fmt.Errorf("dedup: parse index: %w", err)
-	}
-	s.index = make(map[fingerprint.Fingerprint]Location, count)
-	s.refs = make(map[fingerprint.Fingerprint]uint32, count)
-	for i := uint64(0); i < count; i++ {
-		raw, err := r.ReadRaw(fingerprint.Size)
-		if err != nil {
-			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
-		}
-		fp, err := fingerprint.FromSlice(raw)
-		if err != nil {
-			return err
-		}
-		var loc Location
-		if loc.Container, err = r.Uint64(); err != nil {
-			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
-		}
-		if loc.Offset, err = r.Uint32(); err != nil {
-			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
-		}
-		if loc.Length, err = r.Uint32(); err != nil {
-			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
-		}
-		refs, err := r.Uint32()
-		if err != nil {
-			return fmt.Errorf("dedup: parse index entry %d: %w", i, err)
-		}
-		s.index[fp] = loc
-		s.refs[fp] = refs
-	}
-	ccount, err := r.Uvarint()
-	if err != nil {
-		return fmt.Errorf("dedup: parse index: %w", err)
-	}
-	s.containers = make(map[uint64]containerInfo, ccount)
-	for i := uint64(0); i < ccount; i++ {
-		id, err := r.Uint64()
-		if err != nil {
-			return fmt.Errorf("dedup: parse container %d: %w", i, err)
-		}
-		var info containerInfo
-		if info.Live, err = r.Uint64(); err != nil {
-			return fmt.Errorf("dedup: parse container %d: %w", i, err)
-		}
-		if info.Dead, err = r.Uint64(); err != nil {
-			return fmt.Errorf("dedup: parse container %d: %w", i, err)
-		}
-		s.containers[id] = info
-	}
-	if !r.Done() {
-		return errors.New("dedup: trailing bytes in index")
-	}
-	return nil
+	return id, true
 }

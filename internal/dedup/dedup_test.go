@@ -2,6 +2,7 @@ package dedup
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,10 +13,12 @@ import (
 	"repro/internal/store"
 )
 
+var ctx = context.Background()
+
 func newStore(t testing.TB, containerSize int) (*Store, *store.Memory) {
 	t.Helper()
 	backend := store.NewMemory()
-	s, err := Open(backend, containerSize)
+	s, err := Open(ctx, backend, containerSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +35,11 @@ func chunk(seed int, size int) ([]byte, fingerprint.Fingerprint) {
 func TestPutGetRoundTrip(t *testing.T) {
 	s, _ := newStore(t, 0)
 	data, fp := chunk(1, 4096)
-	dup, err := s.Put(fp, data)
+	dup, err := s.Put(ctx, fp, data)
 	if err != nil || dup {
 		t.Fatalf("Put = %v, %v", dup, err)
 	}
-	got, err := s.Get(fp)
+	got, err := s.Get(ctx, fp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +51,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 func TestDuplicateDetection(t *testing.T) {
 	s, _ := newStore(t, 0)
 	data, fp := chunk(2, 1024)
-	if dup, _ := s.Put(fp, data); dup {
+	if dup, _ := s.Put(ctx, fp, data); dup {
 		t.Fatal("first put reported duplicate")
 	}
-	if dup, _ := s.Put(fp, data); !dup {
+	if dup, _ := s.Put(ctx, fp, data); !dup {
 		t.Fatal("second put not reported duplicate")
 	}
 	stats := s.Stats()
@@ -69,7 +72,7 @@ func TestDuplicateDetection(t *testing.T) {
 func TestGetUnknown(t *testing.T) {
 	s, _ := newStore(t, 0)
 	_, fp := chunk(3, 64)
-	if _, err := s.Get(fp); !errors.Is(err, ErrUnknownChunk) {
+	if _, err := s.Get(ctx, fp); !errors.Is(err, ErrUnknownChunk) {
 		t.Fatalf("error = %v, want ErrUnknownChunk", err)
 	}
 }
@@ -80,7 +83,7 @@ func TestHas(t *testing.T) {
 	if s.Has(fp) {
 		t.Fatal("Has before put")
 	}
-	s.Put(fp, data)
+	s.Put(ctx, fp, data)
 	if !s.Has(fp) {
 		t.Fatal("Has after put")
 	}
@@ -93,14 +96,14 @@ func TestContainerSealing(t *testing.T) {
 	var datas [][]byte
 	for i := 0; i < 20; i++ {
 		data, fp := chunk(100+i, 1500)
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			t.Fatal(err)
 		}
 		fps = append(fps, fp)
 		datas = append(datas, data)
 	}
 	// Several sealed containers should exist before any flush.
-	names, err := backend.List(store.NSContainers)
+	names, err := backend.List(ctx, store.NSContainers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +112,7 @@ func TestContainerSealing(t *testing.T) {
 	}
 	// Every chunk remains readable (sealed or in the open container).
 	for i, fp := range fps {
-		got, err := s.Get(fp)
+		got, err := s.Get(ctx, fp)
 		if err != nil {
 			t.Fatalf("Get chunk %d: %v", i, err)
 		}
@@ -122,10 +125,10 @@ func TestContainerSealing(t *testing.T) {
 func TestOversizedChunk(t *testing.T) {
 	s, _ := newStore(t, 4096)
 	data, fp := chunk(5, 10000) // larger than the container size
-	if _, err := s.Put(fp, data); err != nil {
+	if _, err := s.Put(ctx, fp, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(fp)
+	got, err := s.Get(ctx, fp)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("oversized chunk round trip failed: %v", err)
 	}
@@ -133,37 +136,37 @@ func TestOversizedChunk(t *testing.T) {
 
 func TestEmptyChunkRejected(t *testing.T) {
 	s, _ := newStore(t, 0)
-	if _, err := s.Put(fingerprint.New(nil), nil); err == nil {
+	if _, err := s.Put(ctx, fingerprint.New(nil), nil); err == nil {
 		t.Fatal("empty chunk expected error")
 	}
 }
 
 func TestFlushPersistsIndex(t *testing.T) {
 	backend := store.NewMemory()
-	s1, err := Open(backend, 4096)
+	s1, err := Open(ctx, backend, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data, fp := chunk(6, 2000)
-	s1.Put(fp, data)
-	if err := s1.Close(); err != nil {
+	s1.Put(ctx, fp, data)
+	if err := s1.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 
 	// Reopen over the same backend: index and data must survive.
-	s2, err := Open(backend, 4096)
+	s2, err := Open(ctx, backend, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !s2.Has(fp) {
 		t.Fatal("index lost across reopen")
 	}
-	got, err := s2.Get(fp)
+	got, err := s2.Get(ctx, fp)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("data lost across reopen: %v", err)
 	}
 	// Dedup continues to work after reopen.
-	if dup, _ := s2.Put(fp, data); !dup {
+	if dup, _ := s2.Put(ctx, fp, data); !dup {
 		t.Fatal("reopened store lost dedup state")
 	}
 	stats := s2.Stats()
@@ -174,34 +177,34 @@ func TestFlushPersistsIndex(t *testing.T) {
 
 func TestReopenAllocatesFreshContainerIDs(t *testing.T) {
 	backend := store.NewMemory()
-	s1, _ := Open(backend, 1024)
+	s1, _ := Open(ctx, backend, 1024)
 	for i := 0; i < 5; i++ {
 		data, fp := chunk(200+i, 800)
-		s1.Put(fp, data)
+		s1.Put(ctx, fp, data)
 	}
-	s1.Close()
+	s1.Close(ctx)
 
-	s2, _ := Open(backend, 1024)
+	s2, _ := Open(ctx, backend, 1024)
 	// New data must not overwrite old containers.
 	var newFPs []fingerprint.Fingerprint
 	var newData [][]byte
 	for i := 0; i < 5; i++ {
 		data, fp := chunk(300+i, 800)
-		s2.Put(fp, data)
+		s2.Put(ctx, fp, data)
 		newFPs = append(newFPs, fp)
 		newData = append(newData, data)
 	}
-	s2.Close()
+	s2.Close(ctx)
 
-	s3, _ := Open(backend, 1024)
+	s3, _ := Open(ctx, backend, 1024)
 	for i := 0; i < 5; i++ {
 		_, oldFP := chunk(200+i, 800)
-		if got, err := s3.Get(oldFP); err != nil || len(got) != 800 {
+		if got, err := s3.Get(ctx, oldFP); err != nil || len(got) != 800 {
 			t.Fatalf("old chunk %d unreadable after two generations: %v", i, err)
 		}
 	}
 	for i, fp := range newFPs {
-		got, err := s3.Get(fp)
+		got, err := s3.Get(ctx, fp)
 		if err != nil || !bytes.Equal(got, newData[i]) {
 			t.Fatalf("new chunk %d unreadable: %v", i, err)
 		}
@@ -226,7 +229,7 @@ func TestConcurrentPuts(t *testing.T) {
 				// Half the chunks collide across goroutines.
 				data := []byte(fmt.Sprintf("chunk-%d-%d", g%2, i))
 				fp := fingerprint.New(data)
-				if _, err := s.Put(fp, data); err != nil {
+				if _, err := s.Put(ctx, fp, data); err != nil {
 					t.Errorf("Put: %v", err)
 					return
 				}
@@ -252,7 +255,7 @@ func BenchmarkPutUnique8KB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		binaryFill(data, i)
 		fp := fingerprint.New(data)
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -262,11 +265,11 @@ func BenchmarkPutDuplicate8KB(b *testing.B) {
 	s, _ := newStore(b, DefaultContainerSize)
 	data := make([]byte, 8192)
 	fp := fingerprint.New(data)
-	s.Put(fp, data)
+	s.Put(ctx, fp, data)
 	b.SetBytes(8192)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,7 +295,7 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 	stableFPs := make([]fingerprint.Fingerprint, stable)
 	for i := range stableData {
 		stableData[i], stableFPs[i] = chunk(1000+i, 512)
-		if _, err := s.Put(stableFPs[i], stableData[i]); err != nil {
+		if _, err := s.Put(ctx, stableFPs[i], stableData[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -303,7 +306,7 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 	for i := range victimFPs {
 		var data []byte
 		data, victimFPs[i] = chunk(2000+i, 512)
-		if _, err := s.Put(victimFPs[i], data); err != nil {
+		if _, err := s.Put(ctx, victimFPs[i], data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -315,7 +318,7 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				j := (g*7 + i) % stable
-				got, err := s.Get(stableFPs[j])
+				got, err := s.Get(ctx, stableFPs[j])
 				if err != nil {
 					t.Errorf("Get stable %d: %v", j, err)
 					return
@@ -333,7 +336,7 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				data, fp := chunk(10000+g*1000+i, 512)
-				if _, err := s.Put(fp, data); err != nil {
+				if _, err := s.Put(ctx, fp, data); err != nil {
 					t.Errorf("Put: %v", err)
 					return
 				}
@@ -344,7 +347,7 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for _, fp := range victimFPs {
-			if _, err := s.Deref(fp); err != nil {
+			if _, err := s.Deref(ctx, fp); err != nil {
 				t.Errorf("Deref: %v", err)
 				return
 			}
@@ -360,11 +363,11 @@ func TestConcurrentMixedOpsWithCompaction(t *testing.T) {
 	}()
 	wg.Wait()
 
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 	for j := range stableFPs {
-		got, err := s.Get(stableFPs[j])
+		got, err := s.Get(ctx, stableFPs[j])
 		if err != nil {
 			t.Fatalf("post-churn Get stable %d: %v", j, err)
 		}
@@ -382,14 +385,14 @@ type countingBackend struct {
 	gets map[string]int
 }
 
-func (c *countingBackend) Get(ns, name string) ([]byte, error) {
+func (c *countingBackend) Get(ctx context.Context, ns, name string) ([]byte, error) {
 	c.mu.Lock()
 	if c.gets == nil {
 		c.gets = make(map[string]int)
 	}
 	c.gets[ns+"/"+name]++
 	c.mu.Unlock()
-	return c.Backend.Get(ns, name)
+	return c.Backend.Get(ctx, ns, name)
 }
 
 // TestSealedContainerFetchedOnce: concurrent Gets of chunks in one
@@ -397,7 +400,7 @@ func (c *countingBackend) Get(ns, name string) ([]byte, error) {
 // join the in-flight fetch or hit the cache.
 func TestSealedContainerFetchedOnce(t *testing.T) {
 	backend := &countingBackend{Backend: store.NewMemory()}
-	s, err := Open(backend, 8192)
+	s, err := Open(ctx, backend, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,11 +410,11 @@ func TestSealedContainerFetchedOnce(t *testing.T) {
 	datas := make([][]byte, n)
 	for i := range fps {
 		datas[i], fps[i] = chunk(100+i, 512)
-		if _, err := s.Put(fps[i], datas[i]); err != nil {
+		if _, err := s.Put(ctx, fps[i], datas[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil { // seals container 0
+	if err := s.Flush(ctx); err != nil { // seals container 0
 		t.Fatal(err)
 	}
 
@@ -420,7 +423,7 @@ func TestSealedContainerFetchedOnce(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			got, err := s.Get(fps[g%n])
+			got, err := s.Get(ctx, fps[g%n])
 			if err != nil || !bytes.Equal(got, datas[g%n]) {
 				t.Errorf("Get: %v", err)
 			}
@@ -444,14 +447,14 @@ func TestSealedContainerFetchedOnce(t *testing.T) {
 func TestFaultReplayPutIsByteIdempotent(t *testing.T) {
 	s, _ := newStore(t, 0)
 	data, fp := chunk(9, 4096)
-	if dup, err := s.Put(fp, data); err != nil || dup {
+	if dup, err := s.Put(ctx, fp, data); err != nil || dup {
 		t.Fatalf("first Put = %v, %v", dup, err)
 	}
 	phys := s.Stats().PhysicalBytes
 
 	// The "uncertain delivery" replay: same fingerprint, same bytes.
 	for i := 0; i < 3; i++ {
-		dup, err := s.Put(fp, data)
+		dup, err := s.Put(ctx, fp, data)
 		if err != nil {
 			t.Fatalf("replay %d: %v", i, err)
 		}
@@ -462,7 +465,7 @@ func TestFaultReplayPutIsByteIdempotent(t *testing.T) {
 	if got := s.Stats().PhysicalBytes; got != phys {
 		t.Fatalf("PhysicalBytes = %d after replays, want %d (nothing rewritten)", got, phys)
 	}
-	got, err := s.Get(fp)
+	got, err := s.Get(ctx, fp)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("Get after replays: %v", err)
 	}
@@ -470,15 +473,15 @@ func TestFaultReplayPutIsByteIdempotent(t *testing.T) {
 	// The inflated refcount over-retains: the original reference plus
 	// three replays means three Derefs still leave the chunk live.
 	for i := 0; i < 3; i++ {
-		left, err := s.Deref(fp)
+		left, err := s.Deref(ctx, fp)
 		if err != nil || left == 0 {
 			t.Fatalf("Deref %d left %d refs, %v; chunk freed too early", i, left, err)
 		}
 	}
-	if _, err := s.Get(fp); err != nil {
+	if _, err := s.Get(ctx, fp); err != nil {
 		t.Fatalf("chunk unreadable while still referenced: %v", err)
 	}
-	left, err := s.Deref(fp)
+	left, err := s.Deref(ctx, fp)
 	if err != nil || left != 0 {
 		t.Fatalf("final Deref left %d refs, %v, want 0", left, err)
 	}

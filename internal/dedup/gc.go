@@ -1,7 +1,9 @@
 package dedup
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/fingerprint"
 	"repro/internal/store"
@@ -20,7 +22,12 @@ import (
 //
 // Dead space accumulates inside sealed containers; when a container's
 // dead fraction crosses compactionThreshold its live chunks are
-// rewritten into the open container and the old blob is deleted.
+// rewritten into the open container and the old blob is deleted. Every
+// move is journaled (with the chunk bytes, since the destination is
+// the memory-only open container) and the WAL is committed before the
+// old blob is deleted, so a crash at any point either replays to the
+// pre-compaction state (old blob still present) or to the
+// post-compaction state (old blob swept as an orphan on recovery).
 
 // compactionThreshold is the dead fraction beyond which a sealed
 // container is rewritten.
@@ -36,13 +43,33 @@ type containerInfo struct {
 // goes, the chunk leaves the index and its bytes become dead space,
 // possibly triggering compaction of its container. It returns the
 // remaining reference count.
-func (s *Store) Deref(fp fingerprint.Fingerprint) (uint32, error) {
+//
+// Like Put, the mutation is journaled but not durable until Commit.
+func (s *Store) Deref(ctx context.Context, fp fingerprint.Fingerprint) (uint32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//reed-vet:ignore lockguard — compaction rewrites containers under the index lock by design.
+	left, err := s.derefLocked(ctx, fp)
+	if err != nil {
+		return 0, err
+	}
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return left, s.maybeAutoCommitLocked(ctx)
+}
 
+// derefLocked implements Deref; it is also the replay path for DEREF
+// records (s.replaying true). Replay applies the same in-memory
+// transitions — including the deterministic open-container squeeze —
+// but never journals and never compacts sealed containers: a live
+// compaction's effects are expressed by the MOVE/SEAL/DROP records
+// that follow the DEREF in the log.
+func (s *Store) derefLocked(ctx context.Context, fp fingerprint.Fingerprint) (uint32, error) {
 	loc, ok := s.index[fp]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownChunk, fp.Short())
+	}
+	if !s.replaying {
+		s.logDeref(fp)
 	}
 	refs := s.refs[fp]
 	if refs > 1 {
@@ -71,9 +98,9 @@ func (s *Store) Deref(fp fingerprint.Fingerprint) (uint32, error) {
 	info.Live -= uint64(loc.Length)
 	info.Dead += uint64(loc.Length)
 	s.containers[loc.Container] = info
-	if total := info.Live + info.Dead; total > 0 &&
+	if total := info.Live + info.Dead; total > 0 && !s.replaying &&
 		float64(info.Dead)/float64(total) >= compactionThreshold {
-		if err := s.compactLocked(loc.Container); err != nil {
+		if err := s.compactLocked(ctx, loc.Container); err != nil {
 			return 0, err
 		}
 	}
@@ -88,17 +115,17 @@ func (s *Store) Refs(fp fingerprint.Fingerprint) uint32 {
 }
 
 // compactOpenLocked rewrites the open container, dropping dead bytes.
+// Chunks are repacked in offset order so the rewrite is deterministic:
+// WAL replay re-runs this squeeze and must reproduce the exact byte
+// layout the live run had.
 func (s *Store) compactOpenLocked() {
 	live := make([]byte, 0, len(s.current))
-	for fp, loc := range s.index {
-		if loc.Container != s.currentID {
-			continue
-		}
-		data := s.current[loc.Offset : loc.Offset+loc.Length]
-		s.index[fp] = Location{
+	for _, e := range s.openEntriesLocked() {
+		data := s.current[e.loc.Offset : e.loc.Offset+e.loc.Length]
+		s.index[e.fp] = Location{
 			Container: s.currentID,
 			Offset:    uint32(len(live)),
-			Length:    loc.Length,
+			Length:    e.loc.Length,
 		}
 		live = append(live, data...)
 	}
@@ -111,46 +138,89 @@ func (s *Store) compactOpenLocked() {
 // rare enough that keeping it while reading the backend is fine, and a
 // cache miss here skips the singleflight table so a concurrent Get's
 // fetch never ends up waited on from under s.mu.
-func (s *Store) compactLocked(id uint64) error {
+//
+// Durability order matters: every move and the container drop are
+// journaled and committed *before* the old blob is deleted. Replay of
+// a committed compaction rebuilds the moved chunks from the MOVE
+// records' payloads and the orphan sweep removes the stale blob; a
+// crash before the commit leaves the old blob in place and the index
+// still pointing at it.
+func (s *Store) compactLocked(ctx context.Context, id uint64) error {
 	s.cacheMu.Lock()
-	blob, cached := s.readCache[id]
+	body, cached := s.readCache[id]
 	s.cacheMu.Unlock()
 	if !cached {
 		var err error
-		blob, err = s.backend.Get(store.NSContainers, containerName(id))
+		body, err = s.fetchContainer(ctx, id)
 		if err != nil {
-			return fmt.Errorf("dedup: compact: load container %d: %w", id, err)
+			return fmt.Errorf("dedup: compact: %w", err)
+		}
+	} else {
+		// Copy out: the cache entry is shared with concurrent readers and
+		// the invalidation below drops it.
+		body = append([]byte(nil), body...)
+	}
+
+	// Collect the container's live chunks sorted by offset; map order
+	// would re-pack them differently on every run, and the MOVE records
+	// must describe one canonical layout.
+	type moved struct {
+		fp  fingerprint.Fingerprint
+		loc Location
+	}
+	var liveChunks []moved
+	for fp, loc := range s.index {
+		if loc.Container == id {
+			liveChunks = append(liveChunks, moved{fp, loc})
 		}
 	}
-	// Copy out: the cache entry is shared with concurrent readers and the
-	// invalidation below drops it.
-	blob = append([]byte(nil), blob...)
+	sort.Slice(liveChunks, func(i, j int) bool { return liveChunks[i].loc.Offset < liveChunks[j].loc.Offset })
 
-	for fp, loc := range s.index {
-		if loc.Container != id {
-			continue
-		}
-		data := blob[loc.Offset : loc.Offset+loc.Length]
+	for _, m := range liveChunks {
+		data := body[m.loc.Offset : m.loc.Offset+m.loc.Length]
 		// Seal the open container first if this chunk would overflow
 		// it (sealLocked advances currentID, keeping locations valid).
 		if len(s.current)+len(data) > s.containerSize && len(s.current) > 0 {
-			if err := s.sealLocked(); err != nil {
+			if err := s.sealLocked(ctx); err != nil {
 				return err
 			}
 		}
-		s.index[fp] = Location{
+		newLoc := Location{
 			Container: s.currentID,
 			Offset:    uint32(len(s.current)),
-			Length:    loc.Length,
+			Length:    m.loc.Length,
 		}
-		s.current = append(s.current, data...)
+		s.logMove(m.fp, newLoc, data)
+		s.applyMove(m.fp, newLoc, data)
 	}
 
-	delete(s.containers, id)
+	s.logDrop(id)
+	s.applyDrop(id)
 	s.cacheInvalidate(id)
-	s.stats.CompactedContainers++
-	if err := s.backend.Delete(store.NSContainers, containerName(id)); err != nil {
+
+	// The WAL must hold the committed moves before the only other copy
+	// of those chunks disappears.
+	if err := s.flushPendingLocked(ctx); err != nil {
+		return err
+	}
+	if err := s.backend.Delete(ctx, store.NSContainers, containerName(id)); err != nil {
 		return fmt.Errorf("dedup: delete compacted container: %w", err)
 	}
 	return nil
+}
+
+// applyMove applies a compaction move to in-memory state; shared by the
+// live path and WAL replay. loc must address the tail of the open
+// container. Refcounts and put/free statistics are untouched — the
+// chunk merely changed address.
+func (s *Store) applyMove(fp fingerprint.Fingerprint, loc Location, data []byte) {
+	s.index[fp] = loc
+	s.current = append(s.current, data...)
+}
+
+// applyDrop applies a container drop to in-memory state; shared by the
+// live path and WAL replay.
+func (s *Store) applyDrop(id uint64) {
+	delete(s.containers, id)
+	s.stats.CompactedContainers++
 }

@@ -15,7 +15,7 @@ func TestDerefRefCounting(t *testing.T) {
 
 	// Three references: one initial put plus two duplicates.
 	for i := 0; i < 3; i++ {
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -24,7 +24,7 @@ func TestDerefRefCounting(t *testing.T) {
 	}
 
 	for want := uint32(2); want >= 1; want-- {
-		left, err := s.Deref(fp)
+		left, err := s.Deref(ctx, fp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,14 +37,14 @@ func TestDerefRefCounting(t *testing.T) {
 	}
 
 	// Last reference: the chunk must disappear.
-	left, err := s.Deref(fp)
+	left, err := s.Deref(ctx, fp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if left != 0 || s.Has(fp) {
 		t.Fatalf("chunk survived its last deref (left=%d)", left)
 	}
-	if _, err := s.Get(fp); !errors.Is(err, ErrUnknownChunk) {
+	if _, err := s.Get(ctx, fp); !errors.Is(err, ErrUnknownChunk) {
 		t.Fatalf("Get after free = %v, want ErrUnknownChunk", err)
 	}
 
@@ -59,7 +59,7 @@ func TestDerefRefCounting(t *testing.T) {
 
 func TestDerefUnknownChunk(t *testing.T) {
 	s, _ := newStore(t, 0)
-	if _, err := s.Deref(fingerprint.New([]byte("absent"))); !errors.Is(err, ErrUnknownChunk) {
+	if _, err := s.Deref(ctx, fingerprint.New([]byte("absent"))); !errors.Is(err, ErrUnknownChunk) {
 		t.Fatalf("error = %v, want ErrUnknownChunk", err)
 	}
 }
@@ -74,16 +74,16 @@ func TestCompactionReclaimsContainers(t *testing.T) {
 	var datas [][]byte
 	for i := 0; i < 32; i++ {
 		data, fp := chunk(100+i, 1500)
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			t.Fatal(err)
 		}
 		fps = append(fps, fp)
 		datas = append(datas, data)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	before, err := backend.List(store.NSContainers)
+	before, err := backend.List(ctx, store.NSContainers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,12 +91,12 @@ func TestCompactionReclaimsContainers(t *testing.T) {
 	// Free three of every four chunks.
 	for i, fp := range fps {
 		if i%4 != 0 {
-			if _, err := s.Deref(fp); err != nil {
+			if _, err := s.Deref(ctx, fp); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -104,7 +104,7 @@ func TestCompactionReclaimsContainers(t *testing.T) {
 	if stats.CompactedContainers == 0 {
 		t.Fatal("no containers compacted despite 75% dead space")
 	}
-	after, err := backend.List(store.NSContainers)
+	after, err := backend.List(ctx, store.NSContainers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestCompactionReclaimsContainers(t *testing.T) {
 		if i%4 != 0 {
 			continue
 		}
-		got, err := s.Get(fp)
+		got, err := s.Get(ctx, fp)
 		if err != nil {
 			t.Fatalf("survivor %d: %v", i, err)
 		}
@@ -134,20 +134,20 @@ func TestOpenContainerCompaction(t *testing.T) {
 	var fps []fingerprint.Fingerprint
 	for i := 0; i < 64; i++ {
 		data, fp := chunk(200+i, 16*1024)
-		if _, err := s.Put(fp, data); err != nil {
+		if _, err := s.Put(ctx, fp, data); err != nil {
 			t.Fatal(err)
 		}
 		fps = append(fps, fp)
 	}
 	// Free more than half the open container.
 	for _, fp := range fps[:48] {
-		if _, err := s.Deref(fp); err != nil {
+		if _, err := s.Deref(ctx, fp); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Survivors still readable from the rewritten open container.
 	for i, fp := range fps[48:] {
-		if _, err := s.Get(fp); err != nil {
+		if _, err := s.Get(ctx, fp); err != nil {
 			t.Fatalf("open-container survivor %d: %v", i, err)
 		}
 	}
@@ -169,28 +169,28 @@ func TestOpenContainerCompaction(t *testing.T) {
 
 func TestGCStateSurvivesReopen(t *testing.T) {
 	backend := store.NewMemory()
-	s1, err := Open(backend, 8192)
+	s1, err := Open(ctx, backend, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data, fp := chunk(7, 1000)
-	s1.Put(fp, data)
-	s1.Put(fp, data) // refs = 2
-	if err := s1.Close(); err != nil {
+	s1.Put(ctx, fp, data)
+	s1.Put(ctx, fp, data) // refs = 2
+	if err := s1.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(backend, 8192)
+	s2, err := Open(ctx, backend, 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := s2.Refs(fp); got != 2 {
 		t.Fatalf("Refs after reopen = %d, want 2", got)
 	}
-	if left, err := s2.Deref(fp); err != nil || left != 1 {
+	if left, err := s2.Deref(ctx, fp); err != nil || left != 1 {
 		t.Fatalf("Deref after reopen = %d, %v", left, err)
 	}
-	if left, err := s2.Deref(fp); err != nil || left != 0 {
+	if left, err := s2.Deref(ctx, fp); err != nil || left != 0 {
 		t.Fatalf("final Deref = %d, %v", left, err)
 	}
 	if s2.Has(fp) {
@@ -201,16 +201,16 @@ func TestGCStateSurvivesReopen(t *testing.T) {
 func TestPutAfterFreeReusesFingerprint(t *testing.T) {
 	s, _ := newStore(t, 0)
 	data, fp := chunk(9, 512)
-	s.Put(fp, data)
-	if _, err := s.Deref(fp); err != nil {
+	s.Put(ctx, fp, data)
+	if _, err := s.Deref(ctx, fp); err != nil {
 		t.Fatal(err)
 	}
 	// Re-adding the same content must work as a fresh chunk.
-	dup, err := s.Put(fp, data)
+	dup, err := s.Put(ctx, fp, data)
 	if err != nil || dup {
 		t.Fatalf("re-put after free = dup %v, %v", dup, err)
 	}
-	got, err := s.Get(fp)
+	got, err := s.Get(ctx, fp)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("re-put round trip: %v", err)
 	}

@@ -20,7 +20,7 @@ import (
 func TestRandomOpSequenceInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		s, err := Open(store.NewMemory(), 4096) // small containers: plenty of sealing/compaction
+		s, err := Open(ctx, store.NewMemory(), 4096) // small containers: plenty of sealing/compaction
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 				} else {
 					data, fp = newChunk()
 				}
-				if _, err := s.Put(fp, data); err != nil {
+				if _, err := s.Put(ctx, fp, data); err != nil {
 					t.Fatalf("seed %d step %d: Put: %v", seed, step, err)
 				}
 				if m, ok := model[fp]; ok && m.refs > 0 {
@@ -80,7 +80,7 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 					continue
 				}
 				fp := live[rng.Intn(len(live))]
-				if _, err := s.Deref(fp); err != nil {
+				if _, err := s.Deref(ctx, fp); err != nil {
 					t.Fatalf("seed %d step %d: Deref: %v", seed, step, err)
 				}
 				model[fp].refs--
@@ -91,7 +91,7 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 					continue
 				}
 				fp := live[rng.Intn(len(live))]
-				got, err := s.Get(fp)
+				got, err := s.Get(ctx, fp)
 				if err != nil {
 					t.Fatalf("seed %d step %d: Get: %v", seed, step, err)
 				}
@@ -100,7 +100,7 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 				}
 
 			default: // flush (seal + persist)
-				if err := s.Flush(); err != nil {
+				if err := s.Flush(ctx); err != nil {
 					t.Fatalf("seed %d step %d: Flush: %v", seed, step, err)
 				}
 			}
@@ -117,7 +117,7 @@ func TestRandomOpSequenceInvariants(t *testing.T) {
 				if got := s.Refs(fp); int(got) != m.refs {
 					t.Fatalf("seed %d: refs = %d, model %d", seed, got, m.refs)
 				}
-				got, err := s.Get(fp)
+				got, err := s.Get(ctx, fp)
 				if err != nil || !bytes.Equal(got, m.data) {
 					t.Fatalf("seed %d: final Get mismatch: %v", seed, err)
 				}

@@ -1,0 +1,525 @@
+package dedup
+
+// Write-ahead logging and crash recovery.
+//
+// Every mutation of the dedup state is expressed as one WAL record;
+// recovery is "snapshot + replay": load the last checkpoint snapshot,
+// re-apply the records journaled after it, then verify the result
+// against the containers actually present in the backend. For replay
+// to land on byte-identical state, every in-memory rearrangement is
+// either deterministic (the open-container squeeze repacks in offset
+// order) or explicitly journaled (compaction MOVE records carry the
+// chunk bytes, since their destination — the open container — exists
+// only in memory).
+//
+// Record kinds:
+//
+//	PUT   fp, location, data   new chunk appended to the open container
+//	REF   fp                   duplicate put (refcount + stats only)
+//	DEREF fp                   one reference dropped
+//	SEAL  id, liveBytes        open container id written to the backend
+//	MOVE  fp, location, data   compaction moved a chunk into the open container
+//	DROP  id                   compacted container id left the container map
+//
+// Orderings that recovery relies on:
+//
+//   - a container blob is Put to the backend before its SEAL record is
+//     journaled, so replay never seals a container the backend lacks;
+//   - compaction journals and *commits* its MOVE/DROP records before
+//     deleting the old container blob, so the only copy of a moved
+//     chunk is never exclusively in a lost buffer;
+//   - the checkpoint snapshot is one atomic backend Put, and the WAL
+//     is truncated only after it lands.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/binenc"
+	"repro/internal/fingerprint"
+	"repro/internal/packfile"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// WAL record kinds.
+const (
+	recPut   = 1
+	recRef   = 2
+	recDeref = 3
+	recSeal  = 4
+	recMove  = 5
+	recDrop  = 6
+)
+
+// snapshotVersion guards the checkpoint encoding. Version 3 replaced
+// the pre-WAL index blob (version 2); older snapshots are not readable.
+const snapshotVersion = 3
+
+// log helpers frame one record each into the pending buffer. They are
+// no-ops during replay: replay re-applies history, it must not re-write
+// it.
+
+func (s *Store) logRecord(payload []byte) {
+	if s.replaying {
+		return
+	}
+	s.pending = wal.AppendRecord(s.pending, payload)
+}
+
+func (s *Store) logPut(fp fingerprint.Fingerprint, loc Location, data []byte) {
+	s.logRecord(encodeChunkRec(recPut, fp, loc, data))
+}
+
+func (s *Store) logMove(fp fingerprint.Fingerprint, loc Location, data []byte) {
+	s.logRecord(encodeChunkRec(recMove, fp, loc, data))
+}
+
+func (s *Store) logRef(fp fingerprint.Fingerprint) {
+	s.logRecord(encodeFPRec(recRef, fp))
+}
+
+func (s *Store) logDeref(fp fingerprint.Fingerprint) {
+	s.logRecord(encodeFPRec(recDeref, fp))
+}
+
+func (s *Store) logSeal(id, live uint64) {
+	w := binenc.NewWriter(17)
+	w.Uint8(recSeal)
+	w.Uint64(id)
+	w.Uint64(live)
+	s.logRecord(w.Bytes())
+}
+
+func (s *Store) logDrop(id uint64) {
+	w := binenc.NewWriter(9)
+	w.Uint8(recDrop)
+	w.Uint64(id)
+	s.logRecord(w.Bytes())
+}
+
+func encodeChunkRec(kind uint8, fp fingerprint.Fingerprint, loc Location, data []byte) []byte {
+	w := binenc.NewWriter(1 + fingerprint.Size + 16 + 5 + len(data))
+	w.Uint8(kind)
+	w.Raw(fp[:])
+	w.Uint64(loc.Container)
+	w.Uint32(loc.Offset)
+	w.Uint32(loc.Length)
+	w.WriteBytes(data)
+	return w.Bytes()
+}
+
+func encodeFPRec(kind uint8, fp fingerprint.Fingerprint) []byte {
+	w := binenc.NewWriter(1 + fingerprint.Size)
+	w.Uint8(kind)
+	w.Raw(fp[:])
+	return w.Bytes()
+}
+
+// applyRecord replays one WAL record against in-memory state,
+// validating that the record matches the state replay has rebuilt so
+// far — any mismatch means the log and snapshot disagree, and recovery
+// must fail rather than fabricate a plausible-looking store.
+func (s *Store) applyRecord(ctx context.Context, rec []byte) error {
+	r := binenc.NewReader(rec)
+	kind, err := r.Uint8()
+	if err != nil {
+		return fmt.Errorf("dedup: replay: %w", err)
+	}
+	switch kind {
+	case recPut, recMove:
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return err
+		}
+		var loc Location
+		if loc.Container, err = r.Uint64(); err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		if loc.Offset, err = r.Uint32(); err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		if loc.Length, err = r.Uint32(); err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		data, err := r.ReadBytes()
+		if err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		if loc.Container != s.currentID || int(loc.Offset) != len(s.current) ||
+			int(loc.Length) != len(data) {
+			return fmt.Errorf("dedup: replay: record for %s does not extend the open container (%+v, open %d/%d)",
+				fp.Short(), loc, s.currentID, len(s.current))
+		}
+		if kind == recPut {
+			if _, exists := s.index[fp]; exists {
+				return fmt.Errorf("dedup: replay: duplicate PUT for %s", fp.Short())
+			}
+			s.applyPut(fp, loc, data)
+		} else {
+			if _, exists := s.index[fp]; !exists {
+				return fmt.Errorf("dedup: replay: MOVE of unknown chunk %s", fp.Short())
+			}
+			s.applyMove(fp, loc, data)
+		}
+	case recRef:
+		fp, err := readFP(r)
+		if err != nil {
+			return err
+		}
+		if _, ok := s.index[fp]; !ok {
+			return fmt.Errorf("dedup: replay: REF of unknown chunk %s", fp.Short())
+		}
+		s.applyRef(fp)
+	case recDeref:
+		fp, err := readFP(r)
+		if err != nil {
+			return err
+		}
+		if _, err := s.derefLocked(ctx, fp); err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+	case recSeal:
+		id, err := r.Uint64()
+		if err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		live, err := r.Uint64()
+		if err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		if id != s.currentID {
+			return fmt.Errorf("dedup: replay: SEAL of container %d but open container is %d", id, s.currentID)
+		}
+		// Mirror sealLocked: squeeze dead space before measuring.
+		if s.openDead > 0 {
+			s.compactOpenLocked()
+		}
+		if uint64(len(s.current)) != live {
+			return fmt.Errorf("dedup: replay: SEAL of %d live bytes but open container has %d", live, len(s.current))
+		}
+		s.applySeal(id, live)
+	case recDrop:
+		id, err := r.Uint64()
+		if err != nil {
+			return fmt.Errorf("dedup: replay: %w", err)
+		}
+		if _, ok := s.containers[id]; !ok {
+			return fmt.Errorf("dedup: replay: DROP of unknown container %d", id)
+		}
+		s.applyDrop(id)
+	default:
+		return fmt.Errorf("dedup: replay: unknown record kind %d", kind)
+	}
+	if !r.Done() {
+		return fmt.Errorf("dedup: replay: trailing bytes in record kind %d", kind)
+	}
+	return nil
+}
+
+func readFP(r *binenc.Reader) (fingerprint.Fingerprint, error) {
+	raw, err := r.ReadRaw(fingerprint.Size)
+	if err != nil {
+		return fingerprint.Fingerprint{}, fmt.Errorf("dedup: replay: %w", err)
+	}
+	return fingerprint.FromSlice(raw)
+}
+
+// recover rebuilds state at Open: snapshot, WAL replay, orphan sweep,
+// container scrub. It runs before the store is published, so no
+// locking is needed; derefLocked still expects s.mu, and taking it
+// uncontended keeps the invariants simple.
+func (s *Store) recover(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	//reed-vet:ignore lockguard — recover runs before Open publishes the store; s.mu is uncontended.
+	walFrom, err := s.loadSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	if s.log, err = wal.Open(ctx, s.backend, store.NSWAL, walPrefix); err != nil {
+		return fmt.Errorf("dedup: open wal: %w", err)
+	}
+	s.log.Advance(walFrom)
+
+	s.replaying = true
+	//reed-vet:ignore lockguard — recover runs before Open publishes the store; s.mu is uncontended.
+	err = s.log.Replay(ctx, walFrom, func(rec []byte) error {
+		return s.applyRecord(ctx, rec)
+	})
+	s.replaying = false
+	if err != nil {
+		return err
+	}
+	// Replayed-but-not-checkpointed history counts toward the next
+	// checkpoint: a crash loop must not defer checkpointing forever.
+	s.walBytes = 0
+
+	if err := s.sweepOrphansLocked(ctx); err != nil {
+		return err
+	}
+	//reed-vet:ignore lockguard — recover runs before Open publishes the store; s.mu is uncontended.
+	return s.scrubLocked(ctx)
+}
+
+// sweepOrphansLocked deletes container blobs the recovered state does
+// not own: a container sealed-but-not-committed before the crash, or
+// one whose committed compaction did not get to delete it. Either way
+// the recovered index holds no locations in it.
+func (s *Store) sweepOrphansLocked(ctx context.Context) error {
+	names, err := s.backend.List(ctx, store.NSContainers)
+	if err != nil {
+		return fmt.Errorf("dedup: list containers: %w", err)
+	}
+	for _, name := range names {
+		id, ok := parseContainerName(name)
+		if !ok {
+			return fmt.Errorf("dedup: foreign blob %q in container namespace", name)
+		}
+		if _, live := s.containers[id]; !live {
+			if err := s.backend.Delete(ctx, store.NSContainers, name); err != nil {
+				return fmt.Errorf("dedup: sweep orphan container %d: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// scrubLocked cross-checks the recovered index against each sealed
+// container's own packfile index, using ranged reads (footer + index
+// section) so no container body is transferred. Every recovered
+// location must exist in its container with matching offset and
+// length, and the per-container live-byte accounting must agree.
+func (s *Store) scrubLocked(ctx context.Context) error {
+	byContainer := make(map[uint64]map[fingerprint.Fingerprint]Location)
+	for fp, loc := range s.index {
+		if loc.Container == s.currentID {
+			continue // open container: in memory, nothing to scrub
+		}
+		m := byContainer[loc.Container]
+		if m == nil {
+			m = make(map[fingerprint.Fingerprint]Location)
+			byContainer[loc.Container] = m
+		}
+		m[fp] = loc
+	}
+	for id := range byContainer {
+		if _, ok := s.containers[id]; !ok {
+			return fmt.Errorf("dedup: scrub: index references dropped container %d", id)
+		}
+	}
+
+	for id, info := range s.containers {
+		entries, err := packfile.ReadIndex(ctx, s.backend, store.NSContainers, containerName(id))
+		if err != nil {
+			return fmt.Errorf("dedup: scrub container %d: %w", id, err)
+		}
+		have := make(map[fingerprint.Fingerprint]packfile.Entry, len(entries))
+		for _, e := range entries {
+			have[e.FP] = e
+		}
+		var liveSum uint64
+		for fp, loc := range byContainer[id] {
+			e, ok := have[fp]
+			if !ok {
+				return fmt.Errorf("dedup: scrub: container %d lacks chunk %s", id, fp.Short())
+			}
+			if e.Offset != uint64(loc.Offset) || e.Length != loc.Length {
+				return fmt.Errorf("dedup: scrub: container %d chunk %s at [%d,+%d), index says [%d,+%d)",
+					id, fp.Short(), e.Offset, e.Length, loc.Offset, loc.Length)
+			}
+			liveSum += uint64(loc.Length)
+		}
+		if liveSum != info.Live {
+			return fmt.Errorf("dedup: scrub: container %d live bytes %d, accounting says %d",
+				id, liveSum, info.Live)
+		}
+	}
+	return nil
+}
+
+// checkpointLocked folds all state into one snapshot blob (a single
+// atomic backend Put), then truncates the WAL below the recorded
+// position. A crash between the two leaves stale segments that the
+// next recovery skips (replay starts at the snapshot's position).
+func (s *Store) checkpointLocked(ctx context.Context) error {
+	if err := s.flushPendingLocked(ctx); err != nil {
+		return err
+	}
+	if err := s.backend.Put(ctx, store.NSMeta, indexBlobName, s.encodeSnapshotLocked()); err != nil {
+		return fmt.Errorf("dedup: write snapshot: %w", err)
+	}
+	s.walBytes = 0
+	if err := s.log.TruncateBefore(ctx, s.log.Next()); err != nil {
+		return fmt.Errorf("dedup: truncate wal: %w", err)
+	}
+	return nil
+}
+
+// encodeSnapshotLocked serializes the complete store state, sorted for
+// determinism, with a trailing CRC-32.
+func (s *Store) encodeSnapshotLocked() []byte {
+	w := binenc.NewWriter(len(s.index)*(fingerprint.Size+20) + len(s.current) + 256)
+	w.Uint8(snapshotVersion)
+	w.Uint64(s.log.Next()) // replay position: records before this are folded in
+	w.Uint64(s.currentID)
+	w.Uint64(s.stats.TotalPuts)
+	w.Uint64(s.stats.DedupedPuts)
+	w.Uint64(s.stats.LogicalBytes)
+	w.Uint64(s.stats.PhysicalBytes)
+	w.Uint64(s.stats.FreedChunks)
+	w.Uint64(s.stats.FreedBytes)
+	w.Uint64(s.stats.CompactedContainers)
+	w.Uint64(s.openDead)
+
+	fps := make([]fingerprint.Fingerprint, 0, len(s.index))
+	for fp := range s.index {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return string(fps[i][:]) < string(fps[j][:]) })
+	w.Uvarint(uint64(len(fps)))
+	for _, fp := range fps {
+		loc := s.index[fp]
+		w.Raw(fp[:])
+		w.Uint64(loc.Container)
+		w.Uint32(loc.Offset)
+		w.Uint32(loc.Length)
+		w.Uint32(s.refs[fp])
+	}
+
+	ids := make([]uint64, 0, len(s.containers))
+	for id := range s.containers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		info := s.containers[id]
+		w.Uint64(id)
+		w.Uint64(info.Live)
+		w.Uint64(info.Dead)
+	}
+
+	w.WriteBytes(s.current)
+
+	blob := w.Bytes()
+	return binary.BigEndian.AppendUint32(blob, crc32.ChecksumIEEE(blob))
+}
+
+// loadSnapshot restores the last checkpoint, returning the WAL replay
+// position (0 when no snapshot exists — a fresh store, or one that
+// crashed before its first checkpoint).
+func (s *Store) loadSnapshot(ctx context.Context) (uint64, error) {
+	blob, err := s.backend.Get(ctx, store.NSMeta, indexBlobName)
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dedup: load snapshot: %w", err)
+	}
+	if len(blob) < 5 {
+		return 0, errors.New("dedup: snapshot too short")
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return 0, errors.New("dedup: snapshot checksum mismatch")
+	}
+
+	r := binenc.NewReader(body)
+	version, err := r.Uint8()
+	if err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	if version != snapshotVersion {
+		return 0, fmt.Errorf("dedup: unsupported snapshot version %d (want %d)", version, snapshotVersion)
+	}
+	walFrom, err := r.Uint64()
+	if err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	if s.currentID, err = r.Uint64(); err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	for _, field := range []*uint64{
+		&s.stats.TotalPuts, &s.stats.DedupedPuts,
+		&s.stats.LogicalBytes, &s.stats.PhysicalBytes,
+		&s.stats.FreedChunks, &s.stats.FreedBytes,
+		&s.stats.CompactedContainers, &s.openDead,
+	} {
+		if *field, err = r.Uint64(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+		}
+	}
+
+	count, err := r.Uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	s.index = make(map[fingerprint.Fingerprint]Location, count)
+	s.refs = make(map[fingerprint.Fingerprint]uint32, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := r.ReadRaw(fingerprint.Size)
+		if err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot entry %d: %w", i, err)
+		}
+		fp, err := fingerprint.FromSlice(raw)
+		if err != nil {
+			return 0, err
+		}
+		var loc Location
+		if loc.Container, err = r.Uint64(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot entry %d: %w", i, err)
+		}
+		if loc.Offset, err = r.Uint32(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot entry %d: %w", i, err)
+		}
+		if loc.Length, err = r.Uint32(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot entry %d: %w", i, err)
+		}
+		refs, err := r.Uint32()
+		if err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot entry %d: %w", i, err)
+		}
+		s.index[fp] = loc
+		s.refs[fp] = refs
+	}
+
+	ccount, err := r.Uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	s.containers = make(map[uint64]containerInfo, ccount)
+	for i := uint64(0); i < ccount; i++ {
+		id, err := r.Uint64()
+		if err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot container %d: %w", i, err)
+		}
+		var info containerInfo
+		if info.Live, err = r.Uint64(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot container %d: %w", i, err)
+		}
+		if info.Dead, err = r.Uint64(); err != nil {
+			return 0, fmt.Errorf("dedup: parse snapshot container %d: %w", i, err)
+		}
+		s.containers[id] = info
+	}
+
+	open, err := r.ReadBytes()
+	if err != nil {
+		return 0, fmt.Errorf("dedup: parse snapshot: %w", err)
+	}
+	s.current = append(s.current[:0], open...)
+	if !r.Done() {
+		return 0, errors.New("dedup: trailing bytes in snapshot")
+	}
+	return walFrom, nil
+}

@@ -94,7 +94,8 @@ func Fig9StorageOverhead(o Options, to TraceOptions) ([]StorageDay, error) {
 	if err != nil {
 		return nil, err
 	}
-	chunkStore, err := dedup.Open(store.NewMemory(), dedup.DefaultContainerSize)
+	ctx := context.Background() // offline experiment, no caller to inherit from
+	chunkStore, err := dedup.Open(ctx, store.NewMemory(), dedup.DefaultContainerSize)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +120,7 @@ func Fig9StorageOverhead(o Options, to TraceOptions) ([]StorageDay, error) {
 				if err != nil {
 					return nil, err
 				}
-				if _, err := chunkStore.Put(fingerprint.New(pkg.Trimmed), pkg.Trimmed); err != nil {
+				if _, err := chunkStore.Put(ctx, fingerprint.New(pkg.Trimmed), pkg.Trimmed); err != nil {
 					return nil, err
 				}
 				stubBytes += uint64(len(pkg.Stub))

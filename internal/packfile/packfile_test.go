@@ -1,0 +1,165 @@
+package packfile
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+var ctx = context.Background()
+
+// build returns a packfile of the given chunks plus the expected
+// entries.
+func build(chunks ...[]byte) ([]byte, []Entry) {
+	w := NewWriter(0)
+	var entries []Entry
+	for _, c := range chunks {
+		fp := fingerprint.New(c)
+		off := w.Add(fp, c)
+		entries = append(entries, Entry{FP: fp, Offset: off, Length: uint32(len(c))})
+	}
+	return w.Finish(), entries
+}
+
+func TestRoundTrip(t *testing.T) {
+	chunks := [][]byte{
+		[]byte("first chunk"),
+		[]byte("second, longer chunk of data"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	blob, want := build(chunks...)
+
+	entries, body, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(chunks) {
+		t.Fatalf("decoded %d entries, want %d", len(entries), len(chunks))
+	}
+	var off uint64
+	for i, e := range entries {
+		if e.FP != want[i].FP || e.Offset != off || e.Length != uint32(len(chunks[i])) {
+			t.Fatalf("entry %d = %+v, want offset %d length %d", i, e, off, len(chunks[i]))
+		}
+		if !bytes.Equal(body[e.Offset:e.Offset+uint64(e.Length)], chunks[i]) {
+			t.Fatalf("chunk %d bytes differ", i)
+		}
+		off += uint64(e.Length)
+	}
+}
+
+func TestEmptyPackfile(t *testing.T) {
+	blob, _ := build()
+	entries, body, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || len(body) != 0 {
+		t.Fatalf("empty packfile decoded to %d entries, %d body bytes", len(entries), len(body))
+	}
+}
+
+func TestTruncationAlwaysErrors(t *testing.T) {
+	blob, _ := build([]byte("alpha"), []byte("beta"), []byte("gamma"))
+	for cut := 0; cut < len(blob); cut++ {
+		if _, _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded", cut, len(blob))
+		}
+	}
+}
+
+func TestCorruptionAlwaysErrors(t *testing.T) {
+	blob, _ := build([]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{7}, 512))
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xFF
+		if _, _, err := Decode(mut); err == nil {
+			t.Fatalf("Decode with byte %d flipped succeeded", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Decode with byte %d flipped: %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestReadIndex(t *testing.T) {
+	blob, want := build([]byte("one"), []byte("two"), []byte("three"))
+	b := store.NewMemory()
+	if err := b.Put(ctx, store.NSContainers, "c1", blob); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadIndex(ctx, b, store.NSContainers, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("ReadIndex returned %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if e.FP != want[i].FP || e.Offset != want[i].Offset || e.Length != want[i].Length {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+}
+
+func TestReadIndexCorruptFooter(t *testing.T) {
+	blob, _ := build([]byte("one"))
+	blob[len(blob)-1] ^= 0xFF // footer magic
+	b := store.NewMemory()
+	if err := b.Put(ctx, store.NSContainers, "c1", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(ctx, b, store.NSContainers, "c1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadIndex = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadIndexTruncatedBlob(t *testing.T) {
+	b := store.NewMemory()
+	if err := b.Put(ctx, store.NSContainers, "c1", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, store.NSContainers, "c2", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c1", "c2"} {
+		if _, err := ReadIndex(ctx, b, store.NSContainers, name); err == nil {
+			t.Fatalf("ReadIndex(%s) succeeded on a non-packfile", name)
+		}
+	}
+}
+
+func FuzzPackfileDecode(f *testing.F) {
+	seed, _ := build([]byte("seed chunk"), bytes.Repeat([]byte{3}, 256), []byte("tail"))
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+FooterSize))
+	empty, _ := build()
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		entries, body, err := Decode(blob)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		// Accepted input must be internally consistent: every entry in
+		// bounds, and re-encoding the decoded contents must produce a
+		// blob Decode accepts again.
+		w := NewWriter(len(body))
+		for _, e := range entries {
+			end := e.Offset + uint64(e.Length)
+			if end < e.Offset || end > uint64(len(body)) {
+				t.Fatalf("accepted entry out of bounds: %+v", e)
+			}
+			w.Add(e.FP, body[e.Offset:end])
+		}
+		if _, _, err := Decode(w.Finish()); err != nil {
+			t.Fatalf("re-encode of accepted packfile rejected: %v", err)
+		}
+	})
+}

@@ -20,7 +20,7 @@ import (
 // Shutdown reports the normalized net.ErrClosed, so callers can
 // distinguish a clean stop from a real accept failure.
 func TestServeReturnsErrClosedAfterShutdown(t *testing.T) {
-	srv, err := New(store.NewMemory())
+	srv, err := New(ctx, store.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestServeReturnsErrClosedAfterShutdown(t *testing.T) {
 func TestOneConnectionMixedPlanes(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	srv, err := New(store.NewMemory())
+	srv, err := New(ctx, store.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}

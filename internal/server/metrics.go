@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/metrics"
@@ -39,6 +40,7 @@ func (s *Server) initMetrics() {
 	s.reg.SetGaugeFunc("dedup_physical_bytes", func() float64 { return float64(s.chunks.Stats().PhysicalBytes) })
 	s.reg.SetGaugeFunc("dedup_savings_ratio", func() float64 { return s.chunks.Stats().SavingsRatio() })
 	s.reg.SetGaugeFunc("dedup_container_count", func() float64 { return float64(s.chunks.ContainerCount()) })
+	s.reg.SetGaugeFunc("dedup_unique_chunk_count", func() float64 { return float64(s.chunks.UniqueChunks()) })
 	s.reg.SetGaugeFunc("dedup_ref_inflation", func() float64 { return float64(s.chunks.RefInflation()) })
 	s.reg.SetGaugeFunc("blob_stub_bytes", func() float64 {
 		s.stubMu.Lock()
@@ -57,13 +59,13 @@ func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
 // dispatchTimed wraps dispatch with per-op accounting. With no registry
 // attached it is a plain tail call — instrumentation must cost nothing
 // when disabled.
-func (s *Server) dispatchTimed(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
+func (s *Server) dispatchTimed(ctx context.Context, typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
 	if s.ops == nil {
-		return s.dispatch(typ, payload)
+		return s.dispatch(ctx, typ, payload)
 	}
 	s.inflightReqs.Inc()
 	start := time.Now()
-	respType, respPayload := s.dispatch(typ, payload)
+	respType, respPayload := s.dispatch(ctx, typ, payload)
 	s.inflightReqs.Dec()
 	s.ops.Observe(int(typ), time.Since(start), respType == proto.MsgError)
 	return respType, respPayload

@@ -16,6 +16,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -45,6 +46,12 @@ type Server struct {
 	backend store.Backend
 	chunks  *dedup.Store
 	workers int
+
+	// baseCtx is the lifecycle root for request handling: it parents
+	// every dispatched request and is canceled by Shutdown once the
+	// final flush has completed.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -81,9 +88,12 @@ func (o workersOption) applyServer(s *Server) { s.workers = int(o) }
 // protocol's backpressure.
 func WithWorkers(n int) Option { return workersOption(n) }
 
-// New returns a server over the given backend.
-func New(backend store.Backend, opts ...Option) (*Server, error) {
-	chunks, err := dedup.Open(backend, dedup.DefaultContainerSize)
+// New returns a server over the given backend. The context governs
+// construction only — it bounds the dedup store's crash recovery
+// (snapshot load, WAL replay, container scrub), which can take real
+// time on a large store.
+func New(ctx context.Context, backend store.Backend, opts ...Option) (*Server, error) {
+	chunks, err := dedup.Open(ctx, backend, dedup.DefaultContainerSize)
 	if err != nil {
 		return nil, fmt.Errorf("server: open dedup store: %w", err)
 	}
@@ -94,6 +104,8 @@ func New(backend store.Backend, opts ...Option) (*Server, error) {
 		conns:     make(map[net.Conn]struct{}),
 		stubSizes: make(map[string]int),
 	}
+	//reed-vet:ignore ctxrule — the server's lifecycle root, canceled by Shutdown.
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o.applyServer(s)
 	}
@@ -146,7 +158,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Shutdown stops the server and flushes the dedup store.
+// Shutdown stops the server and flushes the dedup store. The final
+// flush runs under the lifecycle context, which is canceled only after
+// the flush finishes (or fails).
 func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	s.shutdown = true
@@ -158,7 +172,9 @@ func (s *Server) Shutdown() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return s.chunks.Flush()
+	err := s.chunks.Flush(s.baseCtx)
+	s.cancelBase()
+	return err
 }
 
 // Stats returns the server's dedup statistics.
@@ -238,7 +254,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				<-sem
 				handlers.Done()
 			}()
-			respType, respPayload := s.dispatchTimed(typ, payload)
+			respType, respPayload := s.dispatchTimed(s.baseCtx, typ, payload)
 			respCh <- outFrame{typ: respType, id: id, payload: respPayload}
 		}()
 	}
@@ -247,24 +263,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	<-writerDone
 }
 
-func (s *Server) dispatch(typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
+func (s *Server) dispatch(ctx context.Context, typ proto.MsgType, payload []byte) (proto.MsgType, []byte) {
 	switch typ {
 	case proto.MsgPutChunksReq:
-		return s.putChunks(payload)
+		return s.putChunks(ctx, payload)
 	case proto.MsgGetChunksReq:
-		return s.getChunks(payload)
+		return s.getChunks(ctx, payload)
 	case proto.MsgPutBlobReq:
-		return s.putBlob(payload)
+		return s.putBlob(ctx, payload)
 	case proto.MsgGetBlobReq:
-		return s.getBlob(payload)
+		return s.getBlob(ctx, payload)
 	case proto.MsgListBlobsReq:
-		return s.listBlobs(payload)
+		return s.listBlobs(ctx, payload)
 	case proto.MsgDerefChunksReq:
-		return s.derefChunks(payload)
+		return s.derefChunks(ctx, payload)
 	case proto.MsgDeleteBlobReq:
-		return s.deleteBlob(payload)
+		return s.deleteBlob(ctx, payload)
 	case proto.MsgChallengeReq:
-		return s.challenge(payload)
+		return s.challenge(ctx, payload)
 	case proto.MsgStatsReq:
 		return proto.MsgStatsResp, proto.EncodeStats(s.Stats())
 	case proto.MsgMetricsReq:
@@ -274,7 +290,7 @@ func (s *Server) dispatch(typ proto.MsgType, payload []byte) (proto.MsgType, []b
 	}
 }
 
-func (s *Server) putChunks(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) putChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	chunks, err := proto.DecodePutChunksReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
@@ -291,23 +307,29 @@ func (s *Server) putChunks(payload []byte) (proto.MsgType, []byte) {
 			return proto.MsgError, proto.EncodeError(fmt.Sprintf(
 				"put chunk %d: fingerprint mismatch (possible poisoning attempt)", i))
 		}
-		dup, err := s.chunks.Put(c.FP, c.Data)
+		dup, err := s.chunks.Put(ctx, c.FP, c.Data)
 		if err != nil {
 			return proto.MsgError, proto.EncodeError(fmt.Sprintf("put chunk %d: %v", i, err))
 		}
 		dups[i] = dup
 	}
+	// The response is the durability acknowledgment: once the client sees
+	// it, these chunks must survive kill -9, so the batch's WAL records
+	// are committed before replying.
+	if err := s.chunks.Commit(ctx); err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("commit chunks: %v", err))
+	}
 	return proto.MsgPutChunksResp, proto.EncodePutChunksResp(dups)
 }
 
-func (s *Server) getChunks(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) getChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	fps, err := proto.DecodeGetChunksReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	datas := make([][]byte, len(fps))
 	for i, fp := range fps {
-		data, err := s.chunks.Get(fp)
+		data, err := s.chunks.Get(ctx, fp)
 		if err != nil {
 			return proto.MsgError, proto.EncodeError(fmt.Sprintf("get chunk %s: %v", fp.Short(), err))
 		}
@@ -316,7 +338,7 @@ func (s *Server) getChunks(payload []byte) (proto.MsgType, []byte) {
 	return proto.MsgGetChunksResp, proto.EncodeBlobList(datas)
 }
 
-func (s *Server) putBlob(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) putBlob(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	ns, name, data, err := proto.DecodeBlobReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
@@ -324,7 +346,7 @@ func (s *Server) putBlob(payload []byte) (proto.MsgType, []byte) {
 	if !allowedNamespaces[ns] {
 		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
 	}
-	if err := s.backend.Put(ns, name, data); err != nil {
+	if err := s.backend.Put(ctx, ns, name, data); err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	if ns == store.NSStubs {
@@ -337,7 +359,7 @@ func (s *Server) putBlob(payload []byte) (proto.MsgType, []byte) {
 	return proto.MsgPutBlobResp, nil
 }
 
-func (s *Server) getBlob(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) getBlob(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	ns, name, _, err := proto.DecodeBlobReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
@@ -345,14 +367,14 @@ func (s *Server) getBlob(payload []byte) (proto.MsgType, []byte) {
 	if !allowedNamespaces[ns] {
 		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
 	}
-	data, err := s.backend.Get(ns, name)
+	data, err := s.backend.Get(ctx, ns, name)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	return proto.MsgGetBlobResp, data
 }
 
-func (s *Server) listBlobs(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) listBlobs(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	ns, err := proto.DecodeListBlobsReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
@@ -360,7 +382,7 @@ func (s *Server) listBlobs(payload []byte) (proto.MsgType, []byte) {
 	if !allowedNamespaces[ns] {
 		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
 	}
-	names, err := s.backend.List(ns)
+	names, err := s.backend.List(ctx, ns)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
@@ -369,14 +391,14 @@ func (s *Server) listBlobs(payload []byte) (proto.MsgType, []byte) {
 
 // derefChunks drops one reference per listed fingerprint (MsgGetChunksReq
 // wire shape) and reports how many chunks were freed outright.
-func (s *Server) derefChunks(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) derefChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	fps, err := proto.DecodeGetChunksReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	var freed uint64
 	for i, fp := range fps {
-		left, err := s.chunks.Deref(fp)
+		left, err := s.chunks.Deref(ctx, fp)
 		if err != nil {
 			return proto.MsgError, proto.EncodeError(fmt.Sprintf("deref chunk %d: %v", i, err))
 		}
@@ -384,11 +406,16 @@ func (s *Server) derefChunks(payload []byte) (proto.MsgType, []byte) {
 			freed++
 		}
 	}
+	// Same durability contract as putChunks: acknowledged derefs must not
+	// resurrect after a crash.
+	if err := s.chunks.Commit(ctx); err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("commit derefs: %v", err))
+	}
 	return proto.MsgDerefChunksResp, proto.EncodeDerefChunksResp(freed)
 }
 
 // deleteBlob removes a blob (MsgBlobReq wire shape, data ignored).
-func (s *Server) deleteBlob(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) deleteBlob(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	ns, name, _, err := proto.DecodeBlobReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
@@ -396,7 +423,7 @@ func (s *Server) deleteBlob(payload []byte) (proto.MsgType, []byte) {
 	if !allowedNamespaces[ns] {
 		return proto.MsgError, proto.EncodeError("server: namespace not allowed: " + ns)
 	}
-	if err := s.backend.Delete(ns, name); err != nil {
+	if err := s.backend.Delete(ctx, ns, name); err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
 	if ns == store.NSStubs {
@@ -411,12 +438,12 @@ func (s *Server) deleteBlob(payload []byte) (proto.MsgType, []byte) {
 // challenge answers a remote-data-checking probe: H(nonce || chunk).
 // Possession of the exact stored bytes is required; the nonce prevents
 // precomputation and replay.
-func (s *Server) challenge(payload []byte) (proto.MsgType, []byte) {
+func (s *Server) challenge(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
 	fp, nonce, err := proto.DecodeChallengeReq(payload)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(err.Error())
 	}
-	data, err := s.chunks.Get(fp)
+	data, err := s.chunks.Get(ctx, fp)
 	if err != nil {
 		return proto.MsgError, proto.EncodeError(fmt.Sprintf("challenge %s: %v", fp.Short(), err))
 	}
@@ -429,10 +456,10 @@ func (s *Server) HasChunk(fp fingerprint.Fingerprint) bool {
 	return s.chunks.Has(fp)
 }
 
-// Flush seals the open container and persists the dedup index without
-// stopping the server.
-func (s *Server) Flush() error {
-	return s.chunks.Flush()
+// Flush seals the open container and checkpoints the dedup index
+// without stopping the server.
+func (s *Server) Flush(ctx context.Context) error {
+	return s.chunks.Flush(ctx)
 }
 
 // Backend exposes the underlying blob store (fault-injection tests and

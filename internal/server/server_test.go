@@ -21,7 +21,7 @@ var ctx = context.Background()
 // startServer runs a storage server over an in-memory backend.
 func startServer(t testing.TB) (*Server, string) {
 	t.Helper()
-	srv, err := New(store.NewMemory())
+	srv, err := New(ctx, store.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestPersistenceAcrossRestart(t *testing.T) {
 	backend := store.NewMemory()
-	srv1, err := New(backend)
+	srv1, err := New(ctx, backend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	}
 
 	// Restart over the same backend.
-	srv2, err := New(backend)
+	srv2, err := New(ctx, backend)
 	if err != nil {
 		t.Fatal(err)
 	}

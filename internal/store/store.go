@@ -4,17 +4,33 @@
 // The paper separates the storage backend into a data store (file
 // recipes, trimmed packages in containers, stub files) and a key store
 // (encrypted key states). Both are namespace/key → blob maps; this
-// package supplies an in-memory backend for tests and benchmarks and a
-// disk backend mirroring the prototype's local-disk deployment.
+// package supplies an in-memory backend for tests and benchmarks, a
+// disk backend mirroring the prototype's local-disk deployment, and an
+// HTTP object backend for S3-style remote stores.
+//
+// # Backend contract
+//
+// Every method is ctx-first and every implementation must be safe for
+// concurrent use. Two guarantees matter to callers:
+//
+//   - Put is atomic: a reader (Get, GetRange, List) never observes a
+//     torn or partially written blob — it sees either the old blob, the
+//     new blob, or ErrNotFound. The disk backend implements this with
+//     write-to-temp + fsync + rename; the dedup layer's checkpoints
+//     depend on it.
+//   - GetRange reads a byte range without transferring the whole blob,
+//     so packfile index reads skip whole-container copies. A negative
+//     offset addresses from the end (off=-32 reads the final 32 bytes,
+//     like an HTTP suffix range); a negative length means "to the end".
+//     Ranges extending past either edge of the blob fail with ErrRange
+//     rather than being silently clamped.
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 )
 
@@ -25,27 +41,66 @@ const (
 	NSStubs      = "stubs"
 	NSKeyStates  = "keystates"
 	NSMeta       = "meta"
+	// NSWAL holds the dedup store's write-ahead log segments. Like
+	// NSContainers and NSMeta it is server-internal: clients cannot
+	// address it through the blob plane.
+	NSWAL = "wal"
 )
 
 // ErrNotFound is returned when a blob does not exist.
 var ErrNotFound = errors.New("store: not found")
 
+// ErrRange is returned by GetRange when the requested byte range does
+// not lie within the blob.
+var ErrRange = errors.New("store: range out of bounds")
+
 // Backend is a flat blob store keyed by (namespace, name).
 // Implementations must be safe for concurrent use.
 type Backend interface {
 	// Put stores data under (ns, name), overwriting any existing blob.
-	Put(ns, name string, data []byte) error
+	// The write is atomic: concurrent readers see the old blob or the
+	// new one, never a mixture, and a crash mid-Put never leaves a torn
+	// blob behind.
+	Put(ctx context.Context, ns, name string, data []byte) error
 	// Get returns the blob at (ns, name) or ErrNotFound.
-	Get(ns, name string) ([]byte, error)
+	Get(ctx context.Context, ns, name string) ([]byte, error)
+	// GetRange returns n bytes of the blob starting at off. off < 0
+	// addresses from the end of the blob (a suffix read); n < 0 means
+	// "through the end". A range that does not fit the blob returns
+	// ErrRange; a missing blob returns ErrNotFound.
+	GetRange(ctx context.Context, ns, name string, off, n int64) ([]byte, error)
 	// Has reports whether (ns, name) exists.
-	Has(ns, name string) (bool, error)
+	Has(ctx context.Context, ns, name string) (bool, error)
 	// Delete removes (ns, name); deleting a missing blob is not an
 	// error.
-	Delete(ns, name string) error
+	Delete(ctx context.Context, ns, name string) error
 	// List returns the names in ns, sorted.
-	List(ns string) ([]string, error)
-	// Close releases resources.
+	List(ctx context.Context, ns string) ([]string, error)
+	// Close flushes any buffered state and releases resources.
 	Close() error
+}
+
+// resolveRange maps a (off, n) request onto a blob of the given size,
+// returning the [start, end) window. It implements the GetRange
+// contract shared by every backend: off < 0 is a suffix read, n < 0
+// means "to the end", and anything not fully inside the blob is
+// ErrRange.
+func resolveRange(off, n, size int64) (start, end int64, err error) {
+	start = off
+	if off < 0 {
+		start = size + off
+	}
+	if start < 0 || start > size {
+		return 0, 0, fmt.Errorf("%w: offset %d of %d bytes", ErrRange, off, size)
+	}
+	if n < 0 {
+		return start, size, nil
+	}
+	end = start + n
+	if end > size {
+		return 0, 0, fmt.Errorf("%w: [%d, %d) of %d bytes", ErrRange, start, end, size)
+	}
+	return start, end, nil
 }
 
 // Memory is an in-memory Backend.
@@ -62,7 +117,10 @@ func NewMemory() *Memory {
 }
 
 // Put implements Backend.
-func (m *Memory) Put(ns, name string, data []byte) error {
+func (m *Memory) Put(ctx context.Context, ns, name string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	nsMap, ok := m.data[ns]
@@ -75,7 +133,10 @@ func (m *Memory) Put(ns, name string, data []byte) error {
 }
 
 // Get implements Backend.
-func (m *Memory) Get(ns, name string) ([]byte, error) {
+func (m *Memory) Get(ctx context.Context, ns, name string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	blob, ok := m.data[ns][name]
@@ -85,8 +146,29 @@ func (m *Memory) Get(ns, name string) ([]byte, error) {
 	return append([]byte(nil), blob...), nil
 }
 
+// GetRange implements Backend.
+func (m *Memory) GetRange(ctx context.Context, ns, name string, off, n int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	blob, ok := m.data[ns][name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, ns, name)
+	}
+	start, end, err := resolveRange(off, n, int64(len(blob)))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", ns, name, err)
+	}
+	return append([]byte(nil), blob[start:end]...), nil
+}
+
 // Has implements Backend.
-func (m *Memory) Has(ns, name string) (bool, error) {
+func (m *Memory) Has(ctx context.Context, ns, name string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	_, ok := m.data[ns][name]
@@ -94,7 +176,10 @@ func (m *Memory) Has(ns, name string) (bool, error) {
 }
 
 // Delete implements Backend.
-func (m *Memory) Delete(ns, name string) error {
+func (m *Memory) Delete(ctx context.Context, ns, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.data[ns], name)
@@ -102,7 +187,10 @@ func (m *Memory) Delete(ns, name string) error {
 }
 
 // List implements Backend.
-func (m *Memory) List(ns string) ([]string, error) {
+func (m *Memory) List(ctx context.Context, ns string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	names := make([]string, 0, len(m.data[ns]))
@@ -126,194 +214,3 @@ func (m *Memory) TotalBytes(ns string) int64 {
 	}
 	return total
 }
-
-// diskStripes is the number of lock stripes in a Disk backend. Power
-// of two so the stripe index is a mask.
-const diskStripes = 64
-
-// Disk is a Backend storing each blob as a file under root/ns/name.
-// Names are percent-escaped to stay within a single directory level.
-//
-// Locking is striped per (namespace, name): operations on different
-// blobs proceed in parallel (the server's concurrent handlers convoy
-// otherwise), while operations on the same blob serialize through its
-// stripe. List takes no lock at all — Put publishes blobs atomically
-// via rename, so a directory scan never observes a torn blob, only a
-// point-in-time name set, the same guarantee a global lock gave.
-type Disk struct {
-	root    string
-	stripes [diskStripes]sync.RWMutex
-}
-
-var _ Backend = (*Disk)(nil)
-
-// NewDisk returns a disk backend rooted at dir, creating it if needed.
-func NewDisk(dir string) (*Disk, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: create root: %w", err)
-	}
-	return &Disk{root: dir}, nil
-}
-
-// stripe returns the lock guarding (ns, name), via FNV-1a over the
-// joined key.
-func (d *Disk) stripe(ns, name string) *sync.RWMutex {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(ns); i++ {
-		h = (h ^ uint64(ns[i])) * prime64
-	}
-	h = (h ^ '/') * prime64
-	for i := 0; i < len(name); i++ {
-		h = (h ^ uint64(name[i])) * prime64
-	}
-	return &d.stripes[h&(diskStripes-1)]
-}
-
-// escape makes a blob name filesystem-safe.
-func escape(name string) string {
-	var sb strings.Builder
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '-', c == '_':
-			sb.WriteByte(c)
-		default:
-			fmt.Fprintf(&sb, "%%%02X", c)
-		}
-	}
-	return sb.String()
-}
-
-// unescape inverts escape.
-func unescape(name string) (string, error) {
-	var sb strings.Builder
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		if c != '%' {
-			sb.WriteByte(c)
-			continue
-		}
-		if i+2 >= len(name) {
-			return "", fmt.Errorf("store: bad escape in %q", name)
-		}
-		var v int
-		if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err != nil {
-			return "", fmt.Errorf("store: bad escape in %q: %w", name, err)
-		}
-		sb.WriteByte(byte(v))
-		i += 2
-	}
-	return sb.String(), nil
-}
-
-func (d *Disk) path(ns, name string) string {
-	return filepath.Join(d.root, escape(ns), escape(name))
-}
-
-// Put implements Backend. Writes go through a temp file + rename so a
-// crash never leaves a torn blob.
-func (d *Disk) Put(ns, name string, data []byte) error {
-	mu := d.stripe(ns, name)
-	mu.Lock()
-	defer mu.Unlock()
-	dir := filepath.Join(d.root, escape(ns))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: mkdir: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("store: write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: close: %w", err)
-	}
-	if err := os.Rename(tmpName, d.path(ns, name)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: rename: %w", err)
-	}
-	return nil
-}
-
-// Get implements Backend.
-func (d *Disk) Get(ns, name string) ([]byte, error) {
-	mu := d.stripe(ns, name)
-	mu.RLock()
-	defer mu.RUnlock()
-	data, err := os.ReadFile(d.path(ns, name))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, ns, name)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: read: %w", err)
-	}
-	return data, nil
-}
-
-// Has implements Backend.
-func (d *Disk) Has(ns, name string) (bool, error) {
-	mu := d.stripe(ns, name)
-	mu.RLock()
-	defer mu.RUnlock()
-	_, err := os.Stat(d.path(ns, name))
-	if errors.Is(err, os.ErrNotExist) {
-		return false, nil
-	}
-	if err != nil {
-		return false, fmt.Errorf("store: stat: %w", err)
-	}
-	return true, nil
-}
-
-// Delete implements Backend.
-func (d *Disk) Delete(ns, name string) error {
-	mu := d.stripe(ns, name)
-	mu.Lock()
-	defer mu.Unlock()
-	err := os.Remove(d.path(ns, name))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("store: delete: %w", err)
-	}
-	return nil
-}
-
-// List implements Backend. Lock-free: rename-published blobs mean the
-// scan sees a consistent name set without excluding writers.
-func (d *Disk) List(ns string) ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(d.root, escape(ns)))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: list: %w", err)
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		// Escaped names never start with '.'; skip temp files and
-		// other dotfiles.
-		if strings.HasPrefix(e.Name(), ".") {
-			continue
-		}
-		name, err := unescape(e.Name())
-		if err != nil {
-			return nil, err
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-// Close implements Backend.
-func (d *Disk) Close() error { return nil }

@@ -2,22 +2,43 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
 
-// backends returns one of each Backend implementation for shared tests.
+var ctx = context.Background()
+
+// backends returns one of each Backend implementation for shared
+// conformance tests: memory, disk (synced and unsynced), and the HTTP
+// backend talking to an object handler over memory.
 func backends(t *testing.T) map[string]Backend {
 	t.Helper()
 	disk, err := NewDisk(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	nosync, err := NewDisk(t.TempDir(), WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewObjectHandler(NewMemory()))
+	t.Cleanup(srv.Close)
+	httpBackend, err := NewHTTP(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Backend{
-		"memory": NewMemory(),
-		"disk":   disk,
+		"memory":      NewMemory(),
+		"disk":        disk,
+		"disk-nosync": nosync,
+		"http":        httpBackend,
 	}
 }
 
@@ -25,10 +46,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			if err := b.Put(NSRecipes, "file-1", []byte("recipe data")); err != nil {
+			if err := b.Put(ctx, NSRecipes, "file-1", []byte("recipe data")); err != nil {
 				t.Fatal(err)
 			}
-			got, err := b.Get(NSRecipes, "file-1")
+			got, err := b.Get(ctx, NSRecipes, "file-1")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,8 +64,73 @@ func TestGetMissing(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			if _, err := b.Get(NSRecipes, "absent"); !errors.Is(err, ErrNotFound) {
+			if _, err := b.Get(ctx, NSRecipes, "absent"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("error = %v, want ErrNotFound", err)
+			}
+			if _, err := b.GetRange(ctx, NSRecipes, "absent", 0, 1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("GetRange error = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	blob := []byte("0123456789abcdef")
+	cases := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"},
+		{4, 4, "4567"},
+		{0, -1, "0123456789abcdef"},
+		{12, -1, "cdef"},
+		{-4, -1, "cdef"},
+		{-4, 4, "cdef"},
+		{-16, 3, "012"},
+		{-4, 2, "cd"},
+		{16, -1, ""},
+		{0, 0, ""},
+		{16, 0, ""},
+	}
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put(ctx, NSContainers, "r", blob); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cases {
+				got, err := b.GetRange(ctx, NSContainers, "r", c.off, c.n)
+				if err != nil {
+					t.Fatalf("GetRange(%d, %d): %v", c.off, c.n, err)
+				}
+				if string(got) != c.want {
+					t.Fatalf("GetRange(%d, %d) = %q, want %q", c.off, c.n, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestGetRangeOutOfBounds(t *testing.T) {
+	blob := []byte("0123456789")
+	cases := []struct{ off, n int64 }{
+		{0, 11},   // past the end
+		{10, 1},   // starts at EOF, wants a byte
+		{11, -1},  // starts past EOF
+		{-11, -1}, // suffix longer than the blob
+		{-4, 5},   // suffix window shorter than requested
+		{8, 3},    // tail overrun
+	}
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put(ctx, NSContainers, "r", blob); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cases {
+				if _, err := b.GetRange(ctx, NSContainers, "r", c.off, c.n); !errors.Is(err, ErrRange) {
+					t.Fatalf("GetRange(%d, %d) = %v, want ErrRange", c.off, c.n, err)
+				}
 			}
 		})
 	}
@@ -54,13 +140,13 @@ func TestHas(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			if ok, err := b.Has(NSStubs, "x"); err != nil || ok {
+			if ok, err := b.Has(ctx, NSStubs, "x"); err != nil || ok {
 				t.Fatalf("Has(absent) = %v, %v", ok, err)
 			}
-			if err := b.Put(NSStubs, "x", []byte("s")); err != nil {
+			if err := b.Put(ctx, NSStubs, "x", []byte("s")); err != nil {
 				t.Fatal(err)
 			}
-			if ok, err := b.Has(NSStubs, "x"); err != nil || !ok {
+			if ok, err := b.Has(ctx, NSStubs, "x"); err != nil || !ok {
 				t.Fatalf("Has(present) = %v, %v", ok, err)
 			}
 		})
@@ -71,9 +157,9 @@ func TestOverwrite(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			b.Put(NSMeta, "k", []byte("v1"))
-			b.Put(NSMeta, "k", []byte("v2"))
-			got, err := b.Get(NSMeta, "k")
+			b.Put(ctx, NSMeta, "k", []byte("v1"))
+			b.Put(ctx, NSMeta, "k", []byte("v2"))
+			got, err := b.Get(ctx, NSMeta, "k")
 			if err != nil || !bytes.Equal(got, []byte("v2")) {
 				t.Fatalf("Get after overwrite = %q, %v", got, err)
 			}
@@ -85,15 +171,15 @@ func TestDelete(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			b.Put(NSMeta, "k", []byte("v"))
-			if err := b.Delete(NSMeta, "k"); err != nil {
+			b.Put(ctx, NSMeta, "k", []byte("v"))
+			if err := b.Delete(ctx, NSMeta, "k"); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := b.Get(NSMeta, "k"); !errors.Is(err, ErrNotFound) {
+			if _, err := b.Get(ctx, NSMeta, "k"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("error = %v, want ErrNotFound", err)
 			}
 			// Deleting a missing blob is not an error.
-			if err := b.Delete(NSMeta, "k"); err != nil {
+			if err := b.Delete(ctx, NSMeta, "k"); err != nil {
 				t.Fatalf("Delete(missing) = %v", err)
 			}
 		})
@@ -104,14 +190,14 @@ func TestList(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			names, err := b.List(NSContainers)
+			names, err := b.List(ctx, NSContainers)
 			if err != nil || len(names) != 0 {
 				t.Fatalf("List(empty) = %v, %v", names, err)
 			}
 			for _, n := range []string{"c", "a", "b"} {
-				b.Put(NSContainers, n, []byte(n))
+				b.Put(ctx, NSContainers, n, []byte(n))
 			}
-			names, err = b.List(NSContainers)
+			names, err = b.List(ctx, NSContainers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,9 +218,9 @@ func TestNamespaceIsolation(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
-			b.Put(NSRecipes, "k", []byte("recipe"))
-			b.Put(NSStubs, "k", []byte("stub"))
-			got, err := b.Get(NSRecipes, "k")
+			b.Put(ctx, NSRecipes, "k", []byte("recipe"))
+			b.Put(ctx, NSStubs, "k", []byte("stub"))
+			got, err := b.Get(ctx, NSRecipes, "k")
 			if err != nil || !bytes.Equal(got, []byte("recipe")) {
 				t.Fatal("namespace collision")
 			}
@@ -154,15 +240,15 @@ func TestAwkwardNames(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			defer b.Close()
 			for _, key := range awkward {
-				if err := b.Put(NSRecipes, key, []byte(key)); err != nil {
+				if err := b.Put(ctx, NSRecipes, key, []byte(key)); err != nil {
 					t.Fatalf("Put(%q): %v", key, err)
 				}
-				got, err := b.Get(NSRecipes, key)
+				got, err := b.Get(ctx, NSRecipes, key)
 				if err != nil || !bytes.Equal(got, []byte(key)) {
 					t.Fatalf("Get(%q) = %q, %v", key, got, err)
 				}
 			}
-			names, err := b.List(NSRecipes)
+			names, err := b.List(ctx, NSRecipes)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,12 +259,31 @@ func TestAwkwardNames(t *testing.T) {
 	}
 }
 
+func TestCanceledContext(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer b.Close()
+			if err := b.Put(canceled, NSMeta, "k", []byte("v")); err == nil {
+				t.Fatal("Put with canceled context succeeded")
+			}
+			if _, err := b.Get(canceled, NSMeta, "k"); err == nil {
+				t.Fatal("Get with canceled context succeeded")
+			}
+			if _, err := b.List(canceled, NSMeta); err == nil {
+				t.Fatal("List with canceled context succeeded")
+			}
+		})
+	}
+}
+
 func TestPutCopiesData(t *testing.T) {
 	m := NewMemory()
 	data := []byte("mutable")
-	m.Put(NSMeta, "k", data)
+	m.Put(ctx, NSMeta, "k", data)
 	data[0] ^= 0xFF
-	got, _ := m.Get(NSMeta, "k")
+	got, _ := m.Get(ctx, NSMeta, "k")
 	if got[0] == data[0] {
 		t.Fatal("memory backend aliased the caller's slice")
 	}
@@ -186,9 +291,9 @@ func TestPutCopiesData(t *testing.T) {
 
 func TestMemoryTotalBytes(t *testing.T) {
 	m := NewMemory()
-	m.Put(NSContainers, "a", make([]byte, 100))
-	m.Put(NSContainers, "b", make([]byte, 50))
-	m.Put(NSStubs, "c", make([]byte, 7))
+	m.Put(ctx, NSContainers, "a", make([]byte, 100))
+	m.Put(ctx, NSContainers, "b", make([]byte, 50))
+	m.Put(ctx, NSStubs, "c", make([]byte, 7))
 	if got := m.TotalBytes(NSContainers); got != 150 {
 		t.Fatalf("TotalBytes = %d, want 150", got)
 	}
@@ -200,7 +305,7 @@ func TestDiskPersistsAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d1.Put(NSRecipes, "persist", []byte("durable")); err != nil {
+	if err := d1.Put(ctx, NSRecipes, "persist", []byte("durable")); err != nil {
 		t.Fatal(err)
 	}
 	d1.Close()
@@ -210,9 +315,36 @@ func TestDiskPersistsAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d2.Close()
-	got, err := d2.Get(NSRecipes, "persist")
+	got, err := d2.Get(ctx, NSRecipes, "persist")
 	if err != nil || !bytes.Equal(got, []byte("durable")) {
 		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+// TestDiskPutLeavesNoTemp verifies Put cleans up: after a successful
+// Put only the published file remains — no .tmp-* litter for List to
+// skip forever or for recovery to misread.
+func TestDiskPutLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put(ctx, NSContainers, "c1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "containers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 entry, got %d", len(entries))
 	}
 }
 
@@ -237,6 +369,68 @@ func TestUnescapeErrors(t *testing.T) {
 	}
 }
 
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		header string
+		off, n int64
+		ok     bool
+	}{
+		{"bytes=0-3", 0, 4, true},
+		{"bytes=5-5", 5, 1, true},
+		{"bytes=7-", 7, -1, true},
+		{"bytes=-32", -32, -1, true},
+		{"", 0, 0, false},
+		{"bytes=", 0, 0, false},
+		{"bytes=3-1", 0, 0, false},
+		{"bytes=-0", 0, 0, false},
+		{"bytes=0-3,5-7", 0, 0, false},
+		{"chars=0-3", 0, 0, false},
+	}
+	for _, c := range cases {
+		off, n, ok := parseRange(c.header)
+		if ok != c.ok || (ok && (off != c.off || n != c.n)) {
+			t.Errorf("parseRange(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.header, off, n, ok, c.off, c.n, c.ok)
+		}
+	}
+}
+
+func TestHTTPBackendOverDisk(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewObjectHandler(disk))
+	defer srv.Close()
+	h, err := NewHTTP(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	blob := bytes.Repeat([]byte("xyz"), 100)
+	if err := h.Put(ctx, NSContainers, "c1", blob); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := h.GetRange(ctx, NSContainers, "c1", -6, -1)
+	if err != nil || !bytes.Equal(tail, []byte("xyzxyz")) {
+		t.Fatalf("suffix read = %q, %v", tail, err)
+	}
+	// The blob went through to disk, readable directly.
+	got, err := disk.Get(ctx, NSContainers, "c1")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("disk read-through = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestNewHTTPRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"ftp://host/x", "http://", "://nope", "relative/path"} {
+		if _, err := NewHTTP(bad, nil); err == nil {
+			t.Errorf("NewHTTP(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestConcurrentBackendAccess(t *testing.T) {
 	for name, b := range backends(t) {
 		t.Run(name, func(t *testing.T) {
@@ -248,11 +442,11 @@ func TestConcurrentBackendAccess(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < 50; i++ {
 						key := fmt.Sprintf("%d-%d", g, i)
-						if err := b.Put(NSMeta, key, []byte(key)); err != nil {
+						if err := b.Put(ctx, NSMeta, key, []byte(key)); err != nil {
 							t.Errorf("Put: %v", err)
 							return
 						}
-						if _, err := b.Get(NSMeta, key); err != nil {
+						if _, err := b.Get(ctx, NSMeta, key); err != nil {
 							t.Errorf("Get: %v", err)
 							return
 						}
@@ -279,7 +473,7 @@ func TestDiskConcurrentSameBlob(t *testing.T) {
 		bytes.Repeat([]byte{0xAA}, 4096),
 		bytes.Repeat([]byte{0xBB}, 4096),
 	}
-	if err := d.Put(NSMeta, "hot", vals[0]); err != nil {
+	if err := d.Put(ctx, NSMeta, "hot", vals[0]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -289,7 +483,7 @@ func TestDiskConcurrentSameBlob(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if err := d.Put(NSMeta, "hot", vals[(g+i)%2]); err != nil {
+				if err := d.Put(ctx, NSMeta, "hot", vals[(g+i)%2]); err != nil {
 					t.Errorf("Put: %v", err)
 					return
 				}
@@ -301,7 +495,7 @@ func TestDiskConcurrentSameBlob(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				got, err := d.Get(NSMeta, "hot")
+				got, err := d.Get(ctx, NSMeta, "hot")
 				if err != nil {
 					t.Errorf("Get: %v", err)
 					return
@@ -317,7 +511,7 @@ func TestDiskConcurrentSameBlob(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 50; i++ {
-			names, err := d.List(NSMeta)
+			names, err := d.List(ctx, NSMeta)
 			if err != nil {
 				t.Errorf("List: %v", err)
 				return
@@ -350,17 +544,17 @@ func TestDiskConcurrentDisjointBlobs(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				name := fmt.Sprintf("blob-%d-%d", g, i)
 				want := []byte(name)
-				if err := d.Put(NSContainers, name, want); err != nil {
+				if err := d.Put(ctx, NSContainers, name, want); err != nil {
 					t.Errorf("Put: %v", err)
 					return
 				}
-				got, err := d.Get(NSContainers, name)
+				got, err := d.Get(ctx, NSContainers, name)
 				if err != nil || !bytes.Equal(got, want) {
 					t.Errorf("Get %s = %q, %v", name, got, err)
 					return
 				}
 				if i%3 == 0 {
-					if err := d.Delete(NSContainers, name); err != nil {
+					if err := d.Delete(ctx, NSContainers, name); err != nil {
 						t.Errorf("Delete: %v", err)
 						return
 					}

@@ -9,6 +9,7 @@
 package testenv
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -108,7 +109,7 @@ func Start(opts Options) (*Cluster, error) {
 
 	// Data servers plus one key-store server.
 	for i := 0; i <= opts.DataServers; i++ {
-		srv, err := server.New(store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
+		srv, err := server.New(context.Background(), store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +201,7 @@ type TB interface {
 // or failed mid-way leaks neither the goroutine nor the listener.
 func StartServer(tb TB) (*server.Server, string) {
 	tb.Helper()
-	srv, err := server.New(store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
+	srv, err := server.New(context.Background(), store.NewMemory(), server.WithMetrics(metrics.NewRegistry()))
 	if err != nil {
 		tb.Fatalf("testenv: start server: %v", err)
 	}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+var ctx = context.Background()
+
+func openLog(t *testing.T, b store.Backend) *Log {
+	t.Helper()
+	l, err := Open(ctx, b, store.NSWAL, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// segment frames each payload into one segment blob.
+func segment(payloads ...[]byte) []byte {
+	var seg []byte
+	for _, p := range payloads {
+		seg = AppendRecord(seg, p)
+	}
+	return seg
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+
+	batches := [][][]byte{
+		{[]byte("a"), []byte("bb")},
+		{[]byte("ccc")},
+		{[]byte(""), []byte("dddd"), []byte("e")},
+	}
+	var want [][]byte
+	for _, batch := range batches {
+		if err := l.Append(ctx, segment(batch...)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, batch...)
+	}
+	if l.Next() != 3 {
+		t.Fatalf("Next = %d, want 3", l.Next())
+	}
+
+	// A fresh Open must see the same position and replay everything.
+	l2 := openLog(t, b)
+	if l2.Next() != 3 {
+		t.Fatalf("reopened Next = %d, want 3", l2.Next())
+	}
+	var got [][]byte
+	err := l2.Replay(ctx, 0, func(rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayFrom(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+	for i := 0; i < 4; i++ {
+		if err := l.Append(ctx, segment([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	if err := l.Replay(ctx, 2, func(rec []byte) error {
+		got = append(got, rec[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{2, 3}) {
+		t.Fatalf("Replay(2) saw %v", got)
+	}
+}
+
+// TestTornTailEveryByteBoundary truncates the final segment at every
+// byte boundary: replay must never fail; a partial segment is discarded
+// whole (its Append never returned, so nothing in it was acknowledged)
+// and only the intact full segment replays all of its records.
+func TestTornTailEveryByteBoundary(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first-record"),
+		[]byte("second"),
+		bytes.Repeat([]byte{0x5A}, 100),
+	}
+	full := sealSegment(segment(payloads...))
+
+	for cut := 0; cut <= len(full); cut++ {
+		b := store.NewMemory()
+		l := openLog(t, b)
+		if err := l.Append(ctx, segment([]byte("earlier-segment"))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(ctx, store.NSWAL, "w0000000000000001", full[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openLog(t, b)
+
+		wantRecs := 1 // the earlier segment's record always survives
+		if cut == len(full) {
+			wantRecs += len(payloads) // fully intact: everything replays
+		}
+		var got int
+		if err := l2.Replay(ctx, 0, func(rec []byte) error {
+			got++
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: replay failed: %v", cut, err)
+		}
+		if got != wantRecs {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, got, wantRecs)
+		}
+
+		// The tear is healed: after appending another segment the once-
+		// torn one is no longer final, and replay must still succeed.
+		if err := l2.Append(ctx, segment([]byte("post-recovery"))); err != nil {
+			t.Fatal(err)
+		}
+		l3 := openLog(t, b)
+		var again int
+		if err := l3.Replay(ctx, 0, func(rec []byte) error {
+			again++
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: replay after heal failed: %v", cut, err)
+		}
+		if again != wantRecs+1 {
+			t.Fatalf("cut %d: replay after heal saw %d records, want %d", cut, again, wantRecs+1)
+		}
+	}
+}
+
+// TestCorruptTailBitFlip flips one byte in the final segment: the CRC
+// catches it and the whole segment is discarded as a torn tail.
+func TestCorruptTailBitFlip(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+	if err := l.Append(ctx, segment([]byte("committed-earlier"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ctx, segment([]byte("good-one"), []byte("good-two"), []byte("gets-corrupted"))); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := b.Get(ctx, store.NSWAL, "w0000000000000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), sealed...)
+	mut[len(mut)-segmentTrailer-3] ^= 0x40
+	if err := b.Put(ctx, store.NSWAL, "w0000000000000001", mut); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, b)
+	var got int
+	if err := l2.Replay(ctx, 0, func(rec []byte) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("replayed %d records, want 1 (corrupt final segment discarded)", got)
+	}
+}
+
+// TestCorruptionBeforeFinalSegmentIsFatal: damage in a non-final
+// segment means acknowledged writes are gone — replay must error, not
+// skip.
+func TestCorruptionBeforeFinalSegmentIsFatal(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+	if err := l.Append(ctx, segment([]byte("segment-zero"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ctx, segment([]byte("segment-one"))); err != nil {
+		t.Fatal(err)
+	}
+	seg0, err := b.Get(ctx, store.NSWAL, "w0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, store.NSWAL, "w0000000000000000", seg0[:len(seg0)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, b)
+	err = l2.Replay(ctx, 0, func(rec []byte) error { return nil })
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("Replay = %v, want ErrTorn", err)
+	}
+}
+
+func TestMissingSegmentIsFatal(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(ctx, segment([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Delete(ctx, store.NSWAL, "w0000000000000001"); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, b)
+	if err := l2.Replay(ctx, 0, func(rec []byte) error { return nil }); err == nil {
+		t.Fatal("Replay with a missing middle segment succeeded")
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	b := store.NewMemory()
+	l := openLog(t, b)
+	for i := 0; i < 5; i++ {
+		if err := l.Append(ctx, segment([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateBefore(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	names, err := b.List(ctx, store.NSWAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("segments after truncate = %v", names)
+	}
+	// Replay from the checkpoint position still works.
+	var got []byte
+	if err := l.Replay(ctx, 3, func(rec []byte) error {
+		got = append(got, rec[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{3, 4}) {
+		t.Fatalf("Replay(3) saw %v", got)
+	}
+	// A reopened log appends after the surviving segments.
+	l2 := openLog(t, b)
+	if l2.Next() != 5 {
+		t.Fatalf("Next after truncate+reopen = %d, want 5", l2.Next())
+	}
+}
+
+func TestForeignBlobRejected(t *testing.T) {
+	b := store.NewMemory()
+	if err := b.Put(ctx, store.NSWAL, "not-a-segment", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ctx, b, store.NSWAL, "w"); err == nil {
+		t.Fatal("Open accepted a foreign blob in the WAL namespace")
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	l := &Log{prefix: "w"}
+	for _, seq := range []uint64{0, 1, 255, 1 << 40, ^uint64(0)} {
+		name := l.segmentName(seq)
+		got, ok := l.parseSegmentName(name)
+		if !ok || got != seq {
+			t.Fatalf("round trip %d -> %q -> %d, %v", seq, name, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "w", "w123", "x" + fmt.Sprintf("%016x", 7), "w000000000000000G"} {
+		if _, ok := l.parseSegmentName(bad); ok {
+			t.Fatalf("parseSegmentName(%q) accepted", bad)
+		}
+	}
+}

@@ -102,6 +102,8 @@ package reed
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/url"
 
 	"repro/internal/abe"
 	"repro/internal/admin"
@@ -275,21 +277,106 @@ func UnmarshalPublicKeyBundle(b []byte) (PublicKeyBundle, error) {
 	return abe.UnmarshalPublicKeys(b)
 }
 
+// BackendOption configures OpenBackend.
+type BackendOption func(*backendConfig)
+
+type backendConfig struct {
+	httpClient *http.Client
+	noFsync    bool
+}
+
+// WithHTTPClient sets the HTTP client used by http:// and https://
+// backends (default http.DefaultClient).
+func WithHTTPClient(c *http.Client) BackendOption {
+	return func(cfg *backendConfig) { cfg.httpClient = c }
+}
+
+// WithoutFsync disables fsync on disk:// backends. Blob writes remain
+// atomic (write-to-temp + rename) but lose power-failure durability;
+// use only for throwaway stores such as test fixtures and benchmarks.
+func WithoutFsync() BackendOption {
+	return func(cfg *backendConfig) { cfg.noFsync = true }
+}
+
+// OpenBackend constructs a Backend from a DSN:
+//
+//	mem://                      in-memory, ephemeral
+//	disk:///var/lib/reed        durable local store rooted at the path
+//	http://host:port/bucket     S3-style HTTP object server
+//	https://host/bucket         same, over TLS
+//
+// ctx bounds construction only; the backend's own operations take their
+// callers' contexts.
+func OpenBackend(ctx context.Context, dsn string, opts ...BackendOption) (Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cfg backendConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("reed: backend DSN %q: %w", dsn, err)
+	}
+	switch u.Scheme {
+	case "mem":
+		if u.Host != "" || u.Path != "" {
+			return nil, fmt.Errorf("reed: backend DSN %q: mem:// takes no path", dsn)
+		}
+		return store.NewMemory(), nil
+	case "disk":
+		if u.Host != "" {
+			return nil, fmt.Errorf("reed: backend DSN %q: disk DSNs are disk:///abs/path or disk://relative/path", dsn)
+		}
+		dir := u.Path
+		if dir == "" {
+			dir = u.Opaque
+		}
+		if dir == "" {
+			return nil, fmt.Errorf("reed: backend DSN %q: missing directory", dsn)
+		}
+		var diskOpts []store.DiskOption
+		if cfg.noFsync {
+			diskOpts = append(diskOpts, store.WithNoSync())
+		}
+		return store.NewDisk(dir, diskOpts...)
+	case "http", "https":
+		return store.NewHTTP(dsn, cfg.httpClient)
+	default:
+		return nil, fmt.Errorf("reed: backend DSN %q: unknown scheme %q (want mem, disk, http, or https)", dsn, u.Scheme)
+	}
+}
+
 // NewMemoryBackend returns an in-memory Backend (tests, benchmarks,
 // ephemeral deployments).
+//
+// Deprecated: use OpenBackend(ctx, "mem://").
 func NewMemoryBackend() Backend {
 	return store.NewMemory()
 }
 
 // NewDiskBackend returns a Backend persisting blobs under dir.
+//
+// Deprecated: use OpenBackend(ctx, "disk://"+dir).
 func NewDiskBackend(dir string) (Backend, error) {
 	return store.NewDisk(dir)
 }
 
-// NewStorageServer builds a storage server over a backend. Call Serve
+// OpenStorageServer builds a storage server over a backend. ctx bounds
+// startup — including crash recovery of the dedup index (snapshot load,
+// WAL replay, container scrub) — not the server's lifetime. Call Serve
 // with a net.Listener to start it, Shutdown to stop.
+func OpenStorageServer(ctx context.Context, backend Backend, opts ...StorageServerOption) (*StorageServer, error) {
+	return server.New(ctx, backend, opts...)
+}
+
+// NewStorageServer builds a storage server over a backend.
+//
+// Deprecated: use OpenStorageServer, which takes a context bounding
+// startup recovery.
 func NewStorageServer(backend Backend, opts ...StorageServerOption) (*StorageServer, error) {
-	return server.New(backend, opts...)
+	return server.New(context.Background(), backend, opts...)
 }
 
 // NewKeyManagerServer builds a key manager with a fresh OPRF key of the

@@ -140,12 +140,26 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+func TestOpenBackendDSN(t *testing.T) {
+	if _, err := reed.OpenBackend(ctx, "mem://"); err != nil {
+		t.Fatalf("mem://: %v", err)
+	}
+	if _, err := reed.OpenBackend(ctx, "disk://"+t.TempDir()); err != nil {
+		t.Fatalf("disk://: %v", err)
+	}
+	for _, dsn := range []string{"", "ftp://x", "mem://host", "disk://"} {
+		if _, err := reed.OpenBackend(ctx, dsn); err == nil {
+			t.Errorf("OpenBackend(%q) accepted", dsn)
+		}
+	}
+}
+
 func TestDiskBackedDeployment(t *testing.T) {
-	backend, err := reed.NewDiskBackend(t.TempDir())
+	backend, err := reed.OpenBackend(ctx, "disk://"+t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := reed.NewStorageServer(backend)
+	srv, err := reed.OpenStorageServer(ctx, backend)
 	if err != nil {
 		t.Fatal(err)
 	}

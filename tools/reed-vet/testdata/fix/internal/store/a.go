@@ -1,0 +1,23 @@
+// Package store is a ctxrule fixture: the PR-6 Backend redesign made
+// every storage operation ctx-first, and its import path suffix puts
+// the package in scope for the context rules.
+package store
+
+import "context"
+
+func Put(ns, name string, ctx context.Context, blob []byte) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+func Get(ctx context.Context, ns, name string) ([]byte, error) {
+	return nil, ctx.Err()
+}
+
+func open() error {
+	ctx := context.Background() // want `context.Background in a library package`
+	return ctx.Err()
+}
+
+func sweep() error {
+	return context.TODO().Err() // want `context.TODO in a library package`
+}
