@@ -4,7 +4,7 @@ GO ?= go
 # install the same thing.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: check vet vet-reed vet-reed-test fuzz-smoke tools staticcheck build test race chaos crash-recovery fmt-check vuln cover bench-smoke bench-mux bench-json admin-smoke clean
+.PHONY: check vet vet-reed vet-reed-test fuzz-smoke tools staticcheck build test race chaos crash-recovery fmt-check vuln cover bench-smoke bench-mux bench-json bench-ratchet admin-smoke clean
 
 # check is the CI gate: vet, project-specific static analysis, build
 # everything, race-enabled tests.
@@ -104,14 +104,23 @@ bench-smoke:
 bench-mux:
 	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/
 
-# bench-json runs the pipeline and mux benchmarks and archives machine-
-# readable results (cmd/reed-benchjson), for diffing runs across
-# commits or machines.
+# bench-json runs the pipeline, mux, and shard benchmarks and archives
+# machine-readable results (cmd/reed-benchjson), for diffing runs across
+# commits or machines. The committed BENCH_*.json files are the ratchet
+# baselines — refresh them here intentionally, never by accident.
 bench-json:
 	$(GO) test -run NONE -bench=BenchmarkStreamingUpload -benchtime=1x . \
 		| $(GO) run ./cmd/reed-benchjson -o BENCH_pipeline.json
 	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/ \
 		| $(GO) run ./cmd/reed-benchjson -o BENCH_mux.json
+	$(GO) test -run NONE -bench=BenchmarkShardedPut -benchtime=1x . \
+		| $(GO) run ./cmd/reed-benchjson -o BENCH_shard.json
+
+# bench-ratchet re-runs the archived benchmarks and fails if any
+# direction-classified metric regresses more than 15% against the
+# committed BENCH_*.json baselines (override with TOLERANCE=0.30).
+bench-ratchet:
+	@sh scripts/bench_ratchet.sh
 
 # admin-smoke boots a real reed-server with the admin endpoint enabled
 # and checks /metrics (valid JSON), /metrics?format=text, and /healthz

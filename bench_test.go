@@ -243,6 +243,32 @@ func BenchmarkStreamingUpload(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedPut measures aggregate PUT throughput from
+// concurrent clients against 1-shard and 4-shard deployments with
+// emulated per-shard ingress ports. The 4-shard aggregate exceeding the
+// 1-shard baseline is the acceptance metric for the consistent-hash
+// ring: routing must turn extra shards into extra bandwidth.
+func BenchmarkShardedPut(b *testing.B) {
+	o := benchOptions(b)
+	// Per-shard port bandwidth comes from ShardSaturation's default
+	// (24 MB/s); the gigabit client-link default would leave the shard
+	// ports unconstrained and measure only client-side crypto.
+	o.LinkBandwidth = 0
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.ShardSaturation(o, []int{1, 4}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.AggregateMBps, fmt.Sprintf("agg_MBps_%dshard", p.Shards))
+		}
+		if points[len(points)-1].AggregateMBps <= points[0].AggregateMBps {
+			b.Fatalf("4-shard aggregate %.1f MB/s does not exceed 1-shard %.1f MB/s",
+				points[len(points)-1].AggregateMBps, points[0].AggregateMBps)
+		}
+	}
+}
+
 // BenchmarkAblationNoBatching quantifies request batching.
 func BenchmarkAblationNoBatching(b *testing.B) {
 	o := benchOptions(b)

@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, stream, ablations")
+		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, stream, shard, ablations")
 		fileMB    = flag.Int("file-mb", 64, "file size in MB standing in for the paper's 2 GB")
 		servers   = flag.Int("servers", 4, "number of data-store servers")
 		link      = flag.Bool("link", true, "emulate the paper's 1 Gb/s LAN (~116 MB/s effective)")
@@ -79,6 +79,7 @@ func run() error {
 		{"fig9", runFig9},
 		{"fig10", runFig10},
 		{"stream", runStream},
+		{"shard", runShard},
 		{"ablations", runAblations},
 	}
 	var ran int
@@ -188,6 +189,22 @@ func runStream(o experiments.Options, _ experiments.TraceOptions) error {
 			fmt.Sprintf("%.1f MB/s", p.PipelinedMBps),
 			fmt.Sprintf("%.1f MB/s", p.SequentialMBps),
 			fmt.Sprintf("%.2fx", p.Speedup), p.PeakBufferedMB)
+	}
+	return nil
+}
+
+func runShard(o experiments.Options, _ experiments.TraceOptions) error {
+	header("Shard saturation: aggregate PUT speed vs shard count (3 clients, per-shard ports)")
+	// The per-shard ingress port must be the bottleneck; the gigabit
+	// client-link emulation would hide it.
+	o.LinkBandwidth = 0
+	points, err := experiments.ShardSaturation(o, []int{1, 2, 4}, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %s\n", "shards", "clients", "aggregate")
+	for _, p := range points {
+		fmt.Printf("%-10d %-10d %.1f MB/s\n", p.Shards, p.Clients, p.AggregateMBps)
 	}
 	return nil
 }

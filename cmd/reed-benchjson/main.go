@@ -12,6 +12,18 @@
 // (goos, goarch, pkg, cpu) are carried through as metadata. Input that
 // contains no benchmark lines is an error — it usually means the
 // -bench pattern matched nothing.
+//
+// With -compare, the parsed input is additionally ratcheted against a
+// committed baseline document:
+//
+//	go test -run NONE -bench=... . | reed-benchjson -compare BENCH_pipeline.json -tolerance 0.15
+//
+// Every benchmark present in both documents is checked metric by
+// metric: time- and allocation-style units (ns/op, B/op, allocs/op)
+// may not grow by more than the tolerance, throughput-style units
+// (MB/s and custom *MBps* / *speedup* metrics) may not shrink by more
+// than it. Any regression is printed and the exit status is non-zero,
+// so CI fails loudly instead of letting performance drift.
 package main
 
 import (
@@ -51,6 +63,8 @@ type Report struct {
 func run(in io.Reader, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("reed-benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "output file (default stdout)")
+	comparePath := fs.String("compare", "", "baseline JSON to ratchet against (exit 1 on regression)")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional regression per metric with -compare")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +72,13 @@ func run(in io.Reader, out io.Writer, args []string) error {
 	report, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if *comparePath != "" {
+		baseline, err := loadReport(*comparePath)
+		if err != nil {
+			return err
+		}
+		return compare(out, baseline, report, *tolerance)
 	}
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -72,6 +93,77 @@ func run(in io.Reader, out io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %d benchmark(s) to %s\n", len(report.Benchmarks), *outPath)
+	return nil
+}
+
+// loadReport reads a previously archived JSON document.
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s holds no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// metricDirection classifies a unit: -1 means lower is better (times,
+// allocations), +1 means higher is better (throughput, speedups), 0
+// means unratcheted (counts, sizes, and units we cannot classify).
+func metricDirection(unit string) int {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return -1
+	case "MB/s":
+		return +1
+	}
+	if strings.Contains(unit, "MBps") || strings.Contains(unit, "speedup") {
+		return +1
+	}
+	return 0
+}
+
+// compare ratchets current against baseline. Only benchmarks and
+// metrics present in both documents participate; a regression beyond
+// the tolerance in either direction-classified unit fails the run.
+func compare(out io.Writer, baseline, current *Report, tolerance float64) error {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	var regressions, checked int
+	for _, cur := range current.Benchmarks {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		for unit, was := range old.Metrics {
+			now, ok := cur.Metrics[unit]
+			dir := metricDirection(unit)
+			if !ok || dir == 0 || was <= 0 {
+				continue
+			}
+			checked++
+			change := (now - was) / was
+			if float64(dir)*change < -tolerance {
+				regressions++
+				fmt.Fprintf(out, "REGRESSION %s %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)\n",
+					cur.Name, unit, was, now, change*100, tolerance*100)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no comparable metrics between baseline and current run")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressions, tolerance*100)
+	}
+	fmt.Fprintf(out, "bench ratchet ok: %d metric(s) within %.0f%% of baseline\n", checked, tolerance*100)
 	return nil
 }
 

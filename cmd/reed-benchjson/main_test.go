@@ -70,3 +70,84 @@ func TestRunWritesFile(t *testing.T) {
 		t.Fatalf("stdout = %q", out.String())
 	}
 }
+
+// writeBaseline archives the sample run as a baseline file.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out, []string{"-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	path := writeBaseline(t)
+	// 10% slower ns/op and 10% lower MB/s: inside the 15% default.
+	drifted := strings.NewReplacer(
+		"123456789 ns/op", "135802467 ns/op",
+		"120.50 MB/s", "108.45 MB/s",
+	).Replace(sample)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(drifted), &out, []string{"-compare", path}); err != nil {
+		t.Fatalf("10%% drift rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bench ratchet ok") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t)
+	// Throughput down 20%: beyond tolerance, must fail and name the
+	// metric.
+	regressed := strings.Replace(sample, "120.50 MB/s", "96.40 MB/s", 1)
+	var out bytes.Buffer
+	err := run(strings.NewReader(regressed), &out, []string{"-compare", path})
+	if err == nil {
+		t.Fatalf("20%% throughput regression accepted\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "MB/s") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	path := writeBaseline(t)
+	regressed := strings.Replace(sample, "123456789 ns/op", "160493825 ns/op", 1)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(regressed), &out, []string{"-compare", path}); err == nil {
+		t.Fatalf("30%% ns/op regression accepted\n%s", out.String())
+	}
+}
+
+func TestCompareIgnoresUnknownAndMissing(t *testing.T) {
+	path := writeBaseline(t)
+	// A renamed benchmark drops out of the comparison entirely; the
+	// remaining one still ratchets.
+	renamed := strings.Replace(sample, "BenchmarkMuxedGets", "BenchmarkRenamed", 1)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(renamed), &out, []string{"-compare", path}); err != nil {
+		t.Fatalf("renamed benchmark broke the ratchet: %v\n%s", err, out.String())
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	cases := map[string]int{
+		"ns/op":             -1,
+		"B/op":              -1,
+		"allocs/op":         -1,
+		"MB/s":              +1,
+		"agg_MBps_4shard":   +1,
+		"pipe_MBps_basic":   +1,
+		"speedup_basic":     +1,
+		"peak_MB_basic":     0,
+		"overhead_pct_stub": 0,
+	}
+	for unit, want := range cases {
+		if got := metricDirection(unit); got != want {
+			t.Errorf("metricDirection(%q) = %d, want %d", unit, got, want)
+		}
+	}
+}

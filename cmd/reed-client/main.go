@@ -12,7 +12,10 @@
 // which creates the authority, per-user credentials (private access key
 // + key-regression owner), and the public-key bundle encryptors use.
 // Users then operate against running reed-server / reed-keymanager
-// processes:
+// processes. -servers takes a comma-separated shard list: with more
+// than one address the client routes each chunk to its owning shard on
+// a consistent-hash ring, so every client must be given the same list
+// (order does not matter, membership does):
 //
 //	reed-client upload -state /etc/reed -user alice \
 //	    -servers 10.0.0.1:9000,10.0.0.2:9000 -keystore 10.0.0.3:9001 \
@@ -180,7 +183,7 @@ func addConnFlags(fs *flag.FlagSet) connFlags {
 	return connFlags{
 		state:    fs.String("state", "", "state directory"),
 		user:     fs.String("user", "", "user identity"),
-		servers:  fs.String("servers", "", "comma-separated data server addresses"),
+		servers:  fs.String("servers", "", "comma-separated storage shard addresses (same list on every client)"),
 		keystore: fs.String("keystore", "", "key-store server address"),
 		km:       fs.String("km", "", "key manager address"),
 		scheme:   fs.String("scheme", "enhanced", "encryption scheme: basic or enhanced"),
@@ -462,13 +465,20 @@ func cmdStats(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// Stats arrive shard by shard (ring order) with the key-store
+	// server last; label each row with the shard's address so per-shard
+	// imbalance is visible, not averaged away.
+	health := client.ShardHealth()
 	var logical, physical, stub uint64
 	for i, s := range stats {
-		role := fmt.Sprintf("data-%d", i)
-		if i == len(stats)-1 {
-			role = "keystore"
+		role := "keystore"
+		if i < len(health) {
+			role = "shard " + health[i].Addr
+			if health[i].Down {
+				role += " (down)"
+			}
 		}
-		fmt.Printf("%-9s puts=%d dup=%d logical=%d physical=%d stub=%d\n",
+		fmt.Printf("%-28s puts=%d dup=%d logical=%d physical=%d stub=%d\n",
 			role, s.TotalPuts, s.DedupedPuts, s.LogicalBytes, s.PhysicalBytes, s.StubBytes)
 		logical += s.LogicalBytes
 		physical += s.PhysicalBytes
@@ -479,16 +489,19 @@ func cmdStats(ctx context.Context, args []string) error {
 		fmt.Printf("total: logical=%d stored=%d saving=%.2f%%\n", logical, physical+stub, saving*100)
 	}
 
-	// Cluster-wide metrics: the merged view of every server's registry
-	// plus this client's own. Uninstrumented servers contribute empty
-	// snapshots, so on an old deployment this section simply stays short.
-	snap, err := client.ClusterMetrics(ctx)
+	// Cluster-wide metrics, one section per source (this client, the
+	// key manager, each shard by address, the key store) rather than
+	// one anonymous merge. Uninstrumented servers contribute empty
+	// snapshots, so on an old deployment a section simply stays empty.
+	sources, err := client.ClusterMetricsBySource(ctx)
 	if err != nil {
 		return fmt.Errorf("cluster metrics: %w", err)
 	}
-	if text := snap.Text(); text != "" {
-		fmt.Println("\ncluster metrics:")
-		fmt.Print(text)
+	for _, src := range sources {
+		if text := src.Snapshot.Text(); text != "" {
+			fmt.Printf("\nmetrics [%s]:\n", src.Source)
+			fmt.Print(text)
+		}
 	}
 	return nil
 }

@@ -42,8 +42,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +49,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/binenc"
 	"repro/internal/chunker"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/keycache"
@@ -96,9 +95,18 @@ type Config struct {
 	UserID string
 	// Scheme selects basic or enhanced chunk encryption.
 	Scheme core.Scheme
-	// DataServers are the data-store server addresses (the paper uses
-	// four).
+	// DataServers are the storage shard addresses (the paper uses
+	// four). Chunks are placed on shards by a consistent-hash ring over
+	// the fingerprint space, so every client configured with the same
+	// shard set — in any order — routes each chunk to the same shard.
 	DataServers []string
+	// RingVirtualNodes overrides the placement ring's per-shard
+	// virtual-node count (default ring.DefaultVirtualNodes). All
+	// clients of one cluster must agree on it.
+	RingVirtualNodes int
+	// RingSeed keys the placement ring's hash (default 0). All clients
+	// of one cluster must agree on it.
+	RingSeed uint64
 	// KeyStoreServer is the key-store server address.
 	KeyStoreServer string
 	// KeyManager is the key manager address.
@@ -203,7 +211,7 @@ type Client struct {
 	cache *keycache.Cache
 
 	km      *keymanager.Client
-	data    []*server.Client
+	router  *cluster.Router
 	keyConn *server.Client
 
 	// retriedBatches counts the upload pipeline's chunk-batch re-sends.
@@ -277,13 +285,19 @@ func New(ctx context.Context, cfg Config) (*Client, error) {
 	}
 
 	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km, retriedBatches: metrics.NewCounter()}
-	for _, addr := range cfg.DataServers {
-		conn, err := server.DialStore(ctx, addr, cfg.Dialer, cfg.Retry)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.data = append(c.data, conn)
+	c.router, err = cluster.Dial(ctx, cluster.Config{
+		Shards:       cfg.DataServers,
+		Dialer:       cfg.Dialer,
+		Retry:        cfg.Retry,
+		CallTimeout:  cfg.CallTimeout,
+		BatchBytes:   cfg.UploadBuffer,
+		VirtualNodes: cfg.RingVirtualNodes,
+		RingSeed:     cfg.RingSeed,
+		OnBatchRetry: c.retriedBatches.Inc,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
 	}
 	c.keyConn, err = server.DialStore(ctx, cfg.KeyStoreServer, cfg.Dialer, cfg.Retry)
 	if err != nil {
@@ -302,8 +316,8 @@ func (c *Client) Close() error {
 			firstErr = err
 		}
 	}
-	for _, conn := range c.data {
-		if err := conn.Close(); err != nil && firstErr == nil {
+	if c.router != nil {
+		if err := c.router.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -358,9 +372,9 @@ func (c *Client) retrySnapshot() RetryStats {
 		s.Reconnects += c.km.Reconnects()
 		s.RetriedCalls += c.km.Retries()
 	}
-	for _, conn := range c.data {
-		s.Reconnects += conn.Reconnects()
-		s.RetriedCalls += conn.Retries()
+	if c.router != nil {
+		s.Reconnects += c.router.Reconnects()
+		s.RetriedCalls += c.router.Retries()
 	}
 	if c.keyConn != nil {
 		s.Reconnects += c.keyConn.Reconnects()
@@ -408,24 +422,6 @@ func (c *Client) deleteBlob(ctx context.Context, conn *server.Client, ns, name s
 	rctx, cancel := c.rpc(ctx)
 	defer cancel()
 	return conn.DeleteBlob(rctx, ns, name)
-}
-
-func (c *Client) putChunks(ctx context.Context, conn *server.Client, chunks []proto.ChunkUpload) ([]bool, error) {
-	rctx, cancel := c.rpc(ctx)
-	defer cancel()
-	return conn.PutChunks(rctx, chunks)
-}
-
-func (c *Client) getChunks(ctx context.Context, conn *server.Client, fps []fingerprint.Fingerprint) ([][]byte, error) {
-	rctx, cancel := c.rpc(ctx)
-	defer cancel()
-	return conn.GetChunks(rctx, fps)
-}
-
-func (c *Client) derefChunks(ctx context.Context, conn *server.Client, fps []fingerprint.Fingerprint) (uint64, error) {
-	rctx, cancel := c.rpc(ctx)
-	defer cancel()
-	return conn.DerefChunks(rctx, fps)
 }
 
 func (c *Client) generateKeys(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
@@ -485,10 +481,7 @@ func (c *Client) Audit(ctx context.Context, book *audit.Book) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	srv := c.data[c.serverFor(ticket.FP)]
-	rctx, cancel := c.rpc(ctx)
-	defer cancel()
-	resp, err := srv.Challenge(rctx, ticket.FP, ticket.Nonce[:])
+	resp, err := c.router.Challenge(ctx, ticket.FP, ticket.Nonce[:])
 	if err != nil {
 		return false, fmt.Errorf("client: audit challenge: %w", err)
 	}
@@ -559,43 +552,25 @@ func (c *Client) Rekey(ctx context.Context, path string, newPol *policy.Node, ac
 	return result, nil
 }
 
-// List returns the remote names of all stored files, sorted. With
-// pathname obfuscation these are the salted hashes, not the logical
-// paths — by design, the cloud (and hence this listing) never sees
-// plaintext names.
+// List returns the remote names of all stored files, sorted. Recipes
+// spread across shards by home placement, so the listing fans out to
+// every shard. With pathname obfuscation these are the salted hashes,
+// not the logical paths — by design, the cloud (and hence this
+// listing) never sees plaintext names.
 func (c *Client) List(ctx context.Context) ([]string, error) {
-	seen := make(map[string]bool)
-	for i, conn := range c.data {
-		rctx, cancel := c.rpc(ctx)
-		names, err := conn.ListBlobs(rctx, store.NSRecipes)
-		cancel()
-		if err != nil {
-			return nil, fmt.Errorf("client: list server %d: %w", i, err)
-		}
-		for _, n := range names {
-			seen[n] = true
-		}
+	names, err := c.router.ListBlobs(ctx, store.NSRecipes)
+	if err != nil {
+		return nil, fmt.Errorf("client: list: %w", err)
 	}
-	out := make([]string, 0, len(seen))
-	for n := range seen {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out, nil
+	return names, nil
 }
 
-// ServerStats returns per-data-server dedup statistics plus the
-// key-store server's (last entry).
+// ServerStats returns per-shard dedup statistics plus the key-store
+// server's (last entry).
 func (c *Client) ServerStats(ctx context.Context) ([]proto.Stats, error) {
-	out := make([]proto.Stats, 0, len(c.data)+1)
-	for _, conn := range c.data {
-		rctx, cancel := c.rpc(ctx)
-		s, err := conn.Stats(rctx)
-		cancel()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+	out, err := c.router.Stats(ctx)
+	if err != nil {
+		return nil, err
 	}
 	rctx, cancel := c.rpc(ctx)
 	defer cancel()
@@ -604,6 +579,13 @@ func (c *Client) ServerStats(ctx context.Context) ([]proto.Stats, error) {
 		return nil, err
 	}
 	return append(out, s), nil
+}
+
+// ShardHealth reports the routing plane's per-shard health view: how
+// many consecutive transport failures each shard has accumulated and
+// whether non-idempotent operations currently fail fast against it.
+func (c *Client) ShardHealth() []cluster.ShardHealth {
+	return c.router.Health()
 }
 
 // fetchKeyState downloads and decrypts the key state for path, returning
@@ -655,11 +637,6 @@ func (c *Client) sealKeyState(state keyreg.State, pol *policy.Node) ([]byte, err
 	return w.Bytes(), nil
 }
 
-// serverFor picks the data server responsible for a fingerprint.
-func (c *Client) serverFor(fp fingerprint.Fingerprint) int {
-	return int(fp[0]) % len(c.data)
-}
-
 // remoteName maps a logical path to its remote object name: the path
 // itself, or a salted hash of it when pathname obfuscation is on
 // (Section IV-D). The mapping is deterministic so any client holding
@@ -671,14 +648,6 @@ func (c *Client) remoteName(path string) string {
 	mac := hmac.New(sha256.New, c.cfg.PathSalt)
 	mac.Write([]byte(path))
 	return hex.EncodeToString(mac.Sum(nil))
-}
-
-// homeServer picks the data server holding a file's recipe and stub
-// file.
-func (c *Client) homeServer(path string) *server.Client {
-	h := fnv.New32a()
-	h.Write([]byte(path))
-	return c.data[int(h.Sum32())%len(c.data)]
 }
 
 // parallelEach runs fn(i) for i in [0,n) over the configured worker
@@ -745,28 +714,6 @@ func (c *Client) parallelEach(ctx context.Context, n int, fn func(int) error) er
 	}
 	wg.Wait()
 	return firstErr
-}
-
-// splitBatches groups uploads so each batch stays under maxBytes (always
-// at least one chunk per batch).
-func splitBatches(chunks []proto.ChunkUpload, maxBytes int) [][]proto.ChunkUpload {
-	var (
-		out   [][]proto.ChunkUpload
-		cur   []proto.ChunkUpload
-		bytes int
-	)
-	for _, c := range chunks {
-		if len(cur) > 0 && bytes+len(c.Data) > maxBytes {
-			out = append(out, cur)
-			cur, bytes = nil, 0
-		}
-		cur = append(cur, c)
-		bytes += len(c.Data)
-	}
-	if len(cur) > 0 {
-		out = append(out, cur)
-	}
-	return out
 }
 
 // sealStubs encrypts concatenated stubs with AES-256-GCM under the file

@@ -12,7 +12,6 @@ import (
 	"repro/internal/keyreg"
 	"repro/internal/oprf"
 	"repro/internal/policy"
-	"repro/internal/proto"
 	"repro/internal/store"
 	"repro/internal/testenv"
 )
@@ -522,41 +521,5 @@ func TestLargeFileManyBatches(t *testing.T) {
 	got, err := c.Download(ctx, "/large")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("large file round trip: %v", err)
-	}
-}
-
-func TestSplitBatches(t *testing.T) {
-	mk := func(sizes ...int) []proto.ChunkUpload {
-		out := make([]proto.ChunkUpload, len(sizes))
-		for i, s := range sizes {
-			out[i] = proto.ChunkUpload{Data: make([]byte, s)}
-		}
-		return out
-	}
-	tests := []struct {
-		name     string
-		give     []proto.ChunkUpload
-		maxBytes int
-		want     []int // batch lengths
-	}{
-		{"empty", nil, 100, nil},
-		{"one small", mk(10), 100, []int{1}},
-		{"fits in one", mk(30, 30, 30), 100, []int{3}},
-		{"splits", mk(60, 60, 60), 100, []int{1, 1, 1}},
-		{"pairs", mk(40, 40, 40, 40), 100, []int{2, 2}},
-		{"oversized alone", mk(200, 10), 100, []int{1, 1}},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			got := splitBatches(tt.give, tt.maxBytes)
-			if len(got) != len(tt.want) {
-				t.Fatalf("batch count = %d, want %d", len(got), len(tt.want))
-			}
-			for i := range tt.want {
-				if len(got[i]) != tt.want[i] {
-					t.Fatalf("batch %d length = %d, want %d", i, len(got[i]), tt.want[i])
-				}
-			}
-		})
 	}
 }

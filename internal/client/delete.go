@@ -43,8 +43,7 @@ func (c *Client) Delete(ctx context.Context, path string) (*DeleteResult, error)
 		return nil, err
 	}
 
-	home := c.homeServer(path)
-	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, path)
+	recBytes, err := c.router.GetBlob(ctx, store.NSRecipes, path)
 	if err != nil {
 		return nil, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
@@ -58,30 +57,22 @@ func (c *Client) Delete(ctx context.Context, path string) (*DeleteResult, error)
 	if err := c.deleteBlob(ctx, c.keyConn, store.NSKeyStates, path); err != nil {
 		return nil, fmt.Errorf("client: delete key state: %w", err)
 	}
-	if err := c.deleteBlob(ctx, home, store.NSStubs, path); err != nil {
+	if err := c.router.DeleteBlob(ctx, store.NSStubs, path); err != nil {
 		return nil, fmt.Errorf("client: delete stub file: %w", err)
 	}
-	if err := c.deleteBlob(ctx, home, store.NSRecipes, path); err != nil {
+	if err := c.router.DeleteBlob(ctx, store.NSRecipes, path); err != nil {
 		return nil, fmt.Errorf("client: delete recipe: %w", err)
 	}
 
-	// Space reclamation: drop one reference per chunk, striped the same
-	// way uploads were.
-	perServer := make([][]fingerprint.Fingerprint, len(c.data))
-	for _, ref := range rec.Chunks {
-		srv := c.serverFor(ref.Fingerprint)
-		perServer[srv] = append(perServer[srv], ref.Fingerprint)
+	// Space reclamation: drop one reference per chunk, fanned out to
+	// the owning shards the same way uploads were.
+	fps := make([]fingerprint.Fingerprint, len(rec.Chunks))
+	for i, ref := range rec.Chunks {
+		fps[i] = ref.Fingerprint
 	}
-	var freed uint64
-	for srv, fps := range perServer {
-		if len(fps) == 0 {
-			continue
-		}
-		n, err := c.derefChunks(ctx, c.data[srv], fps)
-		if err != nil {
-			return nil, fmt.Errorf("client: deref on server %d: %w", srv, err)
-		}
-		freed += n
+	freed, err := c.router.DerefChunks(ctx, fps)
+	if err != nil {
+		return nil, fmt.Errorf("client: deref chunks: %w", err)
 	}
 	return &DeleteResult{
 		Chunks:      len(rec.Chunks),

@@ -82,8 +82,7 @@ func (c *Client) downloadStream(ctx context.Context, name string, open func(*rec
 		return nil, err
 	}
 
-	home := c.homeServer(name)
-	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
+	recBytes, err := c.router.GetBlob(ctx, store.NSRecipes, name)
 	if err != nil {
 		return nil, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
@@ -105,7 +104,7 @@ func (c *Client) downloadStream(ctx context.Context, name string, open func(*rec
 	fileKey := fileState.Key() //reed:secret — transient file-key copy
 	defer core.Wipe(fileKey[:])
 
-	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
+	stubFile, err := c.router.GetBlob(ctx, store.NSStubs, name)
 	if err != nil {
 		return nil, fmt.Errorf("%w: stub file: %w", ErrNotFound, err)
 	}
@@ -240,62 +239,18 @@ func splitWindows(rec *recipe.Recipe, budget int64) [][2]int {
 	return out
 }
 
-// fetchWindow fetches trimmed packages [lo, hi) of the recipe, striped
-// across the data servers in parallel, preserving recipe order.
+// fetchWindow fetches trimmed packages [lo, hi) of the recipe through
+// the cluster router, which stripes the fingerprints across their
+// owning shards in parallel and reassembles the results in recipe
+// order.
 func (c *Client) fetchWindow(ctx context.Context, rec *recipe.Recipe, lo, hi int) ([][]byte, error) {
-	type want struct {
-		idx int
-		fp  fingerprint.Fingerprint
-	}
-	perServer := make([][]want, len(c.data))
+	fps := make([]fingerprint.Fingerprint, hi-lo)
 	for i := lo; i < hi; i++ {
-		ref := rec.Chunks[i]
-		s := c.serverFor(ref.Fingerprint)
-		perServer[s] = append(perServer[s], want{idx: i - lo, fp: ref.Fingerprint})
+		fps[i-lo] = rec.Chunks[i].Fingerprint
 	}
-
-	out := make([][]byte, hi-lo)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for s := range c.data {
-		if len(perServer[s]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			wants := perServer[s]
-			const batch = 4096
-			for start := 0; start < len(wants); start += batch {
-				end := start + batch
-				if end > len(wants) {
-					end = len(wants)
-				}
-				fps := make([]fingerprint.Fingerprint, 0, end-start)
-				for _, w := range wants[start:end] {
-					fps = append(fps, w.fp)
-				}
-				datas, err := c.getChunks(ctx, c.data[s], fps)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client: download from server %d: %w", s, err)
-					}
-					mu.Unlock()
-					return
-				}
-				for i, w := range wants[start:end] {
-					out[w.idx] = datas[i]
-				}
-			}
-		}(s)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	out, err := c.router.GetChunks(ctx, fps)
+	if err != nil {
+		return nil, fmt.Errorf("client: download chunks: %w", err)
 	}
 	return out, nil
 }

@@ -9,25 +9,35 @@ import (
 	"repro/internal/rpcmux"
 )
 
+// Reserved shard-label values for the client's non-shard connections.
+// Shard addresses never collide with them (they are not host:port).
+const (
+	sourceKeyManager = "keymanager"
+	sourceKeyStore   = "keystore"
+)
+
 // initMetrics attaches the configured registry to every connection and
-// registers the client-level views. Counters that other layers already
-// own — the per-connection reconnect/retry counters behind RetryStats —
-// are exposed as snapshot-time sums rather than copied, so the Metrics
+// registers the client-level views. Routed-call families carry a shard
+// label — the shard's address on storage connections, "keymanager" and
+// "keystore" on the control connections — so per-shard balance stays
+// visible in one registry. Counters that other layers already own —
+// the per-connection reconnect/retry counters behind RetryStats — are
+// exposed as snapshot-time sums rather than copied, so the Metrics
 // path and the RetryStats path always report the same numbers.
 func (c *Client) initMetrics() {
 	reg := c.cfg.Metrics
 	if reg == nil {
 		return
 	}
-	inst := &rpcmux.Instruments{
-		Ops:      metrics.NewOpSet(reg, "rpc", proto.OpNames()),
-		Inflight: reg.Gauge("rpc_inflight"),
-	}
-	c.km.Instrument(inst)
-	for _, conn := range c.data {
-		conn.Instrument(inst)
-	}
-	c.keyConn.Instrument(inst)
+	c.km.Instrument(&rpcmux.Instruments{
+		Ops:      metrics.NewOpSet(reg, "rpc", proto.OpNames(), "shard", sourceKeyManager),
+		Inflight: reg.Gauge("rpc_inflight", "shard", sourceKeyManager),
+	})
+	c.router.Instrument(reg)
+	c.keyConn.Instrument(&rpcmux.Instruments{
+		Ops:      metrics.NewOpSet(reg, "rpc", proto.OpNames(), "shard", sourceKeyStore),
+		Inflight: reg.Gauge("rpc_inflight", "shard", sourceKeyStore),
+	})
 
 	c.stageChunk = reg.Histogram("pipeline_stage_latency", "stage", "chunk")
 	c.stageKeys = reg.Histogram("pipeline_stage_latency", "stage", "keys")
@@ -43,32 +53,39 @@ func (c *Client) initMetrics() {
 // Metrics returns the client's registry (nil when uninstrumented).
 func (c *Client) Metrics() *metrics.Registry { return c.cfg.Metrics }
 
-// ClusterMetrics fetches a metrics snapshot from every server the
-// client is connected to and merges them — plus the client's own
-// registry, when configured — into one cluster-wide view. Servers
-// running uninstrumented contribute empty snapshots. The key-store
-// connection is skipped when it targets one of the data servers, so a
-// shared server is never counted twice.
-func (c *Client) ClusterMetrics(ctx context.Context) (metrics.Snapshot, error) {
-	snaps := make([]metrics.Snapshot, 0, len(c.data)+3)
+// SourceMetrics is one process's metrics snapshot, labeled with where
+// it came from: "client", "keymanager", "keystore", or a storage
+// shard's address.
+type SourceMetrics struct {
+	Source   string
+	Snapshot metrics.Snapshot
+}
+
+// ClusterMetricsBySource fetches a metrics snapshot from every process
+// the client is connected to — its own registry (when configured), the
+// key manager, each storage shard, and the key-store server — each
+// labeled with its source, so per-shard imbalance stays visible
+// instead of vanishing into an anonymous merge. The key-store entry is
+// omitted when it targets one of the shards, so a shared server is
+// never counted twice.
+func (c *Client) ClusterMetricsBySource(ctx context.Context) ([]SourceMetrics, error) {
+	out := make([]SourceMetrics, 0, len(c.cfg.DataServers)+3)
 	if c.cfg.Metrics != nil {
-		snaps = append(snaps, c.cfg.Metrics.Snapshot())
+		out = append(out, SourceMetrics{Source: "client", Snapshot: c.cfg.Metrics.Snapshot()})
 	}
 	rctx, cancel := c.rpc(ctx)
 	s, err := c.km.Metrics(rctx)
 	cancel()
 	if err != nil {
-		return metrics.Snapshot{}, fmt.Errorf("client: key manager metrics: %w", err)
+		return nil, fmt.Errorf("client: key manager metrics: %w", err)
 	}
-	snaps = append(snaps, s)
-	for i, conn := range c.data {
-		rctx, cancel := c.rpc(ctx)
-		s, err := conn.Metrics(rctx)
-		cancel()
-		if err != nil {
-			return metrics.Snapshot{}, fmt.Errorf("client: server %d metrics: %w", i, err)
-		}
-		snaps = append(snaps, s)
+	out = append(out, SourceMetrics{Source: sourceKeyManager, Snapshot: s})
+	shardSnaps, err := c.router.ShardMetrics(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("client: shard metrics: %w", err)
+	}
+	for i, addr := range c.router.Addrs() {
+		out = append(out, SourceMetrics{Source: addr, Snapshot: shardSnaps[i]})
 	}
 	shared := false
 	for _, addr := range c.cfg.DataServers {
@@ -82,9 +99,26 @@ func (c *Client) ClusterMetrics(ctx context.Context) (metrics.Snapshot, error) {
 		s, err := c.keyConn.Metrics(rctx)
 		cancel()
 		if err != nil {
-			return metrics.Snapshot{}, fmt.Errorf("client: key-store metrics: %w", err)
+			return nil, fmt.Errorf("client: key-store metrics: %w", err)
 		}
-		snaps = append(snaps, s)
+		out = append(out, SourceMetrics{Source: sourceKeyStore, Snapshot: s})
+	}
+	return out, nil
+}
+
+// ClusterMetrics fetches a metrics snapshot from every server the
+// client is connected to and merges them — plus the client's own
+// registry, when configured — into one cluster-wide view. Servers
+// running uninstrumented contribute empty snapshots. Prefer
+// ClusterMetricsBySource when per-shard attribution matters.
+func (c *Client) ClusterMetrics(ctx context.Context) (metrics.Snapshot, error) {
+	sources, err := c.ClusterMetricsBySource(ctx)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	snaps := make([]metrics.Snapshot, len(sources))
+	for i, src := range sources {
+		snaps[i] = src.Snapshot
 	}
 	merged := metrics.Merge(snaps...)
 	// Ratios are per-process and sum under Merge (two servers at 0.5

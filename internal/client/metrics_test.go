@@ -50,10 +50,20 @@ func TestChaosClusterMetricsAfterFaultedUpload(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Client-side RPC latency for the chunk plane.
-	put := metrics.Label("rpc_latency", "op", "PutChunks")
-	if h, ok := snap.Histograms[put]; !ok || h.Count == 0 {
-		t.Fatalf("%s is empty; client RPC instrumentation missing", put)
+	// Client-side RPC latency for the chunk plane. The routed-call
+	// families carry a shard label now, so sum over shards.
+	putPrefix := metrics.Label("rpc_latency", "op", "PutChunks")
+	putPrefix = strings.TrimSuffix(putPrefix, "}") + ","
+	var put string
+	var putCount uint64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, putPrefix) {
+			put = name
+			putCount += h.Count
+		}
+	}
+	if putCount == 0 {
+		t.Fatalf("rpc_latency{op=\"PutChunks\",shard=...} is empty; client RPC instrumentation missing")
 	}
 	// Server-side dispatch latency, merged in over the Metrics RPC.
 	disp := metrics.Label("dispatch_latency", "op", "PutChunks")

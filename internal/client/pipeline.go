@@ -18,7 +18,6 @@ import (
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/recipe"
-	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -495,11 +494,10 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	if err != nil {
 		return nil, err
 	}
-	home := c.homeServer(name)
-	if err := c.putBlob(ctx, home, store.NSStubs, name, stubFile); err != nil {
+	if err := c.router.PutBlob(ctx, store.NSStubs, name, stubFile); err != nil {
 		return nil, fmt.Errorf("client: upload stub file: %w", err)
 	}
-	if err := c.putBlob(ctx, home, store.NSRecipes, name, rec.Marshal()); err != nil {
+	if err := c.router.PutBlob(ctx, store.NSRecipes, name, rec.Marshal()); err != nil {
 		return nil, fmt.Errorf("client: upload recipe: %w", err)
 	}
 	if err := c.putBlob(ctx, c.keyConn, store.NSKeyStates, name, stateBlob); err != nil {
@@ -537,81 +535,31 @@ func (c *Client) sealStubsChecked(stubs [][]byte, fileKey []byte, name string) (
 	return sealStubs(stubs, fileKey, name)
 }
 
-// uploadSegment stripes one segment's trimmed packages across the data
-// servers in parallel UploadBuffer-sized batches, returning the number
-// of duplicates the servers reported.
-//
-// This is the pipeline-owned retry layer: PutChunks is not re-issued by
-// the transport (a replay inflates refcounts, see internal/dedup and
-// server.Client.PutChunks), so a batch that dies with its connection is
-// re-sent here under Config.Retry. Re-PUT converges byte-identically —
-// the store detects the duplicate fingerprint and only bumps a
-// refcount — so a flapping server costs over-retention at worst, never
-// corruption. Application errors from a healthy server are permanent.
+// uploadSegment hands one segment's trimmed packages to the cluster
+// router, which partitions them by ring owner, stripes each shard's
+// share in parallel UploadBuffer-sized batches, and re-sends batches
+// that die with their connection under Config.Retry (re-PUT is
+// dedup-safe; see internal/cluster and internal/dedup). Returns the
+// number of duplicates the shards reported. Re-sent batches land in
+// the client-level counter via the router's OnBatchRetry hook, so
+// RetryStats deltas and the metrics registry read the same number.
 func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
-	perServer := make([][]proto.ChunkUpload, len(c.data))
+	ups := make([]proto.ChunkUpload, len(seg.chunks))
 	for i := range seg.chunks {
-		s := c.serverFor(seg.chunks[i].fpTrim)
-		perServer[s] = append(perServer[s], proto.ChunkUpload{
+		ups[i] = proto.ChunkUpload{
 			FP:   seg.chunks[i].fpTrim,
 			Data: seg.chunks[i].pkg.Trimmed,
-		})
-	}
-
-	// Re-sent batches land in the client-level counter: RetryStats
-	// deltas and the metrics registry both read it, so the two report
-	// paths can never drift.
-	policy := c.cfg.Retry
-	policy.OnRetry = func(int, error, time.Duration) { c.retriedBatches.Inc() }
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		dups     int
-	)
-	for s := range c.data {
-		if len(perServer[s]) == 0 {
-			continue
 		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for _, batch := range splitBatches(perServer[s], c.cfg.UploadBuffer) {
-				var flags []bool
-				err := retry.Do(ctx, policy, func(ctx context.Context) error {
-					var err error
-					flags, err = c.putChunks(ctx, c.data[s], batch)
-					if err == nil {
-						return nil
-					}
-					var re *proto.RemoteError
-					if errors.As(err, &re) {
-						return retry.Permanent(err)
-					}
-					return err
-				})
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client: upload to server %d: %w", s, err)
-					}
-					mu.Unlock()
-					return
-				}
-				mu.Lock()
-				for _, d := range flags {
-					if d {
-						dups++
-					}
-				}
-				mu.Unlock()
-			}
-		}(s)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
+	flags, err := c.router.PutChunks(ctx, ups)
+	if err != nil {
+		return 0, fmt.Errorf("client: upload chunks: %w", err)
+	}
+	dups := 0
+	for _, d := range flags {
+		if d {
+			dups++
+		}
 	}
 	return dups, nil
 }

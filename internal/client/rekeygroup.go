@@ -98,8 +98,7 @@ func (c *Client) RekeyGroup(ctx context.Context, paths []string, newPol *policy.
 // new state's file key, uploads it, and bumps the recipe's key version.
 // It returns the re-encrypted stub file size.
 func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyreg.State, derivPub keyreg.Public, newState keyreg.State) (int, error) {
-	home := c.homeServer(name)
-	recBytes, err := c.getBlob(ctx, home, store.NSRecipes, name)
+	recBytes, err := c.router.GetBlob(ctx, store.NSRecipes, name)
 	if err != nil {
 		return 0, fmt.Errorf("%w: recipe: %w", ErrNotFound, err)
 	}
@@ -107,7 +106,7 @@ func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyre
 	if err != nil {
 		return 0, err
 	}
-	stubFile, err := c.getBlob(ctx, home, store.NSStubs, name)
+	stubFile, err := c.router.GetBlob(ctx, store.NSStubs, name)
 	if err != nil {
 		return 0, fmt.Errorf("%w: stub file: %w", ErrNotFound, err)
 	}
@@ -131,11 +130,11 @@ func (c *Client) reencryptStubs(ctx context.Context, name string, oldState keyre
 	if err != nil {
 		return 0, err
 	}
-	if err := c.putBlob(ctx, home, store.NSStubs, name, reStubFile); err != nil {
+	if err := c.router.PutBlob(ctx, store.NSStubs, name, reStubFile); err != nil {
 		return 0, fmt.Errorf("client: re-upload stub file: %w", err)
 	}
 	rec.KeyVersion = newState.Version
-	if err := c.putBlob(ctx, home, store.NSRecipes, name, rec.Marshal()); err != nil {
+	if err := c.router.PutBlob(ctx, store.NSRecipes, name, rec.Marshal()); err != nil {
 		return 0, fmt.Errorf("client: re-upload recipe: %w", err)
 	}
 	return len(reStubFile), nil

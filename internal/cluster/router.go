@@ -1,0 +1,615 @@
+// Package cluster implements the client-side routing plane for a
+// sharded REED deployment: a Router owns one rpcmux-backed connection
+// per storage shard and fans every storage RPC out by placement.
+//
+// Two routing planes share one consistent-hash ring (internal/ring):
+//
+//   - chunk plane — PutChunks, GetChunks, DerefChunks, Challenge route
+//     each fingerprint to its ring owner, so a chunk deduplicates
+//     globally (every client sends a given fingerprint to the same
+//     shard) and per-shard dedup accounting sums to the single-node
+//     totals;
+//   - file plane — PutBlob, GetBlob, DeleteBlob route by a hash of the
+//     object name, so a file's recipe and stub file co-locate on one
+//     "home" shard while different files spread across the cluster.
+//
+// Batched calls are partitioned by owner, issued concurrently per
+// shard, and reassembled in the caller's order, so the pipeline above
+// sees exactly the single-connection semantics it always had. Fault
+// handling splits by idempotency: reads ride the transport's
+// transparent redial/re-issue machinery, chunk-batch puts are re-sent
+// here under the retry policy (re-PUT is dedup-safe; see
+// internal/dedup), and the reference-counted mutations fail fast when
+// a shard is marked down — the caller must decide, not a blind replay.
+//
+// A shard is marked down after DownAfter consecutive transport
+// failures and marked up again by any successful call (application
+// errors from a live shard count as successes — the shard answered).
+// Idempotent calls always try, which is also what heals the mark.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/retry"
+	"repro/internal/ring"
+	"repro/internal/rpcmux"
+	"repro/internal/server"
+)
+
+// DefaultDownAfter is how many consecutive transport failures mark a
+// shard down for non-idempotent operations.
+const DefaultDownAfter = 3
+
+// DefaultGetBatchChunks bounds one GetChunks RPC's fingerprint count.
+const DefaultGetBatchChunks = 4096
+
+// ErrShardDown wraps errors returned when a non-idempotent operation is
+// refused because its target shard is marked down.
+var ErrShardDown = errors.New("cluster: shard down")
+
+// Config configures a Router.
+type Config struct {
+	// Shards are the storage shard addresses. Order does not affect
+	// placement (the ring hashes addresses), but it fixes the index
+	// space Stats, Health, and error messages report in.
+	Shards []string
+	// Dialer overrides connection establishment (nil uses plain TCP).
+	Dialer server.Dialer
+	// Retry bounds reconnection backoff on every shard connection and
+	// the router-owned chunk-batch re-sends.
+	Retry retry.Policy
+	// CallTimeout, when positive, bounds each individual shard RPC.
+	CallTimeout time.Duration
+	// BatchBytes caps one PutChunks batch's payload (default 4 MB).
+	BatchBytes int
+	// GetBatchChunks caps one GetChunks RPC's fingerprint count
+	// (default DefaultGetBatchChunks).
+	GetBatchChunks int
+	// VirtualNodes and RingSeed configure the placement ring; zero
+	// values use the ring package defaults.
+	VirtualNodes int
+	RingSeed     uint64
+	// OnBatchRetry, when set, is called once per re-sent chunk batch
+	// (the client wires its RetryStats counter here).
+	OnBatchRetry func()
+	// DownAfter overrides DefaultDownAfter.
+	DownAfter int
+}
+
+// ShardHealth is one shard's routing-plane health view.
+type ShardHealth struct {
+	// Addr is the shard's address.
+	Addr string
+	// ConsecutiveFailures counts transport failures since the last
+	// successful call.
+	ConsecutiveFailures int
+	// Down reports whether non-idempotent operations currently fail
+	// fast against this shard.
+	Down bool
+}
+
+// Router routes storage RPCs across the shards of one cluster. It is
+// safe for concurrent use.
+type Router struct {
+	cfg   Config
+	ring  *ring.Ring
+	conns []*server.Client
+	// fails[s] counts consecutive transport failures against shard s;
+	// crossing cfg.DownAfter marks the shard down.
+	fails []atomic.Int64
+}
+
+// Dial connects to every shard. ctx bounds the initial handshakes, not
+// the router's lifetime. Placement is fixed at construction: the same
+// shard list (in any order), virtual-node count, and seed yield the
+// same chunk→shard mapping on every client.
+func Dial(ctx context.Context, cfg Config) (*Router, error) {
+	var ringOpts []ring.Option
+	if cfg.VirtualNodes > 0 {
+		ringOpts = append(ringOpts, ring.WithVirtualNodes(cfg.VirtualNodes))
+	}
+	if cfg.RingSeed != 0 {
+		ringOpts = append(ringOpts, ring.WithSeed(cfg.RingSeed))
+	}
+	rg, err := ring.New(cfg.Shards, ringOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 4 << 20
+	}
+	if cfg.GetBatchChunks <= 0 {
+		cfg.GetBatchChunks = DefaultGetBatchChunks
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = DefaultDownAfter
+	}
+	r := &Router{cfg: cfg, ring: rg, fails: make([]atomic.Int64, len(cfg.Shards))}
+	for _, addr := range cfg.Shards {
+		conn, err := server.DialStore(ctx, addr, cfg.Dialer, cfg.Retry)
+		if err != nil {
+			_ = r.Close()
+			return nil, fmt.Errorf("cluster: dial shard %s: %w", addr, err)
+		}
+		r.conns = append(r.conns, conn)
+	}
+	return r, nil
+}
+
+// Close closes every shard connection.
+func (r *Router) Close() error {
+	var firstErr error
+	for _, conn := range r.conns {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// N returns the shard count.
+func (r *Router) N() int { return len(r.conns) }
+
+// Addrs returns the shard addresses in index order.
+func (r *Router) Addrs() []string { return r.ring.Members() }
+
+// Owner returns the shard index owning a chunk fingerprint.
+func (r *Router) Owner(fp fingerprint.Fingerprint) int { return r.ring.Owner(fp) }
+
+// Home returns the shard index holding an object name's file-plane
+// blobs (its recipe and stub file land together).
+func (r *Router) Home(name string) int { return r.ring.OwnerKey([]byte(name)) }
+
+// rpc derives the context one shard RPC runs under.
+func (r *Router) rpc(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.cfg.CallTimeout > 0 {
+		return context.WithTimeout(ctx, r.cfg.CallTimeout)
+	}
+	return ctx, func() {}
+}
+
+// observe feeds one call outcome into shard health. Application errors
+// (proto.RemoteError) mean the shard answered — it is up; context
+// errors say nothing about the shard and are ignored.
+func (r *Router) observe(s int, err error) {
+	if err == nil {
+		r.fails[s].Store(0)
+		return
+	}
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		r.fails[s].Store(0)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	r.fails[s].Add(1)
+}
+
+// downErr returns a fail-fast error when shard s is marked down, nil
+// otherwise. Only non-idempotent entry points consult it — reads keep
+// probing (and heal the mark on success).
+func (r *Router) downErr(s int) error {
+	if n := r.fails[s].Load(); n >= int64(r.cfg.DownAfter) {
+		return fmt.Errorf("%w: shard %d (%s) after %d consecutive transport failures",
+			ErrShardDown, s, r.cfg.Shards[s], n)
+	}
+	return nil
+}
+
+// Health returns every shard's routing-plane health, in index order.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, len(r.conns))
+	for s := range r.conns {
+		n := r.fails[s].Load()
+		out[s] = ShardHealth{
+			Addr:                r.cfg.Shards[s],
+			ConsecutiveFailures: int(n),
+			Down:                n >= int64(r.cfg.DownAfter),
+		}
+	}
+	return out
+}
+
+// Reconnects sums connection re-establishments across all shards.
+func (r *Router) Reconnects() uint64 {
+	var n uint64
+	for _, conn := range r.conns {
+		n += conn.Reconnects()
+	}
+	return n
+}
+
+// Retries sums transparently re-issued RPCs across all shards.
+func (r *Router) Retries() uint64 {
+	var n uint64
+	for _, conn := range r.conns {
+		n += conn.Retries()
+	}
+	return n
+}
+
+// Instrument attaches per-shard RPC instrumentation to the registry:
+// each shard's op families carry a shard="<addr>" label, so a merged
+// snapshot still shows per-shard balance.
+func (r *Router) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for s, conn := range r.conns {
+		addr := r.cfg.Shards[s]
+		conn.Instrument(&rpcmux.Instruments{
+			Ops:      metrics.NewOpSet(reg, "rpc", proto.OpNames(), "shard", addr),
+			Inflight: reg.Gauge("rpc_inflight", "shard", addr),
+		})
+	}
+}
+
+// splitBatches groups uploads so each batch stays under maxBytes
+// (always at least one chunk per batch).
+func splitBatches(chunks []proto.ChunkUpload, maxBytes int) [][]proto.ChunkUpload {
+	var (
+		out   [][]proto.ChunkUpload
+		cur   []proto.ChunkUpload
+		bytes int
+	)
+	for _, c := range chunks {
+		if len(cur) > 0 && bytes+len(c.Data) > maxBytes {
+			out = append(out, cur)
+			cur, bytes = nil, 0
+		}
+		cur = append(cur, c)
+		bytes += len(c.Data)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// --- chunk plane ---
+
+// PutChunks uploads a batch of trimmed packages, each to its owning
+// shard, and returns per-chunk duplicate flags in input order.
+//
+// This is the router-owned retry layer: PutChunks is not re-issued by
+// the transport (a replay inflates refcounts), so a batch that dies
+// with its connection is re-sent here under Config.Retry. Re-PUT
+// converges byte-identically — the store detects the duplicate
+// fingerprint and only bumps a refcount — so a flapping shard costs
+// over-retention at worst, never corruption. Application errors from a
+// healthy shard are permanent, and a shard marked down fails the call
+// immediately.
+func (r *Router) PutChunks(ctx context.Context, chunks []proto.ChunkUpload) ([]bool, error) {
+	if len(chunks) == 0 {
+		return nil, nil
+	}
+	type slot struct {
+		idx int // position in the caller's batch
+		up  proto.ChunkUpload
+	}
+	perShard := make([][]slot, len(r.conns))
+	for i, up := range chunks {
+		s := r.ring.Owner(up.FP)
+		perShard[s] = append(perShard[s], slot{idx: i, up: up})
+	}
+
+	policy := r.cfg.Retry
+	callerHook := policy.OnRetry
+	policy.OnRetry = func(attempt int, err error, delay time.Duration) {
+		if r.cfg.OnBatchRetry != nil {
+			r.cfg.OnBatchRetry()
+		}
+		if callerHook != nil {
+			callerHook(attempt, err, delay)
+		}
+	}
+
+	flags := make([]bool, len(chunks))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range r.conns {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			if err := r.downErr(s); err != nil {
+				fail(fmt.Errorf("cluster: upload to shard %d: %w", s, err))
+				return
+			}
+			slots := perShard[s]
+			ups := make([]proto.ChunkUpload, len(slots))
+			for i, sl := range slots {
+				ups[i] = sl.up
+			}
+			done := 0
+			for _, batch := range splitBatches(ups, r.cfg.BatchBytes) {
+				var dups []bool
+				err := retry.Do(ctx, policy, func(ctx context.Context) error {
+					rctx, cancel := r.rpc(ctx)
+					defer cancel()
+					var err error
+					dups, err = r.conns[s].PutChunks(rctx, batch)
+					r.observe(s, err)
+					if err == nil {
+						return nil
+					}
+					var re *proto.RemoteError
+					if errors.As(err, &re) {
+						return retry.Permanent(err)
+					}
+					return err
+				})
+				if err != nil {
+					fail(fmt.Errorf("cluster: upload to shard %d (%s): %w", s, r.cfg.Shards[s], err))
+					return
+				}
+				for i, d := range dups {
+					flags[slots[done+i].idx] = d
+				}
+				done += len(batch)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return flags, nil
+}
+
+// GetChunks fetches trimmed packages by fingerprint from their owning
+// shards, concurrently, returning them in input order. Reads are
+// re-issued transparently by the transport after connection faults.
+func (r *Router) GetChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	type want struct {
+		idx int
+		fp  fingerprint.Fingerprint
+	}
+	perShard := make([][]want, len(r.conns))
+	for i, fp := range fps {
+		s := r.ring.Owner(fp)
+		perShard[s] = append(perShard[s], want{idx: i, fp: fp})
+	}
+
+	out := make([][]byte, len(fps))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range r.conns {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			wants := perShard[s]
+			batch := r.cfg.GetBatchChunks
+			for start := 0; start < len(wants); start += batch {
+				end := start + batch
+				if end > len(wants) {
+					end = len(wants)
+				}
+				fps := make([]fingerprint.Fingerprint, 0, end-start)
+				for _, w := range wants[start:end] {
+					fps = append(fps, w.fp)
+				}
+				rctx, cancel := r.rpc(ctx)
+				datas, err := r.conns[s].GetChunks(rctx, fps)
+				cancel()
+				r.observe(s, err)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: download from shard %d (%s): %w", s, r.cfg.Shards[s], err)
+					}
+					mu.Unlock()
+					return
+				}
+				for i, w := range wants[start:end] {
+					out[w.idx] = datas[i]
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DerefChunks drops one reference from each fingerprint on its owning
+// shard, returning the total number freed. Refcount mutations are never
+// auto-re-issued, and a shard marked down fails the call immediately.
+func (r *Router) DerefChunks(ctx context.Context, fps []fingerprint.Fingerprint) (uint64, error) {
+	if len(fps) == 0 {
+		return 0, nil
+	}
+	perShard := make([][]fingerprint.Fingerprint, len(r.conns))
+	for _, fp := range fps {
+		s := r.ring.Owner(fp)
+		perShard[s] = append(perShard[s], fp)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		freed    uint64
+	)
+	for s := range r.conns {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			if err := r.downErr(s); err != nil {
+				fail(fmt.Errorf("cluster: deref on shard %d: %w", s, err))
+				return
+			}
+			rctx, cancel := r.rpc(ctx)
+			n, err := r.conns[s].DerefChunks(rctx, perShard[s])
+			cancel()
+			r.observe(s, err)
+			if err != nil {
+				fail(fmt.Errorf("cluster: deref on shard %d (%s): %w", s, r.cfg.Shards[s], err))
+				return
+			}
+			mu.Lock()
+			freed += n
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return freed, nil
+}
+
+// Challenge asks a chunk's owning shard to prove possession of it.
+func (r *Router) Challenge(ctx context.Context, fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
+	s := r.ring.Owner(fp)
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	resp, err := r.conns[s].Challenge(rctx, fp, nonce)
+	r.observe(s, err)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: challenge on shard %d (%s): %w", s, r.cfg.Shards[s], err)
+	}
+	return resp, nil
+}
+
+// --- file plane ---
+
+// PutBlob stores a blob on the name's home shard. Blob puts are
+// verbatim overwrites (idempotent), so the transport re-issues them
+// transparently after connection faults.
+func (r *Router) PutBlob(ctx context.Context, ns, name string, data []byte) error {
+	s := r.Home(name)
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	err := r.conns[s].PutBlob(rctx, ns, name, data)
+	r.observe(s, err)
+	return err
+}
+
+// GetBlob fetches a blob from the name's home shard.
+func (r *Router) GetBlob(ctx context.Context, ns, name string) ([]byte, error) {
+	s := r.Home(name)
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	data, err := r.conns[s].GetBlob(rctx, ns, name)
+	r.observe(s, err)
+	return data, err
+}
+
+// DeleteBlob removes a blob from the name's home shard. Deletions are
+// never auto-re-issued, and a shard marked down fails the call
+// immediately.
+func (r *Router) DeleteBlob(ctx context.Context, ns, name string) error {
+	s := r.Home(name)
+	if err := r.downErr(s); err != nil {
+		return fmt.Errorf("cluster: delete blob on shard %d: %w", s, err)
+	}
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	err := r.conns[s].DeleteBlob(rctx, ns, name)
+	r.observe(s, err)
+	return err
+}
+
+// ListBlobs lists a namespace across every shard, deduplicated and
+// sorted.
+func (r *Router) ListBlobs(ctx context.Context, ns string) ([]string, error) {
+	seen := make(map[string]bool)
+	for s, conn := range r.conns {
+		rctx, cancel := r.rpc(ctx)
+		names, err := conn.ListBlobs(rctx, ns)
+		cancel()
+		r.observe(s, err)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: list shard %d (%s): %w", s, r.cfg.Shards[s], err)
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- operational plane ---
+
+// Stats fetches every shard's dedup statistics, in index order.
+func (r *Router) Stats(ctx context.Context) ([]proto.Stats, error) {
+	out := make([]proto.Stats, 0, len(r.conns))
+	for s, conn := range r.conns {
+		rctx, cancel := r.rpc(ctx)
+		st, err := conn.Stats(rctx)
+		cancel()
+		r.observe(s, err)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats from shard %d (%s): %w", s, r.cfg.Shards[s], err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// ShardMetrics fetches every shard's metrics snapshot, in index order
+// (empty snapshots from uninstrumented shards).
+func (r *Router) ShardMetrics(ctx context.Context) ([]metrics.Snapshot, error) {
+	out := make([]metrics.Snapshot, 0, len(r.conns))
+	for s, conn := range r.conns {
+		rctx, cancel := r.rpc(ctx)
+		snap, err := conn.Metrics(rctx)
+		cancel()
+		r.observe(s, err)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: metrics from shard %d (%s): %w", s, r.cfg.Shards[s], err)
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+// Shard-saturation experiment: quantifies what the consistent-hash ring
+// buys — aggregate PUT bandwidth. Each shard gets its own emulated
+// ingress port (one netem.Link per shard address, shared by every
+// client dialing it, like one switch port per server). With one shard,
+// concurrent clients contend for a single port; with N shards the ring
+// spreads each client's chunk batches across N ports, so aggregate
+// throughput grows until client-side work saturates.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/keyreg"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/testenv"
+)
+
+// ShardPoint is one row of the shard-saturation experiment.
+type ShardPoint struct {
+	// Shards is the storage shard count.
+	Shards int
+	// Clients is the number of concurrent uploading clients.
+	Clients int
+	// AggregateMBps is total PUT throughput: clients × file size over
+	// the wall-clock time for all uploads to finish.
+	AggregateMBps float64
+}
+
+// shardPortDialer throttles connections to each shard through that
+// shard's own link, modelling per-server switch ports; connections to
+// other addresses (key manager, key store) pass through unthrottled.
+func shardPortDialer(addrs []string, bytesPerSecond float64, rtt time.Duration) (func(addr string) (net.Conn, error), error) {
+	ports := make(map[string]*netem.Link, len(addrs))
+	for _, addr := range addrs {
+		link, err := netem.NewLinkRTT(bytesPerSecond, rtt)
+		if err != nil {
+			return nil, err
+		}
+		ports[addr] = link
+	}
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if link, ok := ports[addr]; ok {
+			return link.Wrap(c), nil
+		}
+		return c, nil
+	}, nil
+}
+
+// ShardSaturation uploads distinct data from `clients` concurrent
+// clients against deployments of each shard count and measures
+// aggregate PUT throughput. Chunks are fixed at 128 KB so OPRF key
+// fetches stay off the critical path and the shard ports are the
+// bottleneck; o.LinkBandwidth sets the per-port bandwidth (default
+// 24 MB/s, low enough that a laptop saturates four ports).
+func ShardSaturation(o Options, shardCounts []int, clients int) ([]ShardPoint, error) {
+	o, err := o.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	portBW := o.LinkBandwidth
+	if portBW <= 0 {
+		portBW = 24 << 20
+	}
+	if clients <= 0 {
+		clients = 3
+	}
+
+	var out []ShardPoint
+	for _, shards := range shardCounts {
+		cluster, err := testenv.StartSharded(testenv.ShardedOptions{
+			Shards: shards,
+			KMKey:  o.KMKey,
+		})
+		if err != nil {
+			return nil, err
+		}
+		point, err := shardSaturationRun(cluster, o, shards, clients, portBW)
+		cluster.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func shardSaturationRun(cluster *testenv.ShardedCluster, o Options, shards, clients int, portBW float64) (ShardPoint, error) {
+	users := userNames(clients, "shard")
+	cs := make([]*client.Client, clients)
+	defer func() {
+		for _, c := range cs {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	// One set of port links shared by every client: the cap models the
+	// server's switch port, not a per-client NIC.
+	dialer, err := shardPortDialer(cluster.ShardAddrs(), portBW, o.LinkRTT)
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	for i, user := range users {
+		owner, err := keyreg.NewOwner(keyreg.DefaultBits, nil)
+		if err != nil {
+			return ShardPoint{}, err
+		}
+		cs[i], err = client.New(context.Background(), client.Config{
+			UserID:         user,
+			Scheme:         core.SchemeBasic,
+			DataServers:    cluster.ShardAddrs(),
+			KeyStoreServer: cluster.KeyAddr,
+			KeyManager:     cluster.KMAddr,
+			FixedChunkSize: 128 << 10,
+			Workers:        4,
+			PrivateKey:     cluster.Authority.IssueKey(user, []string{user}),
+			Directory:      cluster.Authority,
+			Owner:          owner,
+			Dialer:         dialer,
+		})
+		if err != nil {
+			return ShardPoint{}, err
+		}
+	}
+
+	// Distinct content per client: shared chunks would deduplicate and
+	// skip the very transfers under measurement.
+	datas := make([][]byte, clients)
+	for i := range datas {
+		datas[i] = uniqueData(o.FileBytes, o.Seed+int64(shards)*1000+int64(i))
+	}
+
+	start := time.Now()
+	err = parallel(clients, func(i int) error {
+		path := fmt.Sprintf("/shard/%d/%s", shards, users[i])
+		_, err := timeUpload(cs[i], path, datas[i], policy.OrOfUsers([]string{users[i]}))
+		return err
+	})
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	return ShardPoint{
+		Shards:        shards,
+		Clients:       clients,
+		AggregateMBps: mbps(clients*o.FileBytes, time.Since(start)),
+	}, nil
+}

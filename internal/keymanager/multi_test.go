@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/netem"
 	"repro/internal/oprf"
 )
 
@@ -53,6 +56,93 @@ func TestMultiClientFailover(t *testing.T) {
 	}
 	if got := srvB.Evaluations(); got == 0 {
 		t.Fatal("replica B served no evaluations after failover")
+	}
+}
+
+// TestMultiClientFaultMidBatchFailover cuts the primary's connection
+// partway through a single GenerateKeys batch — not between calls — so
+// the transport error surfaces mid-RPC. The call itself must complete
+// through the secondary replica with the exact same keys the primary
+// would have served, and the torn connection must not leak a goroutine.
+func TestMultiClientFaultMidBatchFailover(t *testing.T) {
+	key := serverKey(t) // warm the shared fixture before counting
+	before := runtime.NumGoroutine()
+
+	srvA := NewServer(key)
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srvA.Serve(lnA) }()
+	srvB := NewServer(key)
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srvA.Shutdown()
+		t.Fatal(err)
+	}
+	go func() { _ = srvB.Serve(lnB) }()
+	teardown := func() {
+		srvA.Shutdown()
+		srvB.Shutdown()
+		_ = lnA.Close()
+		_ = lnB.Close()
+	}
+
+	// Dial 0 is the primary. The params handshake writes well under
+	// 2 KiB; a 64-fingerprint batch of 1024-bit blinded values writes
+	// ~8 KiB, so the cut lands inside the batch.
+	plan := netem.NewPlan(11)
+	plan.OnDial(0, netem.Fault{CutAfterWriteBytes: 2 << 10})
+	mc, err := DialMulti(ctx, []string{lnA.Addr().String(), lnB.Addr().String()},
+		WithDialer(plan.Dialer(nil)))
+	if err != nil {
+		teardown()
+		t.Fatal(err)
+	}
+
+	// Kill the primary's listener while its accepted connection stays
+	// up: the underlying client would otherwise heal the cut by
+	// redialing the same replica, and MultiClient would never see the
+	// fault. With the listener gone, the redial fails and the error
+	// surfaces mid-call.
+	_ = lnA.Close()
+
+	ids := fps(64)
+	keys, genErr := mc.GenerateKeys(ctx, ids)
+	_ = mc.Close()
+	teardown()
+	if genErr != nil {
+		t.Fatalf("GenerateKeys across mid-batch cut: %v", genErr)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("fault never fired; cut offset no longer inside the batch")
+	}
+	for i, fp := range ids {
+		want, err := key.Derive(fp[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(keys[i], want) {
+			t.Fatalf("key %d differs from direct derivation after failover", i)
+		}
+	}
+	if srvB.Evaluations() == 0 {
+		t.Fatal("secondary replica served no evaluations; batch did not fail over")
+	}
+
+	// Connection teardown is asynchronous; give the runtime a moment.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after teardown\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

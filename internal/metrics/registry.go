@@ -289,9 +289,12 @@ type OpSet struct {
 
 // NewOpSet registers <prefix>_total{op=...}, <prefix>_errors{op=...},
 // and <prefix>_latency{op=...} for every non-empty name; Observe calls
-// for indexes with empty names (or out of range) are dropped. Returns
-// nil on a nil registry.
-func NewOpSet(r *Registry, prefix string, names []string) *OpSet {
+// for indexes with empty names (or out of range) are dropped. Extra
+// label pairs in kv are appended to every instrument — the cluster
+// router uses this to tag each shard's RPC families with a shard label,
+// so per-shard balance stays visible after a merge. Returns nil on a
+// nil registry.
+func NewOpSet(r *Registry, prefix string, names []string, kv ...string) *OpSet {
 	if r == nil {
 		return nil
 	}
@@ -304,9 +307,10 @@ func NewOpSet(r *Registry, prefix string, names []string) *OpSet {
 		if name == "" {
 			continue
 		}
-		o.total[i] = r.Counter(prefix+"_total", "op", name)
-		o.errs[i] = r.Counter(prefix+"_errors", "op", name)
-		o.latency[i] = r.Histogram(prefix+"_latency", "op", name)
+		labels := append([]string{"op", name}, kv...)
+		o.total[i] = r.Counter(prefix+"_total", labels...)
+		o.errs[i] = r.Counter(prefix+"_errors", labels...)
+		o.latency[i] = r.Histogram(prefix+"_latency", labels...)
 	}
 	return o
 }

@@ -1,0 +1,192 @@
+// Package ring implements a consistent-hash ring over the fingerprint
+// space: the placement function that decides which storage shard owns a
+// chunk. Each member contributes VirtualNodes points hashed onto a
+// uint64 circle; a fingerprint is owned by the first point at or after
+// its position, wrapping at the top.
+//
+// Properties the rest of the system builds on:
+//
+//   - total and deterministic: every fingerprint has exactly one owner
+//     for a fixed member set, seed, and virtual-node count, computable
+//     by any client without coordination;
+//   - order-insensitive: points are hashed from member addresses, not
+//     slice indices, so two clients configured with the same shards in
+//     different order place every chunk identically;
+//   - stable under growth: adding a member moves only the keys that
+//     land on its new points (~1/N of the space), which is what makes
+//     live rebalancing feasible in a later change — Successors exposes
+//     the clockwise ownership order a migration plan needs.
+//
+// The ring is immutable after construction and safe for concurrent use.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fingerprint"
+)
+
+// DefaultVirtualNodes balances construction cost (members × vnodes
+// hashes, once) against placement uniformity: 512 points per member
+// keeps ownership within a few percent of fair for small clusters.
+const DefaultVirtualNodes = 512
+
+// ErrNoMembers is returned when constructing a ring with no members.
+var ErrNoMembers = errors.New("ring: no members")
+
+// point is one virtual node: a position on the circle and the member it
+// routes to.
+type point struct {
+	pos    uint64
+	member int
+}
+
+// Ring is an immutable consistent-hash ring.
+type Ring struct {
+	members []string
+	points  []point
+	vnodes  int
+	seed    uint64
+}
+
+// Option configures ring construction.
+type Option func(*Ring)
+
+// WithVirtualNodes sets the number of points each member contributes
+// (default DefaultVirtualNodes). Higher is more uniform; construction
+// and memory grow linearly.
+func WithVirtualNodes(n int) Option {
+	return func(r *Ring) {
+		if n > 0 {
+			r.vnodes = n
+		}
+	}
+}
+
+// WithSeed keys the point-hash function. Rings built with different
+// seeds place chunks differently; every client of one cluster must use
+// the same seed (the default zero seed is fine and canonical).
+func WithSeed(seed uint64) Option {
+	return func(r *Ring) { r.seed = seed }
+}
+
+// New builds a ring over the given members (shard addresses). Members
+// must be non-empty and unique; their order does not affect placement.
+func New(members []string, opts ...Option) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, ErrNoMembers
+	}
+	r := &Ring{
+		members: append([]string(nil), members...),
+		vnodes:  DefaultVirtualNodes,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, errors.New("ring: empty member address")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+		seen[m] = true
+	}
+
+	r.points = make([]point, 0, len(members)*r.vnodes)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], r.seed)
+	for mi, m := range members {
+		for v := 0; v < r.vnodes; v++ {
+			h := sha256.New()
+			binary.BigEndian.PutUint64(buf[8:], uint64(v))
+			h.Write(buf[:])
+			// Length-prefix the address so (addr, vnode) encodings never
+			// collide across members.
+			var lenBuf [4]byte
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(m)))
+			h.Write(lenBuf[:])
+			h.Write([]byte(m))
+			sum := h.Sum(nil)
+			r.points = append(r.points, point{
+				pos:    binary.BigEndian.Uint64(sum[:8]),
+				member: mi,
+			})
+		}
+	}
+	// Ties (astronomically unlikely 64-bit collisions) break on member
+	// address, not slice index, so placement stays order-insensitive.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return r.members[a.member] < r.members[b.member]
+	})
+	return r, nil
+}
+
+// N returns the member count.
+func (r *Ring) N() int { return len(r.members) }
+
+// Members returns the member addresses in construction order.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// VirtualNodes returns the per-member point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// locate returns the index (into members) owning a circle position: the
+// first point at or after pos, wrapping to the first point.
+func (r *Ring) locate(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Owner returns the member index owning a chunk fingerprint. The
+// fingerprint's position is its leading 8 bytes — SHA-256 output is
+// uniform, so no re-hash is needed.
+func (r *Ring) Owner(fp fingerprint.Fingerprint) int {
+	return r.locate(binary.BigEndian.Uint64(fp[:8]))
+}
+
+// OwnerKey returns the member index owning an arbitrary key (the
+// file-plane router hashes object names through this). The key is
+// SHA-256-hashed onto the circle first.
+func (r *Ring) OwnerKey(key []byte) int {
+	sum := sha256.Sum256(key)
+	return r.locate(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// Successors returns up to n distinct member indices in clockwise
+// ownership order starting at fp's owner. Index 0 is the owner; the
+// rest are the members a rebalance or replication plan would spill to.
+func (r *Ring) Successors(fp fingerprint.Fingerprint, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	pos := binary.BigEndian.Uint64(fp[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -186,6 +186,61 @@ func (c *Cluster) Close() {
 	c.serveWG.Wait()
 }
 
+// ShardedOptions configures a ShardedCluster.
+type ShardedOptions struct {
+	// Shards is the number of storage shards (default 4).
+	Shards int
+	// RSABits sizes the key manager's OPRF key (default 1024; tests may
+	// use 512 for speed).
+	RSABits int
+	// KMKey reuses an existing OPRF key instead of generating one.
+	KMKey *oprf.ServerKey
+	// LinkBandwidth and LinkRTT emulate the client links via
+	// internal/netem, as in Options.
+	LinkBandwidth float64
+	LinkRTT       time.Duration
+	// RateLimit, if positive, enables key manager rate limiting.
+	RateLimit float64
+}
+
+// ShardedCluster is an N-shard deployment: N storage shards, one key
+// manager, one key-store server. It is the cluster topology the ring
+// router targets — pass ShardAddrs as the client's DataServers and the
+// consistent-hash ring partitions the fingerprint space across the
+// shards. The embedded Cluster keeps every single-node helper
+// (Dialer, KM, Close) working unchanged, and client connections remain
+// netem-wrappable through LinkBandwidth/LinkRTT.
+type ShardedCluster struct {
+	*Cluster
+}
+
+// StartSharded boots an N-shard cluster.
+func StartSharded(opts ShardedOptions) (*ShardedCluster, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	c, err := Start(Options{
+		DataServers:   opts.Shards,
+		RSABits:       opts.RSABits,
+		KMKey:         opts.KMKey,
+		LinkBandwidth: opts.LinkBandwidth,
+		LinkRTT:       opts.LinkRTT,
+		RateLimit:     opts.RateLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCluster{Cluster: c}, nil
+}
+
+// ShardAddrs returns the storage shard addresses, in boot order.
+func (c *ShardedCluster) ShardAddrs() []string { return c.DataAddrs }
+
+// Shards returns the in-process shard servers, index-aligned with
+// ShardAddrs (for metrics inspection and targeted shutdown in fault
+// tests).
+func (c *ShardedCluster) Shards() []*server.Server { return c.DataServers }
+
 // TB is the subset of testing.TB the test helpers need; an interface so
 // testenv does not import testing into non-test binaries.
 type TB interface {

@@ -110,6 +110,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/chunker"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/keymanager"
 	"repro/internal/keyreg"
@@ -197,6 +198,15 @@ type (
 	// AdminServer is an opt-in HTTP debugging surface (/metrics,
 	// /healthz, /debug/pprof) started with StartAdmin.
 	AdminServer = admin.Server
+	// SourceMetrics is one source's labeled snapshot in
+	// Client.ClusterMetricsBySource: the client itself, "keymanager",
+	// each storage shard by address, and "keystore".
+	SourceMetrics = client.SourceMetrics
+	// ShardHealth is the router's view of one storage shard
+	// (Client.ShardHealth): its address, consecutive transport
+	// failures, and whether non-idempotent operations currently fail
+	// fast against it.
+	ShardHealth = cluster.ShardHealth
 )
 
 // Encryption schemes.

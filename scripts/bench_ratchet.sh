@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench_ratchet.sh — fail when benchmarks regress against the committed
+# baselines.
+#
+# Re-runs the archived benchmark suites (pipeline streaming upload, mux
+# pipelining, sharded PUT saturation) and ratchets each against its
+# committed BENCH_*.json via `reed-benchjson -compare`: any direction-
+# classified metric (ns/op up, MB/s or *MBps* down) drifting past the
+# tolerance exits non-zero and names the offender.
+#
+# Usage:
+#   scripts/bench_ratchet.sh            # 15% tolerance (the CI gate)
+#   TOLERANCE=0.30 scripts/bench_ratchet.sh
+#
+# Refresh the baselines intentionally with `make bench-json` and commit
+# the changed BENCH_*.json files alongside the change that shifted them.
+set -eu
+
+TOLERANCE=${TOLERANCE:-0.15}
+cd "$(dirname "$0")/.."
+
+ratchet() {
+    name=$1 baseline=$2 pattern=$3 benchtime=$4 pkg=$5
+    if [ ! -f "$baseline" ]; then
+        echo "bench-ratchet: missing baseline $baseline (run 'make bench-json' and commit it)" >&2
+        exit 1
+    fi
+    echo "== $name (vs $baseline, tolerance $TOLERANCE)"
+    go test -run NONE -bench="$pattern" -benchtime="$benchtime" "$pkg" \
+        | go run ./cmd/reed-benchjson -compare "$baseline" -tolerance "$TOLERANCE"
+}
+
+ratchet pipeline BENCH_pipeline.json BenchmarkStreamingUpload 1x .
+ratchet mux      BENCH_mux.json      BenchmarkMuxedGets       3x ./internal/server/
+ratchet shard    BENCH_shard.json    BenchmarkShardedPut      1x .
+
+echo "bench-ratchet: all suites within tolerance"

@@ -1,6 +1,6 @@
 // Package errclass keeps error classification intact on the
 // retryable RPC paths (internal/rpcmux, internal/server,
-// internal/keymanager, internal/client).
+// internal/keymanager, internal/client, internal/cluster).
 //
 // The Redialer re-issues idempotent calls after a transport fault and
 // consults errors.Is/As to decide what is retryable (retry.Permanent,
@@ -31,6 +31,7 @@ var Analyzer = &analysis.Analyzer{
 // scopedPkgs are the retry-sensitive packages (path suffixes).
 var scopedPkgs = []string{
 	"internal/rpcmux", "internal/server", "internal/keymanager", "internal/client",
+	"internal/cluster",
 }
 
 func run(pass *analysis.Pass) error {

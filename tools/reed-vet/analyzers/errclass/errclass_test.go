@@ -9,5 +9,5 @@ import (
 
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "../../testdata/fix",
-		[]string{"./internal/rpcmux", "./plainlib"}, errclass.Analyzer)
+		[]string{"./internal/rpcmux", "./internal/cluster", "./plainlib"}, errclass.Analyzer)
 }

@@ -1,0 +1,29 @@
+// Package cluster is an errclass fixture: the shard router sits on the
+// retryable RPC path, so flattening an error with %v would sever the
+// errors.Is chain the retry and health logic depend on.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"reedvet.fixtures/internal/retry"
+)
+
+var errShardDown = errors.New("cluster: shard down")
+
+func routeErr(shard int, err error) error {
+	return fmt.Errorf("cluster: shard %d: %v", shard, err) // want `error formatted with %v`
+}
+
+func routeWrapped(shard int, err error) error {
+	return fmt.Errorf("cluster: shard %d: %w", shard, err)
+}
+
+func downWrapped(addr string, err error) error {
+	return fmt.Errorf("%w: %s: %w", errShardDown, addr, err)
+}
+
+func classified(err error) error {
+	return retry.Permanent(fmt.Errorf("cluster: bad placement: %v", err))
+}

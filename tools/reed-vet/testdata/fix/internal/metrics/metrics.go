@@ -12,10 +12,10 @@ type (
 	OpSet     struct{}
 )
 
-func (r *Registry) Counter(name string, kv ...string) *Counter     { return nil }
-func (r *Registry) Gauge(name string, kv ...string) *Gauge         { return nil }
-func (r *Registry) Histogram(name string, kv ...string) *Histogram { return nil }
-func (r *Registry) SetCounterFunc(name string, fn func() uint64)   {}
-func (r *Registry) SetGaugeFunc(name string, fn func() float64)    {}
-func NewOpSet(r *Registry, prefix string, names []string) *OpSet   { return nil }
-func Label(family string, kv ...string) string                     { return family }
+func (r *Registry) Counter(name string, kv ...string) *Counter                 { return nil }
+func (r *Registry) Gauge(name string, kv ...string) *Gauge                     { return nil }
+func (r *Registry) Histogram(name string, kv ...string) *Histogram             { return nil }
+func (r *Registry) SetCounterFunc(name string, fn func() uint64)               {}
+func (r *Registry) SetGaugeFunc(name string, fn func() float64)                {}
+func NewOpSet(r *Registry, prefix string, names []string, kv ...string) *OpSet { return nil }
+func Label(family string, kv ...string) string                                 { return family }

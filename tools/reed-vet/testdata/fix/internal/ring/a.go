@@ -1,0 +1,25 @@
+// Package ring is a ctxrule fixture: the consistent-hash ring package
+// is pure computation, so any context or dialing sneaking in is a
+// design smell the analyzer must catch.
+package ring
+
+import (
+	"context"
+	"net"
+)
+
+func Owner(fp [32]byte, members []string) int { return 0 }
+
+func Rebalance(plan string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+func RebalanceCtx(ctx context.Context, plan string) error { return ctx.Err() }
+
+func snapshot() context.Context {
+	return context.Background() // want `context.Background in a library package`
+}
+
+func ProbeMember(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `ProbeMember dials without a context`
+}
