@@ -41,11 +41,21 @@ func benchOptions(b *testing.B) experiments.Options {
 			fileMB = v
 		}
 	}
+	// REED_BENCH_LINK_MBPS overrides the emulated client link: 0 removes
+	// the throttle entirely (the "unthrottled ceiling" runs recorded in
+	// EXPERIMENTS.md), any other value is MB/s. Default is the paper's
+	// 116 MB/s effective gigabit LAN.
+	linkBW := float64(netem.GigabitEffective)
+	if env := os.Getenv("REED_BENCH_LINK_MBPS"); env != "" {
+		if v, err := strconv.Atoi(env); err == nil && v >= 0 {
+			linkBW = float64(v) * (1 << 20)
+		}
+	}
 	return experiments.Options{
 		FileBytes:     fileMB << 20,
 		DataServers:   4,
 		KMKey:         benchKMKey,
-		LinkBandwidth: netem.GigabitEffective,
+		LinkBandwidth: linkBW,
 		Seed:          1,
 	}
 }

@@ -18,12 +18,20 @@
 //
 //	go test -run NONE -bench=... . | reed-benchjson -compare BENCH_pipeline.json -tolerance 0.15
 //
-// Every benchmark present in both documents is checked metric by
-// metric: time- and allocation-style units (ns/op, B/op, allocs/op)
-// may not grow by more than the tolerance, throughput-style units
-// (MB/s and custom *MBps* / *speedup* metrics) may not shrink by more
-// than it. Any regression is printed and the exit status is non-zero,
-// so CI fails loudly instead of letting performance drift.
+// Every benchmark in the baseline must appear in the current run (a
+// rename or deletion fails the ratchet rather than silently dropping
+// coverage) and is checked metric by metric: time- and allocation-style
+// units (ns/op, B/op, allocs/op) may not grow by more than the
+// tolerance, throughput-style units (MB/s and custom *MBps* /
+// *speedup* metrics) may not shrink by more than it. Any regression is
+// printed and the exit status is non-zero, so CI fails loudly instead
+// of letting performance drift.
+//
+// -bestof merges repeated benchmark names — as produced by
+// `go test -count=3` — keeping each metric's best value (max for
+// throughput, min for times/allocations), which de-flakes the ratchet
+// on noisy runners. -summary FILE appends a per-metric markdown delta
+// table, suitable for $GITHUB_STEP_SUMMARY.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -65,6 +74,8 @@ func run(in io.Reader, out io.Writer, args []string) error {
 	outPath := fs.String("o", "", "output file (default stdout)")
 	comparePath := fs.String("compare", "", "baseline JSON to ratchet against (exit 1 on regression)")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional regression per metric with -compare")
+	bestOf := fs.Bool("bestof", false, "merge repeated benchmark names (go test -count=N), keeping each metric's best value")
+	summaryPath := fs.String("summary", "", "with -compare, append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,12 +84,15 @@ func run(in io.Reader, out io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *bestOf {
+		report = mergeBestOf(report)
+	}
 	if *comparePath != "" {
 		baseline, err := loadReport(*comparePath)
 		if err != nil {
 			return err
 		}
-		return compare(out, baseline, report, *tolerance)
+		return compare(out, baseline, report, *tolerance, *summaryPath)
 	}
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -100,7 +114,7 @@ func run(in io.Reader, out io.Writer, args []string) error {
 func loadReport(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("baseline %s unreadable: %w (renamed? regenerate with 'make bench-json' and commit it)", path, err)
 	}
 	var r Report
 	if err := json.Unmarshal(b, &r); err != nil {
@@ -128,34 +142,116 @@ func metricDirection(unit string) int {
 	return 0
 }
 
-// compare ratchets current against baseline. Only benchmarks and
-// metrics present in both documents participate; a regression beyond
-// the tolerance in either direction-classified unit fails the run.
-func compare(out io.Writer, baseline, current *Report, tolerance float64) error {
+// mergeBestOf folds repeated benchmark names (as emitted by
+// `go test -count=N`) into a single record per name, keeping each
+// metric's best value: max where higher is better, min where lower is
+// better, and the first observation for unratcheted units. Comparing
+// best-of-N against the baseline de-flakes the ratchet: one noisy run
+// cannot fail CI when its siblings hit the baseline.
+func mergeBestOf(r *Report) *Report {
+	merged := &Report{GoOS: r.GoOS, GoArch: r.GoArch, Pkg: r.Pkg, CPU: r.CPU, Benchmarks: []Result{}}
+	index := make(map[string]int)
+	for _, b := range r.Benchmarks {
+		i, seen := index[b.Name]
+		if !seen {
+			index[b.Name] = len(merged.Benchmarks)
+			cp := Result{Name: b.Name, Iterations: b.Iterations, Metrics: make(map[string]float64, len(b.Metrics))}
+			for unit, v := range b.Metrics {
+				cp.Metrics[unit] = v
+			}
+			merged.Benchmarks = append(merged.Benchmarks, cp)
+			continue
+		}
+		dst := &merged.Benchmarks[i]
+		for unit, v := range b.Metrics {
+			old, ok := dst.Metrics[unit]
+			if !ok {
+				dst.Metrics[unit] = v
+				continue
+			}
+			switch dir := metricDirection(unit); {
+			case dir > 0 && v > old:
+				dst.Metrics[unit] = v
+			case dir < 0 && v < old:
+				dst.Metrics[unit] = v
+			}
+		}
+	}
+	return merged
+}
+
+// deltaRow is one line of the -summary markdown table.
+type deltaRow struct {
+	bench, unit string
+	was, now    float64
+	change      float64 // fractional, (now-was)/was
+	status      string  // "ok", "REGRESSION", or "unratcheted"
+}
+
+// compare ratchets current against baseline. Every baseline benchmark
+// must be present in the current run — a rename or deletion is a hard
+// error, not a silent coverage drop — and every direction-classified
+// metric present in both may not regress beyond the tolerance. New
+// benchmarks in the current run (not yet archived) pass through
+// untouched.
+func compare(out io.Writer, baseline, current *Report, tolerance float64, summaryPath string) error {
 	base := make(map[string]Result, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		base[b.Name] = b
 	}
+	seen := make(map[string]bool, len(base))
+	var rows []deltaRow
 	var regressions, checked int
 	for _, cur := range current.Benchmarks {
 		old, ok := base[cur.Name]
 		if !ok {
 			continue
 		}
-		for unit, was := range old.Metrics {
+		seen[cur.Name] = true
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			was := old.Metrics[unit]
 			now, ok := cur.Metrics[unit]
+			if !ok || was <= 0 {
+				continue
+			}
 			dir := metricDirection(unit)
-			if !ok || dir == 0 || was <= 0 {
+			row := deltaRow{bench: cur.Name, unit: unit, was: was, now: now, change: (now - was) / was}
+			if dir == 0 {
+				row.status = "unratcheted"
+				rows = append(rows, row)
 				continue
 			}
 			checked++
-			change := (now - was) / was
-			if float64(dir)*change < -tolerance {
+			row.status = "ok"
+			if float64(dir)*row.change < -tolerance {
 				regressions++
+				row.status = "REGRESSION"
 				fmt.Fprintf(out, "REGRESSION %s %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)\n",
-					cur.Name, unit, was, now, change*100, tolerance*100)
+					cur.Name, unit, was, now, row.change*100, tolerance*100)
 			}
+			rows = append(rows, row)
 		}
+	}
+	if summaryPath != "" {
+		if err := writeSummary(summaryPath, rows, tolerance); err != nil {
+			return err
+		}
+	}
+	var missing []string
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline benchmark(s) missing from current run: %s (renamed or removed? refresh the baseline with 'make bench-json')",
+			strings.Join(missing, ", "))
 	}
 	if checked == 0 {
 		return fmt.Errorf("no comparable metrics between baseline and current run")
@@ -165,6 +261,31 @@ func compare(out io.Writer, baseline, current *Report, tolerance float64) error 
 	}
 	fmt.Fprintf(out, "bench ratchet ok: %d metric(s) within %.0f%% of baseline\n", checked, tolerance*100)
 	return nil
+}
+
+// writeSummary appends a markdown per-metric delta table to path. The
+// file is opened in append mode so several ratchet suites can share one
+// $GITHUB_STEP_SUMMARY.
+func writeSummary(path string, rows []deltaRow, tolerance float64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("summary %s: %w", path, err)
+	}
+	defer f.Close()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| benchmark | metric | baseline | current | delta | status |\n")
+	fmt.Fprintf(&sb, "|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		status := r.status
+		if status == "REGRESSION" {
+			status = "**REGRESSION**"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %.4g | %.4g | %+.1f%% | %s |\n",
+			r.bench, r.unit, r.was, r.now, r.change*100, status)
+	}
+	fmt.Fprintf(&sb, "\n_tolerance ±%.0f%% on direction-classified metrics_\n\n", tolerance*100)
+	_, err = f.WriteString(sb.String())
+	return err
 }
 
 // parse reads `go test -bench` output. Lines it does not recognize

@@ -122,14 +122,124 @@ func TestCompareFailsOnSlowdown(t *testing.T) {
 	}
 }
 
-func TestCompareIgnoresUnknownAndMissing(t *testing.T) {
+func TestCompareFailsWhenBaselineBenchmarkMissing(t *testing.T) {
 	path := writeBaseline(t)
-	// A renamed benchmark drops out of the comparison entirely; the
-	// remaining one still ratchets.
+	// A benchmark present in the baseline but renamed in the current
+	// run is a silent coverage drop — the ratchet must refuse it and
+	// name the missing benchmark.
 	renamed := strings.Replace(sample, "BenchmarkMuxedGets", "BenchmarkRenamed", 1)
 	var out bytes.Buffer
-	if err := run(strings.NewReader(renamed), &out, []string{"-compare", path}); err != nil {
-		t.Fatalf("renamed benchmark broke the ratchet: %v\n%s", err, out.String())
+	err := run(strings.NewReader(renamed), &out, []string{"-compare", path})
+	if err == nil {
+		t.Fatalf("renamed baseline benchmark accepted\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMuxedGets") || !strings.Contains(err.Error(), "missing from current run") {
+		t.Fatalf("error = %v, want it to name the missing benchmark", err)
+	}
+}
+
+func TestCompareFailsOnMissingBaselineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "BENCH_gone.json")
+	var out bytes.Buffer
+	err := run(strings.NewReader(sample), &out, []string{"-compare", path})
+	if err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "make bench-json") {
+		t.Fatalf("error = %v, want the path and the regeneration hint", err)
+	}
+}
+
+func TestCompareUnknownUnitNotRatcheted(t *testing.T) {
+	// A metric whose unit has no direction (here peak_MB_basic) may
+	// drift arbitrarily without failing the ratchet.
+	withCustom := strings.Replace(sample, "120.50 MB/s", "120.50 MB/s\t      4.0 peak_MB_basic", 1)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(withCustom), &out, []string{"-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(withCustom, "4.0 peak_MB_basic", "400.0 peak_MB_basic", 1)
+	out.Reset()
+	if err := run(strings.NewReader(drifted), &out, []string{"-compare", path}); err != nil {
+		t.Fatalf("100x drift in unratcheted unit failed the ratchet: %v\n%s", err, out.String())
+	}
+}
+
+func TestBestOfMergesRepeatedRuns(t *testing.T) {
+	// Three -count=3 style repeats of one benchmark: best-of must keep
+	// the min ns/op and max MB/s across them.
+	input := `goos: linux
+BenchmarkStreamingUpload-8	10	300 ns/op	100.0 MB/s
+BenchmarkStreamingUpload-8	10	200 ns/op	 90.0 MB/s
+BenchmarkStreamingUpload-8	10	250 ns/op	110.0 MB/s
+PASS
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out, []string{"-bestof"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("merged to %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	m := rep.Benchmarks[0].Metrics
+	if m["ns/op"] != 200 || m["MB/s"] != 110 {
+		t.Fatalf("best-of metrics = %v, want ns/op=200 MB/s=110", m)
+	}
+}
+
+func TestBestOfDeflakesCompare(t *testing.T) {
+	path := writeBaseline(t)
+	// One noisy repeat regresses 40%, but its sibling matches the
+	// baseline: best-of must pass where a raw compare would fail.
+	noisy := sample + strings.NewReplacer(
+		"123456789 ns/op", "172839504 ns/op",
+		"120.50 MB/s", "84.35 MB/s",
+	).Replace(sample)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(noisy), &out, []string{"-compare", path, "-bestof"}); err != nil {
+		t.Fatalf("best-of did not absorb the noisy repeat: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run(strings.NewReader(noisy), &out, []string{"-compare", path}); err == nil {
+		t.Fatal("raw compare of noisy input passed; best-of test proves nothing")
+	}
+}
+
+func TestSummaryTableWritten(t *testing.T) {
+	base := writeBaseline(t)
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	regressed := strings.Replace(sample, "120.50 MB/s", "96.40 MB/s", 1)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(regressed), &out, []string{"-compare", base, "-summary", summary}); err == nil {
+		t.Fatal("regression accepted")
+	}
+	b, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	for _, want := range []string{
+		"| benchmark | metric |",
+		"| BenchmarkStreamingUpload/seg=1MiB-8 | MB/s |",
+		"**REGRESSION**",
+		"| BenchmarkMuxedGets/inflight=8-8 | ns/op |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+	// Append mode: a second suite's table lands in the same file.
+	if err := run(strings.NewReader(sample), &out, []string{"-compare", base, "-summary", summary}); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := os.ReadFile(summary)
+	if n := strings.Count(string(b2), "| benchmark | metric |"); n != 2 {
+		t.Fatalf("summary has %d tables after two runs, want 2 (append mode)", n)
 	}
 }
 

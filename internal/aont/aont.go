@@ -64,9 +64,25 @@ func XORBytes(dst, src []byte) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("aont: xor length mismatch %d vs %d", len(dst), len(src))
 	}
-	for i := range dst {
-		dst[i] ^= src[i]
+	subtle.XORBytes(dst, dst, src)
+	return nil
+}
+
+// ApplyMask XORs the mask G(key) into data in place, without ever
+// materializing the mask: the CTR keystream is applied directly. It is
+// its own inverse, and equivalent to XORBytes(data, Mask(key,
+// len(data))) minus the allocation and the extra pass — the hot path
+// for CAONT package/unpackage.
+func ApplyMask(key, data []byte) error {
+	if len(key) != KeySize {
+		return fmt.Errorf("aont: mask key length %d, want %d", len(key), KeySize)
 	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("aont: mask cipher: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(data, data)
 	return nil
 }
 
@@ -88,23 +104,43 @@ func Transform(msg []byte, randSrc io.Reader) ([]byte, error) {
 // a deterministic message-derived key yields CAONT. The output package is
 // len(msg)+TailSize bytes.
 func TransformWithKey(msg, key []byte) ([]byte, error) {
-	mask, err := Mask(key, len(msg))
-	if err != nil {
-		return nil, err
-	}
 	pkg := make([]byte, len(msg)+TailSize)
-	head := pkg[:len(msg)]
-	copy(head, msg)
-	if err := XORBytes(head, mask); err != nil {
-		return nil, err
-	}
-	hc := sha256.Sum256(head)
-	tail := pkg[len(msg):]
-	copy(tail, key)
-	if err := XORBytes(tail, hc[:]); err != nil {
+	if err := TransformWithKeyInto(pkg, msg, key); err != nil {
 		return nil, err
 	}
 	return pkg, nil
+}
+
+// TransformWithKeyInto is TransformWithKey writing into a caller-owned
+// buffer of exactly len(msg)+TailSize bytes, performing no allocations:
+// the message is copied into the package head and masked in place.
+// msg and pkg must not overlap.
+func TransformWithKeyInto(pkg, msg, key []byte) error {
+	if len(pkg) != len(msg)+TailSize {
+		return fmt.Errorf("aont: package buffer %d bytes, want %d", len(pkg), len(msg)+TailSize)
+	}
+	copy(pkg[:len(msg)], msg)
+	return TransformInPlace(pkg, key)
+}
+
+// TransformInPlace applies the AONT over a buffer the caller has
+// already laid out: pkg[:len(pkg)-TailSize] holds the message and is
+// masked in place; the final TailSize bytes are overwritten with the
+// tail. This is the allocation-free core of the transform — callers
+// that can stage the message directly in the package buffer (the
+// upload pipeline builds [chunk || canary] that way) skip every
+// intermediate copy.
+func TransformInPlace(pkg, key []byte) error {
+	if len(pkg) < TailSize {
+		return ErrPackageTooShort
+	}
+	head := pkg[:len(pkg)-TailSize]
+	if err := ApplyMask(key, head); err != nil {
+		return err
+	}
+	hc := sha256.Sum256(head)
+	subtle.XORBytes(pkg[len(head):], key, hc[:])
+	return nil
 }
 
 // Revert inverts Transform/TransformWithKey: it recovers the message and
@@ -115,26 +151,32 @@ func Revert(pkg []byte) (msg, key []byte, err error) {
 	if len(pkg) < TailSize {
 		return nil, nil, ErrPackageTooShort
 	}
+	scratch := make([]byte, len(pkg))
+	copy(scratch, pkg)
+	return RevertInPlace(scratch)
+}
+
+// RevertInPlace recovers the message and key from a package by
+// unmasking the head in place: the returned msg aliases pkg[:len(pkg)-
+// TailSize] and pkg's head bytes are overwritten with plaintext. The
+// allocation-free inverse of TransformWithKeyInto for callers that own
+// the package buffer (the download pipeline does — each package is
+// reassembled into a fresh buffer per chunk).
+func RevertInPlace(pkg []byte) (msg, key []byte, err error) {
+	if len(pkg) < TailSize {
+		return nil, nil, ErrPackageTooShort
+	}
 	head := pkg[:len(pkg)-TailSize]
 	tail := pkg[len(pkg)-TailSize:]
 
 	hc := sha256.Sum256(head)
 	key = make([]byte, KeySize)
-	copy(key, tail)
-	if err := XORBytes(key, hc[:]); err != nil {
-		return nil, nil, err
-	}
+	subtle.XORBytes(key, tail, hc[:])
 
-	mask, err := Mask(key, len(head))
-	if err != nil {
+	if err := ApplyMask(key, head); err != nil {
 		return nil, nil, err
 	}
-	msg = make([]byte, len(head))
-	copy(msg, head)
-	if err := XORBytes(msg, mask); err != nil {
-		return nil, nil, err
-	}
-	return msg, key, nil
+	return head, key, nil
 }
 
 // ConvergentKey derives the deterministic CAONT key for msg: H(msg).

@@ -42,6 +42,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -63,7 +64,10 @@ import (
 	"repro/internal/store"
 )
 
-// DefaultWorkers is the paper's encryption thread count.
+// DefaultWorkers is the minimum default encryption worker count (the
+// paper's thread count). When Config.Workers is unset the client sizes
+// its worker pool at max(DefaultWorkers, GOMAXPROCS) so CAONT
+// package/unpackage scales across available cores.
 const DefaultWorkers = 2
 
 // DefaultUploadBuffer is the paper's upload batch size: 4 MB.
@@ -186,6 +190,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = DefaultWorkers
+		if n := runtime.GOMAXPROCS(0); n > c.Workers {
+			c.Workers = n
+		}
 	}
 	if c.UploadBuffer <= 0 {
 		c.UploadBuffer = DefaultUploadBuffer
@@ -209,6 +216,10 @@ type Client struct {
 	cfg   Config
 	codec *core.Codec
 	cache *keycache.Cache
+
+	// pool is the persistent CAONT worker pool all encrypt/decrypt
+	// fan-out (parallelEach) runs on; see workpool.go.
+	pool *workPool
 
 	km      *keymanager.Client
 	router  *cluster.Router
@@ -285,6 +296,7 @@ func New(ctx context.Context, cfg Config) (*Client, error) {
 	}
 
 	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km, retriedBatches: metrics.NewCounter()}
+	c.pool = newWorkPool(cfg.Workers)
 	c.router, err = cluster.Dial(ctx, cluster.Config{
 		Shards:       cfg.DataServers,
 		Dialer:       cfg.Dialer,
@@ -308,9 +320,12 @@ func New(ctx context.Context, cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Close closes all connections.
+// Close closes all connections and stops the worker pool.
 func (c *Client) Close() error {
 	var firstErr error
+	if c.pool != nil {
+		c.pool.close()
+	}
 	if c.km != nil {
 		if err := c.km.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -650,15 +665,17 @@ func (c *Client) remoteName(path string) string {
 	return hex.EncodeToString(mac.Sum(nil))
 }
 
-// parallelEach runs fn(i) for i in [0,n) over the configured worker
-// count, returning the first error. Cancelling ctx stops workers from
-// claiming further indices.
+// parallelEach runs fn(i) for i in [0,n) on the client's persistent
+// worker pool, returning the first error. Cancelling ctx stops workers
+// from claiming further indices. Up to Config.Workers runners execute
+// concurrently; because every parallelEach in the process shares one
+// pool, concurrent operations cannot oversubscribe the CPU.
 func (c *Client) parallelEach(ctx context.Context, n int, fn func(int) error) error {
 	workers := c.cfg.Workers
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || c.pool == nil {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -692,25 +709,26 @@ func (c *Client) parallelEach(ctx context.Context, n int, fn func(int) error) er
 		}
 		mu.Unlock()
 	}
+	runner := func() {
+		defer wg.Done()
+		for {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			i := claim()
+			if i < 0 {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				i := claim()
-				if i < 0 {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
+		c.pool.submit(runner)
 	}
 	wg.Wait()
 	return firstErr

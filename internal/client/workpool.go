@@ -1,0 +1,67 @@
+package client
+
+import "sync"
+
+// workPool is the client's persistent CAONT worker pool: a fixed set of
+// goroutines, sized by Config.Workers (GOMAXPROCS by default), that all
+// encrypt/decrypt fan-out runs through. Persisting the workers across
+// pipeline stages avoids a goroutine spawn per stage per segment, and —
+// because upload encryption and download decryption share one pool —
+// bounds the client's total crypto concurrency at Workers no matter how
+// many operations are in flight.
+//
+// Locking discipline (enforced by reed-vet lockguard): pool jobs are
+// submitted only from plain goroutine context, never while holding a
+// pipeline or client lock — a blocked submit while holding a lock the
+// running jobs need would deadlock the pipeline.
+type workPool struct {
+	jobs chan func()
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newWorkPool(workers int) *workPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workPool{
+		jobs: make(chan func()),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case job := <-p.jobs:
+			job()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// submit hands job to a pool worker, blocking until one accepts it. If
+// the pool has been closed (Close racing a late pipeline stage), the
+// job runs on a fresh goroutine instead so no caller ever deadlocks on
+// a dead pool.
+func (p *workPool) submit(job func()) {
+	select {
+	case p.jobs <- job:
+	case <-p.stop:
+		go job()
+	}
+}
+
+// close stops the workers after their current jobs finish. Idempotent.
+func (p *workPool) close() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

@@ -187,6 +187,8 @@ func (c *Codec) Encrypt(chunk, mleKey []byte) (Package, error) {
 // (protected by the all-or-nothing property), which is why REED never
 // uploads MLE keys.
 func (c *Codec) Decrypt(p Package) ([]byte, error) {
+	// The reassembled package is owned by this call, so the scheme
+	// reverts can unmask it in place and return chunks aliasing it.
 	pkg := make([]byte, 0, len(p.Trimmed)+len(p.Stub))
 	pkg = append(pkg, p.Trimmed...)
 	pkg = append(pkg, p.Stub...)
@@ -209,25 +211,25 @@ func (c *Codec) split(pkg []byte) (Package, error) {
 	return Package{Trimmed: pkg[:cut], Stub: pkg[cut:]}, nil
 }
 
-// encryptBasic implements Figure 2.
+// encryptBasic implements Figure 2 with a single buffer: the package is
+// laid out as [M || canary || tail] up front and transformed in place,
+// so the only copies are the chunk into the head and one AES-CTR pass.
 func encryptBasic(chunk, mleKey []byte) ([]byte, error) {
-	// (M || c) with a CanarySize zero canary; TransformWithKey appends
-	// the tail t = K_M XOR H(C).
-	padded := make([]byte, len(chunk)+CanarySize)
-	copy(padded, chunk)
-	pkg, err := aont.TransformWithKey(padded, mleKey)
-	if err != nil {
+	pkg := make([]byte, len(chunk)+CanarySize+aont.TailSize)
+	copy(pkg, chunk) // the canary bytes stay zero
+	if err := aont.TransformInPlace(pkg, mleKey); err != nil {
 		return nil, fmt.Errorf("core: basic transform: %w", err)
 	}
 	return pkg, nil
 }
 
-// decryptBasic reverts Figure 2 and checks the canary.
+// decryptBasic reverts Figure 2 and checks the canary. It consumes pkg:
+// the head is unmasked in place and the returned chunk aliases it.
 func decryptBasic(pkg []byte) ([]byte, error) {
 	if len(pkg) < CanarySize+aont.TailSize {
 		return nil, ErrIntegrity
 	}
-	padded, _, err := aont.Revert(pkg)
+	padded, _, err := aont.RevertInPlace(pkg)
 	if err != nil {
 		return nil, fmt.Errorf("core: basic revert: %w", err)
 	}
@@ -240,43 +242,38 @@ func decryptBasic(pkg []byte) ([]byte, error) {
 	return chunk, nil
 }
 
-// encryptEnhanced implements Figure 3.
+// encryptEnhanced implements Figure 3, staging X = C1 || K_M directly in
+// the package buffer so masking happens in place and nothing is copied
+// twice.
 func encryptEnhanced(chunk, mleKey []byte) ([]byte, error) {
-	// C1 = E(K_M, M): deterministic MLE encryption.
-	c1 := make([]byte, len(chunk))
-	if err := mleEncrypt(c1, chunk, mleKey); err != nil {
+	pkg := make([]byte, len(chunk)+KeySize+aont.TailSize)
+	x := pkg[:len(chunk)+KeySize]
+
+	// C1 = E(K_M, M): deterministic MLE encryption, straight into the
+	// package head.
+	if err := mleEncrypt(x[:len(chunk)], chunk, mleKey); err != nil {
 		return nil, err
 	}
+	copy(x[len(chunk):], mleKey)
 
-	// X = C1 || K_M, hash key h = H(X).
-	x := make([]byte, len(c1)+KeySize)
-	copy(x, c1)
-	copy(x[len(c1):], mleKey)
+	// h = H(X); C2 = X XOR G(h), in place.
 	h := sha256.Sum256(x)
-
-	// C2 = X XOR G(h).
-	mask, err := aont.Mask(h[:], len(x))
-	if err != nil {
+	if err := aont.ApplyMask(h[:], x); err != nil {
 		return nil, fmt.Errorf("core: enhanced mask: %w", err)
 	}
-	if err := aont.XORBytes(x, mask); err != nil {
-		return nil, err
-	}
-	c2 := x
 
 	// t = SelfXOR(C2) XOR h.
-	tail := aont.SelfXOR(c2)
+	tail := aont.SelfXOR(x)
 	for i := range tail {
 		tail[i] ^= h[i]
 	}
-
-	pkg := make([]byte, 0, len(c2)+aont.TailSize)
-	pkg = append(pkg, c2...)
-	pkg = append(pkg, tail[:]...)
+	copy(pkg[len(x):], tail[:])
 	return pkg, nil
 }
 
-// decryptEnhanced reverts Figure 3 and checks H(C1 || K_M) == h.
+// decryptEnhanced reverts Figure 3 and checks H(C1 || K_M) == h. It
+// consumes pkg: C2 is unmasked in place and the returned chunk aliases
+// the package head.
 func decryptEnhanced(pkg []byte) ([]byte, error) {
 	if len(pkg) < KeySize+aont.TailSize {
 		return nil, ErrIntegrity
@@ -290,16 +287,11 @@ func decryptEnhanced(pkg []byte) ([]byte, error) {
 		h[i] ^= tail[i]
 	}
 
-	// X = C2 XOR G(h).
-	mask, err := aont.Mask(h[:], len(c2))
-	if err != nil {
+	// X = C2 XOR G(h), in place.
+	if err := aont.ApplyMask(h[:], c2); err != nil {
 		return nil, fmt.Errorf("core: enhanced unmask: %w", err)
 	}
-	x := make([]byte, len(c2))
-	copy(x, c2)
-	if err := aont.XORBytes(x, mask); err != nil {
-		return nil, err
-	}
+	x := c2
 
 	// Integrity: H(C1 || K_M) must equal h.
 	if sha256.Sum256(x) != h {
@@ -308,11 +300,11 @@ func decryptEnhanced(pkg []byte) ([]byte, error) {
 
 	c1 := x[:len(x)-KeySize]
 	mleKey := x[len(x)-KeySize:]
-	chunk := make([]byte, len(c1))
-	if err := mleEncrypt(chunk, c1, mleKey); err != nil {
+	// CTR is an involution and supports dst == src: decrypt in place.
+	if err := mleEncrypt(c1, c1, mleKey); err != nil {
 		return nil, err
 	}
-	return chunk, nil
+	return c1, nil
 }
 
 // mleEncrypt performs deterministic symmetric encryption keyed by the MLE

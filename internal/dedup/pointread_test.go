@@ -1,0 +1,174 @@
+package dedup
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/store"
+)
+
+// rangeBackend counts full Gets and range reads per blob, so tests can
+// pin which read path served a chunk.
+type rangeBackend struct {
+	store.Backend
+	mu     sync.Mutex
+	gets   map[string]int
+	ranges map[string]int
+	// corrupt flips the first byte of every range read when set.
+	corrupt bool
+}
+
+func (c *rangeBackend) Get(ctx context.Context, ns, name string) ([]byte, error) {
+	c.mu.Lock()
+	if c.gets == nil {
+		c.gets = make(map[string]int)
+	}
+	c.gets[ns+"/"+name]++
+	c.mu.Unlock()
+	return c.Backend.Get(ctx, ns, name)
+}
+
+func (c *rangeBackend) GetRange(ctx context.Context, ns, name string, off, n int64) ([]byte, error) {
+	c.mu.Lock()
+	if c.ranges == nil {
+		c.ranges = make(map[string]int)
+	}
+	c.ranges[ns+"/"+name]++
+	corrupt := c.corrupt
+	c.mu.Unlock()
+	data, err := c.Backend.GetRange(ctx, ns, name, off, n)
+	if err == nil && corrupt && len(data) > 0 {
+		data[0] ^= 0xff
+	}
+	return data, err
+}
+
+func (c *rangeBackend) counts(name string) (gets, ranges int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gets["containers/"+name], c.ranges["containers/"+name]
+}
+
+func sealChunks(t *testing.T, s *Store, n, size int) ([]fingerprint.Fingerprint, [][]byte) {
+	t.Helper()
+	fps := make([]fingerprint.Fingerprint, n)
+	datas := make([][]byte, n)
+	for i := range fps {
+		datas[i], fps[i] = chunk(500+i, size)
+		if _, err := s.Put(ctx, fps[i], datas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(ctx); err != nil { // seals container 0
+		t.Fatal(err)
+	}
+	return fps, datas
+}
+
+// TestColdGetUsesPointRead: a single chunk read from a cold sealed
+// container must be served by one GetRange and zero full container
+// fetches.
+func TestColdGetUsesPointRead(t *testing.T) {
+	backend := &rangeBackend{Backend: store.NewMemory()}
+	s, err := Open(ctx, backend, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, datas := sealChunks(t, s, 8, 512)
+
+	got, err := s.Get(ctx, fps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, datas[3]) {
+		t.Fatal("point read returned wrong bytes")
+	}
+	gets, ranges := backend.counts(containerName(0))
+	if gets != 0 || ranges != 1 {
+		t.Fatalf("cold Get did %d full fetches and %d range reads, want 0 and 1", gets, ranges)
+	}
+}
+
+// TestConsecutiveMissesPromoteToFullFetch: a second miss on the same
+// container fetches and caches it whole, and subsequent Gets are served
+// from cache with no further backend traffic.
+func TestConsecutiveMissesPromoteToFullFetch(t *testing.T) {
+	backend := &rangeBackend{Backend: store.NewMemory()}
+	s, err := Open(ctx, backend, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, datas := sealChunks(t, s, 8, 512)
+
+	for i := 0; i < len(fps); i++ {
+		got, err := s.Get(ctx, fps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, datas[i]) {
+			t.Fatalf("Get %d: wrong bytes", i)
+		}
+	}
+	gets, ranges := backend.counts(containerName(0))
+	if gets != 1 {
+		t.Fatalf("sequential restore did %d full fetches, want 1 (promotion)", gets)
+	}
+	if ranges != 1 {
+		t.Fatalf("sequential restore did %d range reads, want 1 (first miss only)", ranges)
+	}
+}
+
+// TestPointReadVerifiesFingerprint: the point-read path skips the
+// packfile checksum, so a corrupted range read must be caught by the
+// fingerprint check instead of being served.
+func TestPointReadVerifiesFingerprint(t *testing.T) {
+	backend := &rangeBackend{Backend: store.NewMemory()}
+	s, err := Open(ctx, backend, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, _ := sealChunks(t, s, 8, 512)
+
+	backend.mu.Lock()
+	backend.corrupt = true
+	backend.mu.Unlock()
+	if _, err := s.Get(ctx, fps[0]); err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("corrupted point read error = %v, want verification failure", err)
+	}
+}
+
+// TestCachedGetIsZeroCopy: once a container is cached, Get returns a
+// sub-slice of the cached body rather than a fresh copy.
+func TestCachedGetIsZeroCopy(t *testing.T) {
+	backend := &rangeBackend{Backend: store.NewMemory()}
+	s, err := Open(ctx, backend, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, _ := sealChunks(t, s, 8, 512)
+
+	// Two misses on the container promote it into the cache.
+	if _, err := s.Get(ctx, fps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, fps[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.cacheMu.Lock()
+	body := s.readCache[0]
+	s.cacheMu.Unlock()
+	if body == nil {
+		t.Fatal("container not cached after consecutive misses")
+	}
+	got, err := s.Get(ctx, fps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || &got[0] != &body[512*2] {
+		t.Fatal("cached Get copied instead of aliasing the container body")
+	}
+}

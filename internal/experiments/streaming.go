@@ -56,9 +56,11 @@ func StreamingUpload(o Options) ([]StreamingPoint, error) {
 		// deduplicate and hand the second run a free ride.
 		for i, mode := range []string{"seq", "pipe"} {
 			user := fmt.Sprintf("stream-%s-%s", mode, scheme)
+			// workers 0: take the client's GOMAXPROCS-sized pool
+			// default so the hot-path benchmark reflects the machine.
 			params := clientParams{
 				user: user, scheme: scheme, avgKB: 8,
-				batch: keymanager.DefaultBatchSize, cache: true, workers: 2,
+				batch: keymanager.DefaultBatchSize, cache: true, workers: 0,
 				segBytes: segBytes, ownLink: true,
 			}
 			if mode == "seq" {

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fingerprint"
 	"repro/internal/keycache"
@@ -56,6 +59,12 @@ func TLSDialer(cfg *tls.Config) Dialer {
 type Client struct {
 	mux    *rpcmux.Redialer
 	params oprf.PublicParams
+
+	// blinder precomputes blinding factors in the background so the
+	// per-chunk blinding on the upload hot path is a single modular
+	// multiplication. Created after the parameter fetch; nil only if
+	// construction failed (Blind then falls back to inline generation).
+	blinder *oprf.Blinder
 
 	batchSize int
 	cache     *keycache.Cache
@@ -141,11 +150,27 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 		c.mux.Close()
 		return nil, err
 	}
+	// Pool blinding factors; the refill goroutine does its work while
+	// GenerateKeys waits on the network. Depth is capped well below the
+	// batch size: a huge pool is pure overproduction for short sessions
+	// (each unused factor costs ~30 µs of CPU that competes with the
+	// upload on small machines), while a modest one still hides the
+	// per-batch round trip.
+	depth := 2 * cfg.batchSize
+	if depth > 256 {
+		depth = 256
+	}
+	if bl, err := oprf.NewBlinder(c.params, depth, nil); err == nil {
+		c.blinder = bl
+	}
 	return c, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
+	if c.blinder != nil {
+		c.blinder.Close()
+	}
 	return c.mux.Close()
 }
 
@@ -250,7 +275,7 @@ func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprin
 	blinded := make([][]byte, len(idx))
 	unblinders := make([]*oprf.Unblinder, len(idx))
 	for i, j := range idx {
-		b, u, err := oprf.Blind(c.params, fps[j][:], nil)
+		b, u, err := c.blind(fps[j][:])
 		if err != nil {
 			return fmt.Errorf("keymanager: blind: %w", err)
 		}
@@ -258,7 +283,13 @@ func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprin
 		unblinders[i] = u
 	}
 
-	payload, err := c.call(ctx, proto.MsgKeyGenReq, proto.EncodeBlobList(blinded), proto.MsgKeyGenResp)
+	// Encode the batch into a pooled buffer: the request frame is
+	// written before call returns, so the buffer can go straight back.
+	buf := proto.GetBuffer()
+	enc := proto.AppendBlobList((*buf)[:0], blinded)
+	*buf = enc
+	payload, err := c.call(ctx, proto.MsgKeyGenReq, enc, proto.MsgKeyGenResp)
+	proto.PutBuffer(buf)
 	if err != nil {
 		return fmt.Errorf("keymanager: keygen rpc: %w", err)
 	}
@@ -269,17 +300,69 @@ func (c *Client) generateBatch(ctx context.Context, fps []fingerprint.Fingerprin
 	if len(responses) != len(idx) {
 		return fmt.Errorf("keymanager: got %d responses for %d requests", len(responses), len(idx))
 	}
-	for i, j := range idx {
-		key, err := oprf.Finalize(c.params, unblinders[i], responses[i])
-		if err != nil {
-			return fmt.Errorf("keymanager: finalize: %w", err)
-		}
-		keys[j] = key
-		if c.cache != nil {
-			c.cache.Put(fps[j], key)
+	if err := c.finalizeBatch(unblinders, responses, keys, idx); err != nil {
+		return err
+	}
+	if c.cache != nil {
+		for _, j := range idx {
+			c.cache.Put(fps[j], keys[j])
 		}
 	}
 	return nil
+}
+
+// blind produces one blinded element, preferring the precompute pool.
+func (c *Client) blind(fp []byte) ([]byte, *oprf.Unblinder, error) {
+	if c.blinder != nil {
+		return c.blinder.Blind(fp)
+	}
+	return oprf.Blind(c.params, fp, nil)
+}
+
+// finalizeBatch unblinds and verifies a batch of responses, fanning out
+// across cores when there are enough of them to pay for the goroutines.
+// Each finalize is an independent verification exponentiation.
+func (c *Client) finalizeBatch(unblinders []*oprf.Unblinder, responses [][]byte, keys [][]byte, idx []int) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers <= 1 || len(idx) < 16 {
+		for i, j := range idx {
+			key, err := oprf.Finalize(c.params, unblinders[i], responses[i])
+			if err != nil {
+				return fmt.Errorf("keymanager: finalize: %w", err)
+			}
+			keys[j] = key
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstE  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(idx) {
+					return
+				}
+				key, err := oprf.Finalize(c.params, unblinders[i], responses[i])
+				if err != nil {
+					errOnce.Do(func() { firstE = fmt.Errorf("keymanager: finalize: %w", err) })
+					return
+				}
+				keys[idx[i]] = key
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
 }
 
 // DeriveKey implements mle.KeyDeriver for single-chunk callers (the

@@ -1,0 +1,104 @@
+package oprf
+
+import (
+	"io"
+	"sync"
+)
+
+// DefaultBlinderDepth is the default precompute pool depth: enough
+// single-use blinding factors for a few key-generation batches, at
+// ~256 bytes apiece.
+const DefaultBlinderDepth = 2048
+
+// Blinder precomputes blinding factors for a fixed set of public
+// parameters in a background goroutine, so the hot blinding path is a
+// single modular multiplication instead of a random draw, a modular
+// inverse, and an exponentiation. The background worker naturally fills
+// the pool while the client is blocked on key-manager round trips, so
+// on a loaded single-core client the precompute cost hides inside
+// network wait instead of serializing with it.
+//
+// Every factor is used exactly once: reuse across protocol runs would
+// let the key manager link blinded elements. A Blinder is safe for
+// concurrent use; when the pool runs dry, Blind falls back to inline
+// factor generation, so it is never slower than the plain Blind
+// function.
+type Blinder struct {
+	p PublicParams
+
+	factors chan *factor
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewBlinder starts a precompute pool holding up to depth factors
+// (DefaultBlinderDepth when depth <= 0). randSrc nil means
+// crypto/rand.Reader. Close must be called to release the background
+// goroutine.
+func NewBlinder(p PublicParams, depth int, randSrc io.Reader) (*Blinder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if depth <= 0 {
+		depth = DefaultBlinderDepth
+	}
+	b := &Blinder{
+		p:       p,
+		factors: make(chan *factor, depth),
+		stop:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.refill(randSrc)
+	return b, nil
+}
+
+// refill keeps the pool topped up until Close. A randomness failure
+// stops the refill worker; Blind then degrades to inline generation,
+// which reports the error to the caller.
+func (b *Blinder) refill(randSrc io.Reader) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
+		f, err := newFactor(b.p, randSrc)
+		if err != nil {
+			return
+		}
+		select {
+		case b.factors <- f:
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Params returns the public parameters the pool was built for.
+func (b *Blinder) Params() PublicParams { return b.p }
+
+// Blind is equivalent to the package-level Blind for the pool's
+// parameters, but consumes a precomputed factor when one is available.
+func (b *Blinder) Blind(fp []byte) ([]byte, *Unblinder, error) {
+	m := fdh(fp, b.p.N)
+	select {
+	case f := <-b.factors:
+		x, u := blindWith(b.p, m, f)
+		return x, u, nil
+	default:
+	}
+	f, err := newFactor(b.p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, u := blindWith(b.p, m, f)
+	return x, u, nil
+}
+
+// Close stops the background precompute worker. Idempotent.
+func (b *Blinder) Close() {
+	b.once.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}

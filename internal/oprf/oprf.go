@@ -75,14 +75,37 @@ func (k *ServerKey) PublicParams() PublicParams {
 // Evaluate computes the blind signature y = x^d mod N on a blinded
 // element. This is the only operation the key manager performs per
 // request, and the computational bottleneck of MLE key generation
-// (Experiment A.1).
+// (Experiment A.1). The exponentiation runs in CRT form — two
+// half-size exponentiations recombined with Garner's formula — which
+// is ~3-4x faster than a full-width x^d mod N. Timing side channels
+// are not a concern here: the input is already blinded by the client,
+// so the server's timing reveals nothing about the fingerprint.
 func (k *ServerKey) Evaluate(blinded []byte) ([]byte, error) {
 	x := new(big.Int).SetBytes(blinded)
 	if x.Cmp(k.priv.N) >= 0 {
 		return nil, ErrBadElement
 	}
-	y := new(big.Int).Exp(x, k.priv.D, k.priv.N)
-	return padToModulus(y, k.priv.N), nil
+	return padToModulus(k.exp(x), k.priv.N), nil
+}
+
+// exp computes x^d mod N, via the CRT when the private key carries the
+// standard two-prime precomputed values (rsa.GenerateKey always
+// populates them; the full-width path is a safety net for exotic keys).
+func (k *ServerKey) exp(x *big.Int) *big.Int {
+	pre := &k.priv.Precomputed
+	if len(k.priv.Primes) != 2 || pre.Dp == nil || pre.Dq == nil || pre.Qinv == nil {
+		return new(big.Int).Exp(x, k.priv.D, k.priv.N)
+	}
+	p, q := k.priv.Primes[0], k.priv.Primes[1]
+	// m1 = x^(d mod p-1) mod p, m2 = x^(d mod q-1) mod q.
+	m1 := new(big.Int).Exp(x, pre.Dp, p)
+	m2 := new(big.Int).Exp(x, pre.Dq, q)
+	// Garner: h = qInv * (m1 - m2) mod p; y = m2 + h*q.
+	h := new(big.Int).Sub(m1, m2)
+	h.Mul(h, pre.Qinv)
+	h.Mod(h, p) // Euclidean Mod: in [0, p) even when m1 < m2
+	y := h.Mul(h, q)
+	return y.Add(y, m2)
 }
 
 // PublicParams identifies the key manager's RSA public key.
@@ -151,40 +174,64 @@ type Unblinder struct {
 
 // Blind maps fp into the group via FDH and blinds it. It returns the
 // value to send to the key manager and the state needed by Finalize.
+// Hot paths should prefer a Blinder, which precomputes the expensive
+// per-run blinding material in the background.
 func Blind(p PublicParams, fp []byte, randSrc io.Reader) ([]byte, *Unblinder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	f, err := newFactor(p, randSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, u := blindWith(p, fdh(fp, p.N), f)
+	return b, u, nil
+}
+
+// factor is one single-use blinding tuple: re = r^e mod N and
+// rInv = r^{-1} mod N for a fresh uniform r coprime to N. Computing it
+// (one random draw, one public-exponent exponentiation, one modular
+// inverse) is the expensive part of Blind; everything else is a modular
+// multiplication.
+type factor struct {
+	re   *big.Int
+	rInv *big.Int
+}
+
+// newFactor draws a fresh blinding factor. randSrc nil means
+// crypto/rand.Reader.
+func newFactor(p PublicParams, randSrc io.Reader) (*factor, error) {
 	if randSrc == nil {
 		randSrc = rand.Reader
 	}
-	m := fdh(fp, p.N)
-
-	// Draw r coprime to N (overwhelmingly likely on the first try).
-	var r *big.Int
 	for {
-		var err error
-		r, err = rand.Int(randSrc, p.N)
+		r, err := rand.Int(randSrc, p.N)
 		if err != nil {
-			return nil, nil, fmt.Errorf("oprf: blinding factor: %w", err)
+			return nil, fmt.Errorf("oprf: blinding factor: %w", err)
 		}
 		if r.Sign() == 0 {
 			continue
 		}
-		if new(big.Int).GCD(nil, nil, r, p.N).Cmp(big.NewInt(1)) == 0 {
-			break
+		// ModInverse doubles as the coprimality check: it returns nil
+		// exactly when gcd(r, N) != 1 (in which case we just redraw —
+		// hitting a factor of N by chance would also have factored the
+		// key manager's modulus).
+		rInv := new(big.Int).ModInverse(r, p.N)
+		if rInv == nil {
+			continue
 		}
+		re := r.Exp(r, p.E, p.N) // r is dead after this; reuse it
+		return &factor{re: re, rInv: rInv}, nil
 	}
+}
 
-	re := new(big.Int).Exp(r, p.E, p.N)
-	x := new(big.Int).Mul(m, re)
+// blindWith blinds the FDH image m with a precomputed factor: x = m *
+// r^e mod N. The factor must be fresh — reusing one across protocol
+// runs would let the key manager link the two blinded elements.
+func blindWith(p PublicParams, m *big.Int, f *factor) ([]byte, *Unblinder) {
+	x := new(big.Int).Mul(m, f.re)
 	x.Mod(x, p.N)
-
-	rInv := new(big.Int).ModInverse(r, p.N)
-	if rInv == nil {
-		return nil, nil, errors.New("oprf: blinding factor not invertible")
-	}
-	return padToModulus(x, p.N), &Unblinder{rInv: rInv, m: m}, nil
+	return padToModulus(x, p.N), &Unblinder{rInv: f.rInv, m: m}
 }
 
 // Finalize unblinds the key manager's response, verifies it, and derives

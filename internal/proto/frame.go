@@ -1,0 +1,128 @@
+// Zero-copy frame assembly and pooled scratch buffers.
+//
+// WriteFrame's two-Write shape is fine for a buffered writer, but the
+// mux hot path wants a single syscall per small frame and no per-frame
+// allocations in steady state. The helpers here let callers assemble
+// [header][payload] into a pooled buffer (small frames) or hand the
+// header and payload to a vectored write (large frames) without ever
+// copying the payload.
+//
+// Buffer-pool ownership rule (see DESIGN.md): a pooled buffer belongs
+// to the goroutine that called GetBuffer until it calls PutBuffer,
+// and must not be retained — directly or via sub-slices — after
+// PutBuffer returns. Anything that escapes the call (a decoded message,
+// a response payload) must be copied out first.
+package proto
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+)
+
+// FrameHeaderSize is the number of bytes preceding a frame's payload on
+// the wire: the 4-byte length prefix, the type byte, and the request ID.
+const FrameHeaderSize = 4 + frameOverhead
+
+// PutFrameHeader encodes a frame header for a payload of the given
+// length into buf[:FrameHeaderSize]. buf must have at least
+// FrameHeaderSize bytes; the payload itself is not touched, so callers
+// can pair the header with the payload in a vectored write.
+func PutFrameHeader(buf []byte, t MsgType, id uint64, payloadLen int) error {
+	if payloadLen+frameOverhead > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(payloadLen+frameOverhead))
+	buf[4] = byte(t)
+	binary.BigEndian.PutUint64(buf[5:FrameHeaderSize], id)
+	return nil
+}
+
+// AppendFrame appends one complete frame to dst and returns the
+// extended slice. When dst already has capacity this performs no
+// allocation, so a pooled buffer can batch header+payload into a single
+// Write call.
+func AppendFrame(dst []byte, t MsgType, id uint64, payload []byte) ([]byte, error) {
+	if len(payload)+frameOverhead > MaxFrameSize {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)+frameOverhead))
+	dst = append(dst, byte(t))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return append(dst, payload...), nil
+}
+
+// WriteFrameVectored writes one frame as a vectored write: the header
+// and payload go out in a single writev(2) when w is a *net.TCPConn
+// (net.Buffers falls back to sequential writes otherwise), so large
+// payloads are never copied into an intermediate buffer.
+func WriteFrameVectored(w io.Writer, t MsgType, id uint64, payload []byte) error {
+	var header [FrameHeaderSize]byte
+	if err := PutFrameHeader(header[:], t, id, len(payload)); err != nil {
+		return err
+	}
+	bufs := net.Buffers{header[:], payload}
+	if _, err := bufs.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AppendBlobList is EncodeBlobList appending into a caller-supplied
+// buffer: same wire format, zero allocations when dst has capacity.
+func AppendBlobList(dst []byte, items [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = binary.AppendUvarint(dst, uint64(len(it)))
+		dst = append(dst, it...)
+	}
+	return dst
+}
+
+// BlobListSize returns the encoded size of a blob list, for presizing
+// the destination buffer ahead of AppendBlobList.
+func BlobListSize(items [][]byte) int {
+	size := uvarintLen(uint64(len(items)))
+	for _, it := range items {
+		size += uvarintLen(uint64(len(it))) + len(it)
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// maxPooledBuffer caps the capacity PutBuffer will recycle. Anything
+// larger is dropped so one giant frame cannot pin megabytes in the pool
+// for the life of the process.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled scratch buffer with len 0. The caller owns
+// it until PutBuffer; see the package comment for the ownership rule.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not use b —
+// or any slice derived from it — afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuffer {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

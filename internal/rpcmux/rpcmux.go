@@ -31,6 +31,13 @@ import (
 	"repro/internal/proto"
 )
 
+// respChPool recycles the per-call response channels. A channel is
+// returned to the pool only after its call has been forgotten and the
+// channel drained, so every pooled channel is empty and send-free.
+var respChPool = sync.Pool{
+	New: func() any { return make(chan response, 1) },
+}
+
 // ErrClosed is returned for calls on a Conn that was closed by Close,
 // poisoned by a cancelled write, or torn down by a read error.
 var ErrClosed = errors.New("rpcmux: connection closed")
@@ -54,9 +61,12 @@ type Conn struct {
 	br   *bufio.Reader
 
 	// wmu serializes frame writes; a frame must hit the socket intact.
-	wmu    sync.Mutex
-	bw     *bufio.Writer
-	nextID uint64 // guarded by wmu; IDs start at 1
+	// Frames up to smallFrame bytes are assembled header+payload in a
+	// pooled buffer and written with one syscall; larger frames go out
+	// as a vectored write so the payload is never copied.
+	wmu        sync.Mutex
+	smallFrame int
+	nextID     uint64 // guarded by wmu; IDs start at 1
 
 	// mu guards the demux state below.
 	mu      sync.Mutex
@@ -70,9 +80,11 @@ type Conn struct {
 	doneOnce sync.Once
 }
 
-// New wraps conn in a multiplexer and starts its reader goroutine. The
-// buffer sizes are the bufio reader/writer capacities; zero means a
-// 64 KiB default.
+// New wraps conn in a multiplexer and starts its reader goroutine.
+// readBuf is the bufio reader capacity; writeBuf is the small-frame
+// threshold — frames up to that total size are coalesced into a pooled
+// buffer for a single write, larger ones use a vectored write. Zero
+// means a 64 KiB default for both.
 func New(conn net.Conn, readBuf, writeBuf int) *Conn {
 	if readBuf <= 0 {
 		readBuf = 64 << 10
@@ -81,14 +93,30 @@ func New(conn net.Conn, readBuf, writeBuf int) *Conn {
 		writeBuf = 64 << 10
 	}
 	c := &Conn{
-		conn:    conn,
-		br:      bufio.NewReaderSize(conn, readBuf),
-		bw:      bufio.NewWriterSize(conn, writeBuf),
-		pending: make(map[uint64]chan response),
-		done:    make(chan struct{}),
+		conn:       conn,
+		br:         bufio.NewReaderSize(conn, readBuf),
+		smallFrame: writeBuf,
+		pending:    make(map[uint64]chan response),
+		done:       make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// writeFrame sends one frame under wmu, picking the small-frame
+// (pooled single write) or large-frame (vectored write) path.
+func (c *Conn) writeFrame(typ proto.MsgType, id uint64, payload []byte) error {
+	if len(payload)+proto.FrameHeaderSize > c.smallFrame {
+		return proto.WriteFrameVectored(c.conn, typ, id, payload)
+	}
+	buf := proto.GetBuffer()
+	assembled, err := proto.AppendFrame((*buf)[:0], typ, id, payload)
+	if err == nil {
+		*buf = assembled
+		_, err = c.conn.Write(assembled)
+	}
+	proto.PutBuffer(buf)
+	return err
 }
 
 // Close tears down the connection. In-flight calls fail with ErrClosed.
@@ -137,11 +165,16 @@ func (c *Conn) readLoop() {
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
 		if ok {
-			ch <- response{typ: typ, payload: payload} // buffered: never blocks
+			delete(c.pending, id)
+			// Sending under mu is what makes channel recycling sound:
+			// the channel is buffered (cap 1), at most one send can ever
+			// target an ID (it is deleted from pending first), so this
+			// never blocks — and once a caller has forgotten the ID and
+			// drained the channel, no further send can race a pool reuse.
+			ch <- response{typ: typ, payload: payload}
 		}
+		c.mu.Unlock()
 	}
 }
 
@@ -152,13 +185,14 @@ func (c *Conn) readLoop() {
 // error. Concurrent calls share the connection and their round trips
 // overlap.
 func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType) ([]byte, error) {
-	ch := make(chan response, 1)
+	ch := respChPool.Get().(chan response)
 
 	// Register before writing so a fast response cannot race the
 	// pending-table entry.
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		respChPool.Put(ch)
 		return nil, fmt.Errorf("%w: %w", ErrNotIssued, c.closedErr())
 	}
 	c.mu.Unlock()
@@ -170,6 +204,7 @@ func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want
 	if c.closed {
 		c.mu.Unlock()
 		c.wmu.Unlock()
+		respChPool.Put(ch)
 		return nil, fmt.Errorf("%w: %w", ErrNotIssued, c.closedErr())
 	}
 	c.pending[id] = ch
@@ -178,53 +213,60 @@ func (c *Conn) Call(ctx context.Context, typ proto.MsgType, payload []byte, want
 	// Guard the write: if ctx fires mid-frame the stream is
 	// desynchronized and the whole Conn must die.
 	release := proto.GuardConn(ctx, c.conn)
-	err := proto.WriteFrame(c.bw, typ, id, payload)
-	if err == nil {
-		err = c.bw.Flush()
-	}
+	err := c.writeFrame(typ, id, payload)
 	cancelled := release()
 	c.wmu.Unlock()
 	if cancelled != nil {
 		c.fail(cancelled)
+		c.recycle(id, ch)
 		return nil, fmt.Errorf("rpcmux: %w", cancelled)
 	}
 	if err != nil {
-		c.forget(id)
 		c.fail(err)
+		c.recycle(id, ch)
 		return nil, fmt.Errorf("rpcmux: write: %w", err)
 	}
 
 	select {
 	case resp := <-ch:
+		c.recycle(id, ch)
 		return c.handleResponse(resp, want)
 	case <-ctx.Done():
 		// Clean abandon: the reader discards the late response and the
-		// connection stays in sync for other callers.
-		c.forget(id)
-		// The response may have landed between ctx firing and forget;
+		// connection stays in sync for other callers. The response may
+		// have landed between ctx firing and the forget inside recycle;
 		// prefer delivering it.
-		select {
-		case resp := <-ch:
+		if resp, late := c.recycle(id, ch); late {
 			return c.handleResponse(resp, want)
-		default:
 		}
 		return nil, fmt.Errorf("rpcmux: %w", ctx.Err())
 	case <-c.done:
 		// A response may have been delivered just before teardown.
-		select {
-		case resp := <-ch:
+		if resp, late := c.recycle(id, ch); late {
 			return c.handleResponse(resp, want)
-		default:
 		}
 		return nil, c.closedErr()
 	}
 }
 
-// forget drops a pending ID (cancelled or failed call).
-func (c *Conn) forget(id uint64) {
+// recycle retires a call: it forgets the pending ID, drains any late
+// response, and returns the now provably idle channel to the pool. The
+// drained response (if any) is returned so abandon paths can still
+// deliver a result that raced the abandonment. After the forget, no
+// sender can touch ch — readLoop only sends to IDs still in pending,
+// and it does so under mu — so pooling it is race-free.
+func (c *Conn) recycle(id uint64, ch chan response) (response, bool) {
 	c.mu.Lock()
 	delete(c.pending, id)
 	c.mu.Unlock()
+	select {
+	case resp := <-ch:
+		respChPool.Put(ch)
+		return resp, true
+	default:
+		respChPool.Put(ch)
+		return response{}, false
+	}
 }
 
 func (c *Conn) handleResponse(resp response, want proto.MsgType) ([]byte, error) {

@@ -3,8 +3,9 @@
 // lock split (dedup.Store.mu vs cacheMu, store.Disk stripe locks) was
 // designed to eliminate.
 //
-// Within internal/dedup, internal/store, and internal/keycache, while
-// a sync.Mutex/RWMutex is held the function must not:
+// Within internal/dedup, internal/store, internal/keycache, and
+// internal/client (whose CAONT worker pool hands jobs over a channel),
+// while a sync.Mutex/RWMutex is held the function must not:
 //
 //   - send on a channel (another goroutine may need the same lock to
 //     drain it);
@@ -39,8 +40,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// scopedPkgs are the storage-layer packages the rule governs.
-var scopedPkgs = []string{"internal/dedup", "internal/store", "internal/keycache"}
+// scopedPkgs are the packages the rule governs: the storage layer plus
+// the client pipeline, where a pool submit under a pipeline lock would
+// deadlock against workers that need the same lock.
+var scopedPkgs = []string{"internal/dedup", "internal/store", "internal/keycache", "internal/client"}
 
 func run(pass *analysis.Pass) error {
 	if !astq.PathMatches(pass.Pkg.Path(), scopedPkgs...) {

@@ -8,6 +8,9 @@ import (
 )
 
 func TestFixtures(t *testing.T) {
+	// pipe/internal/client is the CAONT worker-pool fixture; it lives in
+	// its own tree so the ctxrule fixture at ./internal/client keeps a
+	// disjoint want-set.
 	analysistest.Run(t, "../../testdata/fix",
-		[]string{"./internal/dedup", "./plainlib"}, lockguard.Analyzer)
+		[]string{"./internal/dedup", "./pipe/internal/client", "./plainlib"}, lockguard.Analyzer)
 }

@@ -1,0 +1,97 @@
+// Package client is a lockguard fixture modelling the CAONT worker
+// pool: jobs are handed to workers over a channel, so a submit while
+// holding a pipeline lock can deadlock against a worker that needs the
+// same lock. Its import path suffix (internal/client) puts it in
+// lockguard's scope; it lives under pipe/ so the ctxrule fixture at
+// internal/client keeps its own want-set.
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// workPool mirrors the real client pool: a jobs channel drained by a
+// fixed worker set, and a stop channel for shutdown.
+type workPool struct {
+	jobs chan func()
+	stop chan struct{}
+}
+
+type pipeline struct {
+	mu      sync.Mutex
+	pending []func()
+	pool    *workPool
+}
+
+// submitUnderLockBad is the deadlock shape the rule exists for: every
+// worker could be blocked on p.mu inside a running job, so the send
+// never completes and the lock is never released.
+func (p *pipeline) submitUnderLockBad(job func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = append(p.pending, job)
+	p.pool.jobs <- job // want `channel send while holding p.mu`
+}
+
+// selectSubmitUnderLockBad: a select does not make the send safe — the
+// stop arm only helps at shutdown, not against a saturated pool.
+func (p *pipeline) selectSubmitUnderLockBad(job func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.pool.jobs <- job: // want `channel send while holding p.mu`
+	case <-p.pool.stop:
+	}
+}
+
+// stageThenSubmitOK is the required discipline: mutate shared pipeline
+// state under the lock, release it, then hand the job to the pool.
+func (p *pipeline) stageThenSubmitOK(job func()) {
+	p.mu.Lock()
+	p.pending = append(p.pending, job)
+	p.mu.Unlock()
+	select {
+	case p.pool.jobs <- job:
+	case <-p.pool.stop:
+		go job()
+	}
+}
+
+// spawnUnderLockOK: a goroutine launched under the lock does not itself
+// hold it, so its send is fine.
+func (p *pipeline) spawnUnderLockOK(job func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { p.pool.jobs <- job }()
+}
+
+// waitUnderLockBad: blocking on a context-taking call (a key fetch,
+// say) inside the critical section stalls every worker needing p.mu.
+func (p *pipeline) waitUnderLockBad(ctx context.Context) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fetchKeys(ctx) // want `context-taking`
+}
+
+// drainOK: receiving results needs no lock at all here.
+func (p *pipeline) drainOK(results chan int) int {
+	total := 0
+	for v := range results {
+		p.mu.Lock()
+		total += v
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// sleepUnderLockBad keeps the backoff-under-lock case covered in the
+// pipeline package too.
+func (p *pipeline) sleepUnderLockBad() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *pipeline) fetchKeys(ctx context.Context) { _ = ctx }
