@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzUnmarshalPrivateKey -fuzztime $(FUZZTIME) ./internal/abe/
 	$(GO) test -run NONE -fuzz FuzzAONTRoundTrip -fuzztime $(FUZZTIME) ./internal/aont/
 	$(GO) test -run NONE -fuzz FuzzPackfileDecode -fuzztime $(FUZZTIME) ./internal/packfile/
+	$(GO) test -run NONE -fuzz FuzzFileIndexDecode -fuzztime $(FUZZTIME) ./internal/fileindex/
 
 # tools installs the pinned lint/scan tools (CI calls this; local runs
 # may prefer their own versions and skip it).
@@ -108,7 +109,8 @@ bench-smoke:
 bench-mux:
 	$(GO) test -run NONE -bench=BenchmarkMuxedGets -benchtime=3x ./internal/server/
 
-# bench-json runs the pipeline, mux, shard, and OPRF-keygen benchmarks
+# bench-json runs the pipeline, mux, shard, OPRF-keygen, and
+# warm-upload benchmarks
 # and archives machine-readable results (cmd/reed-benchjson), for
 # diffing runs across commits or machines. The committed BENCH_*.json
 # files are the ratchet baselines — refresh them here intentionally,
@@ -124,6 +126,8 @@ bench-json:
 		| $(GO) run ./cmd/reed-benchjson -bestof -o BENCH_shard.json
 	$(GO) test -run NONE -bench=BenchmarkKeygenPerChunk -benchtime=1000x -count=3 ./internal/oprf/ \
 		| $(GO) run ./cmd/reed-benchjson -bestof -o BENCH_oprf.json
+	$(GO) test -run NONE -bench=BenchmarkWarmUpload -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/reed-benchjson -bestof -o BENCH_warm.json
 
 # bench-ratchet re-runs the archived benchmarks and fails if any
 # direction-classified metric regresses more than 15% against the

@@ -253,6 +253,43 @@ func BenchmarkStreamingUpload(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmUpload measures the two-phase upload protocol: a cold
+// upload of unique data against a warm re-upload of the same bytes,
+// which the whole-file index collapses to a recipe clone. The
+// acceptance metrics are asserted in-benchmark: the warm upload must
+// run at least 10x faster and put at least 95% fewer trimmed-package
+// bytes on the wire (per the client's own metrics registry).
+func BenchmarkWarmUpload(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.WarmUpload(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold, warm := points[0], points[1]
+		if cold.WholeFileHit {
+			b.Fatal("cold upload took the fast path")
+		}
+		if !warm.WholeFileHit {
+			b.Fatal("warm upload missed the whole-file index")
+		}
+		speedup := warm.UploadMBps / cold.UploadMBps
+		if speedup < 10 {
+			b.Fatalf("warm upload only %.1fx faster than cold (%.1f vs %.1f MB/s), want >= 10x",
+				speedup, warm.UploadMBps, cold.UploadMBps)
+		}
+		if warm.WireBytes*20 > cold.WireBytes {
+			b.Fatalf("warm upload sent %d wire bytes vs cold %d, want >= 95%% fewer",
+				warm.WireBytes, cold.WireBytes)
+		}
+		b.ReportMetric(cold.UploadMBps, "up_MBps_cold")
+		b.ReportMetric(warm.UploadMBps, "up_MBps_warm")
+		b.ReportMetric(speedup, "warm_speedup")
+		b.ReportMetric(float64(cold.WireBytes)/(1<<20), "wire_MB_cold")
+		b.ReportMetric(float64(warm.WireBytes)/(1<<20), "wire_MB_warm")
+	}
+}
+
 // BenchmarkShardedPut measures aggregate PUT throughput from
 // concurrent clients against 1-shard and 4-shard deployments with
 // emulated per-shard ingress ports. The 4-shard aggregate exceeding the

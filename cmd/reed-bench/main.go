@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, stream, shard, ablations")
+		runSel    = flag.String("run", "all", "experiment: all, fig5a, fig5b, fig6, fig7, fig7c, fig8a, fig8b, fig8c, fig9, fig10, stream, shard, warm, ablations")
 		fileMB    = flag.Int("file-mb", 64, "file size in MB standing in for the paper's 2 GB")
 		servers   = flag.Int("servers", 4, "number of data-store servers")
 		link      = flag.Bool("link", true, "emulate the paper's 1 Gb/s LAN (~116 MB/s effective)")
@@ -80,6 +80,7 @@ func run() error {
 		{"fig10", runFig10},
 		{"stream", runStream},
 		{"shard", runShard},
+		{"warm", runWarm},
 		{"ablations", runAblations},
 	}
 	var ran int
@@ -205,6 +206,21 @@ func runShard(o experiments.Options, _ experiments.TraceOptions) error {
 	fmt.Printf("%-10s %-10s %s\n", "shards", "clients", "aggregate")
 	for _, p := range points {
 		fmt.Printf("%-10d %-10d %.1f MB/s\n", p.Shards, p.Clients, p.AggregateMBps)
+	}
+	return nil
+}
+
+func runWarm(o experiments.Options, _ experiments.TraceOptions) error {
+	header("Two-phase upload: cold vs warm re-upload (whole-file fast path)")
+	points, err := experiments.WarmUpload(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %-14s %s\n", "phase", "upload", "wire bytes", "whole-file hit")
+	for _, p := range points {
+		fmt.Printf("%-8s %-12s %-14s %v\n", p.Phase,
+			fmt.Sprintf("%.1f MB/s", p.UploadMBps),
+			fmt.Sprintf("%.1f MB", float64(p.WireBytes)/(1<<20)), p.WholeFileHit)
 	}
 	return nil
 }

@@ -157,6 +157,14 @@ type Config struct {
 	// ticket chunks so audit generation stays O(segment) too.
 	AuditTickets int
 
+	// DisableTwoPhase turns off the two-phase upload protocol (see
+	// fastpath.go): no whole-file pre-check with recipe cloning, no
+	// warm-upload chunk filtering, no whole-file registration. Every
+	// upload then chunks, keys, encrypts, and sends all of its bytes —
+	// the paper's baseline behavior, and the cold side of the warm
+	// upload experiment.
+	DisableTwoPhase bool
+
 	// ObfuscatePaths hides file pathnames from the cloud: every remote
 	// object is addressed by a salted hash of its path instead of the
 	// path itself (the metadata obfuscation the paper's Section IV-D
@@ -231,6 +239,15 @@ type Client struct {
 	// views (see initMetrics).
 	retriedBatches *metrics.Counter
 
+	// Two-phase upload accounting (fastpath.go), always allocated like
+	// retriedBatches so UploadResult and the metrics registry read the
+	// same source: whole-file pre-check outcomes, bytes the protocol
+	// kept off the wire, and trimmed bytes actually sent.
+	wholeFileHits   *metrics.Counter
+	wholeFileMisses *metrics.Counter
+	skippedBytes    *metrics.Counter
+	wireBytes       *metrics.Counter
+
 	// Pipeline instruments; nil (and hence no-ops) when Config.Metrics
 	// is unset.
 	stageChunk    *metrics.Histogram
@@ -295,7 +312,14 @@ func New(ctx context.Context, cfg Config) (*Client, error) {
 		return nil, err
 	}
 
-	c := &Client{cfg: cfg, codec: codec, cache: cache, km: km, retriedBatches: metrics.NewCounter()}
+	c := &Client{
+		cfg: cfg, codec: codec, cache: cache, km: km,
+		retriedBatches:  metrics.NewCounter(),
+		wholeFileHits:   metrics.NewCounter(),
+		wholeFileMisses: metrics.NewCounter(),
+		skippedBytes:    metrics.NewCounter(),
+		wireBytes:       metrics.NewCounter(),
+	}
 	c.pool = newWorkPool(cfg.Workers)
 	c.router, err = cluster.Dial(ctx, cluster.Config{
 		Shards:       cfg.DataServers,
@@ -465,6 +489,18 @@ type UploadResult struct {
 	PeakBuffered int64
 	// KeyVersion is the key-state version protecting the stub file.
 	KeyVersion uint64
+	// WholeFileHit reports that the two-phase fast path satisfied the
+	// upload: the cluster already stored an identical file under the
+	// same policy, so the client cloned its recipe instead of chunking
+	// and encrypting (fastpath.go).
+	WholeFileHit bool
+	// SkippedChunks counts chunks whose bytes never crossed the wire:
+	// every chunk on a whole-file hit, the already-stored ones on a
+	// filtered warm upload.
+	SkippedChunks int
+	// SkippedBytes is the corresponding byte count — plaintext bytes
+	// for a whole-file hit, trimmed-package bytes for filtered chunks.
+	SkippedBytes int64
 	// AuditBook holds remote-data-checking tickets when
 	// Config.AuditTickets is set; it is a client-side secret.
 	AuditBook *audit.Book

@@ -400,6 +400,9 @@ func TestFixedChunking(t *testing.T) {
 func TestKeyCacheSpeedsSecondUpload(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	// This test exercises the MLE key cache on a duplicate upload; the
+	// whole-file fast path would skip key generation entirely.
+	c.cfg.DisableTwoPhase = true
 	data := randomFile(t, 128<<10, 10)
 	pol := policy.OrOfUsers([]string{"alice"})
 
@@ -422,6 +425,9 @@ func TestKeyCacheSpeedsSecondUpload(t *testing.T) {
 func TestClearKeyCache(t *testing.T) {
 	cluster := startCluster(t)
 	c := newUser(t, cluster, "alice", core.SchemeEnhanced)
+	// Same carve-out as TestKeyCacheSpeedsSecondUpload: the clone path
+	// would bypass the key manager with or without a cache.
+	c.cfg.DisableTwoPhase = true
 	data := randomFile(t, 64<<10, 11)
 	pol := policy.OrOfUsers([]string{"alice"})
 

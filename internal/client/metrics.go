@@ -48,6 +48,14 @@ func (c *Client) initMetrics() {
 	reg.SetCounterFunc("rpc_reconnects", func() uint64 { return c.retrySnapshot().Reconnects })
 	reg.SetCounterFunc("rpc_retried_calls", func() uint64 { return c.retrySnapshot().RetriedCalls })
 	reg.SetCounterFunc("upload_retried_batches", c.retriedBatches.Value)
+
+	// Two-phase upload accounting: pre-check outcomes, trimmed bytes
+	// actually sent, and — as a gauge, so dashboards can read it next
+	// to the byte gauges — the bytes the protocol kept off the wire.
+	reg.SetCounterFunc("upload_wholefile_hits", c.wholeFileHits.Value)
+	reg.SetCounterFunc("upload_wholefile_misses", c.wholeFileMisses.Value)
+	reg.SetCounterFunc("upload_wire_bytes", c.wireBytes.Value)
+	reg.SetGaugeFunc("upload_skipped_bytes", func() float64 { return float64(c.skippedBytes.Value()) })
 }
 
 // Metrics returns the client's registry (nil when uninstrumented).

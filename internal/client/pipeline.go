@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	crand "crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/chunker"
 	"repro/internal/core"
+	"repro/internal/fileindex"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 	"repro/internal/policy"
@@ -196,11 +198,27 @@ func (c *Client) Upload(ctx context.Context, path string, r io.Reader, pol *poli
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
+	name := c.remoteName(path)
+	// Whole-file fast path: seekable sources can be hashed and rewound,
+	// so the pre-check costs one extra read pass on a miss. Audit-book
+	// uploads always take the pipeline — tickets need the ciphertext
+	// stream the clone never produces.
+	if !c.cfg.DisableTwoPhase && c.cfg.AuditTickets == 0 {
+		if rs, ok := r.(io.ReadSeeker); ok {
+			res, done, err := c.tryFastUpload(ctx, name, rs, pol)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return res, nil
+			}
+		}
+	}
 	src, err := c.newReaderSource(r)
 	if err != nil {
 		return nil, err
 	}
-	return c.runUpload(ctx, c.remoteName(path), src, pol)
+	return c.runUpload(ctx, name, src, pol)
 }
 
 // UploadPrechunked uploads a file whose chunk boundaries the caller
@@ -219,7 +237,27 @@ func (c *Client) UploadPrechunked(ctx context.Context, path string, rawChunks []
 			return nil, fmt.Errorf("client: pre-chunked upload: empty chunk %d", i)
 		}
 	}
-	return c.runUpload(ctx, c.remoteName(path), &sliceSource{chunks: rawChunks}, pol)
+	name := c.remoteName(path)
+	// The chunks are all in memory, so the whole-file pre-check costs
+	// one hash pass. Same audit-book carve-out as Upload.
+	if !c.cfg.DisableTwoPhase && c.cfg.AuditTickets == 0 {
+		h := sha256.New()
+		var size int64
+		for _, data := range rawChunks {
+			h.Write(data)
+			size += int64(len(data))
+		}
+		var hash [sha256.Size]byte
+		h.Sum(hash[:0])
+		res, err := c.checkAndClone(ctx, name, wholeFileKey(hash, uint64(size), pol), pol)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+	return c.runUpload(ctx, name, &sliceSource{chunks: rawChunks}, pol)
 }
 
 // pipeFail records the pipeline's first error and cancels everything
@@ -315,7 +353,11 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	// per-segment latency observation covers everything from the
 	// segment's first byte to its handoff — including source reads and
 	// gate waits, which is what an operator watching a slow upload needs
-	// to see.
+	// to see. The stage also folds every chunk into a linear SHA-256 of
+	// the whole file (chunks arrive in file order on this one
+	// goroutine); the finalizer reads it after wg.Wait, stamping the
+	// recipe's FileHash and registering the whole-file index entry.
+	lin := sha256.New()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -341,6 +383,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 				return
 			}
 			data := rr.data
+			lin.Write(data)
 			if err := gate.acquire(pctx, int64(len(data))); err != nil {
 				fail.fail(err)
 				return
@@ -438,7 +481,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	var (
 		stubs    [][]byte
 		logical  int64
-		dups     int
+		stats    segStats
 		segments int
 		resv     *auditReservoir
 	)
@@ -448,13 +491,15 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	}
 	for seg := range encrypted {
 		stageStart := time.Now()
-		n, err := c.uploadSegment(pctx, seg)
+		st, err := c.uploadSegment(pctx, seg)
 		if err != nil {
 			fail.fail(err)
 			break
 		}
 		c.stageUpload.Observe(time.Since(stageStart))
-		dups += n
+		stats.dups += st.dups
+		stats.skipped += st.skipped
+		stats.skippedBytes += st.skippedBytes
 		segments++
 		logical += seg.bytes
 		var released int64
@@ -486,6 +531,7 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	// Finalize: everything below is file metadata — nothing was visible
 	// to a downloader before this point.
 	rec.Size = uint64(logical)
+	lin.Sum(rec.FileHash[:0])
 	stubFile, err := c.sealStubsChecked(stubs, fileKey[:], name)
 	if err != nil {
 		return nil, err
@@ -503,15 +549,20 @@ func (c *Client) runUpload(ctx context.Context, name string, src chunkSource, po
 	if err := c.putBlob(ctx, c.keyConn, store.NSKeyStates, name, stateBlob); err != nil {
 		return nil, fmt.Errorf("client: upload key state: %w", err)
 	}
+	if !c.cfg.DisableTwoPhase {
+		c.registerWholeFile(ctx, fileindex.Key{Hash: rec.FileHash, Size: rec.Size, Policy: policyFingerprint(pol)}, name)
+	}
 
 	retryStats := c.retryDelta(retryBefore)
 	result := &UploadResult{
 		Chunks:          len(rec.Chunks),
 		LogicalBytes:    logical,
-		DuplicateChunks: dups,
+		DuplicateChunks: stats.dups,
 		Segments:        segments,
 		PeakBuffered:    gate.peakBytes(),
 		KeyVersion:      state.Version,
+		SkippedChunks:   stats.skipped,
+		SkippedBytes:    stats.skippedBytes,
 		Retry:           retryStats,
 		Elapsed:         time.Since(start),
 	}
@@ -535,15 +586,28 @@ func (c *Client) sealStubsChecked(stubs [][]byte, fileKey []byte, name string) (
 	return sealStubs(stubs, fileKey, name)
 }
 
+// segStats is one segment's upload accounting: duplicates the shards
+// already had (including filtered ones), plus the chunks and trimmed
+// bytes the two-phase filter kept off the wire entirely.
+type segStats struct {
+	dups         int
+	skipped      int
+	skippedBytes int64
+}
+
 // uploadSegment hands one segment's trimmed packages to the cluster
 // router, which partitions them by ring owner, stripes each shard's
 // share in parallel UploadBuffer-sized batches, and re-sends batches
 // that die with their connection under Config.Retry (re-PUT is
-// dedup-safe; see internal/cluster and internal/dedup). Returns the
-// number of duplicates the shards reported. Re-sent batches land in
+// dedup-safe; see internal/cluster and internal/dedup). With the
+// two-phase protocol on, a batched negative lookup first filters out
+// chunks the cluster already stores, so warm uploads send only the
+// genuinely new bytes. Filtered chunks count as duplicates — they are
+// exactly the chunks a full re-PUT would have reported as dups — so
+// dedup accounting is identical either way. Re-sent batches land in
 // the client-level counter via the router's OnBatchRetry hook, so
 // RetryStats deltas and the metrics registry read the same number.
-func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
+func (c *Client) uploadSegment(ctx context.Context, seg *segment) (segStats, error) {
 	ups := make([]proto.ChunkUpload, len(seg.chunks))
 	for i := range seg.chunks {
 		ups[i] = proto.ChunkUpload{
@@ -551,17 +615,87 @@ func (c *Client) uploadSegment(ctx context.Context, seg *segment) (int, error) {
 			Data: seg.chunks[i].pkg.Trimmed,
 		}
 	}
-	flags, err := c.router.PutChunks(ctx, ups)
-	if err != nil {
-		return 0, fmt.Errorf("client: upload chunks: %w", err)
-	}
-	dups := 0
-	for _, d := range flags {
-		if d {
-			dups++
+	var st segStats
+	if !c.cfg.DisableTwoPhase {
+		ups, st = c.filterKnownChunks(ctx, ups)
+		if err := ctx.Err(); err != nil {
+			return segStats{}, err
 		}
 	}
-	return dups, nil
+	flags, err := c.router.PutChunks(ctx, ups)
+	if err != nil {
+		return segStats{}, fmt.Errorf("client: upload chunks: %w", err)
+	}
+	var sent int64
+	for i := range ups {
+		sent += int64(len(ups[i].Data))
+	}
+	c.wireBytes.Add(uint64(sent))
+	st.dups = st.skipped
+	for _, d := range flags {
+		if d {
+			st.dups++
+		}
+	}
+	return st, nil
+}
+
+// filterKnownChunks is the warm-upload half of the two-phase protocol:
+// it asks the cluster which trimmed packages it already stores
+// (HasChunks, read-only) and converts the confirmed hits into
+// data-free reference bumps (RefChunks), so only missing chunks ride
+// the PutChunks path. Within-segment duplicates are referenced once
+// per occurrence, exactly as repeated PUTs would be. Fail-open by
+// design: on any transport error the full set is sent and PutChunks
+// re-derives the answer from the bytes — a lost filter answer costs
+// wire traffic, and a lost RefChunks ack at worst over-retains a
+// reference, the same algebra as a re-sent PUT batch.
+func (c *Client) filterKnownChunks(ctx context.Context, ups []proto.ChunkUpload) ([]proto.ChunkUpload, segStats) {
+	fps := make([]fingerprint.Fingerprint, len(ups))
+	for i := range ups {
+		fps[i] = ups[i].FP
+	}
+	present, err := c.router.HasChunks(ctx, fps)
+	if err != nil {
+		return ups, segStats{}
+	}
+	var hitIdx []int
+	for i, p := range present {
+		if p {
+			hitIdx = append(hitIdx, i)
+		}
+	}
+	if len(hitIdx) == 0 {
+		return ups, segStats{}
+	}
+	hitFPs := make([]fingerprint.Fingerprint, len(hitIdx))
+	for j, i := range hitIdx {
+		hitFPs[j] = fps[i]
+	}
+	found, err := c.router.RefChunks(ctx, hitFPs)
+	if err != nil {
+		return ups, segStats{}
+	}
+	var st segStats
+	skip := make([]bool, len(ups))
+	for j, i := range hitIdx {
+		if found[j] {
+			skip[i] = true
+			st.skipped++
+			st.skippedBytes += int64(len(ups[i].Data))
+		}
+	}
+	if st.skipped == 0 {
+		return ups, segStats{}
+	}
+	rest := ups[:0]
+	for i := range ups {
+		if !skip[i] {
+			rest = append(rest, ups[i])
+		}
+	}
+	c.skippedBytes.Add(uint64(st.skippedBytes))
+	return rest, st
 }
 
 // auditReservoir keeps a uniform sample of at most k ciphertext chunks

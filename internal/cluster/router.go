@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fileindex"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -503,6 +504,175 @@ func (r *Router) DerefChunks(ctx context.Context, fps []fingerprint.Fingerprint)
 	return freed, nil
 }
 
+// HasChunks reports which fingerprints are already stored, asking each
+// fingerprint's owning shard concurrently and reassembling the flags
+// in input order. Read-only with no refcount effect: re-issued
+// transparently by the transport after connection faults.
+func (r *Router) HasChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([]bool, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	type want struct {
+		idx int
+		fp  fingerprint.Fingerprint
+	}
+	perShard := make([][]want, len(r.conns))
+	for i, fp := range fps {
+		s := r.ring.Owner(fp)
+		perShard[s] = append(perShard[s], want{idx: i, fp: fp})
+	}
+
+	out := make([]bool, len(fps))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range r.conns {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			wants := perShard[s]
+			batch := r.cfg.GetBatchChunks
+			for start := 0; start < len(wants); start += batch {
+				end := start + batch
+				if end > len(wants) {
+					end = len(wants)
+				}
+				fps := make([]fingerprint.Fingerprint, 0, end-start)
+				for _, w := range wants[start:end] {
+					fps = append(fps, w.fp)
+				}
+				rctx, cancel := r.rpc(ctx)
+				present, err := r.conns[s].HasChunks(rctx, fps)
+				cancel()
+				r.observe(s, err)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: lookup on shard %d (%s): %w", s, r.cfg.Shards[s], err)
+					}
+					mu.Unlock()
+					return
+				}
+				for i, w := range wants[start:end] {
+					out[w.idx] = present[i]
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RefChunks adds one reference to each fingerprint on its owning shard
+// without re-sending bytes, returning per-fingerprint presence flags
+// in input order.
+//
+// Retry semantics match PutChunks, because the failure algebra is the
+// same: a replayed ref can only over-retain (an extra refcount until a
+// matching deref), never corrupt, so batches that die with their
+// connection are re-sent here under Config.Retry. Application errors
+// are permanent and a shard marked down fails the call immediately.
+func (r *Router) RefChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([]bool, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	type want struct {
+		idx int
+		fp  fingerprint.Fingerprint
+	}
+	perShard := make([][]want, len(r.conns))
+	for i, fp := range fps {
+		s := r.ring.Owner(fp)
+		perShard[s] = append(perShard[s], want{idx: i, fp: fp})
+	}
+
+	policy := r.cfg.Retry
+	callerHook := policy.OnRetry
+	policy.OnRetry = func(attempt int, err error, delay time.Duration) {
+		if r.cfg.OnBatchRetry != nil {
+			r.cfg.OnBatchRetry()
+		}
+		if callerHook != nil {
+			callerHook(attempt, err, delay)
+		}
+	}
+
+	out := make([]bool, len(fps))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s := range r.conns {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			if err := r.downErr(s); err != nil {
+				fail(fmt.Errorf("cluster: ref on shard %d: %w", s, err))
+				return
+			}
+			wants := perShard[s]
+			batch := r.cfg.GetBatchChunks
+			for start := 0; start < len(wants); start += batch {
+				end := start + batch
+				if end > len(wants) {
+					end = len(wants)
+				}
+				fps := make([]fingerprint.Fingerprint, 0, end-start)
+				for _, w := range wants[start:end] {
+					fps = append(fps, w.fp)
+				}
+				var found []bool
+				err := retry.Do(ctx, policy, func(ctx context.Context) error {
+					rctx, cancel := r.rpc(ctx)
+					defer cancel()
+					var err error
+					found, err = r.conns[s].RefChunks(rctx, fps)
+					r.observe(s, err)
+					if err == nil {
+						return nil
+					}
+					var re *proto.RemoteError
+					if errors.As(err, &re) {
+						return retry.Permanent(err)
+					}
+					return err
+				})
+				if err != nil {
+					fail(fmt.Errorf("cluster: ref on shard %d (%s): %w", s, r.cfg.Shards[s], err))
+					return
+				}
+				for i, w := range wants[start:end] {
+					out[w.idx] = found[i]
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
 // Challenge asks a chunk's owning shard to prove possession of it.
 func (r *Router) Challenge(ctx context.Context, fp fingerprint.Fingerprint, nonce []byte) ([]byte, error) {
 	s := r.ring.Owner(fp)
@@ -553,6 +723,38 @@ func (r *Router) DeleteBlob(ctx context.Context, ns, name string) error {
 	err := r.conns[s].DeleteBlob(rctx, ns, name)
 	r.observe(s, err)
 	return err
+}
+
+// CheckFile asks the whole-file index on the key's home shard whether
+// (hash, size, policy) is already stored. The home shard is fixed by
+// the key's routing name under the same placement rule as recipe
+// names, so every client's lookups and registrations for one file meet
+// on one shard. Read-only: re-issued transparently.
+func (r *Router) CheckFile(ctx context.Context, key fileindex.Key) (string, bool, error) {
+	s := r.Home(key.RoutingName())
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	name, found, err := r.conns[s].CheckFile(rctx, key)
+	r.observe(s, err)
+	if err != nil {
+		return "", false, fmt.Errorf("cluster: check file on shard %d (%s): %w", s, r.cfg.Shards[s], err)
+	}
+	return name, found, nil
+}
+
+// RegisterFile records a whole-file index entry on the key's home
+// shard. An idempotent upsert like PutBlob: re-issued transparently
+// after connection faults.
+func (r *Router) RegisterFile(ctx context.Context, key fileindex.Key, name string) error {
+	s := r.Home(key.RoutingName())
+	rctx, cancel := r.rpc(ctx)
+	defer cancel()
+	err := r.conns[s].RegisterFile(rctx, key, name)
+	r.observe(s, err)
+	if err != nil {
+		return fmt.Errorf("cluster: register file on shard %d (%s): %w", s, r.cfg.Shards[s], err)
+	}
+	return nil
 }
 
 // ListBlobs lists a namespace across every shard, deduplicated and

@@ -222,6 +222,26 @@ func (s *Store) Put(ctx context.Context, fp fingerprint.Fingerprint, data []byte
 	return false, s.maybeAutoCommitLocked(ctx)
 }
 
+// Ref adds one reference to an already-stored chunk without carrying
+// its bytes — the two-phase upload's data-free duplicate put (the
+// RefChunks RPC). It reports whether the chunk was present: present
+// takes exactly the Put duplicate branch (accounting, refcount, REF
+// record — so the dedup stats cannot tell a filtered warm upload from
+// a full re-upload); absent is a no-op returning false, and the caller
+// must fall back to sending the bytes. Like Put, the mutation is
+// journaled but not durable until Commit.
+func (s *Store) Ref(ctx context.Context, fp fingerprint.Fingerprint) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[fp]; !ok {
+		return false, nil
+	}
+	s.applyRef(fp)
+	s.logRef(fp)
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return true, s.maybeAutoCommitLocked(ctx)
+}
+
 // applyRef applies a duplicate-put to in-memory state; shared by the
 // live path and WAL replay.
 func (s *Store) applyRef(fp fingerprint.Fingerprint) {

@@ -83,6 +83,9 @@ func AblationKeyCache(o Options) ([]AblationCachePoint, error) {
 		c, err := newClient(cluster, o, clientParams{
 			user: user, scheme: core.SchemeEnhanced, avgKB: 8,
 			batch: keymanager.DefaultBatchSize, cache: enabled, workers: 2,
+			// The second upload must exercise key generation, not the
+			// whole-file fast path.
+			noTwoPhase: true,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/keymanager"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+)
+
+// WarmUploadPoint is one phase of the warm-upload experiment.
+type WarmUploadPoint struct {
+	// Phase is "cold" (first upload of unique data) or "warm"
+	// (identical re-upload under a new name).
+	Phase string
+	// UploadMBps is the end-to-end upload speed for the phase.
+	UploadMBps float64
+	// WireBytes is how many trimmed-package bytes the phase put on the
+	// chunk plane (the client's upload_wire_bytes counter delta).
+	WireBytes uint64
+	// WholeFileHit reports whether the phase took the clone path.
+	WholeFileHit bool
+}
+
+// WarmUpload measures the two-phase upload protocol end to end: a cold
+// upload of unique data (the protocol is on, but there is nothing to
+// hit — it pays the pre-check and the negative lookups), then a warm
+// re-upload of the same bytes under a new name, which the whole-file
+// index collapses to a recipe clone. The wire-byte deltas come from
+// the client's own metrics registry, so the numbers are the ones an
+// operator's dashboard would show.
+func WarmUpload(o Options) ([]WarmUploadPoint, error) {
+	o, err := o.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := startCluster(o)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	reg := metrics.NewRegistry()
+	c, err := newClient(cluster, o, clientParams{
+		user: "warm", scheme: core.SchemeEnhanced, avgKB: 8,
+		batch: keymanager.DefaultBatchSize, cache: true, workers: 2,
+		metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	data := uniqueData(o.FileBytes, o.Seed)
+	pol := policy.OrOfUsers([]string{"warm"})
+
+	coldMBps, coldRes, err := timeUploadResult(c, "/warm/cold", data, pol)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cold upload: %w", err)
+	}
+	coldWire := reg.Snapshot().Counters["upload_wire_bytes"]
+
+	warmMBps, warmRes, err := timeUploadResult(c, "/warm/warm", data, pol)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: warm upload: %w", err)
+	}
+	warmWire := reg.Snapshot().Counters["upload_wire_bytes"] - coldWire
+
+	return []WarmUploadPoint{
+		{Phase: "cold", UploadMBps: coldMBps, WireBytes: coldWire, WholeFileHit: coldRes.WholeFileHit},
+		{Phase: "warm", UploadMBps: warmMBps, WireBytes: warmWire, WholeFileHit: warmRes.WholeFileHit},
+	}, nil
+}

@@ -1,0 +1,389 @@
+// Package fileindex implements the server side of the two-phase upload
+// protocol's whole-file fast path: a per-policy map from a file's
+// linear SHA-256 and size to the remote name of a recipe that already
+// stores those bytes.
+//
+// The index is advisory. A hit tells the client which recipe to try to
+// clone; the client re-verifies against the recipe itself (the recipe
+// records the whole-file hash), so a stale entry — the named file was
+// overwritten or deleted since registration — costs one wasted lookup,
+// never wrong data. Entries are therefore only ever upserted;
+// invalidation is lazy.
+//
+// Keys include a fingerprint of the file's protection policy, so the
+// fast path never clones across policy boundaries: a hit only ever
+// points at a recipe whose key state the querying client must still be
+// able to decrypt (CP-ABE) to finish the clone.
+//
+// # Durability
+//
+// Same contract as the dedup index (internal/dedup, DESIGN.md §9):
+// every registration is journaled to an append-only WAL before it is
+// acknowledged — the server commits the batch at the end of the RPC —
+// and the WAL is periodically checkpointed into one atomic snapshot
+// blob and truncated. Recovery loads the snapshot and replays the WAL
+// tail with torn-tail tolerance, so an acknowledged registration
+// survives kill -9. The WAL lives in its own namespace
+// (store.NSFileWAL) because a wal.Log rejects foreign blobs in its
+// namespace.
+package fileindex
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"repro/internal/binenc"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// HashSize is the whole-file hash length (SHA-256).
+const HashSize = 32
+
+// walPrefix names WAL segment blobs inside store.NSFileWAL.
+const walPrefix = "f"
+
+// snapshotBlobName is where the checkpoint snapshot lives in NSMeta.
+const snapshotBlobName = "file-index"
+
+// snapshotVersion guards the checkpoint encoding.
+const snapshotVersion = 1
+
+// recRegister is the only WAL record kind: one registration.
+const recRegister = 1
+
+// maxEntries bounds decoded snapshots (and with it recovery memory).
+const maxEntries = 1 << 26
+
+// checkpointEvery is how many journaled WAL bytes trigger a checkpoint
+// at the next commit. Registrations are tiny (~100 bytes), so this
+// keeps the replay tail short without checkpointing on every batch.
+const checkpointEvery = 1 << 20
+
+// autoCommitBytes caps framed-but-uncommitted record bytes buffered in
+// memory, mirroring the dedup store's bound.
+const autoCommitBytes = 1 << 20
+
+// Key identifies one whole file within one policy's sharing domain.
+type Key struct {
+	// Hash is the linear SHA-256 of the file's plaintext.
+	Hash [HashSize]byte
+	// Size is the plaintext length in bytes. Hash collisions aside,
+	// carrying the size makes truncation extension attacks on the
+	// lookup strictly harder and the key self-describing.
+	Size uint64
+	// Policy is the SHA-256 of the protection policy's canonical
+	// encoding, so identical bytes under different policies never
+	// alias.
+	Policy [HashSize]byte
+}
+
+// RoutingName returns the string whose consistent-hash placement
+// decides the key's home shard. Every client derives the same name
+// from the same key, so lookups and registrations for one file meet on
+// one shard (via ring.OwnerKey, the same placement rule the file plane
+// uses for recipe names).
+func (k Key) RoutingName() string {
+	return "fileindex/" + hex.EncodeToString(k.Hash[:8]) + "/" + hex.EncodeToString(k.Policy[:8])
+}
+
+func (k Key) encode(w *binenc.Writer) {
+	w.Raw(k.Hash[:])
+	w.Uint64(k.Size)
+	w.Raw(k.Policy[:])
+}
+
+func decodeKey(r *binenc.Reader) (Key, error) {
+	var k Key
+	raw, err := r.ReadRaw(HashSize)
+	if err != nil {
+		return Key{}, fmt.Errorf("fileindex: key hash: %w", err)
+	}
+	copy(k.Hash[:], raw)
+	if k.Size, err = r.Uint64(); err != nil {
+		return Key{}, fmt.Errorf("fileindex: key size: %w", err)
+	}
+	if raw, err = r.ReadRaw(HashSize); err != nil {
+		return Key{}, fmt.Errorf("fileindex: key policy: %w", err)
+	}
+	copy(k.Policy[:], raw)
+	return k, nil
+}
+
+// EncodeRecord frames one registration as a WAL record payload.
+func EncodeRecord(key Key, name string) []byte {
+	w := binenc.NewWriter(1 + 2*HashSize + 8 + 4 + len(name))
+	w.Uint8(recRegister)
+	key.encode(w)
+	w.String(name)
+	return w.Bytes()
+}
+
+// DecodeRecord parses one WAL record payload. It is the fuzzed decode
+// boundary (FuzzFileIndexDecode): record bytes come off the backend,
+// which a crashed or corrupted deployment may have mangled.
+func DecodeRecord(rec []byte) (Key, string, error) {
+	r := binenc.NewReader(rec)
+	kind, err := r.Uint8()
+	if err != nil {
+		return Key{}, "", fmt.Errorf("fileindex: record kind: %w", err)
+	}
+	if kind != recRegister {
+		return Key{}, "", fmt.Errorf("fileindex: unknown record kind %d", kind)
+	}
+	key, err := decodeKey(r)
+	if err != nil {
+		return Key{}, "", err
+	}
+	name, err := r.ReadString()
+	if err != nil {
+		return Key{}, "", fmt.Errorf("fileindex: record name: %w", err)
+	}
+	if name == "" {
+		return Key{}, "", errors.New("fileindex: empty name in record")
+	}
+	if !r.Done() {
+		return Key{}, "", errors.New("fileindex: trailing bytes in record")
+	}
+	return key, name, nil
+}
+
+// Index is the whole-file fingerprint index of one storage shard. It is
+// safe for concurrent use.
+type Index struct {
+	mu      sync.Mutex
+	backend store.Backend
+	entries map[Key]string
+	log     *wal.Log
+	// pending buffers framed-but-uncommitted records; walBytes counts
+	// segment bytes since the last checkpoint.
+	pending  []byte
+	walBytes int64
+}
+
+// Open recovers the index from the backend: snapshot, then WAL replay
+// (torn final segment tolerated — its registrations were never
+// acknowledged).
+func Open(ctx context.Context, backend store.Backend) (*Index, error) {
+	ix := &Index{backend: backend, entries: make(map[Key]string)}
+	walFrom, err := ix.loadSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ix.log, err = wal.Open(ctx, backend, store.NSFileWAL, walPrefix); err != nil {
+		return nil, fmt.Errorf("fileindex: open wal: %w", err)
+	}
+	ix.log.Advance(walFrom)
+	err = ix.log.Replay(ctx, walFrom, func(rec []byte) error {
+		key, name, err := DecodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		ix.entries[key] = name
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.walBytes = 0
+	return ix, nil
+}
+
+// Lookup returns the remote name registered for key, if any.
+func (ix *Index) Lookup(key Key) (string, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	name, ok := ix.entries[key]
+	return name, ok
+}
+
+// Register records that the file identified by key is stored under the
+// given recipe name, journaling the entry. Like every mutation it is
+// durable only after the next Commit; the server commits before
+// acknowledging the RPC. Re-registering a key overwrites its entry
+// (last writer wins — both recipes hold the same bytes, so either
+// answer is correct).
+func (ix *Index) Register(ctx context.Context, key Key, name string) error {
+	if name == "" {
+		return errors.New("fileindex: empty name")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.entries[key] = name
+	ix.pending = wal.AppendRecord(ix.pending, EncodeRecord(key, name))
+	if int64(len(ix.pending)) < autoCommitBytes {
+		return nil
+	}
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return ix.commitLocked(ctx)
+}
+
+// Commit makes every registration journaled so far durable by writing
+// one WAL segment (and, past the checkpoint threshold, folding the log
+// into a snapshot). The server calls it before acknowledging a
+// registration RPC.
+func (ix *Index) Commit(ctx context.Context) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	//reed-vet:ignore lockguard — WAL commit order must match application order; the write belongs in this critical section.
+	return ix.commitLocked(ctx)
+}
+
+func (ix *Index) commitLocked(ctx context.Context) error {
+	if err := ix.flushPendingLocked(ctx); err != nil {
+		return err
+	}
+	if ix.walBytes >= checkpointEvery {
+		return ix.checkpointLocked(ctx)
+	}
+	return nil
+}
+
+func (ix *Index) flushPendingLocked(ctx context.Context) error {
+	if len(ix.pending) == 0 {
+		return nil
+	}
+	if err := ix.log.Append(ctx, ix.pending); err != nil {
+		return fmt.Errorf("fileindex: append wal: %w", err)
+	}
+	ix.walBytes += int64(len(ix.pending))
+	ix.pending = nil
+	return nil
+}
+
+// Flush commits pending records and checkpoints unconditionally.
+func (ix *Index) Flush(ctx context.Context) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.flushPendingLocked(ctx); err != nil {
+		return err
+	}
+	//reed-vet:ignore lockguard — checkpointing must see a quiescent index; the write belongs in this critical section.
+	return ix.checkpointLocked(ctx)
+}
+
+// Len reports how many whole-file entries the index holds.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.entries)
+}
+
+// checkpointLocked folds the entries into one snapshot blob (a single
+// atomic backend Put), then truncates the WAL below the recorded
+// position. A crash between the two leaves stale segments the next
+// recovery skips.
+func (ix *Index) checkpointLocked(ctx context.Context) error {
+	if err := ix.backend.Put(ctx, store.NSMeta, snapshotBlobName, ix.encodeSnapshotLocked()); err != nil {
+		return fmt.Errorf("fileindex: write snapshot: %w", err)
+	}
+	ix.walBytes = 0
+	if err := ix.log.TruncateBefore(ctx, ix.log.Next()); err != nil {
+		return fmt.Errorf("fileindex: truncate wal: %w", err)
+	}
+	return nil
+}
+
+// encodeSnapshotLocked serializes the entries, sorted for determinism,
+// with a trailing CRC-32.
+func (ix *Index) encodeSnapshotLocked() []byte {
+	keys := make([]Key, 0, len(ix.entries))
+	for k := range ix.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if c := bytes.Compare(keys[i].Hash[:], keys[j].Hash[:]); c != 0 {
+			return c < 0
+		}
+		if keys[i].Size != keys[j].Size {
+			return keys[i].Size < keys[j].Size
+		}
+		return bytes.Compare(keys[i].Policy[:], keys[j].Policy[:]) < 0
+	})
+	w := binenc.NewWriter(32 + len(keys)*(2*HashSize+8+32))
+	w.Uint8(snapshotVersion)
+	w.Uint64(ix.log.Next())
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		k.encode(w)
+		w.String(ix.entries[k])
+	}
+	blob := w.Bytes()
+	return binary.BigEndian.AppendUint32(blob, crc32.ChecksumIEEE(blob))
+}
+
+// loadSnapshot restores the last checkpoint, returning the WAL replay
+// position (0 when no snapshot exists).
+func (ix *Index) loadSnapshot(ctx context.Context) (uint64, error) {
+	blob, err := ix.backend.Get(ctx, store.NSMeta, snapshotBlobName)
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("fileindex: load snapshot: %w", err)
+	}
+	entries, walFrom, err := DecodeSnapshot(blob)
+	if err != nil {
+		return 0, err
+	}
+	ix.entries = entries
+	return walFrom, nil
+}
+
+// DecodeSnapshot parses a checkpoint blob into its entry map and WAL
+// replay position. Exported alongside DecodeRecord as a fuzzed decode
+// boundary.
+func DecodeSnapshot(blob []byte) (map[Key]string, uint64, error) {
+	if len(blob) < 5 {
+		return nil, 0, errors.New("fileindex: snapshot too short")
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, 0, errors.New("fileindex: snapshot checksum mismatch")
+	}
+	r := binenc.NewReader(body)
+	version, err := r.Uint8()
+	if err != nil {
+		return nil, 0, fmt.Errorf("fileindex: parse snapshot: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, 0, fmt.Errorf("fileindex: unsupported snapshot version %d (want %d)", version, snapshotVersion)
+	}
+	walFrom, err := r.Uint64()
+	if err != nil {
+		return nil, 0, fmt.Errorf("fileindex: parse snapshot: %w", err)
+	}
+	count, err := r.Uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("fileindex: parse snapshot: %w", err)
+	}
+	if count > maxEntries {
+		return nil, 0, fmt.Errorf("fileindex: snapshot entry count %d exceeds limit", count)
+	}
+	entries := make(map[Key]string, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := decodeKey(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		name, err := r.ReadString()
+		if err != nil {
+			return nil, 0, fmt.Errorf("fileindex: snapshot entry %d name: %w", i, err)
+		}
+		if name == "" {
+			return nil, 0, fmt.Errorf("fileindex: snapshot entry %d has empty name", i)
+		}
+		entries[key] = name
+	}
+	if !r.Done() {
+		return nil, 0, errors.New("fileindex: trailing bytes in snapshot")
+	}
+	return entries, walFrom, nil
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/binenc"
+	"repro/internal/fileindex"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 )
@@ -78,37 +79,58 @@ const (
 	// manager; see internal/metrics).
 	MsgMetricsReq
 	MsgMetricsResp
+
+	// Storage server: two-phase upload (whole-file fast path and
+	// batched negative lookup; see internal/fileindex and DESIGN.md
+	// §11). New types append here so older peers fail loudly with
+	// "unexpected message" instead of misparsing.
+	MsgCheckFileReq
+	MsgCheckFileResp
+	MsgRegisterFileReq
+	MsgRegisterFileResp
+	MsgHasChunksReq
+	MsgHasChunksResp
+	MsgRefChunksReq
+	MsgRefChunksResp
 )
 
 // msgTypeNames is the static name table behind MsgType.String. A
 // package-level array keeps String allocation-free on the error and
 // trace paths that format message types.
 var msgTypeNames = [...]string{
-	MsgError:           "Error",
-	MsgKMParamsReq:     "KMParamsReq",
-	MsgKMParamsResp:    "KMParamsResp",
-	MsgKeyGenReq:       "KeyGenReq",
-	MsgKeyGenResp:      "KeyGenResp",
-	MsgPutChunksReq:    "PutChunksReq",
-	MsgPutChunksResp:   "PutChunksResp",
-	MsgGetChunksReq:    "GetChunksReq",
-	MsgGetChunksResp:   "GetChunksResp",
-	MsgPutBlobReq:      "PutBlobReq",
-	MsgPutBlobResp:     "PutBlobResp",
-	MsgGetBlobReq:      "GetBlobReq",
-	MsgGetBlobResp:     "GetBlobResp",
-	MsgStatsReq:        "StatsReq",
-	MsgStatsResp:       "StatsResp",
-	MsgListBlobsReq:    "ListBlobsReq",
-	MsgListBlobsResp:   "ListBlobsResp",
-	MsgDerefChunksReq:  "DerefChunksReq",
-	MsgDerefChunksResp: "DerefChunksResp",
-	MsgDeleteBlobReq:   "DeleteBlobReq",
-	MsgDeleteBlobResp:  "DeleteBlobResp",
-	MsgChallengeReq:    "ChallengeReq",
-	MsgChallengeResp:   "ChallengeResp",
-	MsgMetricsReq:      "MetricsReq",
-	MsgMetricsResp:     "MetricsResp",
+	MsgError:            "Error",
+	MsgKMParamsReq:      "KMParamsReq",
+	MsgKMParamsResp:     "KMParamsResp",
+	MsgKeyGenReq:        "KeyGenReq",
+	MsgKeyGenResp:       "KeyGenResp",
+	MsgPutChunksReq:     "PutChunksReq",
+	MsgPutChunksResp:    "PutChunksResp",
+	MsgGetChunksReq:     "GetChunksReq",
+	MsgGetChunksResp:    "GetChunksResp",
+	MsgPutBlobReq:       "PutBlobReq",
+	MsgPutBlobResp:      "PutBlobResp",
+	MsgGetBlobReq:       "GetBlobReq",
+	MsgGetBlobResp:      "GetBlobResp",
+	MsgStatsReq:         "StatsReq",
+	MsgStatsResp:        "StatsResp",
+	MsgListBlobsReq:     "ListBlobsReq",
+	MsgListBlobsResp:    "ListBlobsResp",
+	MsgDerefChunksReq:   "DerefChunksReq",
+	MsgDerefChunksResp:  "DerefChunksResp",
+	MsgDeleteBlobReq:    "DeleteBlobReq",
+	MsgDeleteBlobResp:   "DeleteBlobResp",
+	MsgChallengeReq:     "ChallengeReq",
+	MsgChallengeResp:    "ChallengeResp",
+	MsgMetricsReq:       "MetricsReq",
+	MsgMetricsResp:      "MetricsResp",
+	MsgCheckFileReq:     "CheckFileReq",
+	MsgCheckFileResp:    "CheckFileResp",
+	MsgRegisterFileReq:  "RegisterFileReq",
+	MsgRegisterFileResp: "RegisterFileResp",
+	MsgHasChunksReq:     "HasChunksReq",
+	MsgHasChunksResp:    "HasChunksResp",
+	MsgRefChunksReq:     "RefChunksReq",
+	MsgRefChunksResp:    "RefChunksResp",
 }
 
 // OpNames returns operation labels indexed by request MsgType — the
@@ -577,4 +599,112 @@ func DecodeMetricsResp(b []byte) (metrics.Snapshot, error) {
 		return s, fmt.Errorf("%w: metrics payload: %v", ErrBadMessage, err)
 	}
 	return s, nil
+}
+
+// --- two-phase upload ---
+//
+// CheckFile asks a file's home shard whether the whole-file index
+// already maps (hash, size, policy) to a stored recipe; RegisterFile
+// records that mapping after a successful upload. The batched
+// negative-lookup RPCs reuse existing wire shapes: MsgHasChunksReq and
+// MsgRefChunksReq carry a fingerprint batch (MsgGetChunksReq shape),
+// their responses a per-fingerprint flag list (MsgPutChunksResp shape).
+
+// EncodeCheckFileReq encodes a whole-file pre-check key.
+func EncodeCheckFileReq(key fileindex.Key) []byte {
+	w := binenc.NewWriter(2*fileindex.HashSize + 8)
+	w.Raw(key.Hash[:])
+	w.Uint64(key.Size)
+	w.Raw(key.Policy[:])
+	return w.Bytes()
+}
+
+func decodeFileKey(r *binenc.Reader) (fileindex.Key, error) {
+	var key fileindex.Key
+	raw, err := r.ReadRaw(fileindex.HashSize)
+	if err != nil {
+		return key, fmt.Errorf("%w: file hash: %v", ErrBadMessage, err)
+	}
+	copy(key.Hash[:], raw)
+	if key.Size, err = r.Uint64(); err != nil {
+		return key, fmt.Errorf("%w: file size: %v", ErrBadMessage, err)
+	}
+	if raw, err = r.ReadRaw(fileindex.HashSize); err != nil {
+		return key, fmt.Errorf("%w: policy fingerprint: %v", ErrBadMessage, err)
+	}
+	copy(key.Policy[:], raw)
+	return key, nil
+}
+
+// DecodeCheckFileReq decodes EncodeCheckFileReq output.
+func DecodeCheckFileReq(b []byte) (fileindex.Key, error) {
+	r := binenc.NewReader(b)
+	key, err := decodeFileKey(r)
+	if err != nil {
+		return key, err
+	}
+	if !r.Done() {
+		return key, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return key, nil
+}
+
+// EncodeCheckFileResp encodes a pre-check answer: whether the index has
+// an entry and, if so, the remote name of the owning recipe.
+func EncodeCheckFileResp(name string, found bool) []byte {
+	w := binenc.NewWriter(8 + len(name))
+	w.Bool(found)
+	w.String(name)
+	return w.Bytes()
+}
+
+// DecodeCheckFileResp decodes EncodeCheckFileResp output.
+func DecodeCheckFileResp(b []byte) (string, bool, error) {
+	r := binenc.NewReader(b)
+	found, err := r.Bool()
+	if err != nil {
+		return "", false, fmt.Errorf("%w: found flag: %v", ErrBadMessage, err)
+	}
+	name, err := r.ReadString()
+	if err != nil {
+		return "", false, fmt.Errorf("%w: recipe name: %v", ErrBadMessage, err)
+	}
+	if !r.Done() {
+		return "", false, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	if found && name == "" {
+		return "", false, fmt.Errorf("%w: hit without a recipe name", ErrBadMessage)
+	}
+	return name, found, nil
+}
+
+// EncodeRegisterFileReq encodes a whole-file index registration: the
+// key plus the remote name of the recipe that now stores those bytes.
+func EncodeRegisterFileReq(key fileindex.Key, name string) []byte {
+	w := binenc.NewWriter(2*fileindex.HashSize + 16 + len(name))
+	w.Raw(key.Hash[:])
+	w.Uint64(key.Size)
+	w.Raw(key.Policy[:])
+	w.String(name)
+	return w.Bytes()
+}
+
+// DecodeRegisterFileReq decodes EncodeRegisterFileReq output.
+func DecodeRegisterFileReq(b []byte) (fileindex.Key, string, error) {
+	r := binenc.NewReader(b)
+	key, err := decodeFileKey(r)
+	if err != nil {
+		return key, "", err
+	}
+	name, err := r.ReadString()
+	if err != nil {
+		return key, "", fmt.Errorf("%w: recipe name: %v", ErrBadMessage, err)
+	}
+	if name == "" {
+		return key, "", fmt.Errorf("%w: empty recipe name", ErrBadMessage)
+	}
+	if !r.Done() {
+		return key, "", fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return key, name, nil
 }

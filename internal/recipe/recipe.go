@@ -16,8 +16,10 @@ import (
 )
 
 // formatVersion guards against decoding recipes from incompatible
-// builds.
-const formatVersion = 1
+// builds. Version 2 added FileHash (the whole-file SHA-256 backing the
+// two-phase upload's clone verification); version 1 recipes are not
+// readable.
+const formatVersion = 2
 
 // maxChunks bounds decoded recipes (a 1 TB file at 2 KB chunks).
 const maxChunks = 1 << 29
@@ -47,6 +49,11 @@ type Recipe struct {
 	// KeyVersion is the key-regression version of the file key that
 	// encrypts this file's stub file.
 	KeyVersion uint64
+	// FileHash is the linear SHA-256 of the whole plaintext file. The
+	// two-phase upload's clone path verifies a whole-file index hit
+	// against it, which makes stale index entries harmless (see
+	// internal/fileindex).
+	FileHash [32]byte
 	// Chunks lists the file's chunks in order.
 	Chunks []ChunkRef
 }
@@ -65,12 +72,13 @@ func (r *Recipe) Validate() error {
 
 // Marshal encodes the recipe.
 func (r *Recipe) Marshal() []byte {
-	w := binenc.NewWriter(64 + len(r.Chunks)*(fingerprint.Size+4))
+	w := binenc.NewWriter(96 + len(r.Chunks)*(fingerprint.Size+4))
 	w.Uint8(formatVersion)
 	w.String(r.Path)
 	w.Uint64(r.Size)
 	w.Uint8(r.Scheme)
 	w.Uint64(r.KeyVersion)
+	w.Raw(r.FileHash[:])
 	w.Uvarint(uint64(len(r.Chunks)))
 	for _, c := range r.Chunks {
 		w.Raw(c.Fingerprint[:])
@@ -102,6 +110,11 @@ func Unmarshal(b []byte) (*Recipe, error) {
 	if r.KeyVersion, err = rd.Uint64(); err != nil {
 		return nil, fmt.Errorf("%w: key version: %v", ErrBadRecipe, err)
 	}
+	hash, err := rd.ReadRaw(len(r.FileHash))
+	if err != nil {
+		return nil, fmt.Errorf("%w: file hash: %v", ErrBadRecipe, err)
+	}
+	copy(r.FileHash[:], hash)
 	count, err := rd.Uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk count: %v", ErrBadRecipe, err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/fileindex"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -174,6 +175,70 @@ func (c *Client) DerefChunks(ctx context.Context, fps []fingerprint.Fingerprint)
 func (c *Client) DeleteBlob(ctx context.Context, ns, name string) error {
 	_, err := c.call(ctx, proto.MsgDeleteBlobReq, proto.EncodeBlobReq(ns, name, nil), proto.MsgDeleteBlobResp, false)
 	return err
+}
+
+// CheckFile asks the whole-file index whether (hash, size, policy) is
+// already stored, returning the owning recipe's remote name on a hit.
+// Read-only: re-issued transparently after connection faults.
+func (c *Client) CheckFile(ctx context.Context, key fileindex.Key) (string, bool, error) {
+	payload, err := c.call(ctx, proto.MsgCheckFileReq, proto.EncodeCheckFileReq(key), proto.MsgCheckFileResp, true)
+	if err != nil {
+		return "", false, err
+	}
+	return proto.DecodeCheckFileResp(payload)
+}
+
+// RegisterFile records a whole-file index entry mapping key to the
+// recipe stored under name. An idempotent upsert — like PutBlob, a
+// replay converges to the same state — so the transport re-issues it
+// transparently after connection faults.
+func (c *Client) RegisterFile(ctx context.Context, key fileindex.Key, name string) error {
+	_, err := c.call(ctx, proto.MsgRegisterFileReq, proto.EncodeRegisterFileReq(key, name), proto.MsgRegisterFileResp, true)
+	return err
+}
+
+// HasChunks reports which of the listed fingerprints the server
+// stores, with no refcount effect. Read-only: re-issued transparently
+// after connection faults.
+func (c *Client) HasChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([]bool, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(ctx, proto.MsgHasChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgHasChunksResp, true)
+	if err != nil {
+		return nil, err
+	}
+	present, err := proto.DecodePutChunksResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(present) != len(fps) {
+		return nil, errors.New("server client: presence count mismatch")
+	}
+	return present, nil
+}
+
+// RefChunks adds one reference to each listed fingerprint without
+// re-sending its bytes, returning which were present. Like PutChunks
+// it mutates refcounts, so it is never auto-re-issued once its frame
+// may have reached the server; the cluster router owns that retry
+// (a replay can only over-retain, exactly like a re-PUT).
+func (c *Client) RefChunks(ctx context.Context, fps []fingerprint.Fingerprint) ([]bool, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	payload, err := c.call(ctx, proto.MsgRefChunksReq, proto.EncodeGetChunksReq(fps), proto.MsgRefChunksResp, false)
+	if err != nil {
+		return nil, err
+	}
+	found, err := proto.DecodePutChunksResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(found) != len(fps) {
+		return nil, errors.New("server client: ref count mismatch")
+	}
+	return found, nil
 }
 
 // Challenge asks the server to prove possession of a chunk: it returns

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/dedup"
+	"repro/internal/fileindex"
 	"repro/internal/fingerprint"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -45,6 +46,9 @@ const DefaultWorkers = 8
 type Server struct {
 	backend store.Backend
 	chunks  *dedup.Store
+	// files is the whole-file fingerprint index behind the two-phase
+	// upload's CheckFile/RegisterFile RPCs (see internal/fileindex).
+	files   *fileindex.Index
 	workers int
 
 	// baseCtx is the lifecycle root for request handling: it parents
@@ -97,9 +101,14 @@ func New(ctx context.Context, backend store.Backend, opts ...Option) (*Server, e
 	if err != nil {
 		return nil, fmt.Errorf("server: open dedup store: %w", err)
 	}
+	files, err := fileindex.Open(ctx, backend)
+	if err != nil {
+		return nil, fmt.Errorf("server: open file index: %w", err)
+	}
 	s := &Server{
 		backend:   backend,
 		chunks:    chunks,
+		files:     files,
 		workers:   DefaultWorkers,
 		conns:     make(map[net.Conn]struct{}),
 		stubSizes: make(map[string]int),
@@ -173,6 +182,9 @@ func (s *Server) Shutdown() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	err := s.chunks.Flush(s.baseCtx)
+	if ferr := s.files.Flush(s.baseCtx); ferr != nil && err == nil {
+		err = ferr
+	}
 	s.cancelBase()
 	return err
 }
@@ -281,6 +293,14 @@ func (s *Server) dispatch(ctx context.Context, typ proto.MsgType, payload []byte
 		return s.deleteBlob(ctx, payload)
 	case proto.MsgChallengeReq:
 		return s.challenge(ctx, payload)
+	case proto.MsgCheckFileReq:
+		return s.checkFile(ctx, payload)
+	case proto.MsgRegisterFileReq:
+		return s.registerFile(ctx, payload)
+	case proto.MsgHasChunksReq:
+		return s.hasChunks(ctx, payload)
+	case proto.MsgRefChunksReq:
+		return s.refChunks(ctx, payload)
 	case proto.MsgStatsReq:
 		return proto.MsgStatsResp, proto.EncodeStats(s.Stats())
 	case proto.MsgMetricsReq:
@@ -451,15 +471,95 @@ func (s *Server) challenge(ctx context.Context, payload []byte) (proto.MsgType, 
 	return proto.MsgChallengeResp, digest[:]
 }
 
+// checkFile answers the two-phase upload's whole-file pre-check: does
+// the index map (hash, size, policy) to a stored recipe? Read-only and
+// advisory — the client verifies any hit against the recipe's own
+// FileHash before cloning, so a stale answer is harmless.
+func (s *Server) checkFile(_ context.Context, payload []byte) (proto.MsgType, []byte) {
+	key, err := proto.DecodeCheckFileReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	name, found := s.files.Lookup(key)
+	return proto.MsgCheckFileResp, proto.EncodeCheckFileResp(name, found)
+}
+
+// registerFile records a whole-file index entry. An upsert — replaying
+// it after a connection fault converges to the same state — and the
+// response is the durability acknowledgment, so the index commits
+// before replying (same contract as putChunks).
+func (s *Server) registerFile(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	key, name, err := proto.DecodeRegisterFileReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	if err := s.files.Register(ctx, key, name); err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("register file: %v", err))
+	}
+	if err := s.files.Commit(ctx); err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("commit file index: %v", err))
+	}
+	return proto.MsgRegisterFileResp, nil
+}
+
+// hasChunks answers the batched negative lookup (MsgGetChunksReq wire
+// shape in, MsgPutChunksResp shape out): one presence flag per
+// fingerprint, no refcount or accounting effect.
+func (s *Server) hasChunks(_ context.Context, payload []byte) (proto.MsgType, []byte) {
+	fps, err := proto.DecodeGetChunksReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	present := make([]bool, len(fps))
+	for i, fp := range fps {
+		present[i] = s.chunks.Has(fp)
+	}
+	return proto.MsgHasChunksResp, proto.EncodePutChunksResp(present)
+}
+
+// refChunks adds one reference per listed fingerprint without the
+// bytes — the data-free duplicate put behind clone and filtered warm
+// uploads. Flags report which fingerprints were present (a false means
+// the chunk vanished since the client's lookup; the client must send
+// its bytes). Refcounts are the delete path's ground truth, so the
+// batch commits before the reply, like putChunks.
+func (s *Server) refChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	fps, err := proto.DecodeGetChunksReq(payload)
+	if err != nil {
+		return proto.MsgError, proto.EncodeError(err.Error())
+	}
+	found := make([]bool, len(fps))
+	for i, fp := range fps {
+		ok, err := s.chunks.Ref(ctx, fp)
+		if err != nil {
+			return proto.MsgError, proto.EncodeError(fmt.Sprintf("ref chunk %d: %v", i, err))
+		}
+		found[i] = ok
+	}
+	if err := s.chunks.Commit(ctx); err != nil {
+		return proto.MsgError, proto.EncodeError(fmt.Sprintf("commit refs: %v", err))
+	}
+	return proto.MsgRefChunksResp, proto.EncodePutChunksResp(found)
+}
+
 // HasChunk reports whether the fingerprint is stored (test helper).
 func (s *Server) HasChunk(fp fingerprint.Fingerprint) bool {
 	return s.chunks.Has(fp)
 }
 
-// Flush seals the open container and checkpoints the dedup index
-// without stopping the server.
+// FileIndexLen reports how many whole-file entries the index holds
+// (test helper).
+func (s *Server) FileIndexLen() int {
+	return s.files.Len()
+}
+
+// Flush seals the open container and checkpoints the dedup and
+// whole-file indexes without stopping the server.
 func (s *Server) Flush(ctx context.Context) error {
-	return s.chunks.Flush(ctx)
+	if err := s.chunks.Flush(ctx); err != nil {
+		return err
+	}
+	return s.files.Flush(ctx)
 }
 
 // Backend exposes the underlying blob store (fault-injection tests and

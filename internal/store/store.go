@@ -45,6 +45,11 @@ const (
 	// NSContainers and NSMeta it is server-internal: clients cannot
 	// address it through the blob plane.
 	NSWAL = "wal"
+	// NSFileWAL holds the whole-file index's write-ahead log segments
+	// (internal/fileindex). A separate namespace from NSWAL because a
+	// wal.Log treats any blob it does not own in its namespace as
+	// corruption. Server-internal like NSWAL.
+	NSFileWAL = "filewal"
 )
 
 // ErrNotFound is returned when a blob does not exist.

@@ -354,7 +354,7 @@ func OpenBackend(ctx context.Context, dsn string, opts ...BackendOption) (Backen
 	case "http", "https":
 		return store.NewHTTP(dsn, cfg.httpClient)
 	default:
-		return nil, fmt.Errorf("reed: backend DSN %q: unknown scheme %q (want mem, disk, http, or https)", dsn, u.Scheme)
+		return nil, fmt.Errorf("reed: backend DSN %q: unknown scheme %q (supported: mem:// | disk:// | http:// | https://)", dsn, u.Scheme)
 	}
 }
 

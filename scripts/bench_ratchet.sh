@@ -3,7 +3,8 @@
 # baselines.
 #
 # Re-runs the archived benchmark suites (pipeline streaming upload, mux
-# pipelining, sharded PUT saturation, OPRF keygen) and ratchets each
+# pipelining, sharded PUT saturation, OPRF keygen, two-phase warm
+# upload) and ratchets each
 # against its committed BENCH_*.json via `reed-benchjson -compare`: any
 # direction-classified metric (ns/op up, MB/s or *MBps* down) drifting
 # past the tolerance exits non-zero and names the offender.
@@ -53,5 +54,6 @@ ratchet pipeline BENCH_pipeline.json BenchmarkStreamingUpload 1x    .
 ratchet mux      BENCH_mux.json      BenchmarkMuxedGets       3x    ./internal/server/
 ratchet shard    BENCH_shard.json    BenchmarkShardedPut      1x    .
 ratchet oprf     BENCH_oprf.json     BenchmarkKeygenPerChunk  1000x ./internal/oprf/
+ratchet warm     BENCH_warm.json     BenchmarkWarmUpload      1x    .
 
 echo "bench-ratchet: all suites within tolerance"

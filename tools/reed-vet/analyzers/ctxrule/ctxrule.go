@@ -1,7 +1,7 @@
 // Package ctxrule enforces REED's context discipline in the network-
 // facing library packages (internal/client, internal/server,
 // internal/keymanager, internal/rpcmux, internal/store, internal/ring,
-// internal/cluster).
+// internal/cluster, internal/fileindex).
 //
 // The PR-1 API redesign made every blocking operation ctx-first so
 // uploads, downloads, and rekey operations cancel cleanly; a single
@@ -39,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 // scopedPkgs are the package-path suffixes the rules govern.
 var scopedPkgs = []string{
 	"internal/client", "internal/server", "internal/keymanager", "internal/rpcmux",
-	"internal/store", "internal/ring", "internal/cluster",
+	"internal/store", "internal/ring", "internal/cluster", "internal/fileindex",
 }
 
 func run(pass *analysis.Pass) error {

@@ -9,5 +9,5 @@ import (
 
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "../../testdata/fix",
-		[]string{"./internal/client", "./internal/store", "./internal/ring", "./plainlib"}, ctxrule.Analyzer)
+		[]string{"./internal/client", "./internal/store", "./internal/ring", "./internal/fileindex", "./plainlib"}, ctxrule.Analyzer)
 }

@@ -1,6 +1,7 @@
 // Package errclass keeps error classification intact on the
 // retryable RPC paths (internal/rpcmux, internal/server,
-// internal/keymanager, internal/client, internal/cluster).
+// internal/keymanager, internal/client, internal/cluster,
+// internal/fileindex).
 //
 // The Redialer re-issues idempotent calls after a transport fault and
 // consults errors.Is/As to decide what is retryable (retry.Permanent,
@@ -31,7 +32,7 @@ var Analyzer = &analysis.Analyzer{
 // scopedPkgs are the retry-sensitive packages (path suffixes).
 var scopedPkgs = []string{
 	"internal/rpcmux", "internal/server", "internal/keymanager", "internal/client",
-	"internal/cluster",
+	"internal/cluster", "internal/fileindex",
 }
 
 func run(pass *analysis.Pass) error {

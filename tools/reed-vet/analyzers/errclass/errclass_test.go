@@ -8,6 +8,8 @@ import (
 )
 
 func TestFixtures(t *testing.T) {
+	// retrypath/internal/fileindex lives in its own tree so the ctxrule
+	// fixture at ./internal/fileindex keeps a disjoint want-set.
 	analysistest.Run(t, "../../testdata/fix",
-		[]string{"./internal/rpcmux", "./internal/cluster", "./plainlib"}, errclass.Analyzer)
+		[]string{"./internal/rpcmux", "./internal/cluster", "./retrypath/internal/fileindex", "./plainlib"}, errclass.Analyzer)
 }

@@ -1,0 +1,26 @@
+// Package fileindex is a ctxrule fixture: the whole-file index sits
+// on the server's RPC path (CheckFile/RegisterFile), so its import
+// path suffix puts it in scope for the context rules.
+package fileindex
+
+import "context"
+
+// Key stands in for the real whole-file index key.
+type Key struct{ Size uint64 }
+
+func Lookup(key Key, ctx context.Context) (string, bool) { // want `context.Context must be the first parameter`
+	_ = ctx.Err()
+	return "", false
+}
+
+func Register(ctx context.Context, key Key, name string) error { return ctx.Err() }
+
+func recoverWAL() error {
+	ctx := context.Background() // want `context.Background in a library package`
+	return ctx.Err()
+}
+
+func openRoot() context.Context {
+	//reed-vet:ignore index open owns its recovery lifecycle, fixture escape hatch
+	return context.Background()
+}

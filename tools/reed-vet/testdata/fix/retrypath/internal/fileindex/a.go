@@ -1,0 +1,25 @@
+// Package fileindex is an errclass fixture modelling the whole-file
+// index. Its lookups ride the Redialer's retryable RPC path, so
+// flattening an error with %v severs the errors.Is chain the retry
+// logic consults. Its import path suffix (internal/fileindex) puts it
+// in errclass's scope; it lives under retrypath/ so the ctxrule
+// fixture at internal/fileindex keeps its own want-set.
+package fileindex
+
+import (
+	"fmt"
+
+	"reedvet.fixtures/internal/retry"
+)
+
+func decodeErr(off int, err error) error {
+	return fmt.Errorf("fileindex: record at %d: %v", off, err) // want `error formatted with %v`
+}
+
+func decodeWrapped(off int, err error) error {
+	return fmt.Errorf("fileindex: record at %d: %w", off, err)
+}
+
+func snapshotCorrupt(err error) error {
+	return retry.Permanent(fmt.Errorf("fileindex: snapshot corrupt: %v", err))
+}
