@@ -15,27 +15,32 @@ vet:
 
 # vet-reed runs the project's own static-analysis suite (tools/reed-vet):
 # key-material hygiene, context-first APIs, lock-scope discipline, metric
-# naming, and retry-path error classification. See DESIGN.md "Static
-# analysis". Exits non-zero on any diagnostic.
+# naming, retry-path error classification, buffer-pool lifecycle,
+# durability-before-ack ordering, idempotency-table agreement, and
+# secret zeroization. See DESIGN.md "Static analysis". Exits non-zero
+# on any diagnostic. The suite then self-hosts: the analyzers run over
+# their own module too, so the tool is held to the invariants it
+# enforces. Set VET_SARIF=<repo-relative path> to also write a SARIF
+# 2.1.0 log for the main-module run (CI uploads it as an artifact).
+VET_SARIF ?=
 vet-reed:
-	cd tools/reed-vet && $(GO) run . -dir ../.. ./...
+	cd tools/reed-vet && $(GO) run . -dir ../.. $(if $(VET_SARIF),-sarif ../../$(VET_SARIF)) ./...
+	cd tools/reed-vet && $(GO) run . -dir . ./...
 
 # vet-reed-test runs the analyzer suite's own tests: golden-file fixture
 # expectations plus the meta-test asserting the repo is diagnostic-free.
 vet-reed-test:
 	cd tools/reed-vet && $(GO) test ./...
 
-# fuzz-smoke runs each native fuzz target that guards a parsing or
-# crypto boundary for a short burst — a cheap CI regression net on the
-# codepaths that face attacker-controlled bytes. FUZZTIME=10m turns the
-# smoke into the nightly soak (see .github/workflows/nightly.yml).
+# fuzz-smoke discovers every native fuzz target in the module
+# (go test -list '^Fuzz') and runs each for a short burst — a cheap CI
+# regression net on the codepaths that face attacker-controlled bytes,
+# with no hand-maintained target list to fall out of date. FUZZTIME=10m
+# turns the smoke into the nightly soak (see
+# .github/workflows/nightly.yml).
 FUZZTIME ?= 30s
 fuzz-smoke:
-	$(GO) test -run NONE -fuzz FuzzUnmarshalCiphertext -fuzztime $(FUZZTIME) ./internal/abe/
-	$(GO) test -run NONE -fuzz FuzzUnmarshalPrivateKey -fuzztime $(FUZZTIME) ./internal/abe/
-	$(GO) test -run NONE -fuzz FuzzAONTRoundTrip -fuzztime $(FUZZTIME) ./internal/aont/
-	$(GO) test -run NONE -fuzz FuzzPackfileDecode -fuzztime $(FUZZTIME) ./internal/packfile/
-	$(GO) test -run NONE -fuzz FuzzFileIndexDecode -fuzztime $(FUZZTIME) ./internal/fileindex/
+	@FUZZTIME=$(FUZZTIME) sh scripts/fuzz_smoke.sh
 
 # tools installs the pinned lint/scan tools (CI calls this; local runs
 # may prefer their own versions and skip it).

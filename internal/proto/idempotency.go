@@ -1,0 +1,28 @@
+package proto
+
+// Idempotent is the canonical idempotency classification for every
+// request type: whether a request may be transparently re-issued after
+// a transport fault when the original delivery might already have
+// executed. It is the single source of truth that the per-call flags
+// in server.Client, the fixed flag in keymanager.Client, and
+// cluster.Router's fail-fast down-marking must agree with; reed-vet's
+// idemtable analyzer enforces the agreement and that every MsgType
+// request appears here exactly once.
+func Idempotent(typ MsgType) bool {
+	switch typ {
+	// Reads, and upserts whose replay converges to the same state
+	// (PutBlob and RegisterFile are verbatim whole-object overwrites).
+	case MsgKMParamsReq, MsgKeyGenReq, MsgGetChunksReq, MsgPutBlobReq,
+		MsgGetBlobReq, MsgStatsReq, MsgListBlobsReq, MsgChallengeReq,
+		MsgMetricsReq, MsgCheckFileReq, MsgRegisterFileReq, MsgHasChunksReq:
+		return true
+	// Reference-count and deletion mutations: each delivery moves
+	// state again (refcount inflation, success flipping to not-found),
+	// so the transport must never re-issue one that may have executed.
+	case MsgPutChunksReq, MsgDerefChunksReq, MsgDeleteBlobReq, MsgRefChunksReq:
+		return false
+	}
+	// Unknown types are conservatively non-idempotent; the idemtable
+	// analyzer keeps this arm unreachable for declared request types.
+	return false
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"reedvet/analysis"
+	"reedvet/analyzers"
 	"reedvet/load"
 	"reedvet/runner"
 )
@@ -32,10 +33,11 @@ func Run(t *testing.T, dir string, patterns []string, as ...*analysis.Analyzer) 
 	if len(pkgs) == 0 {
 		t.Fatalf("no fixture packages matched %v under %s", patterns, dir)
 	}
-	diags, err := runner.Run(pkgs, as)
+	res, err := runner.RunAll(pkgs, as, analyzers.Names())
 	if err != nil {
 		t.Fatalf("run analyzers: %v", err)
 	}
+	diags := res.Diags
 
 	wants := collectWants(t, pkgs)
 	for _, d := range diags {

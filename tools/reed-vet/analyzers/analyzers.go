@@ -3,11 +3,15 @@ package analyzers
 
 import (
 	"reedvet/analysis"
+	"reedvet/analyzers/bufpool"
 	"reedvet/analyzers/ctxrule"
+	"reedvet/analyzers/durack"
 	"reedvet/analyzers/errclass"
+	"reedvet/analyzers/idemtable"
 	"reedvet/analyzers/keyhygiene"
 	"reedvet/analyzers/lockguard"
 	"reedvet/analyzers/metricname"
+	"reedvet/analyzers/zeroize"
 )
 
 // All returns every analyzer in the suite, in reporting order.
@@ -18,7 +22,23 @@ func All() []*analysis.Analyzer {
 		lockguard.Analyzer,
 		metricname.Analyzer,
 		errclass.Analyzer,
+		bufpool.Analyzer,
+		durack.Analyzer,
+		idemtable.Analyzer,
+		zeroize.Analyzer,
 	}
+}
+
+// Names returns every registered analyzer name: the authoritative set
+// for validating `//reed-vet:ignore <analyzer>` directives, which may
+// legitimately name analyzers outside the current run's subset.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, a := range all {
+		out[i] = a.Name
+	}
+	return out
 }
 
 // ByName returns the named analyzers, or nil if any name is unknown.

@@ -1,0 +1,687 @@
+// Package bufpool enforces the pooled-buffer ownership protocol that
+// DESIGN.md §"buffer pools" states in prose: every proto.GetBuffer
+// result is returned by exactly one proto.PutBuffer on every path, the
+// buffer (and slices derived from it) is never used after PutBuffer,
+// and no buffer is put twice. The analysis is interprocedural: a
+// helper that puts its *[]byte parameter on all paths counts as the
+// put, and a helper that returns a live pooled buffer makes its caller
+// the owner.
+package bufpool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+	"reedvet/internal/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bufpool",
+	Doc:  "proto.GetBuffer must be matched by exactly one PutBuffer on all paths, with no use-after-Put",
+	Run:  run,
+}
+
+// protoPkg is the package (by path suffix) that owns the pool.
+const protoPkg = "internal/proto"
+
+// status of one tracked pooled buffer along one path.
+const (
+	live    = iota // owned here, not yet returned
+	put            // returned to the pool
+	escaped        // ownership transferred (stored, sent, passed on)
+)
+
+// bufInfo is one tracked buffer's per-path state.
+type bufInfo struct {
+	origin      token.Pos // the GetBuffer (or pooled-return call) site
+	name        string
+	status      int
+	deferredPut bool // a deferred PutBuffer will run at path end
+	fromParam   int  // parameter index when the buffer entered as a param, else -1
+}
+
+// state is the walker state: tracked buffers plus the []byte values
+// derived from them (slices of the backing array, Append results).
+type state struct {
+	bufs    map[*types.Var]*bufInfo
+	derived map[*types.Var]*types.Var // derived var -> buffer var
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		bufs:    make(map[*types.Var]*bufInfo, len(s.bufs)),
+		derived: make(map[*types.Var]*types.Var, len(s.derived)),
+	}
+	for v, b := range s.bufs {
+		cp := *b
+		ns.bufs[v] = &cp
+	}
+	for v, o := range s.derived {
+		ns.derived[v] = o
+	}
+	return ns
+}
+
+// summary is the interprocedural transfer function of one callee.
+type summary struct {
+	// putsParam[i] is true when the function calls PutBuffer on its
+	// i-th parameter on every path.
+	putsParam map[int]bool
+	// returnsPooled means every return hands back a live pooled
+	// buffer as the sole (or first) result.
+	returnsPooled bool
+}
+
+func (s summary) trivial() bool { return len(s.putsParam) == 0 && !s.returnsPooled }
+
+// factKey names a function's summary in the cross-package fact store.
+func factKey(fn *types.Func) string { return fn.FullName() }
+
+type checker struct {
+	pass *analysis.Pass
+	idx  map[*types.Func]*ast.FuncDecl
+	sums *flow.Summarizer[summary]
+	// interesting marks functions that transitively touch the pool;
+	// everything else is skipped wholesale.
+	interesting map[*types.Func]bool
+	// seen dedups reports across enumerated paths.
+	seen map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass: pass,
+		idx:  flow.Index(pass.Files, pass.TypesInfo),
+		seen: make(map[string]bool),
+	}
+	c.markInteresting()
+	c.sums = &flow.Summarizer[summary]{
+		Idx: c.idx,
+		Compute: func(fn *types.Func, decl *ast.FuncDecl) summary {
+			if !c.interesting[fn] {
+				return summary{}
+			}
+			return c.analyze(fn, decl, false)
+		},
+		External: func(fn *types.Func) (summary, bool) {
+			if pass.Facts == nil {
+				return summary{}, false
+			}
+			v, ok := pass.Facts.Get(factKey(fn))
+			if !ok {
+				return summary{}, false
+			}
+			return v.(summary), true
+		},
+	}
+
+	for fn, decl := range c.idx {
+		if !c.interesting[fn] {
+			continue
+		}
+		sum := c.analyze(fn, decl, true)
+		if pass.Facts != nil && fn.Exported() && !sum.trivial() {
+			pass.Facts.Put(factKey(fn), sum)
+		}
+	}
+	return nil
+}
+
+// markInteresting finds every function that mentions the pool directly
+// or calls a local function that does, to fixpoint.
+func (c *checker) markInteresting() {
+	c.interesting = make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func) // caller -> local callees
+	for fn, decl := range c.idx {
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if astq.IsPkgFunc(c.pass.TypesInfo, call, protoPkg, "GetBuffer", "PutBuffer") {
+				c.interesting[fn] = true
+			} else if callee := astq.Callee(c.pass.TypesInfo, call); callee != nil {
+				if _, local := c.idx[callee]; local {
+					calls[fn] = append(calls[fn], callee)
+				} else if c.pass.Facts != nil {
+					if _, ok := c.pass.Facts.Get(factKey(callee)); ok {
+						c.interesting[fn] = true // uses a summarized cross-package helper
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if c.interesting[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if c.interesting[callee] {
+					c.interesting[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// analyze walks fn's body, optionally reporting diagnostics, and
+// returns its transfer summary.
+func (c *checker) analyze(fn *types.Func, decl *ast.FuncDecl, report bool) summary {
+	if decl.Body == nil {
+		return summary{}
+	}
+	init := &state{bufs: map[*types.Var]*bufInfo{}, derived: map[*types.Var]*types.Var{}}
+
+	// Parameters of pool-pointer type enter live-from-param: their
+	// fate across all paths becomes the summary.
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isPoolPtr(p.Type()) {
+			init.bufs[p] = &bufInfo{origin: p.Pos(), name: p.Name(), status: live, fromParam: i}
+		}
+	}
+
+	paths := 0
+	putOnAll := make(map[int]bool) // param index -> put on every path so far
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isPoolPtr(sig.Params().At(i).Type()) {
+			putOnAll[i] = true
+		}
+	}
+	returnsPooledAll := true
+	sawReturn := false
+
+	w := &flow.Walker[*walkState]{
+		Clone: func(s *walkState) *walkState { return &walkState{st: s.st.clone(), retPooled: s.retPooled} },
+		Stmt: func(s *walkState, stmt ast.Stmt) *walkState {
+			c.step(s, stmt, report)
+			return s
+		},
+		End: func(s *walkState, ret *ast.ReturnStmt) {
+			paths++
+			for v, b := range s.st.bufs {
+				if b.deferredPut && b.status == live {
+					b.status = put
+				}
+				if b.fromParam >= 0 {
+					if b.status != put {
+						putOnAll[b.fromParam] = false
+					}
+					continue
+				}
+				if b.status == live && report {
+					c.reportOnce(b.origin, "pooled buffer %s from proto.GetBuffer is not returned by PutBuffer on every path", b.name)
+				}
+				_ = v
+			}
+			if ret != nil {
+				sawReturn = true
+				if !s.retPooled {
+					returnsPooledAll = false
+				}
+			} else {
+				returnsPooledAll = false
+			}
+		},
+	}
+	w.Walk(decl.Body, &walkState{st: init})
+
+	sum := summary{putsParam: map[int]bool{}}
+	for i, ok := range putOnAll {
+		if ok && paths > 0 {
+			sum.putsParam[i] = true
+		}
+	}
+	sum.returnsPooled = sawReturn && returnsPooledAll && resultIsPoolPtr(sig)
+	return sum
+}
+
+// walkState wraps the buffer state with a per-path flag for "the
+// return statement just walked handed back a live pooled buffer".
+type walkState struct {
+	st        *state
+	retPooled bool
+}
+
+func isPoolPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	s, ok := p.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func resultIsPoolPtr(sig *types.Signature) bool {
+	return sig.Results().Len() >= 1 && isPoolPtr(sig.Results().At(0).Type())
+}
+
+func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
+	p := c.pass.Position(pos)
+	key := p.String() + format
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// step interprets one straight-line statement.
+func (c *checker) step(s *walkState, stmt ast.Stmt, report bool) {
+	switch stmt := stmt.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, stmt.Lhs, stmt.Rhs, report)
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					c.assign(s, lhs, vs.Values, report)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.scan(s, stmt.X, false, report)
+	case *ast.DeferStmt:
+		c.deferred(s, stmt.Call, report)
+	case *ast.GoStmt:
+		// The goroutine outlives this path: everything it touches is
+		// an ownership transfer.
+		c.scan(s, stmt.Call.Fun, true, report)
+		for _, a := range stmt.Call.Args {
+			c.scan(s, a, true, report)
+		}
+	case *ast.ReturnStmt:
+		c.returned(s, stmt, report)
+	case *ast.SendStmt:
+		c.scan(s, stmt.Chan, false, report)
+		c.scan(s, stmt.Value, true, report)
+	case *ast.IncDecStmt:
+		c.scan(s, stmt.X, false, report)
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if x, ok := n.(ast.Expr); ok {
+				c.scan(s, x, true, report)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// assign interprets one (possibly tuple) assignment.
+func (c *checker) assign(s *walkState, lhs, rhs []ast.Expr, report bool) {
+	// Single-call forms can mint a new owner: x := proto.GetBuffer(),
+	// or x := helper() where helper returns a live pooled buffer.
+	if len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if v := c.lhsVar(lhs[0]); v != nil {
+				if astq.IsPkgFunc(c.pass.TypesInfo, call, protoPkg, "GetBuffer") {
+					c.retire(s, v, report)
+					s.st.bufs[v] = &bufInfo{origin: call.Pos(), name: v.Name(), status: live, fromParam: -1}
+					for _, a := range call.Args {
+						c.scan(s, a, false, report)
+					}
+					return
+				}
+				if callee := astq.Callee(c.pass.TypesInfo, call); callee != nil && c.sums.Of(callee).returnsPooled {
+					c.callUses(s, call, report)
+					c.retire(s, v, report)
+					s.st.bufs[v] = &bufInfo{origin: call.Pos(), name: v.Name(), status: live, fromParam: -1}
+					return
+				}
+			}
+		}
+	}
+	for i, r := range rhs {
+		var lv *types.Var
+		if i < len(lhs) {
+			lv = c.lhsVar(lhs[i])
+		}
+		if owner := c.ownerOf(s, r); owner != nil {
+			c.useCheck(s, r.Pos(), owner, report)
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				for _, a := range call.Args {
+					c.scan(s, a, false, report)
+				}
+			}
+			if lv != nil {
+				c.retire(s, lv, report)
+				delete(s.st.bufs, lv)
+				s.st.derived[lv] = owner
+				continue
+			}
+			// Derived data stored into a structure: fine while live —
+			// DESIGN requires the store side to copy.
+			c.scan(s, r, false, report)
+			continue
+		}
+		c.scan(s, r, false, report)
+		if lv != nil {
+			// Reassignment kills any previous tracking of the variable.
+			c.retire(s, lv, report)
+			delete(s.st.bufs, lv)
+			delete(s.st.derived, lv)
+		}
+	}
+	// LHS expressions that are not plain idents still evaluate
+	// (e.g. *buf = assembled uses buf).
+	for _, l := range lhs {
+		if _, ok := ast.Unparen(l).(*ast.Ident); !ok {
+			c.scan(s, l, false, report)
+		}
+	}
+}
+
+// retire reports a live buffer that is about to lose its variable.
+func (c *checker) retire(s *walkState, v *types.Var, report bool) {
+	if b, ok := s.st.bufs[v]; ok && b.status == live && !b.deferredPut && b.fromParam < 0 && report {
+		c.reportOnce(b.origin, "pooled buffer %s is overwritten while still live (missing PutBuffer)", b.name)
+	}
+}
+
+// lhsVar resolves an assignment target to its variable object, or nil
+// for blank or non-ident targets.
+func (c *checker) lhsVar(x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// ownerOf resolves which tracked buffer (if any) backs the value of x:
+// the buffer itself, a deref/slice/index of it, a derived variable, a
+// builtin append over derived data, or a proto.Append* helper fed
+// derived data.
+func (c *checker) ownerOf(s *walkState, x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[x].(*types.Var); ok {
+			if _, tracked := s.st.bufs[v]; tracked {
+				return v
+			}
+			if o, ok := s.st.derived[v]; ok {
+				return o
+			}
+		}
+	case *ast.StarExpr:
+		return c.ownerOf(s, x.X)
+	case *ast.SliceExpr:
+		return c.ownerOf(s, x.X)
+	case *ast.IndexExpr:
+		return c.ownerOf(s, x.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(x.Args) > 0 {
+				return c.ownerOf(s, x.Args[0])
+			}
+		}
+		// proto.Append* helpers return their first argument's backing
+		// array, per the package's append-style contract.
+		if fn := astq.Callee(c.pass.TypesInfo, x); fn != nil && fn.Pkg() != nil &&
+			astq.PathMatches(fn.Pkg().Path(), protoPkg) && len(x.Args) > 0 &&
+			len(fn.Name()) > 6 && fn.Name()[:6] == "Append" {
+			return c.ownerOf(s, x.Args[0])
+		}
+	}
+	return nil
+}
+
+// useCheck flags any touch of a buffer that is already back in the
+// pool.
+func (c *checker) useCheck(s *walkState, pos token.Pos, owner *types.Var, report bool) {
+	if b, ok := s.st.bufs[owner]; ok && b.status == put && report {
+		c.reportOnce(pos, "use of pooled buffer %s after PutBuffer", b.name)
+	}
+}
+
+// scan interprets an expression for uses, puts, and escapes. escape
+// marks contexts where a tracked buffer pointer leaving means
+// ownership transfer.
+func (c *checker) scan(s *walkState, x ast.Expr, escape bool, report bool) {
+	switch x := ast.Unparen(x).(type) {
+	case nil:
+	case *ast.Ident:
+		v, _ := c.pass.TypesInfo.Uses[x].(*types.Var)
+		if v == nil {
+			return
+		}
+		if b, ok := s.st.bufs[v]; ok {
+			c.useCheck(s, x.Pos(), v, report)
+			if escape && b.status == live {
+				b.status = escaped
+			}
+			return
+		}
+		if o, ok := s.st.derived[v]; ok {
+			c.useCheck(s, x.Pos(), o, report)
+		}
+	case *ast.StarExpr:
+		c.scan(s, x.X, false, report)
+	case *ast.SliceExpr:
+		c.scan(s, x.X, false, report)
+		c.scan(s, x.Low, false, report)
+		c.scan(s, x.High, false, report)
+		c.scan(s, x.Max, false, report)
+	case *ast.IndexExpr:
+		c.scan(s, x.X, false, report)
+		c.scan(s, x.Index, false, report)
+	case *ast.SelectorExpr:
+		c.scan(s, x.X, false, report)
+	case *ast.UnaryExpr:
+		c.scan(s, x.X, escape, report)
+	case *ast.BinaryExpr:
+		c.scan(s, x.X, false, report)
+		c.scan(s, x.Y, false, report)
+	case *ast.TypeAssertExpr:
+		c.scan(s, x.X, escape, report)
+	case *ast.CompositeLit:
+		for _, e := range x.Elts {
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				c.scan(s, kv.Value, true, report)
+				continue
+			}
+			c.scan(s, e, true, report)
+		}
+	case *ast.FuncLit:
+		// A closure capturing the buffer may run at any time:
+		// ownership transfers.
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if b, tracked := s.st.bufs[v]; tracked && b.status == live {
+					b.status = escaped
+				}
+			}
+			return true
+		})
+	case *ast.CallExpr:
+		c.call(s, x, report)
+	default:
+		ast.Inspect(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				c.scan(s, id, escape, report)
+			}
+			return true
+		})
+	}
+}
+
+// call interprets one call expression: PutBuffer transitions, summary
+// applications, and escapes for unknown callees.
+func (c *checker) call(s *walkState, call *ast.CallExpr, report bool) {
+	info := c.pass.TypesInfo
+	if astq.IsPkgFunc(info, call, protoPkg, "PutBuffer") && len(call.Args) == 1 {
+		if v := c.argVar(s, call.Args[0]); v != nil {
+			c.putTransition(s, v, call.Args[0].Pos(), report)
+			return
+		}
+	}
+	if astq.IsPkgFunc(info, call, protoPkg, "GetBuffer") {
+		// Bare GetBuffer() whose result is dropped leaks immediately.
+		if report {
+			c.reportOnce(call.Pos(), "proto.GetBuffer result discarded: buffer leaks")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, a := range call.Args {
+				c.scan(s, a, false, report)
+			}
+			return
+		}
+	}
+	callee := astq.Callee(info, call)
+	var sum summary
+	if callee != nil {
+		sum = c.sums.Of(callee)
+	}
+	c.scan(s, call.Fun, false, report)
+	for i, a := range call.Args {
+		if sum.putsParam[i] {
+			if v := c.argVar(s, a); v != nil {
+				c.putTransition(s, v, a.Pos(), report)
+				continue
+			}
+		}
+		c.scan(s, a, true, report)
+	}
+}
+
+// callUses scans a call's arguments for uses without escape semantics
+// (used when the call itself is the tracked origin).
+func (c *checker) callUses(s *walkState, call *ast.CallExpr, report bool) {
+	for _, a := range call.Args {
+		c.scan(s, a, true, report)
+	}
+}
+
+// argVar resolves a call argument to a tracked buffer variable.
+func (c *checker) argVar(s *walkState, x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	if _, tracked := s.st.bufs[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// putTransition moves a buffer to put, reporting double-puts.
+func (c *checker) putTransition(s *walkState, v *types.Var, pos token.Pos, report bool) {
+	b := s.st.bufs[v]
+	if report {
+		switch {
+		case b.status == put:
+			c.reportOnce(pos, "double PutBuffer on pooled buffer %s", b.name)
+		case b.deferredPut:
+			c.reportOnce(pos, "pooled buffer %s is PutBuffer'd here and again by a deferred PutBuffer", b.name)
+		}
+	}
+	if b.status == live {
+		b.status = put
+	}
+}
+
+// deferred interprets a defer statement.
+func (c *checker) deferred(s *walkState, call *ast.CallExpr, report bool) {
+	info := c.pass.TypesInfo
+	if astq.IsPkgFunc(info, call, protoPkg, "PutBuffer") && len(call.Args) == 1 {
+		if v := c.argVar(s, call.Args[0]); v != nil {
+			b := s.st.bufs[v]
+			if report {
+				switch {
+				case b.deferredPut:
+					c.reportOnce(call.Pos(), "duplicate deferred PutBuffer on pooled buffer %s", b.name)
+				case b.status == put:
+					c.reportOnce(call.Pos(), "deferred PutBuffer on pooled buffer %s already returned to the pool", b.name)
+				}
+			}
+			b.deferredPut = true
+			return
+		}
+	}
+	callee := astq.Callee(info, call)
+	var sum summary
+	if callee != nil {
+		sum = c.sums.Of(callee)
+	}
+	for i, a := range call.Args {
+		if sum.putsParam[i] {
+			if v := c.argVar(s, a); v != nil {
+				s.st.bufs[v].deferredPut = true
+				continue
+			}
+		}
+		c.scan(s, a, true, report)
+	}
+}
+
+// returned interprets a return statement: returning the buffer pointer
+// transfers ownership; returning derived data whose backing buffer is
+// (or is about to be) recycled is a bug.
+func (c *checker) returned(s *walkState, ret *ast.ReturnStmt, report bool) {
+	for i, r := range ret.Results {
+		if v := c.argVar(s, r); v != nil {
+			b := s.st.bufs[v]
+			if b.status == put && report {
+				c.reportOnce(r.Pos(), "use of pooled buffer %s after PutBuffer", b.name)
+			}
+			if b.status == live && !b.deferredPut {
+				b.status = escaped
+				if i == 0 {
+					s.retPooled = true
+				}
+			}
+			continue
+		}
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok &&
+			astq.IsPkgFunc(c.pass.TypesInfo, call, protoPkg, "GetBuffer") {
+			if i == 0 {
+				s.retPooled = true
+			}
+			continue
+		}
+		if owner := c.ownerOf(s, r); owner != nil {
+			b := s.st.bufs[owner]
+			if report && (b.status == put || b.deferredPut) {
+				c.reportOnce(r.Pos(), "returning data backed by pooled buffer %s that is returned to the pool", b.name)
+			}
+			continue
+		}
+		c.scan(s, r, true, report)
+	}
+}

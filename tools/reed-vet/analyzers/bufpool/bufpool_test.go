@@ -1,0 +1,14 @@
+package bufpool_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/bufpool"
+)
+
+func TestFixtures(t *testing.T) {
+	// The bufpool tree is separate from the other fixtures so its
+	// want-set stays disjoint.
+	analysistest.Run(t, "../../testdata/fix", []string{"./bufpool/..."}, bufpool.Analyzer)
+}

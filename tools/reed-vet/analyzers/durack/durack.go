@@ -1,0 +1,366 @@
+// Package durack enforces the reply-is-the-ack durability invariant:
+// a server RPC handler that mutates a WAL-backed store (the dedup
+// index, the whole-file index) must reach that store's Commit before
+// returning a success response — once the client sees the reply, the
+// mutation must survive kill -9. The analysis is interprocedural
+// within the package: helpers that mutate or commit on the handler's
+// behalf are summarized.
+package durack
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+	"reedvet/internal/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "durack",
+	Doc:  "mutating RPC handlers must Commit WAL-backed stores before replying success",
+	Run:  run,
+}
+
+// walStorePkgs are the packages whose exported types with a Commit
+// method are WAL-backed stores.
+var walStorePkgs = []string{"internal/dedup", "internal/fileindex"}
+
+// mutators are the store methods that stage durable mutations; commits
+// are the methods that seal them.
+var mutators = map[string]bool{
+	"Put": true, "Deref": true, "Ref": true, "Register": true, "Delete": true,
+}
+var commits = map[string]bool{"Commit": true, "Flush": true}
+
+// state tracks, along one path, which stores carry uncommitted
+// mutations and which have a commit deferred to path end.
+type state struct {
+	dirty    map[*types.Named]token.Pos // store type -> first uncommitted mutation
+	deferred map[*types.Named]bool
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		dirty:    make(map[*types.Named]token.Pos, len(s.dirty)),
+		deferred: make(map[*types.Named]bool, len(s.deferred)),
+	}
+	for k, v := range s.dirty {
+		ns.dirty[k] = v
+	}
+	for k := range s.deferred {
+		ns.deferred[k] = true
+	}
+	return ns
+}
+
+// summary is a helper's transfer function: the stores it may dirty on
+// some path, and the stores it commits on every path.
+type summary struct {
+	dirties    map[*types.Named]token.Pos
+	commitsAll map[*types.Named]bool
+}
+
+type checker struct {
+	pass *analysis.Pass
+	idx  map[*types.Func]*ast.FuncDecl
+	sums *flow.Summarizer[summary]
+	seen map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !astq.PathMatches(pass.Pkg.Path(), "internal/server") {
+		return nil
+	}
+	c := &checker{
+		pass: pass,
+		idx:  flow.Index(pass.Files, pass.TypesInfo),
+		seen: make(map[string]bool),
+	}
+	c.sums = &flow.Summarizer[summary]{
+		Idx: c.idx,
+		Compute: func(fn *types.Func, decl *ast.FuncDecl) summary {
+			return c.summarize(decl)
+		},
+	}
+	for fn, decl := range c.idx {
+		if c.isHandler(fn) {
+			c.checkHandler(fn, decl)
+		}
+	}
+	return nil
+}
+
+// isHandler matches the handler shape: results (proto.MsgType, []byte).
+func (c *checker) isHandler(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	r0 := astq.NamedType(sig.Results().At(0).Type())
+	if r0 == nil || r0.Obj().Name() != "MsgType" || r0.Obj().Pkg() == nil ||
+		!astq.PathMatches(r0.Obj().Pkg().Path(), "internal/proto") {
+		return false
+	}
+	s, ok := sig.Results().At(1).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// walStore resolves a method callee's receiver to a WAL-backed store
+// type, or nil.
+func walStore(fn *types.Func) *types.Named {
+	recv := flow.ReceiverOf(fn)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return nil
+	}
+	if !astq.PathMatches(recv.Obj().Pkg().Path(), walStorePkgs...) {
+		return nil
+	}
+	for i := 0; i < recv.NumMethods(); i++ {
+		if recv.Method(i).Name() == "Commit" {
+			return recv
+		}
+	}
+	return nil
+}
+
+// checkHandler walks one handler and reports success returns that
+// leave a store dirty.
+func (c *checker) checkHandler(fn *types.Func, decl *ast.FuncDecl) {
+	w := &flow.Walker[*state]{
+		Clone: func(s *state) *state { return s.clone() },
+		Stmt: func(s *state, stmt ast.Stmt) *state {
+			c.step(s, stmt)
+			return s
+		},
+		End: func(s *state, ret *ast.ReturnStmt) {
+			for n := range s.deferred {
+				delete(s.dirty, n)
+			}
+			if ret == nil || len(ret.Results) != 2 {
+				return
+			}
+			if !isSuccess(c.pass.TypesInfo, ret.Results[0]) {
+				return
+			}
+			for n, mut := range s.dirty {
+				c.reportOnce(ret.Pos(),
+					"handler %s replies success before %s.Commit (uncommitted mutation at %s)",
+					fn.Name(), n.Obj().Name(), c.pass.Position(mut))
+			}
+		},
+	}
+	w.Walk(decl.Body, &state{dirty: map[*types.Named]token.Pos{}, deferred: map[*types.Named]bool{}})
+}
+
+// isSuccess classifies the first return result. Only a resolved
+// MsgType constant other than proto.MsgError counts as a success
+// reply; MsgError is failure, and anything else (call results,
+// variables holding a forwarded handler's reply) is unknown and
+// skipped — the handler that minted the constant is the one checked.
+func isSuccess(info *types.Info, x ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	cst, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return false
+	}
+	return cst.Name() != "MsgError"
+}
+
+// step folds one statement's store calls into the path state.
+func (c *checker) step(s *state, stmt ast.Stmt) {
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		if fn := astq.Callee(c.pass.TypesInfo, d.Call); fn != nil && commits[fn.Name()] {
+			if n := walStore(fn); n != nil {
+				s.deferred[n] = true
+			}
+		}
+		return
+	}
+	c.inspectCalls(stmt, func(call *ast.CallExpr) {
+		fn := astq.Callee(c.pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		if n := walStore(fn); n != nil {
+			switch {
+			case mutators[fn.Name()]:
+				if _, dirty := s.dirty[n]; !dirty {
+					s.dirty[n] = call.Pos()
+				}
+			case commits[fn.Name()]:
+				delete(s.dirty, n)
+			}
+			return
+		}
+		if _, local := c.idx[fn]; local {
+			sum := c.sums.Of(fn)
+			for n, pos := range sum.dirties {
+				if _, dirty := s.dirty[n]; !dirty {
+					s.dirty[n] = pos
+				}
+			}
+			for n := range sum.commitsAll {
+				delete(s.dirty, n)
+			}
+		}
+	})
+}
+
+// inspectCalls visits every call in stmt in source order, skipping
+// closure bodies: a FuncLit runs on its own schedule, not on this
+// path.
+func (c *checker) inspectCalls(stmt ast.Stmt, f func(*ast.CallExpr)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			f(call)
+		}
+		return true
+	})
+}
+
+// summarize computes a helper's transfer function.
+func (c *checker) summarize(decl *ast.FuncDecl) summary {
+	sum := summary{dirties: map[*types.Named]token.Pos{}, commitsAll: map[*types.Named]bool{}}
+	paths := 0
+	var committedPerPath []map[*types.Named]bool
+	w := &flow.Walker[*state]{
+		Clone: func(s *state) *state { return s.clone() },
+		Stmt: func(s *state, stmt ast.Stmt) *state {
+			c.stepSummary(s, stmt, &sum)
+			return s
+		},
+		End: func(s *state, ret *ast.ReturnStmt) {
+			// A path returning a non-nil error is an error path: the
+			// caller branches it into a failure reply, so it does not
+			// weaken the "commits on every success path" summary.
+			if isErrorReturn(c.pass.TypesInfo, ret) {
+				return
+			}
+			paths++
+			committed := make(map[*types.Named]bool, len(s.deferred))
+			for n := range s.deferred {
+				committed[n] = true
+			}
+			for n := range s.dirty {
+				delete(committed, n)
+			}
+			committedPerPath = append(committedPerPath, committed)
+		},
+	}
+	w.Walk(decl.Body, &state{dirty: map[*types.Named]token.Pos{}, deferred: map[*types.Named]bool{}})
+	if paths == 0 {
+		return sum
+	}
+	all := committedPerPath[0]
+	for _, m := range committedPerPath[1:] {
+		for n := range all {
+			if !m[n] {
+				delete(all, n)
+			}
+		}
+	}
+	sum.commitsAll = all
+	return sum
+}
+
+// stepSummary folds one statement into a helper summary walk: dirty
+// records mutations still uncommitted, deferred records commits seen
+// on this path (by any means).
+func (c *checker) stepSummary(s *state, stmt ast.Stmt, sum *summary) {
+	handle := func(call *ast.CallExpr) {
+		fn := astq.Callee(c.pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		if n := walStore(fn); n != nil {
+			switch {
+			case mutators[fn.Name()]:
+				if _, ok := sum.dirties[n]; !ok {
+					sum.dirties[n] = call.Pos()
+				}
+				s.dirty[n] = call.Pos()
+			case commits[fn.Name()]:
+				delete(s.dirty, n)
+				s.deferred[n] = true // "committed on this path"
+			}
+			return
+		}
+		if _, local := c.idx[fn]; local {
+			nested := c.sums.Of(fn)
+			for n, pos := range nested.dirties {
+				if _, ok := sum.dirties[n]; !ok {
+					sum.dirties[n] = pos
+				}
+				s.dirty[n] = pos
+			}
+			for n := range nested.commitsAll {
+				delete(s.dirty, n)
+				s.deferred[n] = true
+			}
+		}
+	}
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		if fn := astq.Callee(c.pass.TypesInfo, d.Call); fn != nil && commits[fn.Name()] {
+			if n := walStore(fn); n != nil {
+				s.deferred[n] = true
+			}
+		}
+		return
+	}
+	c.inspectCalls(stmt, handle)
+}
+
+// isErrorReturn reports whether ret hands back a named error value
+// (the `return err` idiom). Literal nils, call results, and
+// non-error-typed results all count as potential success paths.
+func isErrorReturn(info *types.Info, ret *ast.ReturnStmt) bool {
+	if ret == nil || len(ret.Results) == 0 {
+		return false
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	var id *ast.Ident
+	switch last := last.(type) {
+	case *ast.Ident:
+		id = last
+	case *ast.SelectorExpr:
+		id = last.Sel
+	default:
+		return false
+	}
+	if _, isNil := info.Uses[id].(*types.Nil); isNil {
+		return false
+	}
+	t := info.TypeOf(last)
+	if t == nil {
+		return false
+	}
+	errI, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errI != nil && types.Implements(t, errI)
+}
+
+func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
+	p := c.pass.Position(pos)
+	key := p.String() + format
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, format, args...)
+}

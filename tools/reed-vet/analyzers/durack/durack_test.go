@@ -1,0 +1,12 @@
+package durack_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/durack"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix", []string{"./durack/..."}, durack.Analyzer)
+}

@@ -1,0 +1,466 @@
+// Package idemtable enforces a single source of truth for RPC
+// idempotency. proto.Idempotent is the canonical table; this analyzer
+// checks three things across packages:
+//
+//  1. Table shape: every MsgType request constant is classified in
+//     proto.Idempotent exactly once, and only request types appear.
+//  2. Call-site agreement: wherever a request is issued with a literal
+//     idempotency flag (directly to rpcmux's Call, or through
+//     forwarding helpers like server.Client.call and
+//     keymanager.Client.call whose flag is fixed inside), the flag
+//     must match the canonical table.
+//  3. Router gating: a cluster.Router method that issues any
+//     non-idempotent request must consult downErr (fail fast on a
+//     down-marked shard), and a method issuing only idempotent
+//     requests must not — idempotent reads are what heal the mark.
+//
+// The analysis is interprocedural across packages: forwarding-helper
+// summaries and issued-request sets flow from internal/proto through
+// internal/server into internal/cluster via the runner's
+// dependency-ordered fact store.
+package idemtable
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+	"reedvet/internal/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "idemtable",
+	Doc:  "every MsgType has exactly one idempotency classification and all retry tables agree with proto.Idempotent",
+	Run:  run,
+}
+
+// table is one proto package's canonical classification, keyed by
+// request constant name.
+type table map[string]bool
+
+// fwd is a function's idempotency transfer summary.
+type fwd struct {
+	// typParam / idemParam are the function's own parameter indices
+	// that flow into the wire-type and idempotency-flag slots of an
+	// underlying rpcmux call; -1 when absent.
+	typParam, idemParam int
+	// idemFixed pins the flag to a literal inside the function
+	// (keymanager.Client.call hardcodes true).
+	idemFixed *bool
+	// issues lists the (request, flag) pairs the function sends with
+	// both sides resolved, transitively through callees.
+	issues map[string]bool
+	// valid marks a usable summary.
+	valid bool
+}
+
+func noFwd() fwd { return fwd{typParam: -1, idemParam: -1} }
+
+type checker struct {
+	pass  *analysis.Pass
+	idx   map[*types.Func]*ast.FuncDecl
+	sums  *flow.Summarizer[fwd]
+	table table
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, idx: flow.Index(pass.Files, pass.TypesInfo)}
+
+	if astq.PathMatches(pass.Pkg.Path(), "internal/proto") {
+		c.checkTable()
+	}
+	c.table = c.findTable()
+
+	c.sums = &flow.Summarizer[fwd]{
+		Idx:     c.idx,
+		Unknown: noFwd(),
+		Compute: func(fn *types.Func, decl *ast.FuncDecl) fwd { return c.summarize(fn, decl) },
+		External: func(fn *types.Func) (fwd, bool) {
+			if base, ok := rpcmuxBase(fn); ok {
+				return base, true
+			}
+			if pass.Facts != nil {
+				if v, ok := pass.Facts.Get("fwd:" + fn.FullName()); ok {
+					return v.(fwd), true
+				}
+			}
+			return noFwd(), false
+		},
+	}
+
+	// Summarize every local function: this is also where call sites
+	// with fully-resolved (type, flag) pairs are checked against the
+	// table.
+	for fn := range c.idx {
+		sum := c.sums.Of(fn)
+		if pass.Facts != nil && fn.Exported() && sum.valid {
+			pass.Facts.Put("fwd:"+fn.FullName(), sum)
+		}
+	}
+
+	if astq.PathMatches(pass.Pkg.Path(), "internal/cluster") {
+		c.checkRouter()
+	}
+	return nil
+}
+
+// findTable locates the canonical table of the proto package this
+// package uses: its own when it is the proto package, otherwise the
+// directly imported one.
+func (c *checker) findTable() table {
+	if c.pass.Facts == nil {
+		return nil
+	}
+	if astq.PathMatches(c.pass.Pkg.Path(), "internal/proto") {
+		if v, ok := c.pass.Facts.Get("table:" + c.pass.Pkg.Path()); ok {
+			return v.(table)
+		}
+		return nil
+	}
+	for _, imp := range c.pass.Pkg.Imports() {
+		if astq.PathMatches(imp.Path(), "internal/proto") {
+			if v, ok := c.pass.Facts.Get("table:" + imp.Path()); ok {
+				return v.(table)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTable parses and validates proto.Idempotent in the current
+// (proto) package, then publishes it.
+func (c *checker) checkTable() {
+	reqConsts := c.requestConsts()
+	var decl *ast.FuncDecl
+	for fn, d := range c.idx {
+		if fn.Name() == "Idempotent" && flow.ReceiverOf(fn) == nil {
+			decl = d
+			break
+		}
+	}
+	if decl == nil {
+		if len(reqConsts) > 0 {
+			c.pass.Reportf(c.pass.Files[0].Name.Pos(),
+				"package declares %d MsgType request constants but no Idempotent classification table", len(reqConsts))
+		}
+		return
+	}
+
+	tbl := table{}
+	classified := map[string]token.Pos{}
+	for _, stmt := range decl.Body.List {
+		sw, ok := stmt.(*ast.SwitchStmt)
+		if !ok {
+			continue
+		}
+		for _, cl := range sw.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				c.pass.Reportf(cc.Pos(), "Idempotent must classify request types explicitly, not via default")
+				continue
+			}
+			verdict, ok := caseVerdict(cc)
+			if !ok {
+				c.pass.Reportf(cc.Pos(), "Idempotent case must be a single `return true` or `return false`")
+				continue
+			}
+			for _, x := range cc.List {
+				name, pos := constName(c.pass.TypesInfo, x)
+				if name == "" {
+					c.pass.Reportf(x.Pos(), "Idempotent case entry is not a MsgType constant")
+					continue
+				}
+				if !strings.HasSuffix(name, "Req") {
+					c.pass.Reportf(pos, "%s is not a request type and does not belong in the idempotency table", name)
+					continue
+				}
+				if prev, dup := classified[name]; dup {
+					c.pass.Reportf(pos, "%s is classified twice in Idempotent (previously at %s)", name, c.pass.Position(prev))
+					continue
+				}
+				classified[name] = pos
+				tbl[name] = verdict
+			}
+		}
+	}
+	var missing []string
+	for name := range reqConsts {
+		if _, ok := classified[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		c.pass.Reportf(decl.Name.Pos(), "%s has no idempotency classification in Idempotent", name)
+	}
+	if c.pass.Facts != nil {
+		c.pass.Facts.Put("table:"+c.pass.Pkg.Path(), tbl)
+	}
+}
+
+// requestConsts collects the package's MsgType constants named *Req.
+func (c *checker) requestConsts() map[string]token.Pos {
+	out := map[string]token.Pos{}
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasSuffix(name, "Req") {
+			continue
+		}
+		if n := astq.NamedType(cst.Type()); n != nil && n.Obj().Name() == "MsgType" {
+			out[name] = cst.Pos()
+		}
+	}
+	return out
+}
+
+// caseVerdict extracts the single `return <bool>` of a case body.
+func caseVerdict(cc *ast.CaseClause) (bool, bool) {
+	if len(cc.Body) != 1 {
+		return false, false
+	}
+	ret, ok := cc.Body[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false, false
+	}
+	id, ok := ast.Unparen(ret.Results[0]).(*ast.Ident)
+	if !ok {
+		return false, false
+	}
+	switch id.Name {
+	case "true":
+		return true, true
+	case "false":
+		return false, true
+	}
+	return false, false
+}
+
+// constName resolves an expression to a MsgType constant name.
+func constName(info *types.Info, x ast.Expr) (string, token.Pos) {
+	var id *ast.Ident
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", token.NoPos
+	}
+	cst, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return "", token.NoPos
+	}
+	if n := astq.NamedType(cst.Type()); n == nil || n.Obj().Name() != "MsgType" {
+		return "", token.NoPos
+	}
+	return cst.Name(), id.Pos()
+}
+
+// rpcmuxBase recognizes the transport-layer root by shape: an
+// internal/rpcmux function taking a MsgType and an idempotency bool.
+func rpcmuxBase(fn *types.Func) (fwd, bool) {
+	if fn.Pkg() == nil || !astq.PathMatches(fn.Pkg().Path(), "internal/rpcmux") {
+		return noFwd(), false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return noFwd(), false
+	}
+	typIdx, boolIdx := -1, -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if typIdx < 0 {
+			if n := astq.NamedType(t); n != nil && n.Obj().Name() == "MsgType" &&
+				n.Obj().Pkg() != nil && astq.PathMatches(n.Obj().Pkg().Path(), "internal/proto") {
+				typIdx = i
+			}
+		}
+		if boolIdx < 0 {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+				boolIdx = i
+			}
+		}
+	}
+	if typIdx < 0 || boolIdx < 0 {
+		return noFwd(), false
+	}
+	return fwd{typParam: typIdx, idemParam: boolIdx, issues: map[string]bool{}, valid: true}, true
+}
+
+// summarize computes one function's fwd summary, checking any call
+// site it fully resolves along the way.
+func (c *checker) summarize(fn *types.Func, decl *ast.FuncDecl) fwd {
+	if base, ok := rpcmuxBase(fn); ok {
+		return base
+	}
+	sum := noFwd()
+	sum.issues = map[string]bool{}
+	if decl.Body == nil {
+		return sum
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are separate schedules; Router handles its own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := astq.Callee(c.pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		f2 := c.sums.Of(callee)
+		if !f2.valid {
+			return true
+		}
+		sum.valid = true
+		for name, idem := range f2.issues {
+			sum.issues[name] = idem
+		}
+		typName, typParam := c.resolveTyp(fn, call, f2)
+		idemVal, idemParam := c.resolveIdem(fn, call, f2)
+		switch {
+		case typName != "" && idemVal != nil:
+			sum.issues[typName] = *idemVal
+			c.checkIssue(call, typName, *idemVal)
+		case typParam >= 0:
+			sum.typParam, sum.idemParam, sum.idemFixed = typParam, idemParam, idemVal
+		}
+		return true
+	})
+	return sum
+}
+
+// resolveTyp resolves the wire-type slot of a call through f2: a
+// constant name, or the caller's own parameter index.
+func (c *checker) resolveTyp(fn *types.Func, call *ast.CallExpr, f2 fwd) (string, int) {
+	if f2.typParam < 0 || f2.typParam >= len(call.Args) {
+		return "", -1
+	}
+	arg := call.Args[f2.typParam]
+	if name, _ := constName(c.pass.TypesInfo, arg); name != "" {
+		return name, -1
+	}
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if i := flow.ParamIndex(fn, v); i >= 0 {
+				return "", i
+			}
+		}
+	}
+	return "", -1
+}
+
+// resolveIdem resolves the idempotency-flag slot: a fixed bool, or the
+// caller's own parameter index.
+func (c *checker) resolveIdem(fn *types.Func, call *ast.CallExpr, f2 fwd) (*bool, int) {
+	if f2.idemFixed != nil {
+		return f2.idemFixed, -1
+	}
+	if f2.idemParam < 0 || f2.idemParam >= len(call.Args) {
+		return nil, -1
+	}
+	arg := ast.Unparen(call.Args[f2.idemParam])
+	if id, ok := arg.(*ast.Ident); ok {
+		switch id.Name {
+		case "true":
+			v := true
+			return &v, -1
+		case "false":
+			v := false
+			return &v, -1
+		}
+		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if i := flow.ParamIndex(fn, v); i >= 0 {
+				return nil, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// checkIssue compares one fully-resolved call site with the canonical
+// table.
+func (c *checker) checkIssue(call *ast.CallExpr, typName string, idem bool) {
+	if c.table == nil {
+		return
+	}
+	want, ok := c.table[typName]
+	if !ok {
+		if strings.HasSuffix(typName, "Req") {
+			c.pass.Reportf(call.Pos(), "%s is issued here but has no classification in proto.Idempotent", typName)
+		}
+		return
+	}
+	if want != idem {
+		c.pass.Reportf(call.Pos(),
+			"%s issued with idempotent=%v but proto.Idempotent classifies it as %v", typName, idem, want)
+	}
+}
+
+// checkRouter enforces the down-marking contract on cluster.Router
+// methods.
+func (c *checker) checkRouter() {
+	for fn, decl := range c.idx {
+		recv := flow.ReceiverOf(fn)
+		if recv == nil || recv.Obj().Name() != "Router" || decl.Body == nil {
+			continue
+		}
+		issues := map[string]bool{}
+		callsDown := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := astq.Callee(c.pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if callee.Name() == "downErr" && flow.ReceiverOf(callee) != nil &&
+				flow.ReceiverOf(callee).Obj().Name() == "Router" {
+				callsDown = true
+				return true
+			}
+			f2 := c.sums.Of(callee)
+			if !f2.valid {
+				return true
+			}
+			for name, idem := range f2.issues {
+				issues[name] = idem
+			}
+			if name, _ := c.resolveTyp(fn, call, f2); name != "" {
+				if v, _ := c.resolveIdem(fn, call, f2); v != nil {
+					issues[name] = *v
+				}
+			}
+			return true
+		})
+		if len(issues) == 0 {
+			continue
+		}
+		var nonIdem []string
+		for name, idem := range issues {
+			if !idem {
+				nonIdem = append(nonIdem, name)
+			}
+		}
+		sort.Strings(nonIdem)
+		if len(nonIdem) > 0 && !callsDown {
+			c.pass.Reportf(decl.Name.Pos(),
+				"Router.%s issues non-idempotent %s without consulting downErr (fail-fast gating)",
+				fn.Name(), strings.Join(nonIdem, ", "))
+		}
+		if len(nonIdem) == 0 && callsDown {
+			c.pass.Reportf(decl.Name.Pos(),
+				"Router.%s consults downErr but issues only idempotent requests, which should always try (they heal the mark)",
+				fn.Name())
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package idemtable_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/idemtable"
+)
+
+func TestFixtures(t *testing.T) {
+	// Two trees: idem has a well-formed table with drifted call sites
+	// and mis-gated Router methods; idembad has a malformed table.
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./idem/...", "./idembad/..."}, idemtable.Analyzer)
+}

@@ -1,0 +1,435 @@
+// Package zeroize enforces REED's key-erasure invariant: every value
+// produced by a `//reed:secret`-marked assignment must reach core.Wipe
+// on every return path of the function that created it.
+//
+// Rekeying's security argument (REED paper §IV-B) is that revoked users
+// lose access to future data *and* that compromised client memory
+// exposes as little past key material as possible. core.Wipe bounds the
+// exposure window of transient key copies — file keys unwound for a
+// download, old/new key pairs during a rekey pass — but only if every
+// exit path actually runs it. A forgotten early return keeps the key
+// alive until the GC gets around to the frame, exactly the window Wipe
+// exists to close.
+//
+// The analyzer tracks, per control-flow path (flow.Walker):
+//
+//   - sources: the variables assigned on a marker line (the line
+//     carrying `//reed:secret` or the line directly below it);
+//   - wipes: direct or deferred calls to core.Wipe(v) / core.Wipe(v[:]),
+//     or calls passing the secret to a helper whose summary
+//     (flow.Summarizer, bridged across packages via Facts) wipes that
+//     parameter on all of its own return paths;
+//   - ownership transfers: returning the secret or storing it into a
+//     field, map, slice element, or global hands responsibility to the
+//     new owner and ends local tracking.
+//
+// A path that ends with a live, unwiped, untransferred secret is a
+// violation, reported once at the marked source line.
+package zeroize
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"reedvet/analysis"
+	"reedvet/internal/astq"
+	"reedvet/internal/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "zeroize",
+	Doc:  "//reed:secret values must reach core.Wipe on every return path",
+	Run:  run,
+}
+
+// secretMarker is the declaration marker shared with keyhygiene.
+const secretMarker = "//reed:secret"
+
+// summary is a function's wipe transfer behavior: which parameters it
+// wipes (directly or via defer) on every one of its return paths.
+type summary struct {
+	wipesParam map[int]bool
+}
+
+// secretInfo tracks one secret value along one path.
+type secretInfo struct {
+	name   string
+	origin token.Pos
+	wiped  bool // core.Wipe ran, was deferred, or a wiping helper took it
+}
+
+type state struct {
+	secrets map[*types.Var]*secretInfo
+}
+
+func (s *state) clone() *state {
+	ns := &state{secrets: make(map[*types.Var]*secretInfo, len(s.secrets))}
+	for v, info := range s.secrets {
+		cp := *info
+		ns.secrets[v] = &cp
+	}
+	return ns
+}
+
+type checker struct {
+	pass *analysis.Pass
+	idx  map[*types.Func]*ast.FuncDecl
+	sum  *flow.Summarizer[summary]
+	// marked holds file:line positions carrying the secret marker;
+	// standalone holds the subset whose line carries no code, which
+	// also mark the line below.
+	marked     map[string]map[int]bool
+	standalone map[string]map[int]bool
+	// reported dedups diagnostics across the paths of one function.
+	reported map[token.Pos]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		idx:        flow.Index(pass.Files, pass.TypesInfo),
+		marked:     map[string]map[int]bool{},
+		standalone: map[string]map[int]bool{},
+		reported:   map[token.Pos]bool{},
+	}
+	c.sum = &flow.Summarizer[summary]{
+		Idx:      c.idx,
+		Compute:  c.summarize,
+		External: c.external,
+		Unknown:  summary{},
+	}
+	for _, f := range pass.Files {
+		// Lines holding code: a marker sharing its line with code is a
+		// trailing marker and must not bleed into the statement below.
+		code := map[int]bool{}
+		for _, d := range f.Decls {
+			ast.Inspect(d, func(n ast.Node) bool {
+				if n != nil {
+					code[pass.Position(n.Pos()).Line] = true
+				}
+				return true
+			})
+		}
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if !strings.HasPrefix(cm.Text, secretMarker) {
+					continue
+				}
+				p := pass.Position(cm.Pos())
+				if c.marked[p.Filename] == nil {
+					c.marked[p.Filename] = map[int]bool{}
+					c.standalone[p.Filename] = map[int]bool{}
+				}
+				c.marked[p.Filename][p.Line] = true
+				if !code[p.Line] {
+					c.standalone[p.Filename][p.Line] = true
+				}
+			}
+		}
+	}
+	for fn, decl := range c.idx {
+		if decl.Body == nil {
+			continue
+		}
+		c.analyze(decl)
+		// Export the wipe summary so other packages' helpers resolve
+		// through Facts even without a local declaration.
+		if fn.Exported() {
+			if s := c.sum.Of(fn); len(s.wipesParam) > 0 {
+				pass.Facts.Put("wipe:"+fn.FullName(), s)
+			}
+		}
+	}
+	return nil
+}
+
+// external resolves wipe summaries for cross-package helpers from the
+// Facts their defining package exported.
+func (c *checker) external(fn *types.Func) (summary, bool) {
+	if v, ok := c.pass.Facts.Get("wipe:" + fn.FullName()); ok {
+		if s, ok := v.(summary); ok {
+			return s, true
+		}
+	}
+	return summary{}, false
+}
+
+// analyze walks one function and reports secrets that miss core.Wipe on
+// some path.
+func (c *checker) analyze(decl *ast.FuncDecl) {
+	// Fast prescan: skip functions with no marker anywhere in range.
+	if !c.hasMarkedLine(decl) {
+		return
+	}
+	w := &flow.Walker[*state]{
+		Clone: (*state).clone,
+		Stmt:  c.step,
+		End: func(s *state, _ *ast.ReturnStmt) {
+			for _, info := range s.secrets {
+				if !info.wiped && !c.reported[info.origin] {
+					c.reported[info.origin] = true
+					c.pass.Reportf(info.origin,
+						"secret %s from a //reed:secret source is not wiped by core.Wipe on every return path", info.name)
+				}
+			}
+		},
+	}
+	w.Walk(decl.Body, &state{secrets: map[*types.Var]*secretInfo{}})
+}
+
+// hasMarkedLine reports whether any marker line falls inside decl.
+func (c *checker) hasMarkedLine(decl *ast.FuncDecl) bool {
+	start := c.pass.Position(decl.Pos())
+	end := c.pass.Position(decl.End())
+	lines := c.marked[start.Filename]
+	for line := range lines {
+		if line >= start.Line && line <= end.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// summarize computes which of fn's parameters are wiped on every return
+// path, so callers may discharge their own secrets through it.
+func (c *checker) summarize(fn *types.Func, decl *ast.FuncDecl) summary {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return summary{}
+	}
+	// Pre-register every byte-ish parameter as a pseudo-secret and see
+	// which survive unwiped on any path.
+	init := &state{secrets: map[*types.Var]*secretInfo{}}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		init.secrets[p] = &secretInfo{name: p.Name(), origin: p.Pos()}
+	}
+	wipedAll := map[*types.Var]bool{}
+	first := true
+	w := &flow.Walker[*state]{
+		Clone: (*state).clone,
+		Stmt:  c.step,
+		End: func(s *state, _ *ast.ReturnStmt) {
+			for v, info := range s.secrets {
+				if first {
+					wipedAll[v] = info.wiped
+				} else if !info.wiped {
+					wipedAll[v] = false
+				}
+			}
+			first = false
+		},
+	}
+	w.Walk(decl.Body, init)
+	if first {
+		return summary{} // no path reached an end (budget, all-panic)
+	}
+	out := summary{wipesParam: map[int]bool{}}
+	for v, ok := range wipedAll {
+		if ok {
+			if i := flow.ParamIndex(fn, v); i >= 0 {
+				out.wipesParam[i] = true
+			}
+		}
+	}
+	if len(out.wipesParam) == 0 {
+		return summary{}
+	}
+	return out
+}
+
+// step is the per-statement transfer function shared by the reporting
+// walk and the summarizer walk.
+func (c *checker) step(s *state, st ast.Stmt) *state {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		c.scanCalls(s, st)
+		c.transfers(s, st)
+		c.sources(s, st)
+	case *ast.DeclStmt:
+		c.declSources(s, st)
+	case *ast.ExprStmt:
+		c.scanCalls(s, st)
+	case *ast.DeferStmt:
+		c.wipeCall(s, st.Call)
+	case *ast.GoStmt:
+		// A goroutine taking the secret owns its lifetime now.
+		c.escapeArgs(s, st.Call)
+	case *ast.ReturnStmt:
+		c.scanCalls(s, st)
+		for _, r := range st.Results {
+			if v := c.secretIn(s, r); v != nil {
+				delete(s.secrets, v) // ownership moves to the caller
+			}
+		}
+	default:
+		c.scanCalls(s, st)
+	}
+	return s
+}
+
+// sources registers LHS variables of assignments sitting on a marker
+// line (or directly below one) as tracked secrets.
+func (c *checker) sources(s *state, st *ast.AssignStmt) {
+	if !c.onMarkedLine(st.Pos()) {
+		return
+	}
+	for _, lhs := range st.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			s.secrets[v] = &secretInfo{name: id.Name, origin: id.Pos()}
+		}
+	}
+}
+
+// declSources handles `var k = ...` forms on marker lines.
+func (c *checker) declSources(s *state, st *ast.DeclStmt) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	if !c.onMarkedLine(st.Pos()) {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 {
+			continue // a bare `var k Key` holds no secret yet
+		}
+		for _, id := range vs.Names {
+			if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				s.secrets[v] = &secretInfo{name: id.Name, origin: id.Pos()}
+			}
+		}
+	}
+}
+
+// onMarkedLine reports whether pos sits on a trailing marker line or
+// directly under a standalone marker comment.
+func (c *checker) onMarkedLine(pos token.Pos) bool {
+	p := c.pass.Position(pos)
+	if lines := c.marked[p.Filename]; lines != nil && lines[p.Line] {
+		return true
+	}
+	alone := c.standalone[p.Filename]
+	return alone != nil && alone[p.Line-1]
+}
+
+// transfers ends tracking when a secret is stored into a field, index,
+// dereference, or package-level variable: the new owner is responsible
+// for its erasure (keycache, for instance, wipes on eviction).
+func (c *checker) transfers(s *state, st *ast.AssignStmt) {
+	for i, rhs := range st.Rhs {
+		v := c.secretIn(s, rhs)
+		if v == nil || i >= len(st.Lhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+		case *ast.Ident:
+			if obj, ok := c.pass.TypesInfo.Uses[lhs].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+				delete(s.secrets, v) // stored into a global
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			delete(s.secrets, v)
+		}
+	}
+}
+
+// scanCalls visits every call expression inside st, applying wipe and
+// escape handling.
+func (c *checker) scanCalls(s *state, st ast.Stmt) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.wipeCall(s, call)
+		}
+		return true
+	})
+}
+
+// wipeCall marks secrets wiped when call is core.Wipe or a helper whose
+// summary wipes the corresponding parameter on all paths. Composite
+// literals and channel sends that capture the secret transfer
+// ownership.
+func (c *checker) wipeCall(s *state, call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if astq.IsPkgFunc(info, call, "internal/core", "Wipe") && len(call.Args) == 1 {
+		if v := c.secretIn(s, call.Args[0]); v != nil {
+			if si := s.secrets[v]; si != nil {
+				si.wiped = true
+			}
+		}
+		return
+	}
+	fn := astq.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	sum := c.sum.Of(fn)
+	if len(sum.wipesParam) == 0 {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail never carries a wipe guarantee
+		}
+		if !sum.wipesParam[i] {
+			continue
+		}
+		if v := c.secretIn(s, arg); v != nil {
+			if si := s.secrets[v]; si != nil {
+				si.wiped = true
+			}
+		}
+	}
+}
+
+// escapeArgs drops tracking for secrets handed to a goroutine.
+func (c *checker) escapeArgs(s *state, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if v := c.secretIn(s, arg); v != nil {
+			delete(s.secrets, v)
+		}
+	}
+}
+
+// secretIn resolves e to a tracked secret variable, unwrapping slicing
+// (k[:]), parens, and unary address-of.
+func (c *checker) secretIn(s *state, e ast.Expr) *types.Var {
+	e = ast.Unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = ast.Unparen(x.X)
+				continue
+			}
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || s.secrets[v] == nil {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,13 @@
+package zeroize_test
+
+import (
+	"testing"
+
+	"reedvet/analysistest"
+	"reedvet/analyzers/zeroize"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "../../testdata/fix",
+		[]string{"./zeroize/..."}, zeroize.Analyzer)
+}

@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// traceWalk walks the body of the first function in src, recording for
+// each path the sequence of top-level call names it passed through,
+// suffixed with "!" for an explicit return or "." for fall-off.
+func traceWalk(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			body = fd.Body
+			break
+		}
+	}
+	var paths []string
+	w := &Walker[[]string]{
+		Clone: func(s []string) []string { return append([]string(nil), s...) },
+		Stmt: func(s []string, st ast.Stmt) []string {
+			ast.Inspect(st, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						s = append(s, id.Name)
+					}
+				}
+				return true
+			})
+			return s
+		},
+		End: func(s []string, ret *ast.ReturnStmt) {
+			mark := "."
+			if ret != nil {
+				mark = "!"
+			}
+			paths = append(paths, strings.Join(s, " ")+mark)
+		},
+	}
+	w.Walk(body, nil)
+	sort.Strings(paths)
+	return paths
+}
+
+func TestWalkerIfForks(t *testing.T) {
+	got := traceWalk(t, `
+func f(c bool) {
+	a()
+	if c {
+		b()
+		return
+	}
+	d()
+}`)
+	want := []string{"a b!", "a d."}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestWalkerCondCallsSeen(t *testing.T) {
+	got := traceWalk(t, `
+func f() {
+	if check() {
+		return
+	}
+}`)
+	want := []string{"check!", "check."}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestWalkerLoopZeroAndOnce(t *testing.T) {
+	got := traceWalk(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+}`)
+	want := []string{"after.", "body after."}
+	sort.Strings(want)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestWalkerBreakAbandons(t *testing.T) {
+	// The break path must not reach End: otherwise every cleanup-after-
+	// loop pattern would be a false positive.
+	got := traceWalk(t, `
+func f(xs []int) {
+	for range xs {
+		if bad() {
+			break
+		}
+		body()
+	}
+	after()
+}`)
+	for _, p := range got {
+		if strings.Contains(p, "bad") && !strings.Contains(p, "after") {
+			t.Errorf("break path leaked to End: %q", p)
+		}
+	}
+	joined := strings.Join(got, "|")
+	if !strings.Contains(joined, "after.") {
+		t.Errorf("no path reached after(): %v", got)
+	}
+}
+
+func TestWalkerSwitchNoDefaultFallsThrough(t *testing.T) {
+	got := traceWalk(t, `
+func f(n int) {
+	switch tag() {
+	case 1:
+		one()
+	case 2:
+		two()
+	}
+	after()
+}`)
+	want := []string{"tag after.", "tag one after.", "tag two after."}
+	sort.Strings(want)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestWalkerPanicAbandons(t *testing.T) {
+	got := traceWalk(t, `
+func f(c bool) {
+	a()
+	if c {
+		panic("boom")
+	}
+	after()
+}`)
+	want := []string{"a after."}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("paths = %v, want %v", got, want)
+	}
+}
+
+func TestWalkerBudgetStopsExplosion(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func f(c bool) {\n")
+	for i := 0; i < 40; i++ {
+		b.WriteString("\tif c {\n\t\ta()\n\t}\n")
+	}
+	b.WriteString("}")
+	// 2^40 paths uncapped; the budget must cut enumeration off.
+	got := traceWalk(t, b.String())
+	if len(got) > DefaultMaxPaths {
+		t.Fatalf("budget failed: %d paths enumerated", len(got))
+	}
+}

@@ -1,32 +1,42 @@
 // Command reed-vet runs REED's project-specific static-analysis suite
-// over a Go module: five analyzers enforcing the invariants the
+// over a Go module: nine analyzers enforcing the invariants the
 // compiler cannot see (key hygiene, context discipline, lock
-// discipline, metric naming, error classification). See DESIGN.md
-// "Static analysis" for the catalog.
+// discipline, metric naming, error classification, buffer-pool
+// lifecycle, durability acknowledgment ordering, idempotency-table
+// agreement, secret zeroization). See DESIGN.md "Static analysis" for
+// the catalog.
 //
 // Usage:
 //
-//	reed-vet [-dir DIR] [-only a,b] [patterns ...]
+//	reed-vet [-dir DIR] [-only a,b] [-sarif FILE] [patterns ...]
 //
 // Patterns default to ./... relative to -dir (default "."). Exits 1
-// if any diagnostic is reported, 2 on operational errors.
+// if any diagnostic is reported, 2 on operational errors. With -sarif,
+// the diagnostics are additionally written to FILE as a SARIF 2.1.0
+// log with repo-root-relative URIs ("-" writes to stdout); the log is
+// written even when the run is clean, so CI can upload it
+// unconditionally.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"reedvet/analyzers"
 	"reedvet/load"
 	"reedvet/runner"
+	"reedvet/sarif"
 )
 
 func main() {
 	dir := flag.String("dir", ".", "module directory to analyze")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	suite := analyzers.All()
@@ -49,16 +59,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reed-vet:", err)
 		os.Exit(2)
 	}
-	diags, err := runner.Run(pkgs, suite)
+	res, err := runner.RunAll(pkgs, suite, analyzers.Names())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reed-vet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		fmt.Println(d.String())
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "reed-vet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *sarifOut != "" {
+		if err := writeSarif(*sarifOut, *dir, res); err != nil {
+			fmt.Fprintln(os.Stderr, "reed-vet: sarif:", err)
+			os.Exit(2)
+		}
+	}
+
+	reportIgnores(res.Ignores)
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reed-vet: %d diagnostic(s) in %d package(s)\n", len(res.Diags), res.Packages)
 		os.Exit(1)
 	}
+}
+
+// writeSarif renders the run as SARIF rooted at the analyzed module.
+func writeSarif(path, root string, res *runner.Result) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sarif.Write(w, root, analyzers.All(), res.Diags)
+}
+
+// reportIgnores prints the active-ignore census: how many structured
+// `//reed-vet:ignore` directives are currently muting each analyzer.
+// Silence means no invariant is escape-hatched anywhere.
+func reportIgnores(ignores map[string]int) {
+	if len(ignores) == 0 {
+		return
+	}
+	names := make([]string, 0, len(ignores))
+	total := 0
+	for n, c := range ignores {
+		names = append(names, n)
+		total += c
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, ignores[n]))
+	}
+	fmt.Fprintf(os.Stderr, "reed-vet: %d active ignore directive(s): %s\n", total, strings.Join(parts, " "))
 }

@@ -28,10 +28,13 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the suite composition: exactly the five
+// TestAnalyzerRegistry pins the suite composition: exactly the nine
 // documented analyzers, resolvable by name.
 func TestAnalyzerRegistry(t *testing.T) {
-	wantNames := []string{"keyhygiene", "ctxrule", "lockguard", "metricname", "errclass"}
+	wantNames := []string{
+		"keyhygiene", "ctxrule", "lockguard", "metricname", "errclass",
+		"bufpool", "durack", "idemtable", "zeroize",
+	}
 	all := analyzers.All()
 	if len(all) != len(wantNames) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(wantNames))

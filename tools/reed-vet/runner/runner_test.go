@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"reedvet/load"
+)
+
+// parseFixture builds a minimal load.Package from inline source, just
+// enough for the directive scanner (Fset + Files).
+func parseFixture(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return &load.Package{ImportPath: "fixture", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	known := map[string]bool{"ctxrule": true, "lockguard": true}
+	cases := []struct {
+		name      string
+		comment   string
+		analyzer  string // parsed analyzer for well-formed directives
+		wantError string // substring of the expected diagnostic, "" if none
+	}{
+		{"em dash", "//reed-vet:ignore ctxrule — lifecycle root", "ctxrule", ""},
+		{"double hyphen", "//reed-vet:ignore lockguard -- checked under parent lock", "lockguard", ""},
+		{"single hyphen", "//reed-vet:ignore ctxrule - reason here", "ctxrule", ""},
+		{"bare", "//reed-vet:ignore", "", "malformed ignore directive"},
+		{"analyzer only", "//reed-vet:ignore ctxrule", "", "malformed ignore directive"},
+		{"no analyzer", "//reed-vet:ignore — some reason", "", "malformed ignore directive"},
+		{"missing reason", "//reed-vet:ignore ctxrule —", "", "malformed ignore directive"},
+		{"legacy free text", "//reed-vet:ignore index open owns its lifecycle", "", "malformed ignore directive"},
+		{"unknown analyzer", "//reed-vet:ignore nosuch — reason", "", `unknown analyzer "nosuch"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := parseFixture(t, "package p\n\n"+tc.comment+"\nvar _ = 0\n")
+			dirs, bad := directives(pkg, known)
+			if tc.wantError != "" {
+				if len(dirs) != 0 || len(bad) != 1 {
+					t.Fatalf("got %d directives, %d errors; want 0 directives, 1 error", len(dirs), len(bad))
+				}
+				if !strings.Contains(bad[0].Message, tc.wantError) {
+					t.Errorf("error %q does not mention %q", bad[0].Message, tc.wantError)
+				}
+				if bad[0].Analyzer != "directive" {
+					t.Errorf("error attributed to %q, want pseudo-analyzer \"directive\"", bad[0].Analyzer)
+				}
+				return
+			}
+			if len(bad) != 0 {
+				t.Fatalf("unexpected directive errors: %v", bad)
+			}
+			if len(dirs) != 1 || dirs[0].analyzer != tc.analyzer {
+				t.Fatalf("got directives %+v, want one for %q", dirs, tc.analyzer)
+			}
+		})
+	}
+}
+
+func TestDirectiveLineScope(t *testing.T) {
+	src := `package p
+
+//reed-vet:ignore ctxrule — suppresses this line and the next
+var _ = 0
+`
+	pkg := parseFixture(t, src)
+	dirs, bad := directives(pkg, map[string]bool{"ctxrule": true})
+	if len(bad) != 0 || len(dirs) != 1 {
+		t.Fatalf("got %d directives, %d errors", len(dirs), len(bad))
+	}
+	if dirs[0].line != 3 || dirs[0].file != "fixture.go" {
+		t.Errorf("directive anchored at %s:%d, want fixture.go:3", dirs[0].file, dirs[0].line)
+	}
+}

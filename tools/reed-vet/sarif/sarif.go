@@ -1,0 +1,136 @@
+// Package sarif renders reed-vet diagnostics as a SARIF 2.1.0 log, the
+// interchange format CI code-scanning UIs ingest. One run per log, one
+// reportingDescriptor per analyzer, one result per diagnostic, with
+// artifact URIs rewritten relative to the repository root so the same
+// log resolves on any checkout.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"reedvet/analysis"
+)
+
+const (
+	schemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	version   = "2.1.0"
+)
+
+// Log is the SARIF top-level object.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+type Message struct {
+	Text string `json:"text"`
+}
+
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Write renders diags as one SARIF run. root is the repository root;
+// diagnostic file paths under it become slash-separated relative URIs.
+// Only analyzers that could have produced diagnostics are listed as
+// rules, keeping the rule table in sync with the run's suite.
+func Write(w io.Writer, root string, suite []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	rules := make([]Rule, 0, len(suite)+1)
+	for _, a := range suite {
+		rules = append(rules, Rule{ID: a.Name, ShortDescription: Message{Text: a.Doc}})
+	}
+	// The runner reports malformed/unknown ignore directives under the
+	// pseudo-analyzer "directive"; give those results a rule too.
+	rules = append(rules, Rule{ID: "directive",
+		ShortDescription: Message{Text: "reed-vet:ignore directives must name an analyzer and a reason"}})
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	results := make([]Result, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, Result{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: Message{Text: d.Message},
+			Locations: []Location{{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: relURI(absRoot, d.Position.Filename)},
+				Region:           Region{StartLine: d.Position.Line, StartColumn: d.Position.Column},
+			}}},
+		})
+	}
+
+	log := Log{
+		Schema:  schemaURI,
+		Version: version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: "reed-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relURI rewrites path relative to absRoot with forward slashes; paths
+// outside the root stay absolute (still a valid file URI target).
+func relURI(absRoot, path string) string {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(absRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	return filepath.ToSlash(rel)
+}

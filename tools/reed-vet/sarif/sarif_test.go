@@ -1,0 +1,113 @@
+package sarif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"reedvet/analysis"
+	"reedvet/analyzers"
+	"reedvet/sarif"
+)
+
+func TestWrite(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Message:  "secret leaked",
+			Analyzer: "keyhygiene",
+			Position: token.Position{Filename: "/repo/internal/mle/mle.go", Line: 12, Column: 3},
+		},
+		{
+			Message:  "outside the root",
+			Analyzer: "ctxrule",
+			Position: token.Position{Filename: "/elsewhere/x.go", Line: 1, Column: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := sarif.Write(&buf, "/repo", analyzers.All(), diags); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("wrong version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "reed-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every registered analyzer plus the directive pseudo-rule.
+	if want := len(analyzers.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "keyhygiene" || r0.Level != "error" {
+		t.Errorf("result 0 ruleId/level = %q/%q", r0.RuleID, r0.Level)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/mle/mle.go" {
+		t.Errorf("in-root URI = %q, want repo-relative", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/x.go" {
+		t.Errorf("out-of-root URI = %q, want absolute", uri)
+	}
+}
+
+func TestWriteCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sarif.Write(&buf, ".", analyzers.All(), nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("clean log is not valid JSON: %v", err)
+	}
+	runs := log["runs"].([]any)
+	results := runs[0].(map[string]any)["results"].([]any)
+	if len(results) != 0 {
+		t.Errorf("clean run has %d results", len(results))
+	}
+}

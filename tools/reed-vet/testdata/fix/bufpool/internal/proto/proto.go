@@ -1,0 +1,25 @@
+// Package proto is the bufpool fixture's stand-in for the real wire
+// package: the pool API plus one append-style encoder.
+package proto
+
+var pool [][]byte
+
+// GetBuffer hands out a scratch buffer the caller owns.
+func GetBuffer() *[]byte {
+	b := make([]byte, 0, 64)
+	return &b
+}
+
+// PutBuffer returns a buffer to the pool.
+func PutBuffer(b *[]byte) {
+	if b == nil {
+		return
+	}
+	pool = append(pool, (*b)[:0])
+}
+
+// AppendFrame appends an encoded frame to dst, returning the grown
+// slice (append-style: the result shares dst's backing array).
+func AppendFrame(dst []byte, payload []byte) ([]byte, error) {
+	return append(dst, payload...), nil
+}

@@ -1,0 +1,129 @@
+// Package rpcmux is the bufpool fixture: positive and negative cases
+// for the pooled-buffer ownership protocol.
+package rpcmux
+
+import (
+	"io"
+
+	"reedvet.fixtures/bufpool/internal/proto"
+)
+
+// writeFrame is the canonical good shape: get, derive, use, put on
+// every path.
+func writeFrame(w io.Writer, payload []byte) error {
+	buf := proto.GetBuffer()
+	assembled, err := proto.AppendFrame((*buf)[:0], payload)
+	if err == nil {
+		*buf = assembled
+		_, err = w.Write(assembled)
+	}
+	proto.PutBuffer(buf)
+	return err
+}
+
+// deferredPut is the other good shape: ownership released by defer.
+func deferredPut(payload []byte) {
+	buf := proto.GetBuffer()
+	defer proto.PutBuffer(buf)
+	*buf = append((*buf)[:0], payload...)
+}
+
+// putBothBranches puts exactly once on each path.
+func putBothBranches(c bool) {
+	buf := proto.GetBuffer()
+	if c {
+		proto.PutBuffer(buf)
+	} else {
+		proto.PutBuffer(buf)
+	}
+}
+
+// perIteration scopes ownership to one loop body.
+func perIteration(w io.Writer, msgs [][]byte) {
+	for _, m := range msgs {
+		buf := proto.GetBuffer()
+		*buf = append((*buf)[:0], m...)
+		w.Write(*buf)
+		proto.PutBuffer(buf)
+	}
+}
+
+// leakOnError forgets the buffer on the early-return path.
+func leakOnError(w io.Writer, payload []byte) error {
+	buf := proto.GetBuffer() // want `not returned by PutBuffer on every path`
+	assembled, err := proto.AppendFrame((*buf)[:0], payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(assembled)
+	proto.PutBuffer(buf)
+	return err
+}
+
+// doublePut returns the same buffer twice.
+func doublePut() {
+	buf := proto.GetBuffer()
+	proto.PutBuffer(buf)
+	proto.PutBuffer(buf) // want `double PutBuffer`
+}
+
+// useAfterPut touches recycled memory.
+func useAfterPut(w io.Writer) {
+	buf := proto.GetBuffer()
+	*buf = append((*buf)[:0], 1, 2, 3)
+	proto.PutBuffer(buf)
+	w.Write(*buf) // want `use of pooled buffer buf after PutBuffer`
+}
+
+// deferredDouble puts explicitly and again via the deferred put.
+func deferredDouble() {
+	buf := proto.GetBuffer()
+	defer proto.PutBuffer(buf)
+	proto.PutBuffer(buf) // want `again by a deferred PutBuffer`
+}
+
+// returnRecycled hands back memory the deferred put is about to
+// recycle.
+func returnRecycled() []byte {
+	buf := proto.GetBuffer()
+	defer proto.PutBuffer(buf)
+	out := append((*buf)[:0], 42)
+	return out // want `returning data backed by pooled buffer`
+}
+
+// viaHelper releases through a helper: the summary says release puts
+// its parameter on all paths, so this is clean.
+func viaHelper(payload []byte) {
+	buf := proto.GetBuffer()
+	*buf = append((*buf)[:0], payload...)
+	release(buf)
+}
+
+func release(b *[]byte) {
+	proto.PutBuffer(b)
+}
+
+// viaAcquire owns the buffer a helper minted and returns it.
+func viaAcquire() {
+	buf := acquire()
+	proto.PutBuffer(buf)
+}
+
+func acquire() *[]byte {
+	return proto.GetBuffer()
+}
+
+// leakFromAcquire owns the helper-minted buffer but never returns it.
+func leakFromAcquire() {
+	buf := acquire() // want `not returned by PutBuffer on every path`
+	_ = buf
+}
+
+// holder demonstrates ownership transfer: storing the pointer moves
+// responsibility to the holder, so the function itself is clean.
+type holder struct{ buf *[]byte }
+
+func escapes() *holder {
+	buf := proto.GetBuffer()
+	return &holder{buf: buf}
+}

@@ -1,0 +1,24 @@
+// Package dedup is the durack fixture's WAL-backed chunk store: it
+// has a Commit method, so mutations must be sealed before a handler
+// acks.
+package dedup
+
+import "context"
+
+type Store struct{ n int }
+
+func (s *Store) Put(ctx context.Context, fp [16]byte, data []byte) (bool, error) {
+	s.n++
+	return false, ctx.Err()
+}
+
+func (s *Store) Deref(ctx context.Context, fp [16]byte) (int, error) {
+	s.n--
+	return s.n, ctx.Err()
+}
+
+func (s *Store) Get(ctx context.Context, fp [16]byte) ([]byte, error) {
+	return nil, ctx.Err()
+}
+
+func (s *Store) Commit(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,16 @@
+// Package fileindex is the durack fixture's WAL-backed whole-file
+// index.
+package fileindex
+
+import "context"
+
+type Index struct{ n int }
+
+func (ix *Index) Register(ctx context.Context, key [32]byte, name string) error {
+	ix.n++
+	return ctx.Err()
+}
+
+func (ix *Index) Lookup(key [32]byte) (string, bool) { return "", false }
+
+func (ix *Index) Commit(ctx context.Context) error { return ctx.Err() }

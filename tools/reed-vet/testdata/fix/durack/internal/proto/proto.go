@@ -1,0 +1,11 @@
+// Package proto is the durack fixture's wire stand-in.
+package proto
+
+type MsgType uint8
+
+const (
+	MsgError MsgType = iota
+	MsgPutChunksResp
+	MsgGetChunksResp
+	MsgRegisterFileResp
+)

@@ -1,0 +1,127 @@
+// Package server is the durack fixture: handlers that do and do not
+// seal their WAL mutations before acking.
+package server
+
+import (
+	"context"
+
+	"reedvet.fixtures/durack/internal/dedup"
+	"reedvet.fixtures/durack/internal/fileindex"
+	"reedvet.fixtures/durack/internal/proto"
+)
+
+type Server struct {
+	chunks *dedup.Store
+	files  *fileindex.Index
+}
+
+// putChunks is the canonical good shape: mutate, commit, then ack.
+func (s *Server) putChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var fp [16]byte
+	if _, err := s.chunks.Put(ctx, fp, payload); err != nil {
+		return proto.MsgError, nil
+	}
+	if err := s.chunks.Commit(ctx); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgPutChunksResp, nil
+}
+
+// getChunks never mutates, so no commit is required.
+func (s *Server) getChunks(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var fp [16]byte
+	data, err := s.chunks.Get(ctx, fp)
+	if err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgGetChunksResp, data
+}
+
+// putNoCommit acks a mutation that was never sealed.
+func (s *Server) putNoCommit(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var fp [16]byte
+	if _, err := s.chunks.Put(ctx, fp, payload); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgPutChunksResp, nil // want `replies success before Store.Commit`
+}
+
+// commitOneBranch seals only the fast path; the other ack is bare.
+func (s *Server) commitOneBranch(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var fp [16]byte
+	dup, err := s.chunks.Put(ctx, fp, payload)
+	if err != nil {
+		return proto.MsgError, nil
+	}
+	if dup {
+		if err := s.chunks.Commit(ctx); err != nil {
+			return proto.MsgError, nil
+		}
+		return proto.MsgPutChunksResp, nil
+	}
+	return proto.MsgPutChunksResp, nil // want `replies success before Store.Commit`
+}
+
+// registerFile commits the other WAL-backed store.
+func (s *Server) registerFile(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var key [32]byte
+	if err := s.files.Register(ctx, key, string(payload)); err != nil {
+		return proto.MsgError, nil
+	}
+	if err := s.files.Commit(ctx); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgRegisterFileResp, nil
+}
+
+// registerNoCommit leaves the file index unsealed.
+func (s *Server) registerNoCommit(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	var key [32]byte
+	if err := s.files.Register(ctx, key, string(payload)); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgRegisterFileResp, nil // want `replies success before Index.Commit`
+}
+
+// viaHelper mutates and seals through helpers: the summaries carry
+// the dirty/commit effects back into the handler walk.
+func (s *Server) viaHelper(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	if err := s.stage(ctx, payload); err != nil {
+		return proto.MsgError, nil
+	}
+	if err := s.seal(ctx); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgPutChunksResp, nil
+}
+
+// viaHelperNoSeal mutates through a helper and forgets the seal.
+func (s *Server) viaHelperNoSeal(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	if err := s.stage(ctx, payload); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgPutChunksResp, nil // want `replies success before Store.Commit`
+}
+
+// sealedHelper both mutates and commits: callers are clean.
+func (s *Server) viaSealedHelper(ctx context.Context, payload []byte) (proto.MsgType, []byte) {
+	if err := s.stageAndSeal(ctx, payload); err != nil {
+		return proto.MsgError, nil
+	}
+	return proto.MsgPutChunksResp, nil
+}
+
+func (s *Server) stage(ctx context.Context, payload []byte) error {
+	var fp [16]byte
+	_, err := s.chunks.Put(ctx, fp, payload)
+	return err
+}
+
+func (s *Server) seal(ctx context.Context) error { return s.chunks.Commit(ctx) }
+
+func (s *Server) stageAndSeal(ctx context.Context, payload []byte) error {
+	if err := s.stage(ctx, payload); err != nil {
+		return err
+	}
+	return s.chunks.Commit(ctx)
+}

@@ -1,0 +1,51 @@
+// Package cluster is the idemtable fixture's routing layer: Router
+// methods must consult downErr exactly when they issue non-idempotent
+// requests.
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"reedvet.fixtures/idem/internal/server"
+)
+
+type Router struct {
+	conns []*server.Client
+	down  []bool
+}
+
+// downErr is the fail-fast gate for down-marked shards.
+func (r *Router) downErr(s int) error {
+	if r.down[s] {
+		return errors.New("shard down")
+	}
+	return nil
+}
+
+// PutChunks issues a non-idempotent request and gates on downErr.
+func (r *Router) PutChunks(ctx context.Context, payload []byte) ([]byte, error) {
+	if err := r.downErr(0); err != nil {
+		return nil, err
+	}
+	return r.conns[0].PutChunks(ctx, payload)
+}
+
+// GetChunks is read-only: always tries, which heals the down mark.
+func (r *Router) GetChunks(ctx context.Context, payload []byte) ([]byte, error) {
+	return r.conns[0].GetChunks(ctx, payload)
+}
+
+// PutChunksUngated issues a non-idempotent request with no fail-fast
+// gate.
+func (r *Router) PutChunksUngated(ctx context.Context, payload []byte) ([]byte, error) { // want `issues non-idempotent MsgPutChunksReq without consulting downErr`
+	return r.conns[0].PutChunks(ctx, payload)
+}
+
+// StatsGated wrongly gates an idempotent-only method.
+func (r *Router) StatsGated(ctx context.Context) ([]byte, error) { // want `consults downErr but issues only idempotent requests`
+	if err := r.downErr(0); err != nil {
+		return nil, err
+	}
+	return r.conns[0].Stats(ctx)
+}

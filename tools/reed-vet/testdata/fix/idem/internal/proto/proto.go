@@ -1,0 +1,28 @@
+// Package proto is the idemtable fixture's wire stand-in with a
+// well-formed canonical table.
+package proto
+
+type MsgType uint8
+
+const (
+	MsgError MsgType = iota
+	MsgPutChunksReq
+	MsgPutChunksResp
+	MsgGetChunksReq
+	MsgGetChunksResp
+	MsgDeleteBlobReq
+	MsgDeleteBlobResp
+	MsgStatsReq
+	MsgStatsResp
+)
+
+// Idempotent is the canonical classification.
+func Idempotent(typ MsgType) bool {
+	switch typ {
+	case MsgGetChunksReq, MsgStatsReq:
+		return true
+	case MsgPutChunksReq, MsgDeleteBlobReq:
+		return false
+	}
+	return false
+}

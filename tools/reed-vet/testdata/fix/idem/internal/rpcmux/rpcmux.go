@@ -1,0 +1,17 @@
+// Package rpcmux is the idemtable fixture's transport root: the Call
+// shape (MsgType + idempotent bool) is what the analyzer anchors on.
+package rpcmux
+
+import (
+	"context"
+
+	"reedvet.fixtures/idem/internal/proto"
+)
+
+type Redialer struct{}
+
+// Call issues one RPC; idempotent governs transparent re-issue.
+func (r *Redialer) Call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
+	_ = idempotent
+	return nil, ctx.Err()
+}

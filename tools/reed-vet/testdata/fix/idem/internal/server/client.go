@@ -1,0 +1,52 @@
+// Package server is the idemtable fixture's client layer: a
+// forwarding helper plus per-method literal flags that must agree
+// with proto.Idempotent.
+package server
+
+import (
+	"context"
+
+	"reedvet.fixtures/idem/internal/proto"
+	"reedvet.fixtures/idem/internal/rpcmux"
+)
+
+type Client struct{ mux *rpcmux.Redialer }
+
+// call forwards its type and flag into the transport: the analyzer
+// summarizes it so per-method sites below are checked.
+func (c *Client) call(ctx context.Context, typ proto.MsgType, payload []byte, want proto.MsgType, idempotent bool) ([]byte, error) {
+	return c.mux.Call(ctx, typ, payload, want, idempotent)
+}
+
+// PutChunks matches the table: non-idempotent.
+func (c *Client) PutChunks(ctx context.Context, payload []byte) ([]byte, error) {
+	return c.call(ctx, proto.MsgPutChunksReq, payload, proto.MsgPutChunksResp, false)
+}
+
+// GetChunks matches the table: idempotent.
+func (c *Client) GetChunks(ctx context.Context, payload []byte) ([]byte, error) {
+	return c.call(ctx, proto.MsgGetChunksReq, payload, proto.MsgGetChunksResp, true)
+}
+
+// DeleteBlob drifts from the table: classified non-idempotent but
+// issued with transparent re-issue enabled.
+func (c *Client) DeleteBlob(ctx context.Context, payload []byte) ([]byte, error) {
+	return c.call(ctx, proto.MsgDeleteBlobReq, payload, proto.MsgDeleteBlobResp, true) // want `MsgDeleteBlobReq issued with idempotent=true`
+}
+
+// fixedCall pins the flag inside the helper, keymanager-style; the
+// summary carries the fixed flag to its call sites.
+func (c *Client) fixedCall(ctx context.Context, typ proto.MsgType, want proto.MsgType) ([]byte, error) {
+	return c.mux.Call(ctx, typ, nil, want, true)
+}
+
+// Stats matches the table through the fixed-flag helper.
+func (c *Client) Stats(ctx context.Context) ([]byte, error) {
+	return c.fixedCall(ctx, proto.MsgStatsReq, proto.MsgStatsResp)
+}
+
+// PutViaFixed drifts: a non-idempotent request through the
+// always-re-issue helper.
+func (c *Client) PutViaFixed(ctx context.Context) ([]byte, error) {
+	return c.fixedCall(ctx, proto.MsgPutChunksReq, proto.MsgPutChunksResp) // want `MsgPutChunksReq issued with idempotent=true`
+}

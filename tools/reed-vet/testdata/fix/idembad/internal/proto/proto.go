@@ -1,0 +1,31 @@
+// Package proto is the idemtable fixture with a malformed canonical
+// table: a request classified twice (via a second switch — duplicate
+// cases in one switch would not compile), a response type in the
+// table, and a request never classified.
+package proto
+
+type MsgType uint8
+
+const (
+	MsgError MsgType = iota
+	MsgPutChunksReq
+	MsgPutChunksResp
+	MsgGetChunksReq
+	MsgGetChunksResp
+	MsgDerefChunksReq
+	MsgDerefChunksResp
+)
+
+func Idempotent(typ MsgType) bool { // want `MsgDerefChunksReq has no idempotency classification`
+	switch typ {
+	case MsgGetChunksReq, MsgPutChunksResp: // want `MsgPutChunksResp is not a request type`
+		return true
+	case MsgPutChunksReq:
+		return false
+	}
+	switch typ {
+	case MsgGetChunksReq: // want `MsgGetChunksReq is classified twice`
+		return true
+	}
+	return false
+}

@@ -22,8 +22,15 @@ func todo() context.Context {
 }
 
 func lifecycleRoot() context.Context {
-	//reed-vet:ignore fixture lifecycle root, justified escape hatch
+	//reed-vet:ignore ctxrule — fixture lifecycle root, justified escape hatch
 	return context.Background()
+}
+
+// wrongAnalyzer carries a directive naming a different analyzer:
+// scoping is per-analyzer, so ctxrule still fires.
+func wrongAnalyzer() context.Context {
+	//reed-vet:ignore lockguard — names another analyzer, must not suppress ctxrule
+	return context.Background() // want `context.Background in a library package`
 }
 
 func DialPeer(addr string) (net.Conn, error) {

@@ -21,6 +21,6 @@ func recoverWAL() error {
 }
 
 func openRoot() context.Context {
-	//reed-vet:ignore index open owns its recovery lifecycle, fixture escape hatch
+	//reed-vet:ignore ctxrule — index open owns its recovery lifecycle, fixture escape hatch
 	return context.Background()
 }

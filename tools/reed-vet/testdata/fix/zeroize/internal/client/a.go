@@ -1,0 +1,117 @@
+// Package client is the zeroize fixture: //reed:secret sources must
+// reach core.Wipe on every return path, directly, via defer, or
+// through a helper that wipes its parameter on all of its own paths.
+package client
+
+import (
+	"errors"
+
+	"reedvet.fixtures/zeroize/internal/core"
+)
+
+type keyState struct{ v [32]byte }
+
+func (s *keyState) Key() [32]byte { return s.v }
+
+func deriveKey() [32]byte { return [32]byte{} }
+
+func mayFail() error { return errors.New("boom") }
+
+type vault struct{ stored [32]byte }
+
+// deferredWipe is the canonical good shape: defer pins the wipe to
+// every subsequent exit, including the early error return.
+func deferredWipe(s *keyState) error {
+	k := s.Key() //reed:secret — transient file-key copy
+	defer core.Wipe(k[:])
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// wipeBothBranches wipes explicitly on each return path.
+func wipeBothBranches(s *keyState) error {
+	k := s.Key() //reed:secret — transient file-key copy
+	if err := mayFail(); err != nil {
+		core.Wipe(k[:])
+		return err
+	}
+	core.Wipe(k[:])
+	return nil
+}
+
+// destroy wipes its parameter on every path: callers may discharge a
+// secret through it.
+func destroy(k []byte) {
+	core.Wipe(k)
+}
+
+// viaHelper discharges the secret through destroy's summary.
+func viaHelper(s *keyState) {
+	k := s.Key() //reed:secret — transient file-key copy
+	destroy(k[:])
+}
+
+// viaDeferredHelper discharges through a deferred wiping helper.
+func viaDeferredHelper(s *keyState) error {
+	k := s.Key() //reed:secret — transient file-key copy
+	defer destroy(k[:])
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// returned hands the key to the caller: ownership moves with it.
+func returned(s *keyState) [32]byte {
+	k := s.Key() //reed:secret — caller takes ownership
+	return k
+}
+
+// storedInField hands the key to the vault, which owns erasure now.
+func storedInField(s *keyState, v *vault) {
+	k := s.Key() //reed:secret — vault takes ownership
+	v.stored = k
+}
+
+// unmarked copies are outside the invariant: no marker, no tracking.
+func unmarked(s *keyState) {
+	k := s.Key()
+	_ = k
+}
+
+// leak never wipes at all.
+func leak(s *keyState) {
+	//reed:secret — transient file-key copy
+	k := s.Key() // want `secret k from a //reed:secret source is not wiped by core.Wipe on every return path`
+	_ = k
+}
+
+// leakOnError wipes the success path but not the early error return.
+func leakOnError(s *keyState) error {
+	//reed:secret — transient file-key copy
+	k := s.Key() // want `secret k from a //reed:secret source is not wiped by core.Wipe on every return path`
+	if err := mayFail(); err != nil {
+		return err
+	}
+	core.Wipe(k[:])
+	return nil
+}
+
+// halfDestroy wipes its parameter only on the error path, so its
+// summary carries no wipe guarantee.
+func halfDestroy(k []byte) error {
+	if err := mayFail(); err != nil {
+		core.Wipe(k)
+		return err
+	}
+	return nil
+}
+
+// viaBadHelper leans on a helper that does not wipe on all paths.
+func viaBadHelper(s *keyState) error {
+	//reed:secret — transient file-key copy
+	k := s.Key() // want `secret k from a //reed:secret source is not wiped by core.Wipe on every return path`
+	return halfDestroy(k[:])
+}

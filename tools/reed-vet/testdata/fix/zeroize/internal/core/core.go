@@ -1,0 +1,10 @@
+// Package core is the zeroize fixture's stand-in for the real core
+// package: just the wipe primitive.
+package core
+
+// Wipe zeroes b in place.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
